@@ -1,0 +1,63 @@
+"""Benchmark: ablation studies of the design choices DESIGN.md calls out.
+
+Not a paper artifact — these time and sanity-check the extension
+analyses: the variation-scale decomposition of the Fig. 4 drop, the
+robustness sweeps over the paper's fixed assumptions, and the
+cross-topology depth/variation study.
+"""
+
+from conftest import run_once
+
+from repro.analysis import (
+    chain_length_sweep,
+    decompose_performance_drop,
+    mitigation_coverage,
+    paths_per_lane_sweep,
+    signoff_quantile_sweep,
+)
+from repro.circuits.adders import adder_comparison
+from repro.experiments.registry import get_analyzer
+
+VDD = 0.55
+
+
+def test_variance_decomposition(benchmark):
+    analyzer = get_analyzer("90nm")
+    rows = run_once(benchmark, decompose_performance_drop, analyzer, VDD)
+    by_name = {r.component: r for r in rows}
+    # The NTV excess is threshold-driven; flat components cancel.
+    assert by_name["threshold (all scales)"].share > 0.9
+    assert by_name["multiplicative (all scales)"].contribution < 0.005
+
+
+def test_mitigation_coverage(benchmark):
+    analyzer = get_analyzer("90nm")
+    coverage = run_once(benchmark, mitigation_coverage, analyzer, VDD)
+    # Structural fact behind Fig. 7: spares fix lane-level slowness far
+    # better than die-level slowness; margining fixes both.
+    assert (coverage["lane-level"]["duplication"]
+            > coverage["die-level"]["duplication"])
+    assert coverage["die-level"]["margining"] > 0.5
+
+
+def test_assumption_sweeps(benchmark):
+    def sweep_all():
+        return (signoff_quantile_sweep("90nm", VDD),
+                paths_per_lane_sweep("90nm", VDD),
+                chain_length_sweep("90nm", VDD))
+
+    quantiles, paths, chains = run_once(benchmark, sweep_all)
+    # The 90nm "drops stay small" conclusion is robust to every
+    # assumption within its swept range.
+    for rows in (quantiles, paths, chains):
+        for row in rows:
+            assert row.performance_drop < 0.12
+            assert row.spares is not None          # never saturates
+
+
+def test_adder_topology_study(benchmark):
+    tech = get_analyzer("90nm").tech
+    results = run_once(benchmark, adder_comparison, tech, 0.5, 32, 300)
+    # Depth averaging across real topologies (Fig. 11's argument).
+    assert (results["ripple-carry"]["three_sigma_over_mu"]
+            < results["kogge-stone"]["three_sigma_over_mu"])

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 1 (single-inverter vs chain histograms).
+
+Workload: 2 x 6 Monte-Carlo ensembles (1000 samples x up to 50 gates) on
+the 90 nm card.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.devices.paper_anchors import FIG1_CHAIN50_3SIGMA
+
+
+def test_regenerate_fig1(benchmark, regenerate, save_report):
+    result = run_once(benchmark, regenerate, "fig1", False)
+    save_report(result)
+    data = result.data
+    # Shape contract: chain averaging at every voltage, NTV blow-up at 0.5V.
+    for single, chain in zip(data["single"], data["chain"]):
+        assert single > 2 * chain
+    chain_by_vdd = dict(zip(data["vdd"], data["chain"]))
+    assert chain_by_vdd[0.5] > chain_by_vdd[1.0] * 1.3
+    assert chain_by_vdd[0.5] == pytest.approx(
+        FIG1_CHAIN50_3SIGMA[0.5], rel=0.15)

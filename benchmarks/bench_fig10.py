@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 10 / Appendix B (the Diet SODA PE
+inventory and voltage-domain breakdown).
+
+Workload: trivial (structural data), but kept for artifact completeness —
+every figure/table of the paper has a bench target.
+"""
+
+import pytest
+from conftest import run_once
+
+
+def test_regenerate_fig10(benchmark, regenerate, save_report):
+    result = run_once(benchmark, regenerate, "fig10", False)
+    save_report(result)
+    data = result.data
+    # The reconstruction must carry the three constants every overhead
+    # number in Tables 1-3 relies on.
+    assert data["dv_power_fraction"] == pytest.approx(0.43)
+    assert 100 * data["area_per_spare"] == pytest.approx(57.8 / 128,
+                                                         rel=1e-6)
+    assert data["modules"]["xram-shuffle-network"]["power"] == pytest.approx(
+        0.137)

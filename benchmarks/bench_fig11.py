@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 11 (chain-length averaging study).
+
+Workload: analytic chain statistics over 8 lengths x 4 nodes at 0.55 V.
+"""
+
+from conftest import run_once
+
+
+def test_regenerate_fig11(benchmark, regenerate, save_report):
+    result = run_once(benchmark, regenerate, "fig11", False)
+    save_report(result)
+    data = result.data
+    for node in ("90nm", "45nm", "32nm", "22nm"):
+        series = data[node]
+        # Averaging with diminishing returns.
+        assert series[1] > series[10] > series[50] > series[200] > 0
+        early_rate = (series[1] - series[10]) / 9
+        late_rate = (series[100] - series[200]) / 100
+        assert early_rate > 10 * late_rate

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 12 / Appendix D (spare placement study).
+
+Workload: Monte-Carlo repair-yield estimation (5 policies x 6000 chips)
+plus the XRAM bypass demonstration.
+"""
+
+from conftest import run_once
+
+
+def test_regenerate_fig12(benchmark, regenerate, save_report):
+    result = run_once(benchmark, regenerate, "fig12", False)
+    save_report(result)
+    policies = result.data["policies"]
+    # Shape contract: global sparing dominates every local policy.
+    global_yield = policies[0]["yield"]
+    assert policies[0]["cluster_size"] is None
+    assert all(global_yield >= p["yield"] for p in policies[1:])
+    # Paper Fig. 12(c) bypass mapping reproduced exactly.
+    assert result.data["demo_mapping"] == [0, 1, 4, 5, 6, 7, 8, 9]

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 2 (chain-50 variation vs Vdd, 4 nodes).
+
+Workload: analytic moment sweeps over 11 voltages x 4 technology cards.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.devices.paper_anchors import FIG2_POINTS
+
+
+def test_regenerate_fig2(benchmark, regenerate, save_report):
+    result = run_once(benchmark, regenerate, "fig2", False)
+    save_report(result)
+    data = result.data
+    # Shape contract: variation grows toward low Vdd on every node and
+    # with technology scaling; the quoted 2.5x 22nm/90nm ratio holds.
+    for node in ("90nm", "45nm", "32nm", "22nm"):
+        pct = data[node]["pct"]
+        assert pct[0] > pct[-1]
+    assert data["ratio_22_over_90_at_055"] == pytest.approx(
+        FIG2_POINTS["ratio_22_over_90_at_055"], rel=0.2)

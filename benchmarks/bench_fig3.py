@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 3 (path / 1-wide / 128-wide distributions).
+
+Workload: six 10,000-sample architecture-level ensembles on 90 nm.
+"""
+
+from conftest import run_once
+
+
+def test_regenerate_fig3(benchmark, regenerate, save_report):
+    result = run_once(benchmark, regenerate, "fig3", False)
+    save_report(result)
+    means = dict(zip(result.data["labels"], result.data["mean_fo4"]))
+    # Shape contract: compounding max effects and the NTV rightward drift.
+    assert (means["critical-path@1V"] < means["1-wide@1V"]
+            < means["128-wide@1V"])
+    assert (means["128-wide@1V"] < means["128-wide@0.6V"]
+            < means["128-wide@0.55V"] < means["128-wide@0.5V"])

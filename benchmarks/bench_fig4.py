@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 4 (performance drop vs Vdd, 4 nodes).
+
+Workload: deterministic 99 % chip-delay quantiles over an 11-voltage x
+4-node grid (the headline architecture-level result).
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.devices.paper_anchors import FIG4_PERF_DROP
+
+
+def test_regenerate_fig4(benchmark, regenerate, save_report):
+    result = run_once(benchmark, regenerate, "fig4", False)
+    save_report(result)
+    data = result.data
+    # Shape contract: 90nm stays mild (<10% at 0.5V), 22nm reaches ~18%,
+    # every node's drop is monotone in voltage.
+    assert data["90nm"][0.5] < 10.0
+    assert data["22nm"][0.5] == pytest.approx(
+        FIG4_PERF_DROP["22nm"][0.5], rel=0.3)
+    for node, rows in data.items():
+        voltages = sorted(rows)
+        drops = [rows[v] for v in voltages]
+        assert all(a >= b for a, b in zip(drops, drops[1:]))

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 5 (duplicated-system distributions).
+
+Workload: nine 10,000-sample ensembles (baseline + 8 spare budgets) plus
+the deterministic spare solve at 0.55 V, 90 nm.
+"""
+
+from conftest import run_once
+
+
+def test_regenerate_fig5(benchmark, regenerate, save_report):
+    result = run_once(benchmark, regenerate, "fig5", False)
+    save_report(result)
+    data = result.data
+    # Shape contract: spares shift the 99% point monotonically toward the
+    # baseline target and eventually meet it.
+    p99 = data["p99_fo4"]
+    assert all(a >= b for a, b in zip(p99, p99[1:]))
+    assert p99[-1] <= data["target_fo4"]
+    assert data["solver_spares"] is not None
+    assert 1 <= data["solver_spares"] <= 32

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 7 (duplication vs margining power, 4 nodes).
+
+Workload: 2 solver runs (spares + margin) per cell over a 5-voltage x
+4-node grid — 40 deterministic optimisations.
+"""
+
+from conftest import run_once
+
+
+def test_regenerate_fig7(benchmark, regenerate, save_report):
+    result = run_once(benchmark, regenerate, "fig7", False)
+    save_report(result)
+    data = result.data
+    # Shape contract (the paper's design guideline): duplication wins the
+    # high-voltage/low-variation corner at 90nm; margining takes over at
+    # low voltage on the advanced nodes.
+    rows90 = {r["vdd"]: r for r in data["90nm"]["rows"]}
+    assert rows90[0.7]["winner"] == "duplication"
+    for node in ("45nm", "32nm", "22nm"):
+        rows = {r["vdd"]: r for r in data[node]["rows"]}
+        assert rows[0.5]["winner"] == "margining"
+        assert data[node]["crossover"] is not None

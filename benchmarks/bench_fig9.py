@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 9 (energy/delay operating regions).
+
+Workload: energy sweep + bounded minimisation on the 90 nm card.
+"""
+
+from conftest import run_once
+
+
+def test_regenerate_fig9(benchmark, regenerate, save_report):
+    result = run_once(benchmark, regenerate, "fig9", False)
+    save_report(result)
+    data = result.data
+    sub_near, near_super = data["boundaries"]
+    # Shape contract: three ordered regions, the energy minimum at/below
+    # the sub/near boundary, energy falling from nominal into NTV.
+    assert 0 < sub_near < near_super
+    assert data["v_min"] <= sub_near + 0.05
+    by_vdd = dict(zip(data["vdd"], data["total"]))
+    assert by_vdd[1.0] > by_vdd[0.5] > min(data["total"])
+    # Delay rises monotonically as voltage falls.
+    delays = list(zip(data["vdd"], data["delay"]))
+    delays.sort()
+    values = [d for _, d in delays]
+    assert all(a >= b for a, b in zip(values, values[1:]))

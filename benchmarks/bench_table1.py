@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table 1 (spare counts + overheads grid).
+
+Workload: 20 deterministic spare solves (binary searches over integer
+spare budgets at full 128-wide scale).
+"""
+
+from conftest import run_once
+
+from repro.devices.paper_anchors import TABLE1
+
+
+def test_regenerate_table1(benchmark, regenerate, save_report):
+    result = run_once(benchmark, regenerate, "table1", False)
+    save_report(result)
+    data = result.data
+    # Shape contract: saturation where the paper saturates; feasible cells
+    # within ~3x of the paper counts; exponential growth toward 0.5 V.
+    for node, rows in TABLE1.items():
+        for vdd, entry in rows.items():
+            cell = data[node][vdd]
+            if entry.saturated:
+                assert (not cell["feasible"]) or cell["spares"] > 96
+            else:
+                assert cell["feasible"]
+                ratio = (cell["spares"] + 1) / (entry.spares + 1)
+                assert 1 / 3 < ratio < 3
+    assert data["90nm"][0.5]["spares"] > 4 * data["90nm"][0.6]["spares"]

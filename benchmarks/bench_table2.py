@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table 2 (voltage margins + overheads grid).
+
+Workload: 20 deterministic Brent margin searches at full 128-wide scale,
+each to 10 uV tolerance.
+"""
+
+from conftest import run_once
+
+from repro.devices.paper_anchors import TABLE2
+
+
+def test_regenerate_table2(benchmark, regenerate, save_report):
+    result = run_once(benchmark, regenerate, "table2", False)
+    save_report(result)
+    data = result.data
+    for node, rows in TABLE2.items():
+        for vdd, entry in rows.items():
+            cell = data[node][vdd]
+            assert cell["feasible"]
+            # Within 50 % of the paper's margin in every cell.
+            assert abs(cell["margin_mv"] - entry.margin_mv) \
+                <= 0.5 * entry.margin_mv
+    # 90nm needs millivolts; the advanced nodes need tens of millivolts.
+    assert data["90nm"][0.5]["margin_mv"] < 8
+    assert data["45nm"][0.5]["margin_mv"] > 12

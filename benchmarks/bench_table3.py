@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 3 (combined design points, 45nm @ 600mV).
+
+Workload: 8 residual-margin solves plus the minimum-power sweep.
+"""
+
+from conftest import run_once
+
+
+def test_regenerate_table3(benchmark, regenerate, save_report):
+    result = run_once(benchmark, regenerate, "table3", False)
+    save_report(result)
+    data = result.data
+    points = {p["spares"]: p for p in data["points"]}
+    # Shape contract: margin falls as spares grow; the power optimum is an
+    # interior point cheaper than both pure techniques.
+    margins = [points[s]["margin_mv"] for s in sorted(points)]
+    assert all(a >= b for a, b in zip(margins, margins[1:]))
+    pure_margin_power = points[0]["power"]
+    optimum = data["optimum"]
+    assert 0 < optimum["spares"] < max(points)
+    assert optimum["power"] < pure_margin_power

@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one paper artifact (figure or table),
+measures the regeneration time with pytest-benchmark, saves the rendered
+report under ``benchmarks/_output/`` and asserts the artifact's headline
+shape facts.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import run_experiment
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "_output"
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Persist an experiment's rendered report next to the benchmarks."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _save(result):
+        path = OUTPUT_DIR / f"{result.experiment_id}.txt"
+        path.write_text(result.render() + "\n")
+        return path
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def regenerate():
+    """Callable running one experiment (fast mode keeps CI times sane)."""
+
+    def _run(experiment_id: str, fast: bool = True):
+        return run_experiment(experiment_id, fast=fast)
+
+    return _run
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark an expensive artifact regeneration exactly once."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,55 @@
+"""DSP kernels on the near-threshold SIMD machine.
+
+Runs the camera/DSP kernels Diet SODA targets (FIR, FFT, 2-D
+convolution, colour-space conversion) across operating voltages and SIMD
+widths — quantifying the paper's premise that data-level parallelism
+buys back the near-threshold slowdown, including each kernel's Amdahl
+limit and the variation-aware clock.
+
+Run with::
+
+    python examples/dsp_kernel_study.py
+"""
+
+from repro import VariationAnalyzer
+from repro.energy import EnergyModel
+from repro.simd import KERNELS, SIMDMachine, execute
+
+NODE = "90nm"
+
+
+def sweep_kernel(analyzer, energy_model, name: str, factory) -> None:
+    workload = factory()
+    print(f"--- {workload.name} (scalar fraction "
+          f"{100 * workload.scalar_fraction:.2f} %) ---")
+    baseline = execute(workload,
+                       SIMDMachine(analyzer=analyzer, vdd=1.0, width=16),
+                       energy_model)
+    print(f"  reference: {baseline.summary()}")
+    for vdd, width in ((1.0, 128), (0.6, 128), (0.55, 128), (0.5, 128)):
+        machine = SIMDMachine(analyzer=analyzer, vdd=vdd, width=width)
+        report = execute(workload, machine, energy_model)
+        speedup = baseline.runtime / report.runtime
+        energy_ratio = report.energy / baseline.energy
+        marker = " <- beats reference" if speedup > 1 else ""
+        print(f"  {report.summary()}  speedup {speedup:5.2f}x "
+              f"energy {energy_ratio:4.2f}x{marker}")
+    print()
+
+
+def main() -> None:
+    analyzer = VariationAnalyzer(NODE)
+    energy_model = EnergyModel(analyzer.tech)
+    print(f"{NODE}: 16-wide @ nominal voltage as the reference design;\n"
+          f"can a 128-wide near-threshold machine beat it?\n")
+    for name, factory in KERNELS.items():
+        sweep_kernel(analyzer, energy_model, name, factory)
+
+    print("conclusion: for DLP-rich kernels the wide NTV machine matches "
+          "or beats the narrow nominal design at a fraction of the "
+          "energy; kernels with scalar bottlenecks benefit less "
+          "(Amdahl) — exactly the workload class the paper targets.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Quickstart: the five questions the paper answers, in ~40 lines.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import VariationAnalyzer
+from repro.mitigation import solve_voltage_margin
+from repro.sparing import solve_spares
+from repro.units import to_ns
+
+NODE = "90nm"
+VDD = 0.55  # near-threshold operating point
+
+
+def main() -> None:
+    analyzer = VariationAnalyzer(NODE)
+
+    # 1. How much does a 50-FO4 critical path vary at near threshold?
+    print(f"[{NODE}] 50-FO4 chain 3sigma/mu:")
+    for vdd in (1.0, 0.7, VDD, 0.5):
+        print(f"  {vdd:4.2f} V -> {100 * analyzer.chain_variation(vdd):5.2f} %"
+              f"  (mean {to_ns(analyzer.chain_mean_delay(vdd)):6.2f} ns)")
+
+    # 2. What does that do to a 128-wide SIMD chip?
+    drop = 100 * analyzer.performance_drop(VDD)
+    print(f"\n128-wide SIMD @ {VDD} V: variation-induced performance drop "
+          f"{drop:.1f} % vs {analyzer.nominal_vdd:.1f} V sign-off")
+
+    # 3. How many spare lanes fix it (structural duplication)?
+    spares = solve_spares(analyzer, VDD)
+    print(f"structural duplication: {spares.summary()}")
+
+    # 4. Or how much supply margin (voltage margining)?
+    margin = solve_voltage_margin(analyzer, VDD)
+    print(f"voltage margining:      {margin.summary()}")
+
+    # 5. Which is cheaper here?
+    if spares.feasible and spares.power_overhead <= margin.power_overhead:
+        choice = f"duplication (+{100 * spares.power_overhead:.1f} % power)"
+    else:
+        choice = f"margining (+{100 * margin.power_overhead:.1f} % power)"
+    print(f"\npreferred technique at {NODE}@{VDD}V: {choice}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Technology-scaling study: how the mitigation answer changes 90nm -> 22nm.
+
+Sweeps the four calibrated nodes and reports, per node and near-threshold
+voltage: chain variation (Fig. 2), chip-level performance drop (Fig. 4),
+the sized mitigations (Tables 1-2) and the winning technique (Fig. 7) —
+the paper's narrative in one table.
+
+Run with::
+
+    python examples/technology_scaling_study.py
+"""
+
+from repro import VariationAnalyzer, available_technologies
+from repro.mitigation import compare_techniques
+
+VOLTAGES = (0.50, 0.55, 0.60, 0.65, 0.70)
+
+
+def main() -> None:
+    header = (f"{'node':>5s} {'Vdd':>5s} {'chain 3s/mu':>12s} "
+              f"{'perf drop':>10s} {'spares':>7s} {'margin':>9s} "
+              f"{'winner':>12s}")
+    print(header)
+    print("=" * len(header))
+    for node in available_technologies():
+        analyzer = VariationAnalyzer(node)
+        for vdd in VOLTAGES:
+            chain = 100 * analyzer.chain_variation(vdd)
+            drop = 100 * analyzer.performance_drop(vdd)
+            comparison = compare_techniques(analyzer, vdd)
+            spares = (str(comparison.duplication_spares)
+                      if comparison.duplication_feasible else ">128")
+            print(f"{node:>5s} {vdd:5.2f} {chain:11.1f}% {drop:9.1f}% "
+                  f"{spares:>7s} {comparison.margin_mv:7.1f}mV "
+                  f"{comparison.winner:>12s}")
+        print("-" * len(header))
+
+    print("\ntakeaways (matching the paper's conclusions):")
+    print(" * 90nm: drops stay ~5% even at 0.5 V -> a handful of spares "
+          "suffices; no complex architectural enhancement needed")
+    print(" * scaling to 22nm multiplies chain variation ~2.5x at 0.55 V; "
+          "spare demand explodes and margining (or a combination) wins at "
+          "the lowest voltages")
+
+
+if __name__ == "__main__":
+    main()

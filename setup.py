@@ -1,0 +1,6 @@
+"""Setup shim: allows editable installs on environments whose setuptools
+predates PEP 660 support (all real configuration lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

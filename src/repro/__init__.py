@@ -1,0 +1,50 @@
+"""repro — reproduction of "Process Variation in Near-Threshold Wide SIMD
+Architectures" (Seo et al., DAC 2012).
+
+The library models delay variation of near-threshold wide-SIMD datapaths
+across four technology nodes and evaluates the paper's three mitigation
+techniques (structural duplication, voltage margining, frequency margining).
+
+Quick start::
+
+    from repro import VariationAnalyzer
+    analyzer = VariationAnalyzer("90nm")
+    drop = analyzer.performance_drop(0.5)        # Fig. 4 point
+    from repro.sparing import solve_spares
+    spares = solve_spares(analyzer, 0.55)        # Table 1 cell
+
+See README.md for the architecture overview and
+``python -m repro.experiments list`` for the paper-artifact regenerators.
+"""
+
+from repro._version import __version__
+from repro.core import (
+    ChipDelayEngine,
+    DelayDistribution,
+    MonteCarloEngine,
+    VariationAnalyzer,
+    VariationSweep,
+)
+from repro.devices import (
+    TechnologyNode,
+    TransregionalModel,
+    VariationModel,
+    available_technologies,
+    get_technology,
+)
+from repro.errors import ReproError
+
+__all__ = [
+    "__version__",
+    "VariationAnalyzer",
+    "ChipDelayEngine",
+    "MonteCarloEngine",
+    "DelayDistribution",
+    "VariationSweep",
+    "TechnologyNode",
+    "TransregionalModel",
+    "VariationModel",
+    "available_technologies",
+    "get_technology",
+    "ReproError",
+]

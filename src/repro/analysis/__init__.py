@@ -1,0 +1,33 @@
+"""Ablation and sensitivity analyses of the reproduction's design choices.
+
+* :mod:`repro.analysis.decomposition` — which variation component (gate /
+  lane / die, threshold / multiplicative) drives the near-threshold
+  performance drop, and which of them each mitigation technique can
+  actually fix.
+* :mod:`repro.analysis.sensitivity` — robustness of the paper's
+  conclusions to its modelling assumptions: the 99 % sign-off quantile,
+  the 100-critical-paths-per-lane count, and the 50-FO4 critical-path
+  proxy depth.
+"""
+
+from repro.analysis.decomposition import (
+    ComponentContribution,
+    decompose_performance_drop,
+    mitigation_coverage,
+)
+from repro.analysis.sensitivity import (
+    AssumptionSweep,
+    signoff_quantile_sweep,
+    paths_per_lane_sweep,
+    chain_length_sweep,
+)
+
+__all__ = [
+    "ComponentContribution",
+    "decompose_performance_drop",
+    "mitigation_coverage",
+    "AssumptionSweep",
+    "signoff_quantile_sweep",
+    "paths_per_lane_sweep",
+    "chain_length_sweep",
+]

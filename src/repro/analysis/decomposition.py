@@ -1,0 +1,125 @@
+"""Variance decomposition of the near-threshold performance drop.
+
+Answers two questions the paper's mitigation story hinges on:
+
+1. *Which variation component creates the drop?*  Each spatial scale is
+   zeroed in turn and the Fig. 4 drop recomputed; the delta is that
+   component's contribution.
+2. *Which components can each technique fix?*  Structural duplication
+   only removes lane-level outliers; voltage margining speeds up
+   everything.  :func:`mitigation_coverage` quantifies this by applying a
+   generous amount of each technique to ablated variation models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.analyzer import VariationAnalyzer
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ComponentContribution",
+    "decompose_performance_drop",
+    "mitigation_coverage",
+]
+
+#: The ablatable variation components: name -> fields to zero.
+_COMPONENTS = {
+    "gate-level": ("sigma_vth_wid", "sigma_mult_rand"),
+    "lane-level": ("sigma_vth_lane", "sigma_mult_lane"),
+    "die-level": ("sigma_vth_d2d", "sigma_mult_corr"),
+    "threshold (all scales)": ("sigma_vth_wid", "sigma_vth_lane",
+                               "sigma_vth_d2d"),
+    "multiplicative (all scales)": ("sigma_mult_rand", "sigma_mult_lane",
+                                    "sigma_mult_corr"),
+}
+
+
+@dataclass(frozen=True)
+class ComponentContribution:
+    """Effect of removing one variation component."""
+
+    component: str
+    full_drop: float          # Fig. 4 drop with all components
+    drop_without: float       # drop with this component zeroed
+    contribution: float       # full - without
+
+    @property
+    def share(self) -> float:
+        """Fraction of the full drop attributable to this component."""
+        return self.contribution / self.full_drop if self.full_drop else 0.0
+
+    def summary(self) -> str:
+        return (f"{self.component:<28s} drop {100 * self.drop_without:5.2f} % "
+                f"without it -> contributes {100 * self.contribution:5.2f} pp "
+                f"({100 * self.share:4.0f} %)")
+
+
+def _ablated_analyzer(analyzer: VariationAnalyzer, fields) -> VariationAnalyzer:
+    variation = replace(analyzer.tech.variation,
+                        **{f: 0.0 for f in fields})
+    return VariationAnalyzer(
+        analyzer.tech.with_variation(variation),
+        width=analyzer.width,
+        paths_per_lane=analyzer.paths_per_lane,
+        chain_length=analyzer.chain_length,
+        signoff_quantile=analyzer.signoff_quantile)
+
+
+def decompose_performance_drop(analyzer: VariationAnalyzer, vdd: float,
+                               components=None) -> list:
+    """Per-component contributions to the Fig. 4 performance drop.
+
+    Contributions need not sum exactly to the full drop (quantiles are
+    not additive), but their ordering and magnitudes identify the driver.
+    """
+    names = tuple(components) if components is not None else tuple(_COMPONENTS)
+    for name in names:
+        if name not in _COMPONENTS:
+            raise ConfigurationError(
+                f"unknown component {name!r}; choose from "
+                f"{', '.join(_COMPONENTS)}")
+    full = analyzer.performance_drop(vdd)
+    results = []
+    for name in names:
+        ablated = _ablated_analyzer(analyzer, _COMPONENTS[name])
+        without = ablated.performance_drop(vdd)
+        results.append(ComponentContribution(
+            component=name, full_drop=full, drop_without=without,
+            contribution=full - without))
+    return results
+
+
+def mitigation_coverage(analyzer: VariationAnalyzer, vdd: float,
+                        spares: int = 32, margin: float = 0.02) -> dict:
+    """How much of the drop each technique removes, per variation scale.
+
+    Returns ``{scale: {"duplication": removed_fraction, "margining":
+    removed_fraction}}`` where each scale keeps *only* that component
+    active (isolating what the technique can act on).  Demonstrates the
+    structural fact behind Fig. 7: spares cannot fix die-level slowdown.
+    """
+    out = {}
+    for scale in ("gate-level", "lane-level", "die-level"):
+        keep = _COMPONENTS[scale]
+        zero = tuple(f for fields in _COMPONENTS.values() for f in fields
+                     if f not in keep)
+        only = _ablated_analyzer(analyzer, tuple(set(zero)))
+        base_drop = only.performance_drop(vdd)
+        if base_drop <= 0:
+            out[scale] = {"duplication": 0.0, "margining": 0.0,
+                          "base_drop": base_drop}
+            continue
+        dup_drop = only.performance_drop(vdd, spares=spares)
+        # Margining: run at vdd+margin but keep the vdd target (Fig. 6).
+        target_fo4 = only.nominal_signoff_fo4()
+        mar_fo4 = (only.chip_quantile(vdd + margin)
+                   / only.fo4_unit(vdd))
+        mar_drop = mar_fo4 / target_fo4 - 1.0
+        out[scale] = {
+            "base_drop": base_drop,
+            "duplication": 1.0 - max(dup_drop, 0.0) / base_drop,
+            "margining": min(1.0, 1.0 - mar_drop / base_drop),
+        }
+    return out

@@ -1,0 +1,41 @@
+"""Circuit-level substrate: gates, chains, netlists and statistical timing.
+
+The paper's circuit-level study runs HSPICE Monte-Carlo on a single
+inverter, a chain of 50 FO4 inverters, and (via Drego et al. [7]) a 64-bit
+Kogge-Stone adder.  This package provides the same test structures on top
+of the analytic device model: a logical-effort gate library
+(:mod:`repro.circuits.gates`), chain/ring-oscillator builders
+(:mod:`repro.circuits.chain`), a structural netlist
+(:mod:`repro.circuits.netlist`), a parallel-prefix adder generator
+(:mod:`repro.circuits.kogge_stone`) and a Monte-Carlo statistical static
+timing engine (:mod:`repro.circuits.timing`).
+"""
+
+from repro.circuits.gates import Gate, GATE_LIBRARY, LOGIC_FUNCTIONS, get_gate
+from repro.circuits.chain import GateChain, fo4_chain, RingOscillator
+from repro.circuits.netlist import Netlist, Cell
+from repro.circuits.kogge_stone import kogge_stone_adder
+from repro.circuits.adders import (
+    adder_comparison,
+    brent_kung_adder,
+    ripple_carry_adder,
+)
+from repro.circuits.timing import StatisticalTimingEngine, TimingResult
+
+__all__ = [
+    "Gate",
+    "GATE_LIBRARY",
+    "LOGIC_FUNCTIONS",
+    "get_gate",
+    "GateChain",
+    "fo4_chain",
+    "RingOscillator",
+    "Netlist",
+    "Cell",
+    "kogge_stone_adder",
+    "ripple_carry_adder",
+    "brent_kung_adder",
+    "adder_comparison",
+    "StatisticalTimingEngine",
+    "TimingResult",
+]

@@ -1,0 +1,136 @@
+"""Additional adder topologies for the critical-path-proxy study.
+
+The paper justifies its 50-FO4-chain proxy with one datapath structure
+(the 64-bit Kogge-Stone measured by Drego et al.).  These generators add
+the two classic extremes of the adder design space:
+
+* **ripple-carry** — maximal logic depth (~2 cells/bit), minimal area:
+  a long chain, so within-die randomness averages strongly;
+* **Brent-Kung** — a sparse prefix tree (~2 log2 N levels), between the
+  ripple chain and the dense Kogge-Stone in depth.
+
+Comparing their Monte-Carlo delay variation at matched word width
+(:func:`adder_comparison`) extends Fig. 11's chain-length argument to
+real topologies: depth, not structure, sets how much variation a
+datapath block sees.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.netlist import Netlist
+from repro.errors import ConfigurationError
+
+__all__ = ["ripple_carry_adder", "brent_kung_adder", "adder_comparison"]
+
+
+def ripple_carry_adder(width: int = 64) -> Netlist:
+    """``width``-bit ripple-carry adder (full adders from 2-level logic).
+
+    Inputs ``a<i>``, ``b<i>``, outputs ``s<i>`` and ``cout``.  Each full
+    adder: ``p = a xor b``, ``s = p xor cin``,
+    ``cout = nand(nand(a, b), nand(p, cin))``.
+    """
+    if width < 1:
+        raise ConfigurationError("width must be >= 1")
+    nl = Netlist(f"ripple_carry_{width}")
+    carry = None
+    for i in range(width):
+        nl.add_cell(f"p_{i}", "xor2", [f"a{i}", f"b{i}"], f"p{i}")
+        nl.add_cell(f"g1_{i}", "nand2", [f"a{i}", f"b{i}"], f"gn{i}")
+        if carry is None:
+            # Bit 0 has no carry-in: s0 = p0, c1 = a0 & b0.
+            nl.add_cell(f"s_{i}", "buf", [f"p{i}"], f"s{i}")
+            nl.add_cell(f"c_{i}", "inv", [f"gn{i}"], f"c{i}")
+        else:
+            nl.add_cell(f"s_{i}", "xor2", [f"p{i}", carry], f"s{i}")
+            nl.add_cell(f"g2_{i}", "nand2", [f"p{i}", carry], f"pn{i}")
+            nl.add_cell(f"c_{i}", "nand2", [f"gn{i}", f"pn{i}"], f"c{i}")
+        carry = f"c{i}"
+    nl.add_cell("cout_buf", "buf", [carry], "cout")
+    for i in range(width):
+        nl.mark_output(f"s{i}")
+    nl.mark_output("cout")
+    return nl
+
+
+def brent_kung_adder(width: int = 64) -> Netlist:
+    """``width``-bit Brent-Kung parallel-prefix adder.
+
+    Sparse prefix tree: an up-sweep combining pairs at strides 1, 2, 4...
+    then a down-sweep filling the intermediate carries.  Uses the same
+    AOI/NAND cells as the Kogge-Stone generator.
+    """
+    if width < 2 or width & (width - 1):
+        raise ConfigurationError("width must be a power of two >= 2")
+    nl = Netlist(f"brent_kung_{width}")
+
+    for i in range(width):
+        nl.add_cell(f"p0_{i}", "xor2", [f"a{i}", f"b{i}"], f"p_{i}_{i}")
+        nl.add_cell(f"gn_{i}", "nand2", [f"a{i}", f"b{i}"], f"gn0_{i}")
+        nl.add_cell(f"g0_{i}", "inv", [f"gn0_{i}"], f"g_{i}_{i}")
+
+    # Group nets are named g_<hi>_<lo> / p_<hi>_<lo> covering bits lo..hi.
+    def combine(tag, hi, mid, lo):
+        """(hi..mid+1) o (mid..lo) -> (hi..lo)."""
+        g_hi, p_hi = f"g_{hi}_{mid + 1}", f"p_{hi}_{mid + 1}"
+        g_lo, p_lo = f"g_{mid}_{lo}", f"p_{mid}_{lo}"
+        nl.add_cell(f"aoi_{tag}", "aoi21", [p_hi, g_lo, g_hi],
+                    f"gn_{hi}_{lo}")
+        nl.add_cell(f"ginv_{tag}", "inv", [f"gn_{hi}_{lo}"], f"g_{hi}_{lo}")
+        nl.add_cell(f"pnand_{tag}", "nand2", [p_hi, p_lo], f"pn_{hi}_{lo}")
+        nl.add_cell(f"pinv_{tag}", "inv", [f"pn_{hi}_{lo}"], f"p_{hi}_{lo}")
+
+    # Up-sweep: strides 2, 4, ..., width.
+    stride = 2
+    while stride <= width:
+        for hi in range(stride - 1, width, stride):
+            mid = hi - stride // 2
+            combine(f"up{stride}_{hi}", hi, mid, hi - stride + 1)
+        stride *= 2
+
+    # Down-sweep: fill carries g_{hi}_0 for the remaining positions.
+    stride = width // 2
+    while stride >= 2:
+        for hi in range(stride + stride // 2 - 1, width, stride):
+            mid = hi - stride // 2
+            combine(f"dn{stride}_{hi}", hi, mid, 0)
+        stride //= 2
+
+    # Sum bits: s_i = p_i xor carry_{i-1} (carry_{i} = g_{i}_0).
+    nl.add_cell("s_0", "buf", ["p_0_0"], "s0")
+    for i in range(1, width):
+        nl.add_cell(f"s_{i}", "xor2", [f"p_{i}_{i}", f"g_{i - 1}_0"],
+                    f"s{i}")
+    nl.add_cell("cout_buf", "buf", [f"g_{width - 1}_0"], "cout")
+    for i in range(width):
+        nl.mark_output(f"s{i}")
+    nl.mark_output("cout")
+    return nl
+
+
+def adder_comparison(tech, vdd: float = 0.5, width: int = 64,
+                     n_samples: int = 500, seed: int | None = 0) -> dict:
+    """Monte-Carlo variation of the three adder topologies at one Vdd.
+
+    Returns ``{topology: {"depth", "cells", "mean", "three_sigma_over_mu"}}``
+    — the cross-topology view of the paper's depth-averaging argument.
+    """
+    from repro.circuits.kogge_stone import kogge_stone_adder
+    from repro.circuits.timing import StatisticalTimingEngine
+
+    topologies = {
+        "ripple-carry": ripple_carry_adder(width),
+        "brent-kung": brent_kung_adder(width),
+        "kogge-stone": kogge_stone_adder(width),
+    }
+    out = {}
+    for name, netlist in topologies.items():
+        engine = StatisticalTimingEngine(tech, seed=seed)
+        result = engine.run(netlist, vdd, n_samples=n_samples)
+        out[name] = {
+            "depth": netlist.logic_depth(),
+            "cells": netlist.n_cells,
+            "mean": result.mean,
+            "three_sigma_over_mu": result.three_sigma_over_mu,
+        }
+    return out

@@ -1,0 +1,109 @@
+"""Gate-chain test structures (the paper's Fig. 1/2/11 vehicles).
+
+A :class:`GateChain` is an ordered list of library gates with per-stage
+fanouts; :func:`fo4_chain` builds the canonical chain of N fanout-of-4
+inverters.  :class:`RingOscillator` wraps an odd-length inverter chain and
+reports oscillation frequency — the standard silicon variation monitor,
+useful as an extra validation structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.gates import get_gate
+from repro.errors import ConfigurationError
+
+__all__ = ["GateChain", "fo4_chain", "RingOscillator"]
+
+
+class GateChain:
+    """An ordered chain of gates with fixed per-stage fanout.
+
+    Parameters
+    ----------
+    gates:
+        Sequence of :class:`~repro.circuits.gates.Gate` (or names).
+    fanout:
+        Electrical effort per stage, scalar or per-stage sequence.
+    """
+
+    def __init__(self, gates, fanout=4.0) -> None:
+        self.gates = tuple(get_gate(g) if isinstance(g, str) else g
+                           for g in gates)
+        if not self.gates:
+            raise ConfigurationError("a chain needs at least one gate")
+        fanout = np.broadcast_to(np.asarray(fanout, dtype=float),
+                                 (len(self.gates),)).copy()
+        if np.any(fanout <= 0):
+            raise ConfigurationError("fanouts must be positive")
+        self.fanout = fanout
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def nominal_delay(self, tech, vdd) -> float:
+        """Variation-free chain delay in seconds."""
+        return float(sum(
+            g.delay(tech, vdd, h)
+            for g, h in zip(self.gates, self.fanout)))
+
+    def sample_delays(self, tech, vdd, n_samples: int,
+                      rng: np.random.Generator, include_die: bool = True):
+        """Monte-Carlo chain delays (seconds), shape ``(n_samples,)``.
+
+        Per-gate threshold draws use each cell's Pelgrom ``size_scale``;
+        the chain is co-located, so the lane- and die-level draws are
+        shared along it (one each per sample).
+        """
+        var = tech.variation
+        n_gates = len(self.gates)
+        delays = np.zeros((n_samples, n_gates))
+        if include_die:
+            die = var.sample_dies(rng, n_samples)
+            lane = var.sample_lanes(rng, n_samples)
+            corr_dvth = die.dvth + lane.dvth
+            corr_mult = (1.0 + die.mult) * (1.0 + lane.mult)
+        else:
+            corr_dvth = np.zeros(n_samples)
+            corr_mult = 1.0
+        for i, (gate, h) in enumerate(zip(self.gates, self.fanout)):
+            draws = var.sample_gates(rng, n_samples,
+                                     size_scale=gate.size_scale)
+            delays[:, i] = gate.delay(tech, vdd, h,
+                                      dvth=draws.dvth + corr_dvth,
+                                      mult=draws.mult)
+        return delays.sum(axis=1) * corr_mult
+
+
+def fo4_chain(length: int = 50) -> GateChain:
+    """The paper's critical-path proxy: ``length`` FO4 inverters."""
+    if length < 1:
+        raise ConfigurationError("chain length must be >= 1")
+    return GateChain(["inv"] * length, fanout=4.0)
+
+
+class RingOscillator:
+    """An odd-stage inverter ring (silicon variation monitor).
+
+    Frequency is ``1 / (2 * N * t_stage)``; its spread across dies tracks
+    the correlated variation, making it the classic test-chip structure
+    for separating variation scales.
+    """
+
+    def __init__(self, stages: int = 11, fanout: float = 1.0) -> None:
+        if stages < 3 or stages % 2 == 0:
+            raise ConfigurationError("a ring oscillator needs an odd number "
+                                     "of stages >= 3")
+        self.stages = int(stages)
+        self.chain = GateChain(["inv"] * stages, fanout=fanout)
+
+    def nominal_frequency(self, tech, vdd) -> float:
+        """Oscillation frequency in Hz without variation."""
+        return 1.0 / (2.0 * self.chain.nominal_delay(tech, vdd))
+
+    def sample_frequencies(self, tech, vdd, n_samples: int,
+                           rng: np.random.Generator):
+        """Monte-Carlo oscillation frequencies in Hz."""
+        period = 2.0 * self.chain.sample_delays(tech, vdd, n_samples, rng)
+        return 1.0 / period

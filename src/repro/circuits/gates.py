@@ -1,0 +1,127 @@
+"""Logical-effort gate library.
+
+Gate delays are expressed in the method-of-logical-effort form
+
+.. math::  d = \\tau \\,(p + g\\,h)
+
+where ``tau`` is the technology time unit, ``p`` the parasitic delay,
+``g`` the logical effort and ``h`` the electrical effort (fanout).  We tie
+``tau`` to the technology card's FO4 delay: an FO4 inverter has
+``d = p_inv + g_inv * 4 = 5`` delay units for the canonical inverter
+(``g = 1``, ``p = 1``), so ``tau(V) = FO4(V) / 5`` — this keeps every gate
+delay consistent with the calibrated absolute delays, and lets the same
+threshold/multiplicative variation draws scale any gate.
+
+Logical-effort values follow the standard Sutherland/Sproull/Harris
+numbers for static CMOS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Gate", "GATE_LIBRARY", "get_gate"]
+
+#: An FO4 inverter is p + g*h = 1 + 1*4 = 5 logical-effort units.
+_FO4_UNITS = 5.0
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One library cell described by logical effort.
+
+    Parameters
+    ----------
+    name:
+        Cell name, e.g. ``"nand2"``.
+    logical_effort:
+        Logical effort ``g`` (input capacitance ratio vs the inverter at
+        equal drive).
+    parasitic:
+        Parasitic delay ``p`` in units of the inverter parasitic.
+    inputs:
+        Number of logic inputs.
+    size_scale:
+        Relative device area vs a reference inverter; sets Pelgrom scaling
+        of the *random* threshold sigma (larger gates average more dopant
+        fluctuations).
+    """
+
+    name: str
+    logical_effort: float
+    parasitic: float
+    inputs: int
+    size_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.logical_effort <= 0 or self.parasitic < 0:
+            raise ConfigurationError(f"{self.name}: bad effort/parasitic")
+        if self.inputs < 1:
+            raise ConfigurationError(f"{self.name}: needs >= 1 input")
+        if self.size_scale <= 0:
+            raise ConfigurationError(f"{self.name}: size_scale must be > 0")
+
+    def effort_delay_units(self, fanout: float) -> float:
+        """Delay ``p + g*h`` in logical-effort units."""
+        if fanout <= 0:
+            raise ConfigurationError("fanout must be positive")
+        return self.parasitic + self.logical_effort * fanout
+
+    def delay(self, tech, vdd, fanout: float = 4.0, dvth=0.0, mult=0.0):
+        """Absolute gate delay in seconds under variation draws.
+
+        ``tau`` is derived from the card's FO4 delay so that the entire
+        library shares the calibrated voltage dependence; the threshold
+        draw ``dvth`` perturbs the same transregional drive current.
+        """
+        units = self.effort_delay_units(fanout)
+        fo4 = tech.fo4_delay(vdd, dvth, mult)
+        return fo4 * (units / _FO4_UNITS)
+
+
+#: Static-CMOS logical effort values (Sutherland/Sproull/Harris).
+GATE_LIBRARY = {
+    "inv": Gate("inv", logical_effort=1.0, parasitic=1.0, inputs=1,
+                size_scale=1.0),
+    "nand2": Gate("nand2", logical_effort=4.0 / 3.0, parasitic=2.0, inputs=2,
+                  size_scale=1.33),
+    "nand3": Gate("nand3", logical_effort=5.0 / 3.0, parasitic=3.0, inputs=3,
+                  size_scale=1.67),
+    "nor2": Gate("nor2", logical_effort=5.0 / 3.0, parasitic=2.0, inputs=2,
+                 size_scale=1.67),
+    "nor3": Gate("nor3", logical_effort=7.0 / 3.0, parasitic=3.0, inputs=3,
+                 size_scale=2.33),
+    "xor2": Gate("xor2", logical_effort=4.0, parasitic=4.0, inputs=2,
+                 size_scale=2.0),
+    "aoi21": Gate("aoi21", logical_effort=2.0, parasitic=3.0, inputs=3,
+                  size_scale=1.67),
+    "buf": Gate("buf", logical_effort=1.0, parasitic=2.0, inputs=1,
+                size_scale=1.0),
+}
+
+
+#: Boolean semantics of each library cell (for functional verification of
+#: generated netlists; input order matches the netlist's input lists).
+LOGIC_FUNCTIONS = {
+    "inv": lambda a: not a,
+    "buf": lambda a: a,
+    "nand2": lambda a, b: not (a and b),
+    "nand3": lambda a, b, c: not (a and b and c),
+    "nor2": lambda a, b: not (a or b),
+    "nor3": lambda a, b, c: not (a or b or c),
+    "xor2": lambda a, b: a != b,
+    # AOI21: out = NOT((a AND b) OR c).
+    "aoi21": lambda a, b, c: not ((a and b) or c),
+}
+
+
+def get_gate(name: str) -> Gate:
+    """Look up a library cell by name."""
+    try:
+        return GATE_LIBRARY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown gate {name!r}; library has: "
+            f"{', '.join(sorted(GATE_LIBRARY))}") from None

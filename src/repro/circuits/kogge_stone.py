@@ -1,0 +1,79 @@
+"""64-bit Kogge-Stone parallel-prefix adder generator.
+
+The paper validates its 50-FO4-chain critical-path proxy against Drego et
+al.'s silicon measurement of a 64-bit Kogge-Stone adder (8.4 % 3sigma/mu
+at 0.5 V).  This module generates the standard Kogge-Stone structure as a
+:class:`~repro.circuits.netlist.Netlist`:
+
+* bitwise propagate/generate: ``p_i = a_i xor b_i``, ``g_i = a_i and b_i``;
+* ``log2(width)`` prefix levels of the ``o`` operator
+  ``(G, P) o (G', P') = (G + P G', P P')`` built from AOI/NAND/INV cells;
+* sum: ``s_i = p_i xor c_{i-1}``.
+
+The generator is parameterised by width (any power of two) so tests can
+exercise small instances exhaustively.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.netlist import Netlist
+from repro.errors import ConfigurationError
+
+__all__ = ["kogge_stone_adder"]
+
+
+def kogge_stone_adder(width: int = 64) -> Netlist:
+    """Build a ``width``-bit Kogge-Stone adder netlist.
+
+    Inputs are nets ``a<i>``, ``b<i>``; outputs ``s<i>`` and ``cout``.
+    """
+    if width < 2 or width & (width - 1):
+        raise ConfigurationError("width must be a power of two >= 2")
+    nl = Netlist(f"kogge_stone_{width}")
+
+    # Pre-processing: propagate (xor) and generate (and = nand + inv).
+    for i in range(width):
+        nl.add_cell(f"p0_{i}", "xor2", [f"a{i}", f"b{i}"], f"p_0_{i}")
+        nl.add_cell(f"gn_{i}", "nand2", [f"a{i}", f"b{i}"], f"gn_0_{i}")
+        nl.add_cell(f"g0_{i}", "inv", [f"gn_0_{i}"], f"g_0_{i}")
+
+    # Prefix tree: level l combines bit i with bit i - 2^(l-1).
+    level = 0
+    stride = 1
+    while stride < width:
+        level += 1
+        for i in range(width):
+            g_prev = f"g_{level - 1}_{i}"
+            p_prev = f"p_{level - 1}_{i}"
+            if i < stride:
+                # Pass-through: buffer keeps levels depth-balanced.
+                nl.add_cell(f"gbuf_{level}_{i}", "buf", [g_prev],
+                            f"g_{level}_{i}")
+                nl.add_cell(f"pbuf_{level}_{i}", "buf", [p_prev],
+                            f"p_{level}_{i}")
+                continue
+            g_far = f"g_{level - 1}_{i - stride}"
+            p_far = f"p_{level - 1}_{i - stride}"
+            # G = g_prev + p_prev * g_far  (AOI21 + INV)
+            nl.add_cell(f"gaoi_{level}_{i}", "aoi21",
+                        [p_prev, g_far, g_prev], f"gn_{level}_{i}")
+            nl.add_cell(f"ginv_{level}_{i}", "inv", [f"gn_{level}_{i}"],
+                        f"g_{level}_{i}")
+            # P = p_prev * p_far  (NAND2 + INV)
+            nl.add_cell(f"pnand_{level}_{i}", "nand2", [p_prev, p_far],
+                        f"pn_{level}_{i}")
+            nl.add_cell(f"pinv_{level}_{i}", "inv", [f"pn_{level}_{i}"],
+                        f"p_{level}_{i}")
+        stride *= 2
+
+    # Post-processing: s_i = p_0_i xor carry_{i-1}; carry_i = g_level_i.
+    nl.add_cell("s_0", "buf", ["p_0_0"], "s0")
+    for i in range(1, width):
+        nl.add_cell(f"s_{i}", "xor2", [f"p_0_{i}", f"g_{level}_{i - 1}"],
+                    f"s{i}")
+    nl.add_cell("cout_buf", "buf", [f"g_{level}_{width - 1}"], "cout")
+
+    for i in range(width):
+        nl.mark_output(f"s{i}")
+    nl.mark_output("cout")
+    return nl

@@ -1,0 +1,181 @@
+"""Minimal structural netlist for combinational blocks.
+
+Holds named cells (library gates) connected by nets, supports topological
+ordering and path enumeration — enough to express the 64-bit Kogge-Stone
+adder the paper cites as a datapath-representative structure and to run
+statistical static timing over it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.circuits.gates import Gate, get_gate
+from repro.errors import NetlistError
+
+__all__ = ["Cell", "Netlist"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One gate instance: a library cell with input nets and an output net."""
+
+    name: str
+    gate: Gate
+    inputs: tuple
+    output: str
+
+
+class Netlist:
+    """A combinational netlist.
+
+    Nets are identified by string names.  Primary inputs are nets never
+    driven by a cell; primary outputs are declared explicitly (or default
+    to nets driving nothing).
+    """
+
+    def __init__(self, name: str = "netlist") -> None:
+        self.name = name
+        self._cells: dict = {}
+        self._driver: dict = {}    # net -> cell name
+        self._loads: dict = {}     # net -> [cell names]
+        self._outputs: list = []
+
+    # -- construction --------------------------------------------------------
+
+    def add_cell(self, name: str, gate, inputs, output: str) -> Cell:
+        """Instantiate a gate.  ``gate`` may be a library name or a Gate."""
+        if name in self._cells:
+            raise NetlistError(f"duplicate cell name {name!r}")
+        gate = get_gate(gate) if isinstance(gate, str) else gate
+        inputs = tuple(str(i) for i in inputs)
+        if len(inputs) != gate.inputs:
+            raise NetlistError(
+                f"{name}: {gate.name} needs {gate.inputs} inputs, "
+                f"got {len(inputs)}")
+        output = str(output)
+        if output in self._driver:
+            raise NetlistError(f"net {output!r} already driven by "
+                               f"{self._driver[output]!r}")
+        cell = Cell(name=name, gate=gate, inputs=inputs, output=output)
+        self._cells[name] = cell
+        self._driver[output] = name
+        for net in inputs:
+            self._loads.setdefault(net, []).append(name)
+        return cell
+
+    def mark_output(self, net: str) -> None:
+        """Declare a primary output net."""
+        if net not in self._outputs:
+            self._outputs.append(str(net))
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def cells(self) -> tuple:
+        return tuple(self._cells.values())
+
+    @property
+    def n_cells(self) -> int:
+        return len(self._cells)
+
+    def cell(self, name: str) -> Cell:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise NetlistError(f"no cell named {name!r}") from None
+
+    @property
+    def primary_inputs(self) -> tuple:
+        nets = set()
+        for cell in self._cells.values():
+            nets.update(cell.inputs)
+        return tuple(sorted(n for n in nets if n not in self._driver))
+
+    @property
+    def primary_outputs(self) -> tuple:
+        if self._outputs:
+            return tuple(self._outputs)
+        return tuple(sorted(n for n in self._driver
+                            if n not in self._loads))
+
+    def fanout_of(self, cell_name: str) -> int:
+        """Number of cell loads on a cell's output (min 1 for timing)."""
+        cell = self.cell(cell_name)
+        return max(len(self._loads.get(cell.output, [])), 1)
+
+    # -- ordering ----------------------------------------------------------------
+
+    def topological_order(self) -> list:
+        """Cells in topological order; raises on combinational cycles."""
+        indegree = {}
+        for name, cell in self._cells.items():
+            indegree[name] = sum(1 for net in cell.inputs
+                                 if net in self._driver)
+        ready = deque(sorted(n for n, d in indegree.items() if d == 0))
+        order = []
+        while ready:
+            name = ready.popleft()
+            order.append(self._cells[name])
+            for load in self._loads.get(self._cells[name].output, []):
+                indegree[load] -= 1
+                if indegree[load] == 0:
+                    ready.append(load)
+        if len(order) != len(self._cells):
+            stuck = sorted(n for n, d in indegree.items() if d > 0)
+            raise NetlistError(f"combinational cycle through {stuck[:5]}...")
+        return order
+
+    def logic_depth(self) -> int:
+        """Maximum number of cells on any input-to-output path."""
+        depth: dict = {}
+        for cell in self.topological_order():
+            d_in = max((depth.get(net, 0) for net in cell.inputs), default=0)
+            depth[cell.output] = d_in + 1
+        return max((depth.get(net, 0) for net in self.primary_outputs),
+                   default=0)
+
+    def path_to(self, net: str) -> list:
+        """One maximal-depth structural path ending at ``net`` (cell list)."""
+        depth: dict = {}
+        for cell in self.topological_order():
+            d_in = max((depth.get(n, 0) for n in cell.inputs), default=0)
+            depth[cell.output] = d_in + 1
+        path = []
+        current = net
+        while current in self._driver:
+            cell = self._cells[self._driver[current]]
+            path.append(cell)
+            current = max(cell.inputs, key=lambda n: depth.get(n, 0),
+                          default=None)
+            if current is None:
+                break
+        return list(reversed(path))
+
+    # -- functional simulation ---------------------------------------------
+
+    def evaluate(self, inputs: dict) -> dict:
+        """Evaluate the combinational logic for one input vector.
+
+        ``inputs`` maps primary-input net names to booleans; returns the
+        values of every net.  Used to functionally verify generated
+        structures (e.g. that an adder netlist actually adds).
+        """
+        from repro.circuits.gates import LOGIC_FUNCTIONS
+        values = {net: bool(v) for net, v in inputs.items()}
+        missing = [n for n in self.primary_inputs if n not in values]
+        if missing:
+            raise NetlistError(f"missing input values for {missing[:5]}")
+        for cell in self.topological_order():
+            func = LOGIC_FUNCTIONS.get(cell.gate.name)
+            if func is None:
+                raise NetlistError(
+                    f"no logic function for gate {cell.gate.name!r}")
+            values[cell.output] = bool(func(*(values[n] for n in cell.inputs)))
+        return values
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Netlist({self.name!r}, cells={self.n_cells}, "
+                f"inputs={len(self.primary_inputs)}, "
+                f"outputs={len(self.primary_outputs)})")

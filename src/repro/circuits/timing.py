@@ -1,0 +1,132 @@
+"""Monte-Carlo statistical static timing over a netlist.
+
+Propagates per-sample arrival times through the topologically ordered
+cells: each cell adds its logical-effort delay under its own threshold /
+multiplicative draw, the cell's output arrival is the max over input
+arrivals plus the cell delay, and the circuit delay is the max over the
+primary outputs.  This is vectorised over Monte-Carlo samples, so a
+64-bit Kogge-Stone (about 1.5k cells) times 1000 samples runs in well
+under a second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.netlist import Netlist
+from repro.errors import ConfigurationError
+from repro.units import three_sigma_over_mu
+
+__all__ = ["TimingResult", "StatisticalTimingEngine"]
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Monte-Carlo timing ensemble for one netlist/voltage."""
+
+    netlist: str
+    vdd: float
+    delays: np.ndarray          # (n_samples,) circuit delays in seconds
+    critical_output: str        # output with the largest mean arrival
+
+    @property
+    def mean(self) -> float:
+        return float(self.delays.mean())
+
+    @property
+    def three_sigma_over_mu(self) -> float:
+        """The paper's variation metric, as a fraction."""
+        return float(three_sigma_over_mu(self.delays))
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.delays, q))
+
+
+class StatisticalTimingEngine:
+    """Monte-Carlo SSTA for combinational netlists.
+
+    Parameters
+    ----------
+    tech:
+        Technology card (device + variation models).
+    seed:
+        Seed for the sampling generator.
+    """
+
+    def __init__(self, tech, seed: int | None = 0) -> None:
+        self.tech = tech
+        self.rng = np.random.default_rng(seed)
+
+    def nominal_delay(self, netlist: Netlist, vdd: float) -> float:
+        """Variation-free critical-path delay (seconds)."""
+        arrival: dict = {}
+        worst = 0.0
+        for cell in netlist.topological_order():
+            t_in = max((arrival.get(net, 0.0) for net in cell.inputs),
+                       default=0.0)
+            d = float(cell.gate.delay(self.tech, vdd,
+                                      fanout=netlist.fanout_of(cell.name)))
+            arrival[cell.output] = t_in + d
+        for net in netlist.primary_outputs:
+            worst = max(worst, arrival.get(net, 0.0))
+        return worst
+
+    def run(self, netlist: Netlist, vdd: float, n_samples: int = 1000,
+            include_die: bool = True) -> TimingResult:
+        """Monte-Carlo timing of ``netlist`` at ``vdd``.
+
+        The block is co-located (one adder macro), so each sample shares
+        one lane-level and one die-level draw; every cell additionally
+        draws its own within-die variation scaled by its Pelgrom size.
+        """
+        if n_samples < 1:
+            raise ConfigurationError("n_samples must be >= 1")
+        var = self.tech.variation
+        if include_die:
+            die = var.sample_dies(self.rng, n_samples)
+            lane = var.sample_lanes(self.rng, n_samples)
+            corr_dvth = die.dvth + lane.dvth
+            corr_mult = (1.0 + die.mult) * (1.0 + lane.mult)
+        else:
+            corr_dvth = np.zeros(n_samples)
+            corr_mult = 1.0
+
+        arrival: dict = {}
+        order = netlist.topological_order()
+        for cell in order:
+            t_in = None
+            for net in cell.inputs:
+                t = arrival.get(net)
+                if t is None:
+                    continue
+                t_in = t if t_in is None else np.maximum(t_in, t)
+            if t_in is None:
+                t_in = 0.0
+            draws = var.sample_gates(self.rng, n_samples,
+                                     size_scale=cell.gate.size_scale)
+            delay = cell.gate.delay(
+                self.tech, vdd, fanout=netlist.fanout_of(cell.name),
+                dvth=draws.dvth + corr_dvth, mult=draws.mult)
+            arrival[cell.output] = t_in + delay
+
+        worst = None
+        critical = ""
+        for net in netlist.primary_outputs:
+            t = arrival.get(net)
+            if t is None:
+                continue
+            if worst is None:
+                worst, critical = t, net
+            else:
+                better = t.mean() > worst.mean()
+                worst = np.maximum(worst, t)
+                if better:
+                    critical = net
+        if worst is None:
+            raise ConfigurationError(
+                f"netlist {netlist.name!r} has no timed outputs")
+        return TimingResult(netlist=netlist.name, vdd=float(vdd),
+                            delays=worst * corr_mult,
+                            critical_output=critical)

@@ -1,0 +1,180 @@
+"""High-level variation analysis API.
+
+:class:`VariationAnalyzer` is the single object most users need: it binds a
+technology card to the paper's architecture parameters (128 lanes x 100
+critical paths x 50-FO4 chains, 99 % sign-off) and answers the paper's
+questions directly:
+
+>>> from repro import VariationAnalyzer
+>>> a = VariationAnalyzer("90nm")
+>>> round(100 * a.chain_variation(0.5), 1)        # Fig. 1(b) @ 0.5 V
+9.1
+>>> round(100 * a.performance_drop(0.5), 1)       # Fig. 4 @ 0.5 V
+6.5
+
+The mitigation packages (:mod:`repro.sparing`, :mod:`repro.mitigation`)
+consume an analyzer rather than raw technology cards, so every technique is
+evaluated against the same baseline definitions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.chip_delay import ChipDelayEngine
+from repro.core.montecarlo import MonteCarloEngine
+from repro.core.results import DelayDistribution
+from repro.devices.technology import TechnologyNode, get_technology
+from repro.errors import ConfigurationError
+
+__all__ = ["VariationAnalyzer"]
+
+
+class VariationAnalyzer:
+    """Paper-level analysis of one technology node.
+
+    Parameters
+    ----------
+    tech:
+        A :class:`~repro.devices.technology.TechnologyNode` or a node name
+        (``"90nm"``, ...).
+    width, paths_per_lane, chain_length:
+        Architecture model parameters; defaults follow the paper
+        (Section 3.2).
+    signoff_quantile:
+        The chip-delay quantile performance is judged at (paper: 0.99).
+    """
+
+    def __init__(self, tech, *, width: int = 128, paths_per_lane: int = 100,
+                 chain_length: int = 50, signoff_quantile: float = 0.99) -> None:
+        if isinstance(tech, str):
+            tech = get_technology(tech)
+        if not isinstance(tech, TechnologyNode):
+            raise ConfigurationError(
+                f"tech must be a TechnologyNode or name, got {type(tech)!r}")
+        if not 0.0 < signoff_quantile < 1.0:
+            raise ConfigurationError("signoff_quantile must be in (0, 1)")
+        self.tech = tech
+        self.signoff_quantile = float(signoff_quantile)
+        self.engine = ChipDelayEngine(
+            tech, width=width, paths_per_lane=paths_per_lane,
+            chain_length=chain_length)
+        self._signoff_cache: dict = {}
+
+    # -- basic properties ----------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        return self.engine.width
+
+    @property
+    def paths_per_lane(self) -> int:
+        return self.engine.paths_per_lane
+
+    @property
+    def chain_length(self) -> int:
+        return self.engine.chain_length
+
+    @property
+    def nominal_vdd(self) -> float:
+        return self.tech.nominal_vdd
+
+    def fo4_unit(self, vdd) -> float:
+        """Variation-free FO4 delay at ``vdd`` (seconds)."""
+        return self.tech.fo4_unit(vdd)
+
+    def monte_carlo(self, seed: int | None = 0) -> MonteCarloEngine:
+        """A per-gate Monte-Carlo engine sharing this analyzer's card."""
+        return MonteCarloEngine(self.tech, seed=seed)
+
+    # -- circuit level ---------------------------------------------------------
+
+    def chain_variation(self, vdd, n_gates: int | None = None) -> float:
+        """Analytic 3sigma/mu (fraction) of an FO4 chain delay (Fig. 1b/2/11)."""
+        return float(self.engine.chain_statistics(vdd, n_gates).three_sigma_over_mu)
+
+    def chain_mean_delay(self, vdd, n_gates: int | None = None) -> float:
+        """Mean chain delay in seconds (Section 3.2 absolute anchors)."""
+        return float(self.engine.chain_statistics(vdd, n_gates).mean)
+
+    # -- architecture level -----------------------------------------------------
+
+    def chip_quantile(self, vdd, spares: int = 0, q: float | None = None) -> float:
+        """Deterministic chip-delay quantile in seconds.
+
+        ``q`` defaults to the analyzer's sign-off quantile (99 %).
+        """
+        key = (round(float(vdd), 9), int(spares),
+               self.signoff_quantile if q is None else float(q))
+        cached = self._signoff_cache.get(key)
+        if cached is None:
+            cached = self.engine.chip_quantile(vdd, key[2], spares=spares)
+            self._signoff_cache[key] = cached
+        return cached
+
+    def chip_quantile_fo4(self, vdd, spares: int = 0, q: float | None = None) -> float:
+        """Chip-delay quantile expressed in FO4 units at the same ``vdd``.
+
+        This is the paper's ``fo4chipd`` metric.
+        """
+        return self.chip_quantile(vdd, spares, q) / self.fo4_unit(vdd)
+
+    def nominal_signoff_fo4(self) -> float:
+        """``fo4chipd`` of the spare-less chip at nominal (full) voltage."""
+        return self.chip_quantile_fo4(self.nominal_vdd)
+
+    def performance_drop(self, vdd, spares: int = 0) -> float:
+        """Fractional performance drop vs the full-voltage baseline (Fig. 4).
+
+        ``(fo4chipd@NTV - fo4chipd@FV) / fo4chipd@FV``: by normalising both
+        sides to the FO4 delay at their own supply, the metric isolates the
+        *variation-induced* slowdown from the ~10x absolute near-threshold
+        slowdown.
+        """
+        return (self.chip_quantile_fo4(vdd, spares)
+                / self.nominal_signoff_fo4() - 1.0)
+
+    def target_delay(self, vdd) -> float:
+        """The mitigation target delay at ``vdd`` (seconds), Section 4.2.
+
+        The chip delay the architecture *would* have at ``vdd`` if its
+        FO4-unit delay matched the full-voltage baseline:
+        ``FO4(vdd) * fo4chipd@FV``.  Both duplication and margining are
+        sized to bring the 99 % chip delay under this target.
+        """
+        return self.fo4_unit(vdd) * self.nominal_signoff_fo4()
+
+    # -- ensembles ----------------------------------------------------------------
+
+    def chip_distribution(self, vdd, *, spares: int = 0, n_samples: int = 10_000,
+                          seed: int | None = 0, rng=None,
+                          label: str | None = None) -> DelayDistribution:
+        """Sampled chip-delay ensemble (Figs. 3, 5, 6)."""
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        samples = self.engine.sample_chips(vdd, n_samples, rng, spares=spares)
+        if label is None:
+            spare_txt = f"+{spares}-spares" if spares else ""
+            label = f"{self.width}-wide{spare_txt}@{vdd:g}V"
+        return DelayDistribution(samples=samples, vdd=float(vdd), label=label,
+                                 fo4_unit=self.fo4_unit(vdd))
+
+    def lane_distribution(self, vdd, *, n_samples: int = 10_000,
+                          seed: int | None = 0, rng=None) -> DelayDistribution:
+        """Sampled one-lane (1-wide) delay ensemble (Fig. 3)."""
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        samples = self.engine.sample_lanes(vdd, n_samples, rng)
+        return DelayDistribution(samples=samples, vdd=float(vdd),
+                                 label=f"1-wide@{vdd:g}V",
+                                 fo4_unit=self.fo4_unit(vdd))
+
+    def path_distribution(self, vdd, *, n_samples: int = 10_000,
+                          seed: int | None = 0, rng=None) -> DelayDistribution:
+        """Sampled critical-path delay ensemble (Fig. 3)."""
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        samples = self.engine.sample_paths(vdd, n_samples, rng)
+        return DelayDistribution(samples=samples, vdd=float(vdd),
+                                 label=f"critical-path@{vdd:g}V",
+                                 fo4_unit=self.fo4_unit(vdd))

@@ -1,0 +1,135 @@
+"""Brute-force per-gate Monte-Carlo engine.
+
+This is the paper's actual method (HSPICE Monte-Carlo with per-device
+threshold draws), transplanted onto the analytic delay model: every gate of
+every path of every lane gets its own threshold and multiplicative draw,
+plus the die-level correlated draws.  It is exact with respect to the
+statistical model but costs O(chips x lanes x paths x gates); use it for
+
+* the circuit-level figures (Fig. 1/2/11 need only 10^3 samples of <= 200
+  gates — trivial), and
+* cross-validating the analytic :class:`~repro.core.chip_delay.ChipDelayEngine`
+  at reduced architecture scale (see tests/test_cross_validation.py).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["MonteCarloEngine"]
+
+
+class MonteCarloEngine:
+    """Per-gate-sample Monte-Carlo for a technology node.
+
+    Parameters
+    ----------
+    tech:
+        Technology card.
+    seed:
+        Seed for the internal :class:`numpy.random.Generator`; pass an
+        existing generator via ``rng`` to share a stream.
+    """
+
+    def __init__(self, tech, seed: int | None = 0, rng=None) -> None:
+        self.tech = tech
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+
+    # -- building blocks --------------------------------------------------
+
+    def gate_delays(self, vdd, n_samples: int, include_die: bool = True):
+        """Delays of ``n_samples`` independent single FO4 inverters (seconds).
+
+        Each sample is a separate die (matching the paper's Fig. 1a, where
+        each Monte-Carlo sample is an independent SPICE seed).
+        """
+        return self.chain_delays(vdd, 1, n_samples, include_die=include_die)
+
+    def chain_delays(self, vdd, chain_length: int, n_samples: int,
+                     include_die: bool = True):
+        """Delays of ``n_samples`` co-located chains of FO4 gates.
+
+        One die draw and one spatial-region (lane-level) draw per sample —
+        a standalone test chain fits inside one correlation region; within
+        a sample, every gate draws its own within-die variation.  Returns
+        seconds, shape ``(n_samples,)``.  ``include_die=False`` drops the
+        correlated scales entirely (pure mismatch ablation).
+        """
+        if chain_length < 1:
+            raise ConfigurationError("chain_length must be >= 1")
+        if n_samples < 1:
+            raise ConfigurationError("n_samples must be >= 1")
+        var = self.tech.variation
+        gates = var.sample_gates(self.rng, (n_samples, chain_length))
+        if include_die:
+            die = var.sample_dies(self.rng, n_samples)
+            lane = var.sample_lanes(self.rng, n_samples)
+            dvth = gates.dvth + (die.dvth + lane.dvth)[:, None]
+            corr_mult = (1.0 + die.mult) * (1.0 + lane.mult)
+        else:
+            dvth = gates.dvth
+            corr_mult = 1.0
+        delays = self.tech.fo4_delay(float(vdd), dvth, gates.mult)
+        return delays.sum(axis=1) * corr_mult
+
+    # -- architecture level ------------------------------------------------
+
+    def system_delays(self, vdd, *, width: int, paths_per_lane: int,
+                      chain_length: int, n_chips: int, spares: int = 0,
+                      batch_size: int = 64):
+        """Full per-gate MC of the SIMD chip delay (seconds).
+
+        Memory-bounded by ``batch_size`` chips at a time.  The cost is
+        ``n_chips * (width+spares) * paths_per_lane * chain_length`` gate
+        evaluations — keep architecture sizes modest (this is the
+        validation path; production analysis uses
+        :class:`~repro.core.chip_delay.ChipDelayEngine`).
+        """
+        if spares < 0:
+            raise ConfigurationError("spares must be >= 0")
+        n_lanes = width + spares
+        var = self.tech.variation
+        vdd = float(vdd)
+        out = np.empty(n_chips, dtype=float)
+        done = 0
+        while done < n_chips:
+            batch = min(batch_size, n_chips - done)
+            die = var.sample_dies(self.rng, batch)
+            lane = var.sample_lanes(self.rng, (batch, n_lanes))
+            gates = var.sample_gates(
+                self.rng, (batch, n_lanes, paths_per_lane, chain_length))
+            dvth = (gates.dvth + die.dvth[:, None, None, None]
+                    + lane.dvth[:, :, None, None])
+            delays = self.tech.fo4_delay(vdd, dvth, gates.mult)
+            paths = delays.sum(axis=3)          # (batch, lanes, paths)
+            lanes = paths.max(axis=2) * (1.0 + lane.mult)
+            if spares == 0:
+                chip = lanes.max(axis=1)
+            else:
+                chip = np.partition(lanes, n_lanes - 1 - spares,
+                                    axis=1)[:, n_lanes - 1 - spares]
+            out[done:done + batch] = chip * (1.0 + die.mult)
+            done += batch
+        return out
+
+    def lane_delays(self, vdd, *, paths_per_lane: int, chain_length: int,
+                    n_samples: int, batch_size: int = 512):
+        """Full per-gate MC of single-lane delays (max of P paths), seconds."""
+        var = self.tech.variation
+        vdd = float(vdd)
+        out = np.empty(n_samples, dtype=float)
+        done = 0
+        while done < n_samples:
+            batch = min(batch_size, n_samples - done)
+            die = var.sample_dies(self.rng, batch)
+            lane = var.sample_lanes(self.rng, batch)
+            gates = var.sample_gates(
+                self.rng, (batch, paths_per_lane, chain_length))
+            dvth = gates.dvth + (die.dvth + lane.dvth)[:, None, None]
+            delays = self.tech.fo4_delay(vdd, dvth, gates.mult)
+            lanes = delays.sum(axis=2).max(axis=1) * (1.0 + lane.mult)
+            out[done:done + batch] = lanes * (1.0 + die.mult)
+            done += batch
+        return out

@@ -1,0 +1,130 @@
+"""Typed result containers shared by the experiments and the public API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import three_sigma_over_mu, to_ns
+
+__all__ = ["DelayDistribution", "VariationSweep"]
+
+
+@dataclass(frozen=True)
+class DelayDistribution:
+    """An ensemble of delay samples at one operating point.
+
+    Attributes
+    ----------
+    samples:
+        Delay samples in seconds.
+    vdd:
+        Supply voltage the ensemble was generated at (V).
+    label:
+        Human-readable description (e.g. ``"128-wide@0.55V"``).
+    fo4_unit:
+        The FO4 delay at ``vdd`` (seconds); used to express the ensemble in
+        the paper's FO4 units.  ``None`` if not applicable.
+    """
+
+    samples: np.ndarray
+    vdd: float
+    label: str = ""
+    fo4_unit: float | None = None
+
+    def __post_init__(self) -> None:
+        samples = np.asarray(self.samples, dtype=float)
+        if samples.ndim != 1 or samples.size == 0:
+            raise ConfigurationError("samples must be a non-empty 1-D array")
+        object.__setattr__(self, "samples", samples)
+
+    @property
+    def mean(self) -> float:
+        return float(self.samples.mean())
+
+    @property
+    def std(self) -> float:
+        return float(self.samples.std())
+
+    @property
+    def three_sigma_over_mu(self) -> float:
+        """The paper's variation metric, as a fraction."""
+        return float(three_sigma_over_mu(self.samples))
+
+    def percentile(self, q: float) -> float:
+        """The ``q`` (0-100) percentile in seconds."""
+        return float(np.percentile(self.samples, q))
+
+    @property
+    def signoff_delay(self) -> float:
+        """The paper's sign-off point: the 99 % delay, seconds."""
+        return self.percentile(99.0)
+
+    def signoff_ci(self, confidence: float = 0.95) -> tuple:
+        """Distribution-free CI for the 99 % delay (sampling error bars)."""
+        from repro.core.stats import quantile_ci
+        return quantile_ci(self.samples, 0.99, confidence)
+
+    # -- FO4-unit views ----------------------------------------------------
+
+    def in_fo4_units(self) -> np.ndarray:
+        """Samples divided by the FO4 delay at the same supply voltage."""
+        if self.fo4_unit is None:
+            raise ConfigurationError(
+                f"{self.label or 'distribution'} has no fo4_unit attached")
+        return self.samples / self.fo4_unit
+
+    @property
+    def signoff_fo4(self) -> float:
+        """99 % delay in FO4 units."""
+        return float(np.percentile(self.in_fo4_units(), 99.0))
+
+    # -- reporting ----------------------------------------------------------
+
+    def histogram(self, bins: int = 40):
+        """(counts, bin_edges) over the samples, edges in nanoseconds."""
+        counts, edges = np.histogram(to_ns(self.samples), bins=bins)
+        return counts, edges
+
+    def summary(self) -> str:
+        """One-line summary used by the experiment reports."""
+        return (f"{self.label or 'delay':<28s} mean={to_ns(self.mean):8.3f} ns  "
+                f"3sigma/mu={100 * self.three_sigma_over_mu:6.2f} %  "
+                f"p99={to_ns(self.signoff_delay):8.3f} ns")
+
+
+@dataclass(frozen=True)
+class VariationSweep:
+    """A 1-D sweep of a scalar metric against an x axis (e.g. Vdd).
+
+    Used for Fig. 2 (3sigma/mu vs Vdd), Fig. 4 (performance drop vs Vdd),
+    Fig. 11 (3sigma/mu vs chain length), ...
+    """
+
+    x: np.ndarray
+    values: np.ndarray
+    x_label: str = "x"
+    value_label: str = "value"
+    series_label: str = ""
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.x, dtype=float)
+        values = np.asarray(self.values, dtype=float)
+        if x.shape != values.shape:
+            raise ConfigurationError(
+                f"sweep axes disagree: {x.shape} vs {values.shape}")
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "values", values)
+
+    def value_at(self, x0: float) -> float:
+        """Linear interpolation of the sweep at ``x0``."""
+        order = np.argsort(self.x)
+        return float(np.interp(x0, self.x[order], self.values[order]))
+
+    def rows(self):
+        """Iterate (x, value) pairs in x order."""
+        order = np.argsort(self.x)
+        for i in order:
+            yield float(self.x[i]), float(self.values[i])

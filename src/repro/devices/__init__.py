@@ -1,0 +1,54 @@
+"""Device-level substrate: transistor model, variation sources, technology cards.
+
+This package replaces the paper's HSPICE + foundry/PTM model decks with an
+analytic, numpy-vectorised transregional MOSFET model
+(:mod:`repro.devices.mosfet`), a statistical variation model
+(:mod:`repro.devices.variation`), and four calibrated technology cards
+(:mod:`repro.devices.technology`).  The calibration machinery that produced
+the card constants is in :mod:`repro.devices.calibration` and the digitised
+paper numbers it fits against are in :mod:`repro.devices.paper_anchors`.
+"""
+
+from repro.devices.mosfet import TransregionalModel
+from repro.devices.variation import (
+    VariationModel,
+    pelgrom_sigma_vth,
+    ler_sigma_vth,
+    combine_sigmas,
+)
+from repro.devices.technology import (
+    TechnologyNode,
+    get_technology,
+    available_technologies,
+    TECHNOLOGY_NODES,
+)
+from repro.devices.corners import (
+    CornerCard,
+    derive_corner,
+    standard_corners,
+    corner_vs_statistical,
+)
+from repro.devices.spatial import (
+    SpatialField,
+    effective_lane_sigma,
+    lane_correlation_matrix,
+)
+
+__all__ = [
+    "SpatialField",
+    "effective_lane_sigma",
+    "lane_correlation_matrix",
+    "CornerCard",
+    "derive_corner",
+    "standard_corners",
+    "corner_vs_statistical",
+    "TransregionalModel",
+    "VariationModel",
+    "pelgrom_sigma_vth",
+    "ler_sigma_vth",
+    "combine_sigmas",
+    "TechnologyNode",
+    "get_technology",
+    "available_technologies",
+    "TECHNOLOGY_NODES",
+]

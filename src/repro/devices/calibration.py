@@ -1,0 +1,448 @@
+"""Calibration of the technology cards against the paper's anchors.
+
+The paper's numbers come from HSPICE Monte-Carlo on proprietary foundry
+decks (90/45 nm GP) and PTM decks (32/22 nm); we have neither, so each
+:class:`~repro.devices.technology.TechnologyNode` is fitted so that the
+*published* numbers are reproduced by our analytic model:
+
+* **90 nm (primary fit)** — Fig. 1's single-inverter and 50-FO4-chain
+  3sigma/mu at six voltages, the absolute chain delays of Section 3.2
+  (22.05 ns @ 0.5 V, 8.99 ns @ 0.6 V), Table 2's voltage margins,
+  Table 1's spare counts and Fig. 4's performance drops.  Free parameters:
+  device card (vth0, n, alpha), all four variation sigmas, and the
+  absolute FO4 scale.
+* **45/32/22 nm (secondary fits)** — the multiplicative (voltage-
+  independent) variation floor is inherited from the 90 nm fit; the
+  remaining five parameters (vth0, n, alpha, sigma_vth_wid,
+  sigma_vth_d2d) are fitted to Table 2 margins, Table 1 spare counts,
+  and — for 22 nm — the Fig. 2 endpoints and the Fig. 4 drop quoted in
+  the text.  Saturated Table-1 cells (">128") become one-sided hinge
+  residuals.  The FO4 scale per node follows a fixed 0.7x-per-generation
+  delay-scaling convention (it cancels out of every dimensionless anchor;
+  it only positions Table 4's absolute nanosecond columns).
+
+Spare-count residuals use the *continuous* spare solver
+(:func:`repro.sparing.duplication.continuous_spares`) so the least-squares
+objective is smooth.
+
+Run the fit (takes a few minutes) and print updated card constants::
+
+    python -m repro.devices.calibration            # all nodes
+    python -m repro.devices.calibration 90nm       # one node
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from repro.devices.mosfet import TransregionalModel
+from repro.devices.paper_anchors import (
+    CHAIN50_ABS_DELAY_NS,
+    FIG1_CHAIN50_3SIGMA,
+    FIG1_SINGLE_3SIGMA,
+    FIG2_POINTS,
+    FIG4_PERF_DROP,
+    NOMINAL_VDD,
+    TABLE1,
+    TABLE2,
+)
+from repro.devices.technology import TECHNOLOGY_NODES, TechnologyNode
+from repro.devices.variation import VariationModel
+from repro.errors import CalibrationError
+
+__all__ = ["CardParameters", "make_card", "fit_primary", "fit_secondary",
+           "fit_all"]
+
+#: Saturated spare-count residuals only penalise solutions *below* this.
+_SATURATION_FLOOR = 160.0
+#: Cap applied to continuous spare counts before log-residuals.
+_SPARE_CAP = 400.0
+#: Fixed DIBL per node (weakly identifiable; physically motivated ramp).
+_DIBL = {"90nm": 0.045, "45nm": 0.060, "32nm": 0.070, "22nm": 0.080}
+
+
+@dataclass(frozen=True)
+class CardParameters:
+    """Free parameters of one technology card."""
+
+    vth0: float
+    n_slope: float
+    alpha: float
+    sigma_vth_wid: float
+    sigma_vth_lane: float
+    sigma_vth_d2d: float
+    sigma_mult_rand: float
+    sigma_mult_corr: float
+    fo4_scale: float
+    sigma_mult_lane: float = 0.0
+    vth_split: float = 0.0
+    strength_p: float = 1.0
+
+    def as_card(self, name: str) -> TechnologyNode:
+        return make_card(name, self)
+
+    def format_card(self, name: str) -> str:
+        """Python snippet for baking into technology.py."""
+        return (
+            f'TechnologyNode(\n'
+            f'    name="{name}", process="...", '
+            f'nominal_vdd={NOMINAL_VDD[name]}, min_vdd=0.45,\n'
+            f'    mosfet=TransregionalModel(vth0={self.vth0:.4f}, '
+            f'n_slope={self.n_slope:.4f}, alpha={self.alpha:.4f}, '
+            f'dibl={_DIBL[name]:.3f},\n'
+            f'        vth_split={self.vth_split:.4f}, '
+            f'strength_p={self.strength_p:.4f}),\n'
+            f'    variation=VariationModel(\n'
+            f'        sigma_vth_wid={self.sigma_vth_wid:.5f}, '
+            f'sigma_vth_lane={self.sigma_vth_lane:.5f}, '
+            f'sigma_vth_d2d={self.sigma_vth_d2d:.5f},\n'
+            f'        sigma_mult_rand={self.sigma_mult_rand:.5f}, '
+            f'sigma_mult_lane={self.sigma_mult_lane:.5f}, '
+            f'sigma_mult_corr={self.sigma_mult_corr:.5f}),\n'
+            f'    fo4_scale={self.fo4_scale:.5e})'
+        )
+
+
+def make_card(name: str, p: CardParameters) -> TechnologyNode:
+    """Build a throwaway technology card from a parameter set."""
+    return TechnologyNode(
+        name=name,
+        process=f"{name} (calibration candidate)",
+        nominal_vdd=NOMINAL_VDD[name],
+        min_vdd=0.45,
+        mosfet=TransregionalModel(
+            vth0=p.vth0, n_slope=p.n_slope, alpha=p.alpha, dibl=_DIBL[name],
+            vth_split=p.vth_split, strength_p=p.strength_p),
+        variation=VariationModel(
+            sigma_vth_wid=p.sigma_vth_wid,
+            sigma_vth_lane=p.sigma_vth_lane,
+            sigma_vth_d2d=p.sigma_vth_d2d,
+            sigma_mult_rand=p.sigma_mult_rand,
+            sigma_mult_lane=p.sigma_mult_lane,
+            sigma_mult_corr=p.sigma_mult_corr),
+        fo4_scale=p.fo4_scale,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Residual builders
+# ---------------------------------------------------------------------------
+
+
+def _analyzer(card: TechnologyNode):
+    from repro.core.analyzer import VariationAnalyzer
+    return VariationAnalyzer(card)
+
+
+def _spare_residual(analyzer, vdd: float, paper_spares: float,
+                    saturated: bool) -> float:
+    from repro.sparing.duplication import continuous_spares
+    alpha = continuous_spares(analyzer, vdd, max_spares=_SPARE_CAP)
+    alpha = min(alpha, _SPARE_CAP)
+    if saturated:
+        # One-sided: only penalise if clearly *not* saturated.
+        if alpha >= _SATURATION_FLOOR:
+            return 0.0
+        return np.log1p(_SATURATION_FLOOR) - np.log1p(alpha)
+    return np.log1p(alpha) - np.log1p(paper_spares)
+
+
+def _margin_residual(analyzer, vdd: float, paper_mv: float) -> float:
+    from repro.mitigation.voltage_margin import solve_voltage_margin
+    sol = solve_voltage_margin(analyzer, vdd)
+    model_mv = sol.margin_mv if sol.feasible else 1e3 * 0.2
+    # Relative error with a 1 mV floor (Table 2 spans 1.7-19.6 mV).
+    return (model_mv - paper_mv) / max(1.0, 0.25 * paper_mv)
+
+
+def _common_residuals(analyzer, node: str, weights: dict) -> list:
+    """Margin, spare and drop residuals shared by all node fits."""
+    res = []
+    for vdd, entry in TABLE2[node].items():
+        res.append(weights["margin"] * _margin_residual(analyzer, vdd,
+                                                        entry.margin_mv))
+    for vdd, entry in TABLE1[node].items():
+        res.append(weights["spares"] * _spare_residual(
+            analyzer, vdd, entry.spares, entry.saturated))
+    for vdd, drop_pct in FIG4_PERF_DROP.get(node, {}).items():
+        model = 100.0 * analyzer.performance_drop(vdd)
+        res.append(weights["drop"] * (model - drop_pct) / 1.0)
+    return res
+
+
+def _unpack_primary(theta: np.ndarray) -> CardParameters:
+    """theta = [vth0, vth_split, n, alpha, strength_p,
+    s_wid, s_lane, s_d2d, s_mr, s_ml, s_mc, ln_scale]."""
+    return CardParameters(
+        vth0=theta[0], vth_split=theta[1], n_slope=theta[2], alpha=theta[3],
+        strength_p=theta[4],
+        sigma_vth_wid=theta[5], sigma_vth_lane=theta[6],
+        sigma_vth_d2d=theta[7], sigma_mult_rand=theta[8],
+        sigma_mult_lane=theta[9],
+        sigma_mult_corr=theta[10], fo4_scale=float(np.exp(theta[11])))
+
+
+def primary_residuals(theta: np.ndarray) -> np.ndarray:
+    """Residual vector for the 90 nm fit."""
+    p = _unpack_primary(theta)
+    analyzer = _analyzer(make_card("90nm", p))
+
+    res = []
+    # Fig. 1(a): single-inverter 3sigma/mu (percent).
+    for vdd, pct in FIG1_SINGLE_3SIGMA.items():
+        model = 100.0 * analyzer.chain_variation(vdd, 1)
+        res.append((model - pct) / 1.0)
+    # Fig. 1(b): chain-of-50 3sigma/mu — weighted up: it drives the
+    # architecture-level results.
+    for vdd, pct in FIG1_CHAIN50_3SIGMA.items():
+        model = 100.0 * analyzer.chain_variation(vdd, 50)
+        res.append(3.0 * (model - pct) / 0.5)
+    # Section 3.2 absolute chain delays.
+    for vdd, ns in CHAIN50_ABS_DELAY_NS.items():
+        model_ns = 1e9 * analyzer.chain_mean_delay(vdd, 50)
+        res.append(10.0 * np.log(model_ns / ns))
+    res.extend(_common_residuals(analyzer, "90nm",
+                                 {"margin": 1.0, "spares": 3.0, "drop": 1.0}))
+    return np.asarray(res, dtype=float)
+
+
+def _unpack_secondary(theta: np.ndarray, node: str,
+                      inherited: CardParameters) -> CardParameters:
+    """theta = [vth0, vth_split, s_wid, s_lane, s_d2d].
+
+    Device shape (n, alpha, strength) and the voltage-flat multiplicative
+    floor are inherited from the primary (90 nm) fit — only the threshold
+    placement and the Vth-variation magnitudes move with technology.
+    """
+    return CardParameters(
+        vth0=theta[0], vth_split=theta[1],
+        n_slope=inherited.n_slope, alpha=inherited.alpha,
+        strength_p=inherited.strength_p,
+        sigma_vth_wid=theta[2], sigma_vth_lane=theta[3],
+        sigma_vth_d2d=theta[4],
+        sigma_mult_rand=inherited.sigma_mult_rand,
+        sigma_mult_lane=inherited.sigma_mult_lane,
+        sigma_mult_corr=inherited.sigma_mult_corr,
+        fo4_scale=_scaled_fo4(node, inherited.fo4_scale),
+    )
+
+
+def secondary_residuals(theta: np.ndarray, node: str,
+                        inherited: CardParameters) -> np.ndarray:
+    """Residual vector for a 45/32/22 nm fit."""
+    p = _unpack_secondary(theta, node, inherited)
+    analyzer = _analyzer(make_card(node, p))
+    res = _common_residuals(analyzer, node,
+                            {"margin": 2.0, "spares": 3.0, "drop": 2.0})
+    if node == "22nm":
+        for vdd, pct in FIG2_POINTS["22nm"].items():
+            model = 100.0 * analyzer.chain_variation(vdd, 50)
+            res.append(2.0 * (model - pct) / 1.0)
+    return np.asarray(res, dtype=float)
+
+
+def _scaled_fo4(node: str, fo4_90nm: float) -> float:
+    """0.7x delay per generation (90 -> 45 -> 32 -> 22 nm)."""
+    generations = {"90nm": 0, "45nm": 1, "32nm": 2, "22nm": 3}[node]
+    return fo4_90nm * 0.7 ** generations
+
+
+# ---------------------------------------------------------------------------
+# Analytic initial guess (delta method on the Fig. 1 anchors)
+# ---------------------------------------------------------------------------
+
+
+def decompose_fig1_anchors(v_hi: float = 1.0, v_lo: float = 0.5):
+    """Split Fig. 1's variation into random/correlated components.
+
+    With ``s`` = single-gate and ``k`` = 50-chain 3sigma/mu (fractions):
+    ``s^2 = r^2 + c^2`` and ``k^2 = r^2/50 + c^2`` (random averages along
+    the chain, correlated does not), giving the per-gate random (``r``)
+    and correlated (``c``) relative delay sigmas at each voltage.
+    """
+    out = {}
+    for vdd in (v_hi, v_lo):
+        s = FIG1_SINGLE_3SIGMA[vdd] / 300.0
+        k = FIG1_CHAIN50_3SIGMA[vdd] / 300.0
+        r2 = (s ** 2 - k ** 2) / (1.0 - 1.0 / 50.0)
+        c2 = max(s ** 2 - r2, 1e-8)
+        out[vdd] = (np.sqrt(r2), np.sqrt(c2))
+    return out
+
+
+def initial_guess_90nm(vth0: float, vth_split: float, n_slope: float,
+                       alpha: float, strength_p: float = 1.0,
+                       v_hi: float = 1.0, v_lo: float = 0.5) -> np.ndarray:
+    """Delta-method inversion of the Fig. 1 anchors for a device guess.
+
+    Given a candidate device card, the threshold sensitivity ``S(V) =
+    d ln(delay)/d Vth`` converts the decomposed relative sigmas into the
+    variation parameters:
+    ``r(V)^2 = sigma_mr^2 + S(V)^2 sigma_wid^2`` (and likewise for the
+    correlated pair).  The FO4 scale comes from the 22.05 ns @ 0.5 V
+    chain-delay anchor.
+    """
+    mosfet = TransregionalModel(vth0=vth0, n_slope=n_slope, alpha=alpha,
+                                dibl=_DIBL["90nm"], vth_split=vth_split,
+                                strength_p=strength_p)
+    s_hi = float(mosfet.delay_vth_sensitivity(v_hi))
+    s_lo = float(mosfet.delay_vth_sensitivity(v_lo))
+    anchors = decompose_fig1_anchors(v_hi, v_lo)
+    (r_hi, c_hi), (r_lo, c_lo) = anchors[v_hi], anchors[v_lo]
+
+    def split(lo: float, hi: float):
+        """Solve lo^2 = m^2 + S_lo^2 w^2, hi^2 = m^2 + S_hi^2 w^2 ... with
+        lo measured at v_lo (large S) and hi at v_hi (small S)."""
+        w2 = (lo ** 2 - hi ** 2) / max(s_lo ** 2 - s_hi ** 2, 1e-12)
+        w2 = max(w2, 1e-10)
+        m2 = max(hi ** 2 - s_hi ** 2 * w2, 1e-10)
+        return np.sqrt(w2), np.sqrt(m2)
+
+    sigma_wid, sigma_mr = split(r_lo, r_hi)
+    sigma_corr, sigma_mcorr = split(c_lo, c_hi)
+    # Split the correlated components between the lane and die scales;
+    # Table 1's small working spare counts imply most of both is
+    # lane-level (spareable) rather than die-level.
+    sigma_lane = 0.9 * sigma_corr
+    sigma_d2d = np.sqrt(max(sigma_corr ** 2 - sigma_lane ** 2, 1e-10))
+    sigma_ml = 0.85 * sigma_mcorr
+    sigma_mc = np.sqrt(max(sigma_mcorr ** 2 - sigma_ml ** 2, 1e-10))
+    target = CHAIN50_ABS_DELAY_NS[0.5] * 1e-9 / 50.0
+    fo4_scale = target * float(mosfet.drive(0.5)) / 0.5
+    return np.array([vth0, vth_split, n_slope, alpha, strength_p,
+                     sigma_wid, sigma_lane, sigma_d2d,
+                     sigma_mr, sigma_ml, sigma_mc, np.log(fo4_scale)])
+
+
+# ---------------------------------------------------------------------------
+# Fitters
+# ---------------------------------------------------------------------------
+
+_PRIMARY_BOUNDS = (
+    np.array([0.15, 0.00, 1.20, 1.00, 0.05, 0.002, 0.000, 0.000, 0.000,
+              0.000, 0.000, np.log(1e-12)]),
+    np.array([0.50, 0.40, 2.00, 2.50, 5.00, 0.090, 0.050, 0.050, 0.090,
+              0.050, 0.060, np.log(1e-9)]),
+)
+
+#: Multi-start grid for the primary fit (vth0, vth_split, n, alpha,
+#: strength_p).  The paper's Fig. 1 demands a sensitivity knee right at
+#: 0.5-0.6 V: an unbalanced inverter whose weak device has its threshold
+#: near 0.5 V while the strong device keeps super-threshold behaviour flat.
+_PRIMARY_STARTS = (
+    (0.30, 0.14, 1.24, 1.77, 0.21),
+    (0.30, 0.20, 1.40, 1.80, 1.00),
+    (0.25, 0.25, 1.35, 2.00, 1.50),
+    (0.35, 0.15, 1.30, 1.60, 0.80),
+    (0.28, 0.18, 1.30, 1.90, 0.40),
+)
+
+
+def fit_primary(verbose: bool = True, starts=_PRIMARY_STARTS) -> CardParameters:
+    """Fit the 90 nm card (11 free parameters, ~27 anchors).
+
+    Multi-start from delta-method guesses; keeps the lowest-cost optimum.
+    """
+    best = None
+    for vth0, vth_split, n_slope, alpha, strength in starts:
+        x0 = initial_guess_90nm(vth0, vth_split, n_slope, alpha, strength)
+        x0 = np.clip(x0, _PRIMARY_BOUNDS[0] + 1e-9, _PRIMARY_BOUNDS[1] - 1e-9)
+        result = least_squares(primary_residuals, x0, bounds=_PRIMARY_BOUNDS,
+                               diff_step=1e-2, xtol=1e-12, ftol=1e-12,
+                               verbose=0, max_nfev=800)
+        if verbose:
+            print(f"start vth0={vth0} split={vth_split} n={n_slope} "
+                  f"alpha={alpha} strength={strength}: cost {result.cost:.1f}")
+        if best is None or result.cost < best.cost:
+            best = result
+    if best is None:  # pragma: no cover - defensive
+        raise CalibrationError("90nm fit produced no result")
+    p = _unpack_primary(best.x)
+    if verbose:
+        print(f"best cost {best.cost:.2f}")
+        print(p.format_card("90nm"))
+    return p
+
+
+def fit_secondary(node: str, inherited: CardParameters,
+                  verbose: bool = True) -> CardParameters:
+    """Fit a 45/32/22 nm card (5 free parameters)."""
+    if node not in ("45nm", "32nm", "22nm"):
+        raise CalibrationError(f"secondary fit is for 45/32/22nm, got {node}")
+    # Start from the inherited device scaled toward the node's regime, with
+    # variation grown per the paper's observation that LER makes advanced
+    # nodes worse.
+    growth = {"45nm": 1.5, "32nm": 1.8, "22nm": 2.2}[node]
+    vth_shift = {"45nm": 0.01, "32nm": 0.02, "22nm": 0.03}[node]
+    x0 = np.array([
+        inherited.vth0 - vth_shift,
+        inherited.vth_split,
+        inherited.sigma_vth_wid * growth,
+        inherited.sigma_vth_lane * growth,
+        inherited.sigma_vth_d2d * growth,
+    ])
+    bounds = (
+        np.array([0.15, 0.00, 0.002, 0.000, 0.000]),
+        np.array([0.50, 0.40, 0.120, 0.080, 0.060]),
+    )
+    x0 = np.clip(x0, bounds[0] + 1e-9, bounds[1] - 1e-9)
+    result = least_squares(secondary_residuals, x0, bounds=bounds,
+                           args=(node, inherited), diff_step=1e-2,
+                           xtol=1e-12, ftol=1e-12,
+                           verbose=2 if verbose else 0, max_nfev=400)
+    if not result.success and result.status <= 0:
+        raise CalibrationError(f"{node} fit failed: {result.message}")
+    p = _unpack_secondary(result.x, node, inherited)
+    if verbose:
+        print(f"{node} cost {result.cost:.2f}")
+        print(p.format_card(node))
+    return p
+
+
+def fit_all(verbose: bool = True) -> dict:
+    """Fit every node; returns {node: CardParameters}."""
+    primary = fit_primary(verbose=verbose)
+    cards = {"90nm": primary}
+    for node in ("45nm", "32nm", "22nm"):
+        cards[node] = fit_secondary(node, primary, verbose=verbose)
+    return cards
+
+
+def card_parameters_of(node: str) -> CardParameters:
+    """Extract the baked card constants as a :class:`CardParameters`."""
+    card = TECHNOLOGY_NODES[node]
+    return CardParameters(
+        vth0=card.mosfet.vth0,
+        vth_split=card.mosfet.vth_split,
+        strength_p=card.mosfet.strength_p,
+        n_slope=card.mosfet.n_slope,
+        alpha=card.mosfet.alpha,
+        sigma_vth_wid=card.variation.sigma_vth_wid,
+        sigma_vth_lane=card.variation.sigma_vth_lane,
+        sigma_vth_d2d=card.variation.sigma_vth_d2d,
+        sigma_mult_rand=card.variation.sigma_mult_rand,
+        sigma_mult_lane=card.variation.sigma_mult_lane,
+        sigma_mult_corr=card.variation.sigma_mult_corr,
+        fo4_scale=card.fo4_scale,
+    )
+
+
+def main(argv=None) -> int:  # pragma: no cover - CLI utility
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        fit_all()
+        return 0
+    node = argv[0]
+    if node == "90nm":
+        fit_primary()
+    else:
+        fit_secondary(node, card_parameters_of("90nm"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,206 @@
+r"""Transregional MOSFET on-current model.
+
+The paper evaluates delay variation with HSPICE Monte-Carlo runs on foundry
+90/45 nm GP decks and 32/22 nm PTM HP decks.  We replace SPICE with the
+EKV-style *transregional* drain-current expression
+
+.. math::
+
+    I_{on}(V)\;\propto\;\Bigl[\ln\bigl(1 + e^{(V - V_{th,eff})/(2 n v_T)}\bigr)\Bigr]^{\alpha}
+
+which interpolates smoothly between the sub-threshold exponential
+(:math:`V \ll V_{th}`), the near-threshold transition region the paper
+operates in, and a super-threshold power law.  The exponent
+:math:`\alpha \in (1, 2]` absorbs velocity saturation: the classic
+long-channel EKV form has :math:`\alpha = 2`, a fully velocity-saturated
+short-channel device approaches :math:`\alpha = 1`.  DIBL is modelled as a
+linear :math:`V_{th}` reduction with drain bias.
+
+Only *ratios* of currents enter gate delays (the absolute current scale is
+absorbed into each technology card's delay-scale constant), so the model is
+expressed dimensionlessly via :meth:`TransregionalModel.drive`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import VoltageRangeError
+from repro.units import THERMAL_VOLTAGE
+
+__all__ = ["TransregionalModel"]
+
+
+def _softplus(x):
+    """Numerically stable ``ln(1 + exp(x))`` for array input."""
+    x = np.asarray(x, dtype=float)
+    return np.logaddexp(0.0, x)
+
+
+def _sigmoid(x):
+    """Numerically stable logistic function for array input."""
+    x = np.asarray(x, dtype=float)
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    expx = np.exp(x[~pos])
+    out[~pos] = expx / (1.0 + expx)
+    return out
+
+
+@dataclass(frozen=True)
+class TransregionalModel:
+    """Analytic transregional I-V model for one technology's inverter.
+
+    The model represents the two switching devices of a static CMOS
+    inverter.  The pull-down branch has threshold ``vth0``; an optional
+    *unbalanced* pull-up branch has threshold ``vth0 + vth_split`` and a
+    relative strength ``strength_p``.  Near-threshold operation magnifies
+    N/P imbalance: once the supply approaches the weaker device's
+    threshold, that device dominates both the delay and its threshold
+    sensitivity — the sharp sensitivity knee the paper's Fig. 1 data shows
+    between 0.6 V and 0.5 V.  The effective drive is the harmonic mean of
+    the two branch drives (average of rise and fall delays).
+
+    Parameters
+    ----------
+    vth0:
+        Zero-bias threshold voltage of the strong branch (V).
+    n_slope:
+        Sub-threshold slope factor *n* (dimensionless, typically 1.2-1.8).
+    alpha:
+        Velocity-saturation exponent on the softplus term (1 < alpha <= 2.5).
+    dibl:
+        Drain-induced barrier lowering coefficient (V of Vth reduction per
+        V of drain bias).
+    vth_split:
+        Extra threshold of the weak branch above ``vth0`` (V); 0 collapses
+        the model to a single balanced device.
+    strength_p:
+        Strong-inversion strength of the weak branch relative to the
+        strong branch.
+    temperature_k:
+        Junction temperature in kelvin; sets the thermal voltage.
+    """
+
+    vth0: float
+    n_slope: float
+    alpha: float = 2.0
+    dibl: float = 0.0
+    vth_split: float = 0.0
+    strength_p: float = 1.0
+    temperature_k: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.vth0 <= 0:
+            raise VoltageRangeError(f"vth0 must be positive, got {self.vth0}")
+        if self.n_slope < 1.0:
+            raise VoltageRangeError(f"n_slope must be >= 1, got {self.n_slope}")
+        if not 0.5 <= self.alpha <= 3.0:
+            raise VoltageRangeError(f"alpha out of sane range (0.5..3): {self.alpha}")
+        if self.dibl < 0:
+            raise VoltageRangeError(f"dibl must be non-negative, got {self.dibl}")
+        if self.vth_split < 0:
+            raise VoltageRangeError(
+                f"vth_split must be non-negative, got {self.vth_split}")
+        if self.strength_p <= 0:
+            raise VoltageRangeError(
+                f"strength_p must be positive, got {self.strength_p}")
+
+    @property
+    def thermal_voltage(self) -> float:
+        """Thermal voltage kT/q at the model temperature (V)."""
+        return THERMAL_VOLTAGE * self.temperature_k / 300.0
+
+    @property
+    def vth_weak(self) -> float:
+        """Zero-bias threshold of the weak (pull-up) branch (V)."""
+        return self.vth0 + self.vth_split
+
+    def vth_effective(self, vdd, dvth=0.0):
+        """Effective strong-branch threshold at ``vdd`` with shift ``dvth``.
+
+        ``dvth`` is the per-device threshold-voltage deviation sampled from
+        the variation model (RDF + LER + lane + die).
+        """
+        vdd = np.asarray(vdd, dtype=float)
+        return self.vth0 - self.dibl * vdd + np.asarray(dvth, dtype=float)
+
+    def _overdrives(self, vdd, dvth=0.0):
+        """Normalised overdrives (strong branch, weak branch)."""
+        two_n_vt = 2.0 * self.n_slope * self.thermal_voltage
+        vdd = np.asarray(vdd, dtype=float)
+        base = vdd - self.vth_effective(vdd, dvth)
+        return base / two_n_vt, (base - self.vth_split) / two_n_vt
+
+    def overdrive(self, vdd, dvth=0.0):
+        """Normalised strong-branch overdrive ``(Vdd - Vth_eff)/(2 n vT)``."""
+        return self._overdrives(vdd, dvth)[0]
+
+    def drive(self, vdd, dvth=0.0):
+        """Dimensionless on-current (harmonic mean of the branch drives).
+
+        Broadcasting follows numpy rules, so ``vdd`` may be a scalar and
+        ``dvth`` a large Monte-Carlo sample array (or vice versa).
+        """
+        x_n, x_p = self._overdrives(vdd, dvth)
+        d_n = _softplus(x_n) ** self.alpha
+        if self.vth_split == 0.0 and self.strength_p == 1.0:
+            return d_n
+        d_p = self.strength_p * _softplus(x_p) ** self.alpha
+        return 2.0 * d_n * d_p / (d_n + d_p)
+
+    def log_drive(self, vdd, dvth=0.0):
+        """``ln(drive)`` computed without overflow."""
+        return np.log(self.drive(vdd, dvth))
+
+    def subthreshold_leakage(self, vdd, dvth=0.0):
+        """Dimensionless leakage current at ``Vgs = 0`` (drain at ``vdd``).
+
+        Dominated by the strong (lower-Vth) branch:
+        :math:`I_{leak} \\propto e^{-V_{th,eff}/(n v_T)}`, normalised to 1.0
+        at ``vth_eff = 0``.
+        """
+        n_vt = self.n_slope * self.thermal_voltage
+        return np.exp(-self.vth_effective(vdd, dvth) / n_vt)
+
+    def delay_vth_sensitivity(self, vdd, dvth=0.0):
+        """Analytic :math:`\\partial \\ln(delay) / \\partial V_{th}` (1/V).
+
+        Each branch contributes ``alpha * sigmoid(x) / (2 n vT *
+        softplus(x))`` weighted by its share of the total resistance, so
+        the weak branch dominates the sensitivity as soon as it dominates
+        the delay.  The result grows from roughly ``alpha / (Vdd-Vth)`` in
+        super-threshold to ``1/(n vT)`` deep in sub-threshold — the
+        amplification mechanism the paper studies.
+        """
+        two_n_vt = 2.0 * self.n_slope * self.thermal_voltage
+        x_n, x_p = self._overdrives(vdd, dvth)
+        s_n = self.alpha * _sigmoid(x_n) / (two_n_vt * _softplus(x_n))
+        if self.vth_split == 0.0 and self.strength_p == 1.0:
+            return s_n
+        d_n = _softplus(x_n) ** self.alpha
+        d_p = self.strength_p * _softplus(x_p) ** self.alpha
+        s_p = self.alpha * _sigmoid(x_p) / (two_n_vt * _softplus(x_p))
+        w_n = d_p / (d_n + d_p)     # resistance share of the strong branch
+        return s_n * w_n + s_p * (1.0 - w_n)
+
+    def region(self, vdd) -> str:
+        """Classify an operating voltage: 'sub', 'near' or 'super' threshold.
+
+        Follows the paper's convention (Section 2 / Appendix A), judged
+        against the weaker (delay-dominating) device: sub-threshold for
+        ``Vdd < Vth``, near-threshold within about 50 % above ``Vth``,
+        super-threshold beyond.
+        """
+        vdd = float(vdd)
+        if vdd <= 0:
+            raise VoltageRangeError(f"vdd must be positive, got {vdd}")
+        vth = float(self.vth_effective(vdd)) + self.vth_split
+        if vdd < vth:
+            return "sub"
+        if vdd < 1.5 * vth:
+            return "near"
+        return "super"

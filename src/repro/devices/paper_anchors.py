@@ -1,0 +1,240 @@
+"""Digitised numbers from the paper, used as calibration anchors and as the
+reference column of EXPERIMENTS.md.
+
+Sources (section / figure / table of the DAC 2012 paper):
+
+* ``FIG1_SINGLE_3SIGMA`` / ``FIG1_CHAIN50_3SIGMA`` — the 3sigma/mu values
+  printed on Fig. 1's histograms (90 nm GP, 1000 samples).
+* ``CHAIN50_ABS_DELAY_NS`` — Section 3.2: "the delay of a chain of 50 FO4
+  inverters operating at 0.5V is 22.05ns ... at 0.6V is 8.99ns" (90 nm).
+* ``FIG2_POINTS`` — endpoints quoted in Section 3.1 for Fig. 2 (the 22 nm
+  curve: 11 % @ 0.8 V rising to 25 % @ 0.5 V; the 2.5x 90->22 nm ratio at
+  0.55 V).
+* ``FIG4_PERF_DROP`` — Section 3.2 text: 90 nm drops of 5 / 2.5 / 1.5 % at
+  0.5 / 0.55 / 0.6 V, and 18 % @ 0.5 V for 22 nm.
+* ``TABLE1`` — required spare counts with area/power overheads.  Entries the
+  PDF-to-text conversion garbled (marked ``inferred=True``) are
+  reconstructed by inverting the paper's own overhead model
+  (area = 0.4516 %/spare, power = 13.7 %*((1+a/128)^1.5 - 1)), which
+  reproduces every intact entry to within rounding.
+* ``TABLE2`` — required voltage margins (mV) and power overheads (%).
+* ``TABLE3`` — combined duplication+margining design points for a
+  128-wide @ 600 mV system in 45 nm.
+* ``KOGGE_STONE_3SIGMA_05V`` — the 8.4 % @ 0.5 V delay variation of a 64-bit
+  Kogge-Stone adder the paper cites from Drego et al. [7] as evidence that
+  a 50-FO4 chain is a good critical-path proxy.
+
+Every voltage key is in volts; variation metrics are percent (3sigma/mu);
+delays are nanoseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "FIG1_SINGLE_3SIGMA",
+    "FIG1_CHAIN50_3SIGMA",
+    "CHAIN50_ABS_DELAY_NS",
+    "FIG2_POINTS",
+    "FIG4_PERF_DROP",
+    "TABLE1",
+    "TABLE2",
+    "TABLE3",
+    "KOGGE_STONE_3SIGMA_05V",
+    "NOMINAL_VDD",
+    "SIMD_WIDTH",
+    "PATHS_PER_LANE",
+    "CHAIN_LENGTH",
+    "SIGNOFF_QUANTILE",
+    "AREA_PER_SPARE_PCT",
+    "SHUFFLE_POWER_FRACTION_PCT",
+    "SHUFFLE_WIDTH_EXPONENT",
+    "DV_DOMAIN_POWER_FRACTION",
+    "SpareEntry",
+    "MarginEntry",
+]
+
+# --------------------------------------------------------------------------
+# Experimental setup constants (Section 3.2)
+# --------------------------------------------------------------------------
+
+#: SIMD width of the studied Diet SODA datapath.
+SIMD_WIDTH = 128
+#: Critical + near-critical paths assumed per SIMD lane.
+PATHS_PER_LANE = 100
+#: FO4 inverters per emulated critical path.
+CHAIN_LENGTH = 50
+#: The paper signs off on the 99 % point of the chip-delay distribution.
+SIGNOFF_QUANTILE = 0.99
+
+#: Nominal ("full") supply voltage per node (V).  32/22 nm PTM HP cards are
+#: simulated only up to their nominal 0.9/0.8 V (Section 3.1).
+NOMINAL_VDD = {"90nm": 1.0, "45nm": 1.0, "32nm": 0.9, "22nm": 0.8}
+
+# --------------------------------------------------------------------------
+# Figure 1 (90 nm GP, 1000 samples): 3sigma/mu in percent
+# --------------------------------------------------------------------------
+
+FIG1_SINGLE_3SIGMA = {
+    1.0: 15.58, 0.9: 15.70, 0.8: 16.29, 0.7: 17.74, 0.6: 22.25, 0.5: 35.49,
+}
+
+FIG1_CHAIN50_3SIGMA = {
+    1.0: 5.76, 0.9: 5.84, 0.8: 5.96, 0.7: 6.17, 0.6: 6.81, 0.5: 9.43,
+}
+
+#: Absolute delay of the 50-FO4 chain in 90 nm (ns), Section 3.2.
+CHAIN50_ABS_DELAY_NS = {0.5: 22.05, 0.6: 8.99}
+
+#: Drego et al. [7]: 64-bit Kogge-Stone adder delay variation at 0.5 V (%).
+KOGGE_STONE_3SIGMA_05V = 8.4
+
+# --------------------------------------------------------------------------
+# Figure 2: chain-of-50 3sigma/mu vs Vdd, textual anchor points (percent)
+# --------------------------------------------------------------------------
+
+FIG2_POINTS = {
+    # 90 nm curve equals Fig. 1(b).
+    "90nm": dict(FIG1_CHAIN50_3SIGMA),
+    # Quoted in Section 3.1 for the 22 nm PTM HP curve.
+    "22nm": {0.8: 11.0, 0.5: 25.0},
+    # "technology scaling from 90nm to 22nm increases delay variation of a
+    # chain of 50 FO4 inverters by 2.5x when operating at 0.55V"
+    "ratio_22_over_90_at_055": 2.5,
+}
+
+# --------------------------------------------------------------------------
+# Figure 4: performance drop (%) of the 128-wide datapath vs nominal
+# --------------------------------------------------------------------------
+
+FIG4_PERF_DROP = {
+    "90nm": {0.5: 5.0, 0.55: 2.5, 0.6: 1.5},
+    "22nm": {0.5: 18.0},
+}
+
+# --------------------------------------------------------------------------
+# Table 1: structural duplication
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpareEntry:
+    """One Table-1 cell: spare count with area/power overhead (percent).
+
+    ``saturated`` marks the ">128" cells; ``inferred`` marks spare counts
+    reconstructed from the (intact) power column via the paper's own
+    overhead model because the PDF text extraction dropped them.
+    """
+
+    spares: int
+    area_pct: float
+    power_pct: float
+    saturated: bool = False
+    inferred: bool = False
+
+
+_SAT = SpareEntry(128, 57.8, 25.0, saturated=True)
+
+TABLE1 = {
+    "90nm": {
+        0.50: SpareEntry(28, 12.6, 4.6, inferred=False),
+        0.55: SpareEntry(6, 2.6, 1.0),
+        0.60: SpareEntry(2, 0.9, 0.3),
+        0.65: SpareEntry(1, 0.4, 0.2),
+        0.70: SpareEntry(1, 0.4, 0.2),
+    },
+    "45nm": {
+        0.50: _SAT,
+        0.55: SpareEntry(85, 38.4, 15.3, inferred=True),
+        0.60: SpareEntry(26, 11.7, 4.3, inferred=True),
+        0.65: SpareEntry(10, 4.5, 1.6, inferred=True),
+        0.70: SpareEntry(4, 1.7, 0.6),
+    },
+    "32nm": {
+        0.50: _SAT,
+        0.55: _SAT,
+        0.60: SpareEntry(48, 21.7, 8.2, inferred=True),
+        0.65: SpareEntry(12, 5.4, 1.9, inferred=True),
+        0.70: SpareEntry(6, 2.6, 1.0),
+    },
+    "22nm": {
+        0.50: _SAT,
+        0.55: SpareEntry(81, 36.6, 14.5, inferred=True),
+        0.60: SpareEntry(22, 9.9, 3.6, inferred=True),
+        0.65: SpareEntry(7, 3.0, 1.1),
+        0.70: SpareEntry(3, 1.3, 0.5),
+    },
+}
+
+# --------------------------------------------------------------------------
+# Table 2: voltage margining
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MarginEntry:
+    """One Table-2 cell: required voltage margin and power overhead."""
+
+    margin_mv: float
+    power_pct: float
+
+
+TABLE2 = {
+    "90nm": {
+        0.50: MarginEntry(5.8, 1.0),
+        0.55: MarginEntry(4.1, 0.6),
+        0.60: MarginEntry(2.9, 0.4),
+        0.65: MarginEntry(2.2, 0.3),
+        0.70: MarginEntry(1.7, 0.2),
+    },
+    "45nm": {
+        0.50: MarginEntry(19.6, 3.3),
+        0.55: MarginEntry(18.2, 2.8),
+        0.60: MarginEntry(16.2, 2.3),
+        0.65: MarginEntry(14.0, 1.8),
+        0.70: MarginEntry(12.8, 1.5),
+    },
+    "32nm": {
+        0.50: MarginEntry(12.1, 2.0),
+        0.55: MarginEntry(11.1, 1.7),
+        0.60: MarginEntry(10.4, 1.5),
+        0.65: MarginEntry(8.9, 1.1),
+        0.70: MarginEntry(7.7, 0.9),
+    },
+    "22nm": {
+        0.50: MarginEntry(16.4, 2.8),
+        0.55: MarginEntry(17.6, 2.7),
+        0.60: MarginEntry(11.1, 1.6),
+        0.65: MarginEntry(11.5, 1.5),
+        0.70: MarginEntry(9.6, 1.1),
+    },
+}
+
+# --------------------------------------------------------------------------
+# Table 3: combined design points, 128-wide @ 600 mV, 45 nm
+# (duplications, voltage margin in mV, power overhead in %)
+# --------------------------------------------------------------------------
+
+TABLE3 = [
+    (26, 0.0, 4.3),
+    (8, 5.0, 2.0),
+    (2, 10.0, 1.7),
+    (1, 15.0, 2.3),
+    (0, 17.0, 2.4),
+]
+
+# --------------------------------------------------------------------------
+# Overhead model constants reverse-engineered from Tables 1 and 2
+# (validated against every intact cell; see DESIGN.md Section 4.4)
+# --------------------------------------------------------------------------
+
+#: Area overhead of one spare SIMD FU, percent of PE area (57.8 % / 128).
+AREA_PER_SPARE_PCT = 57.8 / 128.0
+#: SIMD shuffle network (XRAM) fraction of PE power, percent.
+SHUFFLE_POWER_FRACTION_PCT = 13.7
+#: XRAM/shuffle power grows ~ width^1.5 (crossbar wire dominated).
+SHUFFLE_WIDTH_EXPONENT = 1.5
+#: Fraction of PE power consumed in the near-threshold (DV) domain, whose
+#: supply the margining technique raises.
+DV_DOMAIN_POWER_FRACTION = 0.43

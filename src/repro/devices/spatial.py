@@ -1,0 +1,125 @@
+"""Spatially-correlated within-die variation fields.
+
+The three-scale model in :mod:`repro.devices.variation` abstracts
+within-die spatial correlation into a single *per-lane* component.  This
+module provides the underlying continuous model — a Gaussian random field
+over die coordinates with an exponential correlation kernel
+
+.. math::  \\rho(d) = e^{-d / L_c}
+
+(``L_c`` = correlation length, typically 0.5-2 mm) — and the machinery to
+*derive* the per-lane abstraction from it: sampling the field at lane
+positions on a floorplan, and splitting the result into the
+lane-to-lane-correlated and residual shares.
+
+Used by the validation tests to show that for realistic floorplans
+(lane pitch ~50-100 um, correlation length ~1 mm) the per-lane
+abstraction reproduces the field statistics, and by the placement study
+to justify treating adjacent-lane faults as correlated ("bursty").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SpatialField", "lane_correlation_matrix",
+           "effective_lane_sigma"]
+
+
+@dataclass(frozen=True)
+class SpatialField:
+    """A stationary Gaussian random field with exponential correlation.
+
+    Parameters
+    ----------
+    sigma:
+        Point standard deviation of the field (e.g. volts of Vth).
+    correlation_length_mm:
+        Distance at which correlation falls to 1/e.
+    """
+
+    sigma: float
+    correlation_length_mm: float
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ConfigurationError("sigma must be non-negative")
+        if self.correlation_length_mm <= 0:
+            raise ConfigurationError("correlation length must be positive")
+
+    def correlation(self, distance_mm):
+        """Correlation coefficient at a separation (array-friendly)."""
+        distance_mm = np.asarray(distance_mm, dtype=float)
+        return np.exp(-distance_mm / self.correlation_length_mm)
+
+    def covariance_matrix(self, positions_mm) -> np.ndarray:
+        """Covariance matrix of the field at ``(N, 2)`` positions."""
+        positions = np.asarray(positions_mm, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ConfigurationError("positions must have shape (N, 2)")
+        delta = positions[:, None, :] - positions[None, :, :]
+        distance = np.hypot(delta[..., 0], delta[..., 1])
+        return self.sigma ** 2 * self.correlation(distance)
+
+    def sample(self, positions_mm, n_samples: int,
+               rng: np.random.Generator) -> np.ndarray:
+        """Draw field realisations at positions: shape (n_samples, N).
+
+        Uses the Cholesky factor of the covariance (with a tiny jitter for
+        numerical positive-definiteness).
+        """
+        if n_samples < 1:
+            raise ConfigurationError("n_samples must be >= 1")
+        cov = self.covariance_matrix(positions_mm)
+        n = cov.shape[0]
+        if self.sigma == 0:
+            return np.zeros((n_samples, n))
+        jitter = 1e-12 * self.sigma ** 2
+        chol = np.linalg.cholesky(cov + jitter * np.eye(n))
+        normals = rng.standard_normal((n_samples, n))
+        return normals @ chol.T
+
+
+def lane_correlation_matrix(field: SpatialField, floorplan) -> np.ndarray:
+    """Lane-to-lane correlation matrix for a floorplan's lane centres."""
+    cov = field.covariance_matrix(floorplan.lane_positions_mm())
+    if field.sigma == 0:
+        return np.eye(cov.shape[0])
+    return cov / field.sigma ** 2
+
+
+def effective_lane_sigma(field: SpatialField, floorplan,
+                         n_samples: int = 4000,
+                         rng: np.random.Generator | None = None) -> dict:
+    """Split a field into the three-scale abstraction's components.
+
+    Samples the field at the floorplan's lane centres and decomposes each
+    realisation into a die-common mean and per-lane deviations:
+
+    * ``sigma_die`` — std of the across-die mean (what ``sigma_vth_d2d``
+      absorbs on top of lot-level variation);
+    * ``sigma_lane`` — std of the per-lane deviation from that mean (what
+      ``sigma_vth_lane`` models);
+    * ``neighbor_correlation`` — correlation between adjacent lanes'
+      deviations (what makes faults "bursty" for local sparing).
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    samples = field.sample(floorplan.lane_positions_mm(), n_samples, rng)
+    die_mean = samples.mean(axis=1)
+    deviation = samples - die_mean[:, None]
+    sigma_die = float(die_mean.std())
+    sigma_lane = float(deviation.std())
+    if deviation.shape[1] > 1 and sigma_lane > 0:
+        neighbor = float(np.corrcoef(deviation[:, 0], deviation[:, 1])[0, 1])
+    else:
+        neighbor = 0.0
+    return {
+        "sigma_die": sigma_die,
+        "sigma_lane": sigma_lane,
+        "neighbor_correlation": neighbor,
+    }

@@ -1,0 +1,236 @@
+"""Technology cards for the four nodes the paper studies.
+
+Each :class:`TechnologyNode` bundles
+
+* a :class:`~repro.devices.mosfet.TransregionalModel` (the switching device),
+* a :class:`~repro.devices.variation.VariationModel` (RDF/LER/die-to-die),
+* an absolute FO4 delay scale,
+* the node's nominal supply voltage (the paper's "full voltage" baseline).
+
+The numeric card constants below were produced by the least-squares fit in
+:mod:`repro.devices.calibration` against the digitised paper anchors in
+:mod:`repro.devices.paper_anchors` (Fig. 1 variation curves and absolute
+chain delays for 90 nm; Fig. 2 endpoints, Table 1 spare counts and Table 2
+voltage margins for the other nodes).  Re-run the fit with::
+
+    python -m repro.devices.calibration
+
+Gate delay model: ``t_FO4(V) = fo4_scale * V / drive(V, dvth)`` times the
+multiplicative variation factor, where ``drive`` is the dimensionless
+transregional on-current.  ``fo4_scale`` absorbs load capacitance and the
+absolute current level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.devices.mosfet import TransregionalModel
+from repro.devices.variation import VariationModel
+from repro.errors import TechnologyError, VoltageRangeError
+
+__all__ = [
+    "TechnologyNode",
+    "TECHNOLOGY_NODES",
+    "get_technology",
+    "available_technologies",
+]
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """A calibrated technology card.
+
+    Parameters
+    ----------
+    name:
+        Registry key, e.g. ``"90nm"``.
+    process:
+        Human-readable process description, e.g. ``"90nm commercial GP"``.
+    nominal_vdd:
+        Full-voltage baseline (V); also the maximum voltage the card is
+        calibrated for.
+    min_vdd:
+        Lowest supply the card is calibrated for (V).
+    mosfet:
+        Switching-device I-V model.
+    variation:
+        Statistical variation model.
+    fo4_scale:
+        Absolute delay scale (seconds) such that the nominal FO4 delay is
+        ``fo4_scale * vdd / mosfet.drive(vdd)``.
+    """
+
+    name: str
+    process: str
+    nominal_vdd: float
+    min_vdd: float
+    mosfet: TransregionalModel
+    variation: VariationModel
+    fo4_scale: float
+
+    def __post_init__(self) -> None:
+        if self.nominal_vdd <= self.min_vdd:
+            raise TechnologyError(
+                f"{self.name}: nominal_vdd ({self.nominal_vdd}) must exceed "
+                f"min_vdd ({self.min_vdd})")
+        if self.fo4_scale <= 0:
+            raise TechnologyError(f"{self.name}: fo4_scale must be positive")
+
+    # -- delay -------------------------------------------------------------
+
+    def fo4_delay(self, vdd, dvth=0.0, mult=0.0):
+        """FO4 inverter delay in seconds.
+
+        ``dvth`` (V) and ``mult`` (fraction) are variation draws; both
+        broadcast against ``vdd`` so Monte-Carlo arrays evaluate in one
+        vectorised call.
+        """
+        vdd = np.asarray(vdd, dtype=float)
+        drive = self.mosfet.drive(vdd, dvth)
+        return self.fo4_scale * vdd / drive * (1.0 + np.asarray(mult, dtype=float))
+
+    def log_fo4_delay(self, vdd, dvth=0.0):
+        """``ln`` of the nominal-multiplier FO4 delay (overflow safe)."""
+        vdd = np.asarray(vdd, dtype=float)
+        return (np.log(self.fo4_scale) + np.log(vdd)
+                - self.mosfet.log_drive(vdd, dvth))
+
+    def fo4_unit(self, vdd) -> float:
+        """The variation-free FO4 delay at ``vdd`` (seconds).
+
+        This is the unit the paper's Figures 3-5 use on their x axes:
+        delays at a given supply are expressed as multiples of the FO4
+        delay *at that same supply*.
+        """
+        return float(self.fo4_delay(float(vdd)))
+
+    def delay_voltage_slope(self, vdd, dv: float = 1e-4) -> float:
+        """``-d ln(FO4 delay) / dV`` (1/V): fractional speedup per volt.
+
+        Central difference; this is what voltage margining exploits
+        (a few mV of supply buys back the variation tail).
+        """
+        vdd = float(vdd)
+        lo = self.log_fo4_delay(vdd - dv)
+        hi = self.log_fo4_delay(vdd + dv)
+        return float(-(hi - lo) / (2.0 * dv))
+
+    # -- validation ----------------------------------------------------------
+
+    def validate_vdd(self, vdd, margin: float = 0.05) -> None:
+        """Raise :class:`VoltageRangeError` if outside the calibrated range.
+
+        ``margin`` (V) of slack is allowed above nominal / below minimum so
+        that voltage-margining searches (e.g. 620 mV on a 600 mV design
+        point) remain legal.
+        """
+        vdd = np.atleast_1d(np.asarray(vdd, dtype=float))
+        if np.any(vdd < self.min_vdd - margin) or np.any(vdd > self.nominal_vdd + margin):
+            raise VoltageRangeError(
+                f"{self.name}: vdd {vdd} outside calibrated range "
+                f"[{self.min_vdd}, {self.nominal_vdd}] (+/- {margin})")
+
+    # -- derived cards -------------------------------------------------------
+
+    def with_variation(self, variation: VariationModel) -> "TechnologyNode":
+        """A copy of this card with a different variation model (ablations)."""
+        return replace(self, variation=variation)
+
+
+def _make_nodes() -> dict:
+    """Construct the calibrated card registry.
+
+    Card constants baked from ``python -m repro.devices.calibration``;
+    see that module for the fitting procedure and residuals.
+    """
+    nodes = {}
+    nodes["90nm"] = TechnologyNode(
+        name="90nm",
+        process="90nm commercial GP (calibrated vs Fig.1, Sec. 3.2 delays, "
+                "Tables 1-2)",
+        nominal_vdd=1.0,
+        min_vdd=0.45,
+        mosfet=TransregionalModel(
+            vth0=0.2765, n_slope=1.2365, alpha=1.8004, dibl=0.045,
+            vth_split=0.1721, strength_p=0.2922),
+        variation=VariationModel(
+            sigma_vth_wid=0.00674, sigma_vth_lane=0.00125,
+            sigma_vth_d2d=0.00042,
+            sigma_mult_rand=0.04261, sigma_mult_lane=0.01634,
+            sigma_mult_corr=0.00661),
+        fo4_scale=9.9998e-10,
+    )
+    nodes["45nm"] = TechnologyNode(
+        name="45nm",
+        process="45nm commercial GP (calibrated vs Tables 1-3)",
+        nominal_vdd=1.0,
+        min_vdd=0.45,
+        mosfet=TransregionalModel(
+            vth0=0.2456, n_slope=1.2365, alpha=1.8004, dibl=0.060,
+            vth_split=0.1485, strength_p=0.2922),
+        variation=VariationModel(
+            sigma_vth_wid=0.00882, sigma_vth_lane=0.00557,
+            sigma_vth_d2d=0.00237,
+            sigma_mult_rand=0.04261, sigma_mult_lane=0.01634,
+            sigma_mult_corr=0.00661),
+        fo4_scale=6.99986e-10,
+    )
+    nodes["32nm"] = TechnologyNode(
+        name="32nm",
+        process="32nm PTM HP (calibrated vs Tables 1-2)",
+        nominal_vdd=0.9,
+        min_vdd=0.45,
+        mosfet=TransregionalModel(
+            vth0=0.3082, n_slope=1.2365, alpha=1.8004, dibl=0.070,
+            vth_split=0.1978, strength_p=0.2922),
+        variation=VariationModel(
+            sigma_vth_wid=0.01149, sigma_vth_lane=0.00312,
+            sigma_vth_d2d=0.00032,
+            sigma_mult_rand=0.04261, sigma_mult_lane=0.01634,
+            sigma_mult_corr=0.00661),
+        fo4_scale=4.8999e-10,
+    )
+    nodes["22nm"] = TechnologyNode(
+        name="22nm",
+        process="22nm PTM HP (calibrated vs Fig.2 endpoints, Tables 1-2)",
+        nominal_vdd=0.8,
+        min_vdd=0.45,
+        mosfet=TransregionalModel(
+            vth0=0.2477, n_slope=1.2365, alpha=1.8004, dibl=0.080,
+            vth_split=0.1180, strength_p=0.2922),
+        variation=VariationModel(
+            sigma_vth_wid=0.00205, sigma_vth_lane=0.00521,
+            sigma_vth_d2d=0.00666,
+            sigma_mult_rand=0.04261, sigma_mult_lane=0.01634,
+            sigma_mult_corr=0.00661),
+        fo4_scale=3.42993e-10,
+    )
+    return nodes
+
+
+#: Registry of the four calibrated nodes, keyed by name.
+TECHNOLOGY_NODES: dict = _make_nodes()
+
+
+def available_technologies() -> tuple:
+    """Names of the registered technology nodes, scaling order."""
+    return tuple(TECHNOLOGY_NODES)
+
+
+def get_technology(name: str) -> TechnologyNode:
+    """Look up a technology card by name (e.g. ``"90nm"``).
+
+    Accepts a few spelling variants (``"90"``, ``"90NM"``).
+    """
+    key = str(name).strip().lower()
+    if not key.endswith("nm"):
+        key += "nm"
+    try:
+        return TECHNOLOGY_NODES[key]
+    except KeyError:
+        raise TechnologyError(
+            f"unknown technology {name!r}; available: "
+            f"{', '.join(TECHNOLOGY_NODES)}") from None

@@ -1,0 +1,93 @@
+"""Temperature behaviour of near-threshold operation.
+
+A famous near-threshold effect the super-threshold intuition gets wrong:
+*inverse temperature dependence* (ITD).  Heating a chip
+
+* lowers carrier mobility (slower — dominates super-threshold), and
+* lowers the threshold voltage (faster — dominates at near/sub-threshold
+  where the drive current depends exponentially on ``Vdd - Vth``),
+
+so below a crossover voltage, hot silicon is *faster* than cold silicon.
+Sign-off corners must therefore flip from hot-slow to cold-slow at
+near-threshold operating points — relevant to the paper's margining
+story because the margin must cover the worst *temperature* too.
+
+:func:`with_temperature` derives a card at a new junction temperature
+(threshold tempco + mobility power law + thermal-voltage scaling);
+:func:`itd_crossover_voltage` locates the crossover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+from scipy.optimize import brentq
+
+from repro.errors import ConfigurationError, ConvergenceError
+
+__all__ = ["with_temperature", "delay_temperature_sensitivity",
+           "itd_crossover_voltage"]
+
+#: Threshold-voltage temperature coefficient (V/K); negative: Vth drops
+#: as the junction heats (typical -0.7..-1.2 mV/K for planar CMOS).
+VTH_TEMPCO = -0.9e-3
+#: Mobility power-law exponent: mu ~ (T/T0)^-1.5.
+MOBILITY_EXPONENT = 1.5
+#: Reference junction temperature (K).
+T_REF = 300.0
+
+
+def with_temperature(tech, temperature_k: float):
+    """A copy of a technology card at a different junction temperature.
+
+    Applies the threshold tempco, scales the thermal voltage (via the
+    device model's ``temperature_k``) and folds the mobility degradation
+    into the delay scale (delay ~ 1/mu).
+    """
+    if temperature_k <= 0:
+        raise ConfigurationError("temperature must be positive kelvin")
+    dt = temperature_k - T_REF
+    mosfet = replace(
+        tech.mosfet,
+        vth0=max(tech.mosfet.vth0 + VTH_TEMPCO * dt, 1e-3),
+        temperature_k=temperature_k,
+    )
+    mobility_factor = (temperature_k / T_REF) ** MOBILITY_EXPONENT
+    return replace(
+        tech,
+        name=f"{tech.name}@{temperature_k:.0f}K",
+        mosfet=mosfet,
+        fo4_scale=tech.fo4_scale * mobility_factor,
+    )
+
+
+def delay_temperature_sensitivity(tech, vdd: float, dt: float = 10.0) -> float:
+    """``d ln(FO4 delay) / dT`` (1/K) by central difference.
+
+    Positive: heating slows the gate (super-threshold behaviour);
+    negative: heating speeds it up (ITD, near/sub-threshold behaviour).
+    """
+    hot = with_temperature(tech, T_REF + dt)
+    cold = with_temperature(tech, T_REF - dt)
+    return float((np.log(hot.fo4_delay(vdd)) - np.log(cold.fo4_delay(vdd)))
+                 / (2.0 * dt))
+
+
+def itd_crossover_voltage(tech, v_lo: float | None = None,
+                          v_hi: float | None = None) -> float:
+    """Supply voltage where the delay-temperature sensitivity changes sign.
+
+    Below the crossover hot silicon is fast (cold-slow corner governs);
+    above it the usual hot-slow corner governs.
+    """
+    v_lo = tech.min_vdd if v_lo is None else v_lo
+    v_hi = tech.nominal_vdd if v_hi is None else v_hi
+    s_lo = delay_temperature_sensitivity(tech, v_lo)
+    s_hi = delay_temperature_sensitivity(tech, v_hi)
+    if s_lo * s_hi > 0:
+        raise ConvergenceError(
+            f"no ITD crossover in [{v_lo}, {v_hi}] V "
+            f"(sensitivities {s_lo:.2e}, {s_hi:.2e})")
+    return float(brentq(lambda v: delay_temperature_sensitivity(tech, v),
+                        v_lo, v_hi, xtol=1e-4))

@@ -1,0 +1,217 @@
+"""Statistical variation model.
+
+The paper inserts two variation sources into its SPICE decks — threshold
+voltage shifts from random dopant fluctuations (RDF) and line-edge roughness
+(LER) — both as normal distributions, and observes that uncorrelated
+within-die variation averages out along a logic chain while a residual
+floor remains (Fig. 1b: a 50-stage chain keeps 5.76 % 3sigma/mu at 1 V,
+far above the 15.58 %/sqrt(50) ~ 2.2 % a purely random model would give).
+
+We therefore model *six* components at three spatial scales.  For chip
+sample *s*, lane *j* and gate *i*:
+
+* ``dvth_ijs = D_s + L_js + eps_i`` — threshold shift, with a *die-to-die*
+  part ``D_s ~ N(0, sigma_vth_d2d)`` shared by every gate on the chip, a
+  *per-lane* spatially-correlated part ``L_js ~ N(0, sigma_vth_lane)``
+  shared by the gates of one SIMD lane (within-die variation has a spatial
+  correlation length of hundreds of microns — paths inside one 16-bit lane
+  slice are co-located, different lanes sit far apart), and a *per-gate*
+  random part ``eps_i ~ N(0, sigma_vth_wid)`` (RDF + LER);
+* the gate delay is additionally multiplied by
+  ``(1 + M_s)(1 + m_js)(1 + m_i)`` — die / lane / gate multiplicative
+  components (global and local geometry, Leff/tox, mobility).
+
+The threshold components dominate at near-threshold voltages (their delay
+impact is amplified by the exponential I-V); the multiplicative components
+set the voltage-independent floor visible at nominal voltage.  The
+*spatial split* of the correlated variation matters architecturally: a
+standalone test chain (Fig. 1b) sees lane+die correlation as one floor,
+but only the *lane-level* share produces slow-lane outliers that
+structural duplication can replace — the die-level share slows every lane
+alike and can only be bought back with supply margin.
+
+Helper functions :func:`pelgrom_sigma_vth` and :func:`ler_sigma_vth` provide
+the conventional physical scaling laws used to sanity-check the calibrated
+effective sigmas against device sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "VariationModel",
+    "GateSamples",
+    "DieSamples",
+    "pelgrom_sigma_vth",
+    "ler_sigma_vth",
+    "combine_sigmas",
+]
+
+
+def pelgrom_sigma_vth(avt_mv_um: float, width_um: float, length_um: float) -> float:
+    """Pelgrom-law RDF threshold mismatch sigma in volts.
+
+    ``sigma(Vth) = A_vt / sqrt(W * L)`` with the matching coefficient
+    ``avt_mv_um`` in the customary mV*um units.
+    """
+    if width_um <= 0 or length_um <= 0:
+        raise ConfigurationError("device W and L must be positive")
+    return avt_mv_um * 1e-3 / np.sqrt(width_um * length_um)
+
+
+def ler_sigma_vth(sigma_ler_nominal_v: float, length_nm: float,
+                  reference_length_nm: float = 22.0) -> float:
+    """LER-induced threshold sigma in volts, scaled with gate length.
+
+    Line-edge roughness amplitude is roughly constant with scaling, so its
+    relative impact grows as the gate length shrinks; we use the simple
+    ``sigma ~ (L_ref / L)`` scaling with a reference at 22 nm, matching the
+    paper's observation that LER is what makes 32/22 nm markedly worse.
+    """
+    if length_nm <= 0:
+        raise ConfigurationError("gate length must be positive")
+    return sigma_ler_nominal_v * (reference_length_nm / length_nm)
+
+
+def combine_sigmas(*sigmas: float) -> float:
+    """Root-sum-square combination of independent normal sigmas."""
+    return float(np.sqrt(sum(float(s) ** 2 for s in sigmas)))
+
+
+@dataclass(frozen=True)
+class GateSamples:
+    """Per-gate variation draws: threshold shifts and multiplicative noise."""
+
+    dvth: np.ndarray
+    mult: np.ndarray
+
+
+@dataclass(frozen=True)
+class LaneSamples:
+    """Per-lane spatially-correlated variation draws."""
+
+    dvth: np.ndarray
+    mult: np.ndarray
+
+
+@dataclass(frozen=True)
+class DieSamples:
+    """Per-die (chip-sample) correlated variation draws."""
+
+    dvth: np.ndarray
+    mult: np.ndarray
+
+
+_SIGMA_FIELDS = (
+    "sigma_vth_wid", "sigma_vth_lane", "sigma_vth_d2d",
+    "sigma_mult_rand", "sigma_mult_lane", "sigma_mult_corr",
+)
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Six-component, three-scale variation model (see module docstring).
+
+    All sigmas are standard deviations: threshold components in volts,
+    multiplicative components as fractions of the nominal delay.
+    """
+
+    sigma_vth_wid: float
+    sigma_vth_d2d: float
+    sigma_mult_rand: float
+    sigma_mult_corr: float
+    sigma_vth_lane: float = 0.0
+    sigma_mult_lane: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field in _SIGMA_FIELDS:
+            value = getattr(self, field)
+            if value < 0:
+                raise ConfigurationError(f"{field} must be non-negative, got {value}")
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample_gates(self, rng: np.random.Generator, shape,
+                     size_scale: float = 1.0) -> GateSamples:
+        """Draw per-gate (within-die) variation for an array of gates.
+
+        ``size_scale`` scales the *random* threshold sigma by
+        ``1/sqrt(size_scale)`` — a gate built from devices ``size_scale``
+        times larger than minimum averages its dopant fluctuations
+        (Pelgrom scaling).
+        """
+        if size_scale <= 0:
+            raise ConfigurationError("size_scale must be positive")
+        sigma_vth = self.sigma_vth_wid / np.sqrt(size_scale)
+        dvth = rng.normal(0.0, sigma_vth, size=shape) if sigma_vth else np.zeros(shape)
+        mult = (rng.normal(0.0, self.sigma_mult_rand, size=shape)
+                if self.sigma_mult_rand else np.zeros(shape))
+        return GateSamples(dvth=dvth, mult=mult)
+
+    def sample_lanes(self, rng: np.random.Generator, shape) -> LaneSamples:
+        """Draw the per-lane spatially-correlated variation."""
+        dvth = (rng.normal(0.0, self.sigma_vth_lane, size=shape)
+                if self.sigma_vth_lane else np.zeros(shape))
+        mult = (rng.normal(0.0, self.sigma_mult_lane, size=shape)
+                if self.sigma_mult_lane else np.zeros(shape))
+        return LaneSamples(dvth=dvth, mult=mult)
+
+    def sample_dies(self, rng: np.random.Generator, n_dies: int) -> DieSamples:
+        """Draw the correlated (die-to-die) variation for ``n_dies`` chips."""
+        if n_dies <= 0:
+            raise ConfigurationError("n_dies must be positive")
+        dvth = (rng.normal(0.0, self.sigma_vth_d2d, size=n_dies)
+                if self.sigma_vth_d2d else np.zeros(n_dies))
+        mult = (rng.normal(0.0, self.sigma_mult_corr, size=n_dies)
+                if self.sigma_mult_corr else np.zeros(n_dies))
+        return DieSamples(dvth=dvth, mult=mult)
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def sigma_vth_total(self) -> float:
+        """Total per-gate threshold sigma (all spatial scales, RSS)."""
+        return combine_sigmas(self.sigma_vth_wid, self.sigma_vth_lane,
+                              self.sigma_vth_d2d)
+
+    @property
+    def sigma_vth_chain_corr(self) -> float:
+        """Threshold sigma a co-located test chain sees as *correlated*.
+
+        A standalone chain (Fig. 1b) fits inside one spatial-correlation
+        region, so both the lane- and die-level components shift all of its
+        gates together.
+        """
+        return combine_sigmas(self.sigma_vth_lane, self.sigma_vth_d2d)
+
+    @property
+    def sigma_mult_chain_corr(self) -> float:
+        """Multiplicative sigma a co-located test chain sees as correlated."""
+        return combine_sigmas(self.sigma_mult_lane, self.sigma_mult_corr)
+
+    def without_correlated(self) -> "VariationModel":
+        """A copy with the lane and die components zeroed (ablation helper)."""
+        return replace(self, sigma_vth_d2d=0.0, sigma_mult_corr=0.0,
+                       sigma_vth_lane=0.0, sigma_mult_lane=0.0)
+
+    def without_random(self) -> "VariationModel":
+        """A copy with the per-gate components zeroed (ablation helper)."""
+        return replace(self, sigma_vth_wid=0.0, sigma_mult_rand=0.0)
+
+    def scaled(self, factor: float) -> "VariationModel":
+        """A copy with every sigma multiplied by ``factor``."""
+        if factor < 0:
+            raise ConfigurationError("scale factor must be non-negative")
+        return VariationModel(
+            sigma_vth_wid=self.sigma_vth_wid * factor,
+            sigma_vth_d2d=self.sigma_vth_d2d * factor,
+            sigma_mult_rand=self.sigma_mult_rand * factor,
+            sigma_mult_corr=self.sigma_mult_corr * factor,
+            sigma_vth_lane=self.sigma_vth_lane * factor,
+            sigma_mult_lane=self.sigma_mult_lane * factor,
+        )

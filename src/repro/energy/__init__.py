@@ -1,0 +1,23 @@
+"""Energy model for the three operating regions (paper Section 2 / Fig. 9).
+
+:mod:`repro.energy.model` computes per-operation switching + leakage
+energy across the supply range; :mod:`repro.energy.regions` classifies
+the sub/near/super-threshold regions and locates the energy minimum.
+"""
+
+from repro.energy.model import EnergyModel, EnergyPoint
+from repro.energy.regions import (
+    OperatingRegion,
+    classify_region,
+    minimum_energy_voltage,
+    region_boundaries,
+)
+
+__all__ = [
+    "EnergyModel",
+    "EnergyPoint",
+    "OperatingRegion",
+    "classify_region",
+    "minimum_energy_voltage",
+    "region_boundaries",
+]

@@ -1,0 +1,129 @@
+"""Per-operation energy vs supply voltage (paper Appendix A, Fig. 9).
+
+The textbook near-threshold energy decomposition:
+
+* **switching energy** ``E_dyn = a C V^2`` — quadratic in supply;
+* **leakage energy** ``E_leak = I_leak(V) * V * T_cycle(V) / ops`` — the
+  leakage current integrates over the (exponentially growing) cycle time,
+  so it *rises* as voltage falls below threshold.
+
+Their sum has a minimum in the sub-threshold region; scaling from nominal
+down to near-threshold buys ~10x energy for ~10x performance, and pushing
+from the minimum back up to near-threshold buys 50-100x performance for
+only ~2x energy (the paper's argument for near-threshold SIMD).
+
+The model is normalised: energies are relative to the nominal-voltage
+energy, delays to the nominal FO4.  ``leakage_fraction_nominal`` (the
+share of leakage in per-operation energy at nominal voltage) is the
+single tuning knob.  The default (0.5 %) is chosen jointly with the
+calibrated delay curve so the energy minimum falls at the sub/near
+threshold boundary, as in the paper's Fig. 9: the calibrated 90 nm GP
+delay curve is steep below threshold (that is what its Fig. 1 variation
+data demands), so even a sub-percent nominal leakage share produces the
+characteristic leakage-energy blow-up in sub-threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["EnergyPoint", "EnergyModel"]
+
+
+@dataclass(frozen=True)
+class EnergyPoint:
+    """Energy/delay at one supply voltage, normalised to nominal."""
+
+    vdd: float
+    total_energy: float
+    switching_energy: float
+    leakage_energy: float
+    delay: float
+    region: str
+
+    @property
+    def energy_delay_product(self) -> float:
+        return self.total_energy * self.delay
+
+
+class EnergyModel:
+    """Normalised switching + leakage energy model for one technology.
+
+    Parameters
+    ----------
+    tech:
+        Technology card (provides delay(V) and leakage(V) shapes).
+    leakage_fraction_nominal:
+        Fraction of total per-operation energy that is leakage at the
+        nominal supply.
+    """
+
+    def __init__(self, tech, leakage_fraction_nominal: float = 0.005) -> None:
+        if not 0.0 < leakage_fraction_nominal < 1.0:
+            raise ConfigurationError(
+                "leakage_fraction_nominal must be in (0, 1)")
+        self.tech = tech
+        self.leakage_fraction_nominal = float(leakage_fraction_nominal)
+        vnom = tech.nominal_vdd
+        self._e_dyn_nom = 1.0 - leakage_fraction_nominal
+        self._leak_nom = (float(tech.mosfet.subthreshold_leakage(vnom))
+                          * vnom * tech.fo4_unit(vnom))
+
+    # -- components ------------------------------------------------------------
+
+    def relative_delay(self, vdd):
+        """FO4 delay normalised to the nominal-voltage FO4."""
+        vdd = np.asarray(vdd, dtype=float)
+        return (self.tech.fo4_delay(vdd)
+                / self.tech.fo4_unit(self.tech.nominal_vdd))
+
+    def switching_energy(self, vdd):
+        """Normalised ``a C V^2`` term."""
+        vdd = np.asarray(vdd, dtype=float)
+        return self._e_dyn_nom * (vdd / self.tech.nominal_vdd) ** 2
+
+    def leakage_energy(self, vdd):
+        """Normalised ``I_leak * V * T`` term.
+
+        Uses the card's sub-threshold leakage shape (DIBL included) and its
+        calibrated delay curve, so the exponential delay growth below
+        threshold drives the characteristic leakage-energy upturn.
+        """
+        vdd = np.asarray(vdd, dtype=float)
+        leak = (self.tech.mosfet.subthreshold_leakage(vdd) * vdd
+                * self.tech.fo4_delay(vdd))
+        return self.leakage_fraction_nominal * leak / self._leak_nom
+
+    def total_energy(self, vdd):
+        """Normalised total per-operation energy."""
+        return self.switching_energy(vdd) + self.leakage_energy(vdd)
+
+    # -- sweeps ------------------------------------------------------------------
+
+    def evaluate(self, vdd: float) -> EnergyPoint:
+        """Full energy/delay breakdown at one voltage."""
+        vdd = float(vdd)
+        return EnergyPoint(
+            vdd=vdd,
+            total_energy=float(self.total_energy(vdd)),
+            switching_energy=float(self.switching_energy(vdd)),
+            leakage_energy=float(self.leakage_energy(vdd)),
+            delay=float(self.relative_delay(vdd)),
+            region=self.tech.mosfet.region(vdd),
+        )
+
+    def sweep(self, voltages) -> list:
+        """Evaluate a sequence of voltages (Fig. 9 curve)."""
+        return [self.evaluate(v) for v in np.asarray(voltages, dtype=float)]
+
+    def energy_savings_at(self, vdd: float) -> float:
+        """``E(nominal) / E(vdd)`` — the paper's "order of 10x" claim."""
+        return 1.0 / float(self.total_energy(vdd))
+
+    def performance_cost_at(self, vdd: float) -> float:
+        """``delay(vdd) / delay(nominal)`` — the matching ~10x slowdown."""
+        return float(self.relative_delay(vdd))

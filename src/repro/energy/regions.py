@@ -1,0 +1,70 @@
+"""Operating-region classification and the energy minimum (Fig. 9).
+
+The paper defines three regions by the supply/threshold relationship:
+sub-threshold (``V < Vth``), near-threshold (``V ~ Vth``) and
+super-threshold, and observes that the total-energy minimum sits in the
+sub-threshold region while near-threshold offers the practical
+energy/performance balance.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from scipy.optimize import minimize_scalar
+
+from repro.energy.model import EnergyModel
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "OperatingRegion",
+    "classify_region",
+    "region_boundaries",
+    "minimum_energy_voltage",
+]
+
+
+class OperatingRegion(enum.Enum):
+    """The paper's three voltage regions."""
+
+    SUB_THRESHOLD = "sub"
+    NEAR_THRESHOLD = "near"
+    SUPER_THRESHOLD = "super"
+
+
+def classify_region(tech, vdd: float) -> OperatingRegion:
+    """Classify ``vdd`` for a technology card."""
+    return OperatingRegion(tech.mosfet.region(vdd))
+
+
+def region_boundaries(tech) -> tuple:
+    """(sub/near boundary, near/super boundary) in volts.
+
+    Judged against the weaker (delay-dominating) branch, consistent with
+    :meth:`~repro.devices.mosfet.TransregionalModel.region`: the sub/near
+    boundary is the fixed point of ``V = Vth_weak_eff(V)`` (DIBL makes the
+    effective threshold supply dependent); near/super at ``1.5 x``.
+    """
+    # Solve v = vth0 + split - dibl*v  ->  v = (vth0 + split) / (1 + dibl).
+    mosfet = tech.mosfet
+    vth = (mosfet.vth0 + mosfet.vth_split) / (1.0 + mosfet.dibl)
+    return vth, 1.5 * vth
+
+
+def minimum_energy_voltage(model: EnergyModel, v_lo: float = 0.15,
+                           v_hi: float | None = None) -> float:
+    """Supply voltage minimising total per-operation energy.
+
+    The total energy is unimodal (quadratic switching falling, leakage
+    energy rising exponentially below threshold); a bounded scalar
+    minimisation finds the minimum.  The paper places it in the
+    sub-threshold region.
+    """
+    if v_hi is None:
+        v_hi = model.tech.nominal_vdd
+    if not 0.0 < v_lo < v_hi:
+        raise ConfigurationError("need 0 < v_lo < v_hi")
+    result = minimize_scalar(lambda v: float(model.total_energy(v)),
+                             bounds=(v_lo, v_hi), method="bounded",
+                             options={"xatol": 1e-5})
+    return float(result.x)

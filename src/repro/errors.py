@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the common failure categories below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TechnologyError(ReproError):
+    """An unknown technology node was requested, or a technology card is
+    internally inconsistent (e.g. a non-positive sigma)."""
+
+
+class VoltageRangeError(ReproError, ValueError):
+    """A supply voltage is outside the range a model is valid for."""
+
+
+class CalibrationError(ReproError):
+    """The calibration fitter failed to converge or was given anchors it
+    cannot represent."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver (spare count, voltage margin) failed to find a
+    feasible answer within its search bounds."""
+
+
+class NetlistError(ReproError):
+    """A structural netlist is malformed (dangling net, combinational
+    cycle, duplicate cell name, ...)."""
+
+
+class RoutingError(ReproError):
+    """An XRAM crossbar configuration is infeasible (more faulty lanes
+    than spares, non-permutation routing request, ...)."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An API was called with inconsistent parameters (e.g. more spares
+    dropped than lanes instantiated)."""

@@ -1,0 +1,28 @@
+"""Paper-artifact regenerators: one module per figure/table.
+
+Run from the command line::
+
+    python -m repro.experiments list        # catalogue
+    python -m repro.experiments fig4        # one artifact
+    python -m repro.experiments all         # everything (slow)
+
+or programmatically::
+
+    from repro.experiments import run_experiment
+    result = run_experiment("table1", fast=True)
+    print(result.render())
+"""
+
+from repro.experiments.registry import (
+    Experiment,
+    ExperimentResult,
+    list_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "list_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,40 @@
+"""CLI for the experiment registry (``python -m repro.experiments``)."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import list_experiments, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures and tables.")
+    parser.add_argument("target",
+                        help="experiment id (fig1..fig12, table1..table4), "
+                             "'list', or 'all'")
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced sample counts (quick look)")
+    args = parser.parse_args(argv)
+
+    if args.target == "list":
+        for exp in list_experiments():
+            print(f"{exp.experiment_id:<8s} {exp.title}  [{exp.paper_ref}]")
+        return 0
+
+    targets = ([e.experiment_id for e in list_experiments()]
+               if args.target == "all" else [args.target])
+    for target in targets:
+        start = time.perf_counter()
+        result = run_experiment(target, fast=args.fast)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"\n[{target} completed in {elapsed:.1f} s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""Ablation experiments (extensions; DESIGN.md Section 6).
+
+Three CLI-accessible studies beyond the paper's own artifacts:
+
+* ``ablation1`` — variance decomposition of the Fig. 4 drop and the
+  per-scale mitigation coverage (which components each technique fixes);
+* ``ablation2`` — robustness sweeps over the paper's fixed assumptions
+  (sign-off quantile, paths per lane, critical-path proxy depth);
+* ``ablation3`` — adder-topology variation study (Fig. 11's
+  depth-averaging argument on real structures) plus the corner-vs-
+  statistical sign-off comparison.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    chain_length_sweep,
+    decompose_performance_drop,
+    mitigation_coverage,
+    paths_per_lane_sweep,
+    signoff_quantile_sweep,
+)
+from repro.circuits.adders import adder_comparison
+from repro.devices.corners import corner_vs_statistical
+from repro.experiments.registry import ExperimentResult, experiment, get_analyzer
+from repro.experiments.report import TextTable
+
+VDD = 0.55
+
+
+@experiment("ablation1", "Variance decomposition of the NTV drop (90nm)",
+            "extension / DESIGN.md 6")
+def run_decomposition(fast: bool = False) -> ExperimentResult:
+    analyzer = get_analyzer("90nm")
+    rows = decompose_performance_drop(analyzer, VDD)
+    table = TextTable(
+        f"Contribution of each variation scale to the drop @ {VDD} V "
+        f"(full drop {100 * rows[0].full_drop:.2f} %)",
+        ["component", "drop without (%)", "contribution (pp)", "share (%)"])
+    data = {"components": {}}
+    for r in rows:
+        table.add_row(r.component, 100 * r.drop_without,
+                      100 * r.contribution, 100 * r.share)
+        data["components"][r.component] = r.contribution
+
+    coverage = mitigation_coverage(analyzer, VDD)
+    cov_table = TextTable(
+        "Fraction of each scale's drop removed (32 spares vs +20 mV)",
+        ["scale", "base drop (%)", "duplication removes",
+         "margining removes"])
+    for scale, result in coverage.items():
+        cov_table.add_row(scale, 100 * result["base_drop"],
+                          result["duplication"], result["margining"])
+    data["coverage"] = coverage
+    notes = [
+        "the NTV excess is threshold-variation driven; voltage-flat "
+        "components inflate the baseline equally and cancel",
+        "duplication only removes lane-level slowness — the structural "
+        "reason margining wins once die-level variation matters (Fig. 7)",
+    ]
+    return ExperimentResult("ablation1", "Variance decomposition",
+                            [table, cov_table], notes, data)
+
+
+@experiment("ablation2", "Robustness to the paper's modelling assumptions",
+            "extension / DESIGN.md 6")
+def run_assumptions(fast: bool = False) -> ExperimentResult:
+    sweeps = {
+        "sign-off quantile": signoff_quantile_sweep("90nm", VDD),
+        "paths per lane": paths_per_lane_sweep("90nm", VDD),
+        "chain length (proxy depth)": chain_length_sweep("90nm", VDD),
+    }
+    tables = []
+    data = {}
+    for name, rows in sweeps.items():
+        table = TextTable(
+            f"90nm @ {VDD} V vs {name}",
+            ["value", "perf drop (%)", "spares", "margin (mV)"])
+        data[name] = []
+        for r in rows:
+            table.add_row(r.value, 100 * r.performance_drop,
+                          r.spares if r.spares is not None else ">max",
+                          r.margin_mv)
+            data[name].append({"value": r.value,
+                               "drop": r.performance_drop,
+                               "spares": r.spares,
+                               "margin_mv": r.margin_mv})
+        tables.append(table)
+    notes = [
+        "the 90nm conclusion (small drop, simple mitigation) holds across "
+        "every swept assumption; absolute spare counts move by ~2x",
+    ]
+    return ExperimentResult("ablation2", "Assumption robustness",
+                            tables, notes, data)
+
+
+@experiment("ablation3", "Adder topologies + corner-vs-statistical signoff",
+            "extension / DESIGN.md 6")
+def run_structures(fast: bool = False) -> ExperimentResult:
+    analyzer = get_analyzer("90nm")
+    n = 200 if fast else 600
+    adders = adder_comparison(analyzer.tech, vdd=0.5, width=32, n_samples=n,
+                              seed=5)
+    table = TextTable(
+        "32-bit adder topologies @ 0.5 V (90nm Monte-Carlo)",
+        ["topology", "logic depth", "cells", "mean (ns)", "3sigma/mu (%)"])
+    for name, result in adders.items():
+        table.add_row(name, result["depth"], result["cells"],
+                      1e9 * result["mean"],
+                      100 * result["three_sigma_over_mu"])
+
+    corner = corner_vs_statistical(analyzer, VDD)
+    corner_table = TextTable(
+        f"SS-corner vs statistical 99% sign-off @ {VDD} V",
+        ["method", "chip delay (ns)"])
+    corner_table.add_row("3-sigma SS corner (no within-die)",
+                         1e9 * corner["corner_delay"])
+    corner_table.add_row("statistical 99% (this library)",
+                         1e9 * corner["statistical_delay"])
+    notes = [
+        "deeper logic averages more within-die randomness: the ripple "
+        "chain varies least, the dense prefix tree most (Fig. 11's "
+        "argument on real structures)",
+        f"fixed-corner sign-off covers only "
+        f"{100 * corner['ratio']:.0f} % of the statistical 99% chip delay "
+        "— corners miss the max-over-12,800-paths effect, motivating the "
+        "paper's Monte-Carlo methodology",
+    ]
+    data = {"adders": adders, "corner_ratio": corner["ratio"]}
+    return ExperimentResult("ablation3", "Structure studies",
+                            [table, corner_table], notes, data)

@@ -1,0 +1,61 @@
+"""Figure 1: delay distributions of a single inverter and a 50-FO4 chain.
+
+90 nm GP, supply voltages 0.5-1.0 V, 1000 Monte-Carlo samples per point —
+the paper's headline circuit-level result: single-gate variation explodes
+at near-threshold voltages but averages out along a logic chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.devices.paper_anchors import (
+    FIG1_CHAIN50_3SIGMA,
+    FIG1_SINGLE_3SIGMA,
+)
+from repro.experiments.registry import ExperimentResult, experiment, get_analyzer
+from repro.experiments.report import TextTable
+from repro.units import three_sigma_over_mu, to_ns
+
+VOLTAGES = (1.0, 0.9, 0.8, 0.7, 0.6, 0.5)
+
+
+@experiment("fig1", "Single-inverter vs 50-FO4-chain delay distributions "
+                    "(90nm)", "Figure 1")
+def run(fast: bool = False) -> ExperimentResult:
+    analyzer = get_analyzer("90nm")
+    n_samples = 300 if fast else 1000
+    mc = analyzer.monte_carlo(seed=1)
+
+    table = TextTable(
+        "90nm GP, 1000-sample Monte-Carlo (3sigma/mu in %)",
+        ["Vdd (V)", "single (model)", "single (paper)",
+         "chain-50 (model)", "chain-50 (paper)", "chain mean (ns)"])
+    data = {"vdd": [], "single": [], "chain": [], "chain_mean_ns": [],
+            "histograms": {}}
+    for vdd in VOLTAGES:
+        single = mc.gate_delays(vdd, n_samples)
+        chain = mc.chain_delays(vdd, 50, n_samples)
+        s_pct = 100 * float(three_sigma_over_mu(single))
+        c_pct = 100 * float(three_sigma_over_mu(chain))
+        mean_ns = float(to_ns(chain.mean()))
+        table.add_row(vdd, s_pct, FIG1_SINGLE_3SIGMA[vdd],
+                      c_pct, FIG1_CHAIN50_3SIGMA[vdd], mean_ns)
+        data["vdd"].append(vdd)
+        data["single"].append(s_pct)
+        data["chain"].append(c_pct)
+        data["chain_mean_ns"].append(mean_ns)
+        data["histograms"][vdd] = {
+            "single": np.histogram(single, bins=30),
+            "chain": np.histogram(chain, bins=30),
+        }
+
+    notes = [
+        "paper anchors: chain delay 22.05 ns @ 0.5 V / 8.99 ns @ 0.6 V "
+        f"(model: {data['chain_mean_ns'][-1]:.2f} / "
+        f"{data['chain_mean_ns'][-2]:.2f} ns)",
+        "uncorrelated within-die variation averages out along the chain; "
+        "the residual floor is the spatially-correlated component",
+    ]
+    return ExperimentResult("fig1", "Delay distributions, 90nm GP",
+                            [table], notes, data)

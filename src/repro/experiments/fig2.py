@@ -1,0 +1,60 @@
+"""Figure 2: 50-FO4-chain delay variation (3sigma/mu) vs supply voltage,
+four technology nodes.
+
+Each PTM HP card is swept only up to its nominal voltage (0.9 V for
+32 nm, 0.8 V for 22 nm), matching the paper.  The analytic moment engine
+replaces the 1000-sample Monte-Carlo (the test suite verifies they
+agree); ``fast`` has no effect because the sweep is already cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.results import VariationSweep
+from repro.devices.paper_anchors import FIG2_POINTS
+from repro.devices.technology import available_technologies, get_technology
+from repro.experiments.registry import ExperimentResult, experiment, get_analyzer
+from repro.experiments.report import TextTable
+
+VOLTAGES = np.round(np.arange(0.50, 1.001, 0.05), 3)
+
+
+@experiment("fig2", "Chain-of-50 3sigma/mu vs Vdd, four nodes", "Figure 2")
+def run(fast: bool = False) -> ExperimentResult:
+    table = TextTable(
+        "Delay variation (3sigma/mu, %) of a 50-FO4 chain vs Vdd",
+        ["Vdd (V)"] + list(available_technologies()))
+    sweeps = {}
+    for node in available_technologies():
+        analyzer = get_analyzer(node)
+        voltages = [v for v in VOLTAGES
+                    if v <= get_technology(node).nominal_vdd + 1e-9]
+        values = [100 * analyzer.chain_variation(v) for v in voltages]
+        sweeps[node] = VariationSweep(
+            x=np.asarray(voltages), values=np.asarray(values),
+            x_label="Vdd (V)", value_label="3sigma/mu (%)",
+            series_label=node)
+
+    for vdd in VOLTAGES:
+        row = [float(vdd)]
+        for node in available_technologies():
+            sweep = sweeps[node]
+            row.append(float(sweep.value_at(vdd))
+                       if vdd <= sweep.x.max() + 1e-9 else None)
+        table.add_row(*row)
+
+    ratio = sweeps["22nm"].value_at(0.55) / sweeps["90nm"].value_at(0.55)
+    notes = [
+        f"22nm anchors (paper): {FIG2_POINTS['22nm']}; model "
+        f"{{0.8: {sweeps['22nm'].value_at(0.8):.1f}, "
+        f"0.5: {sweeps['22nm'].value_at(0.5):.1f}}}",
+        f"22nm/90nm variation ratio @ 0.55 V: model {ratio:.2f}x "
+        f"(paper: {FIG2_POINTS['ratio_22_over_90_at_055']}x)",
+    ]
+    data = {node: {"vdd": sweeps[node].x.tolist(),
+                   "pct": sweeps[node].values.tolist()}
+            for node in sweeps}
+    data["ratio_22_over_90_at_055"] = float(ratio)
+    return ExperimentResult("fig2", "Chain variation vs Vdd, four nodes",
+                            [table], notes, data)

@@ -1,0 +1,46 @@
+"""Figure 4: performance drop of the 128-wide SIMD datapath in the
+near-threshold region, four technology nodes.
+
+The drop compares the 99 % chip delay in FO4 units at the near-threshold
+voltage against the same metric at the node's nominal voltage — isolating
+the variation-induced slowdown from the ~10x absolute one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.devices.paper_anchors import FIG4_PERF_DROP
+from repro.devices.technology import available_technologies, get_technology
+from repro.experiments.registry import ExperimentResult, experiment, get_analyzer
+from repro.experiments.report import TextTable
+
+VOLTAGES = np.round(np.arange(0.50, 0.751, 0.025), 3)
+
+
+@experiment("fig4", "Performance drop vs Vdd, 128-wide SIMD, four nodes",
+            "Figure 4")
+def run(fast: bool = False) -> ExperimentResult:
+    table = TextTable(
+        "Performance drop (%) of 128-wide SIMD vs nominal voltage",
+        ["Vdd (V)"] + list(available_technologies()))
+    data = {node: {} for node in available_technologies()}
+    for vdd in VOLTAGES:
+        row = [float(vdd)]
+        for node in available_technologies():
+            if vdd > get_technology(node).nominal_vdd + 1e-9:
+                row.append(None)
+                continue
+            drop = 100 * get_analyzer(node).performance_drop(float(vdd))
+            row.append(drop)
+            data[node][float(vdd)] = drop
+        table.add_row(*row)
+
+    notes = []
+    for node, anchors in FIG4_PERF_DROP.items():
+        model = {v: round(data[node][v], 2) for v in anchors}
+        notes.append(f"{node} paper anchors {anchors} -> model {model}")
+    notes.append("drop grows as Vdd falls and as technology scales; "
+                 "90nm stays small (simple mitigation suffices)")
+    return ExperimentResult("fig4", "Near-threshold performance drop",
+                            [table], notes, data)

@@ -1,0 +1,55 @@
+"""Figure 5: delay distributions of duplicated systems (128-wide +
+alpha spares) at 0.55 V, 90 nm.
+
+Dropping the alpha slowest of 128+alpha lanes shifts the chip-delay
+distribution left and tightens it; the spare count is chosen so the 99 %
+FO4 point matches the 128-wide@1V baseline.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import ExperimentResult, experiment, get_analyzer
+from repro.experiments.report import TextTable
+from repro.sparing.duplication import solve_spares
+
+VDD = 0.55
+SPARE_STEPS = (0, 1, 2, 4, 6, 8, 12, 16)
+
+
+@experiment("fig5", "Duplicated-system delay distributions, 128+alpha "
+                    "spares @ 0.55V (90nm)", "Figure 5")
+def run(fast: bool = False) -> ExperimentResult:
+    analyzer = get_analyzer("90nm")
+    n = 2000 if fast else 10_000
+
+    baseline = analyzer.chip_distribution(analyzer.nominal_vdd,
+                                          n_samples=n, seed=21)
+    target_fo4 = baseline.signoff_fo4
+
+    table = TextTable(
+        f"128-wide + alpha spares @ {VDD} V (99% point in FO4 units; "
+        f"baseline 128-wide@{analyzer.nominal_vdd:g}V = {target_fo4:.2f})",
+        ["spares", "mean (FO4)", "p99 (FO4)", "3sigma/mu (%)",
+         "meets baseline"])
+    data = {"target_fo4": target_fo4, "spares": [], "p99_fo4": [],
+            "samples_fo4": {}}
+    for spares in SPARE_STEPS:
+        dist = analyzer.chip_distribution(VDD, spares=spares, n_samples=n,
+                                          seed=22)
+        fo4 = dist.in_fo4_units()
+        p99 = dist.signoff_fo4
+        table.add_row(spares, float(fo4.mean()), p99,
+                      100 * dist.three_sigma_over_mu, bool(p99 <= target_fo4))
+        data["spares"].append(spares)
+        data["p99_fo4"].append(p99)
+        data["samples_fo4"][spares] = fo4
+
+    solution = solve_spares(analyzer, VDD)
+    notes = [
+        f"deterministic solver: {solution.summary()}",
+        "extra lanes shift the distribution left and tighten it "
+        "(order statistics of a larger pool)",
+    ]
+    data["solver_spares"] = solution.spares if solution.feasible else None
+    return ExperimentResult("fig5", "Structural-duplication distributions",
+                            [table], notes, data)

@@ -1,0 +1,59 @@
+"""Figure 6: voltage-margining delay distributions, 128-wide @ 600 mV,
+45 nm.
+
+Sweeps the supply in 5 mV steps above the 600 mV design point until the
+99 % chip delay beats the scaled nominal-voltage target, and contrasts the
+same recovery achieved with spare lanes at a fixed 600 mV supply.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import ExperimentResult, experiment, get_analyzer
+from repro.experiments.report import TextTable
+from repro.mitigation.voltage_margin import solve_voltage_margin
+from repro.units import to_ns
+
+VDD = 0.600
+MARGIN_STEPS_MV = (0, 5, 10, 15, 20)
+SPARE_STEPS = (4, 8, 16, 32)
+
+
+@experiment("fig6", "Voltage-margining distributions, 128-wide @ 600mV "
+                    "(45nm)", "Figure 6")
+def run(fast: bool = False) -> ExperimentResult:
+    analyzer = get_analyzer("45nm")
+    n = 2000 if fast else 10_000
+    target_ns = float(to_ns(analyzer.target_delay(VDD)))
+
+    table = TextTable(
+        f"128-wide @ 600 mV, 45 nm (target delay {target_ns:.3f} ns)",
+        ["configuration", "mean (ns)", "p99 (ns)", "meets target"])
+    data = {"target_ns": target_ns, "margin_p99_ns": {}, "spare_p99_ns": {}}
+
+    for mv in MARGIN_STEPS_MV:
+        dist = analyzer.chip_distribution(VDD + mv * 1e-3, n_samples=n,
+                                          seed=31,
+                                          label=f"128-wide@{600 + mv}mV")
+        p99 = float(to_ns(dist.signoff_delay))
+        table.add_row(dist.label, float(to_ns(dist.mean)), p99,
+                      bool(p99 <= target_ns))
+        data["margin_p99_ns"][mv] = p99
+
+    for spares in SPARE_STEPS:
+        dist = analyzer.chip_distribution(VDD, spares=spares, n_samples=n,
+                                          seed=32,
+                                          label=f"128+{spares}-spares@600mV")
+        p99 = float(to_ns(dist.signoff_delay))
+        table.add_row(dist.label, float(to_ns(dist.mean)), p99,
+                      bool(p99 <= target_ns))
+        data["spare_p99_ns"][spares] = p99
+
+    solution = solve_voltage_margin(analyzer, VDD)
+    data["margin_mv"] = solution.margin_mv if solution.feasible else None
+    notes = [
+        f"deterministic margin solver: {solution.summary()}",
+        "a few mV of supply buys the whole variation tail back because "
+        "delay falls exponentially with Vdd near threshold",
+    ]
+    return ExperimentResult("fig6", "Voltage-margining distributions",
+                            [table], notes, data)

@@ -1,0 +1,60 @@
+"""Figure 7: power overhead of structural duplication vs voltage
+margining, four technology nodes.
+
+The design guideline the paper draws: duplication wins in the
+low-variation (high near-threshold voltage) corner, margining takes over
+as variation grows — technology scaling moves the crossover up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.devices.technology import available_technologies
+from repro.experiments.registry import ExperimentResult, experiment, get_analyzer
+from repro.experiments.report import TextTable
+from repro.mitigation.compare import compare_techniques, crossover_voltage
+
+VOLTAGES = np.round(np.arange(0.50, 0.701, 0.05), 3)
+
+
+@experiment("fig7", "Power overhead: duplication vs margining, four nodes",
+            "Figure 7")
+def run(fast: bool = False) -> ExperimentResult:
+    tables = []
+    data = {}
+    for node in available_technologies():
+        analyzer = get_analyzer(node)
+        table = TextTable(
+            f"{node}: power overhead (%) per technique",
+            ["Vdd (V)", "dup. spares", "dup. power", "margin (mV)",
+             "margin power", "winner"])
+        node_rows = []
+        for vdd in VOLTAGES:
+            comparison = compare_techniques(analyzer, float(vdd))
+            table.add_row(
+                float(vdd),
+                (comparison.duplication_spares
+                 if comparison.duplication_feasible else ">128"),
+                100 * comparison.duplication_power,
+                comparison.margin_mv,
+                100 * comparison.margining_power,
+                comparison.winner)
+            node_rows.append({
+                "vdd": float(vdd),
+                "dup_power": comparison.duplication_power,
+                "dup_feasible": comparison.duplication_feasible,
+                "margin_power": comparison.margining_power,
+                "winner": comparison.winner,
+            })
+        tables.append(table)
+        data[node] = {
+            "rows": node_rows,
+            "crossover": crossover_voltage(analyzer, VOLTAGES),
+        }
+
+    notes = ["crossover (highest Vdd where margining wins): " +
+             ", ".join(f"{n}: {data[n]['crossover']}"
+                       for n in available_technologies())]
+    return ExperimentResult("fig7", "Technique power comparison",
+                            tables, notes, data)

@@ -1,0 +1,60 @@
+"""Figure 9 (Appendix A): energy and delay vs supply voltage — the three
+operating regions.
+
+Reproduces the paper's Section 2 argument: scaling to near-threshold buys
+~10x energy for ~10x delay; the energy minimum sits in sub-threshold, and
+climbing from the minimum back to near-threshold costs ~2x energy for
+50-100x performance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.energy.model import EnergyModel
+from repro.energy.regions import minimum_energy_voltage, region_boundaries
+from repro.experiments.registry import ExperimentResult, experiment, get_analyzer
+from repro.experiments.report import TextTable
+
+
+@experiment("fig9", "Energy/delay vs Vdd: the three operating regions "
+                    "(90nm)", "Figure 9 / Appendix A")
+def run(fast: bool = False) -> ExperimentResult:
+    tech = get_analyzer("90nm").tech
+    model = EnergyModel(tech)
+    sub_near, near_super = region_boundaries(tech)
+    v_min = minimum_energy_voltage(model)
+
+    voltages = np.round(np.arange(0.20, 1.001, 0.05), 3)
+    table = TextTable(
+        "Normalised energy/delay vs Vdd (90nm; 1.0 = nominal energy)",
+        ["Vdd (V)", "region", "switching E", "leakage E", "total E",
+         "delay (xFO4@1V)"])
+    data = {"vdd": [], "total": [], "delay": [], "region": []}
+    for vdd in voltages:
+        point = model.evaluate(float(vdd))
+        table.add_row(point.vdd, point.region, point.switching_energy,
+                      point.leakage_energy, point.total_energy, point.delay)
+        data["vdd"].append(point.vdd)
+        data["total"].append(point.total_energy)
+        data["delay"].append(point.delay)
+        data["region"].append(point.region)
+
+    e_min = float(model.total_energy(v_min))
+    ntv = 0.5
+    notes = [
+        f"region boundaries: sub/near at {sub_near:.3f} V, near/super at "
+        f"{near_super:.3f} V",
+        f"energy minimum at {v_min:.3f} V "
+        f"({'sub-threshold' if v_min < sub_near else 'near-threshold'}), "
+        f"E_min = {e_min:.3f}",
+        f"NTV ({ntv} V): energy savings {model.energy_savings_at(ntv):.1f}x, "
+        f"delay cost {model.performance_cost_at(ntv):.1f}x vs nominal",
+        f"NTV energy vs minimum: {float(model.total_energy(ntv)) / e_min:.2f}x; "
+        f"speedup vs minimum-energy point: "
+        f"{float(model.relative_delay(v_min) / model.relative_delay(ntv)):.0f}x",
+    ]
+    data["v_min"] = v_min
+    data["boundaries"] = (sub_near, near_super)
+    return ExperimentResult("fig9", "Energy/delay operating regions",
+                            [table], notes, data)

@@ -1,0 +1,60 @@
+"""Plain-text rendering of experiment artifacts.
+
+The experiments print the same rows/series the paper's figures and tables
+report; :class:`TextTable` keeps the output aligned and diff-friendly so
+EXPERIMENTS.md can embed it verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TextTable", "format_value"]
+
+
+def format_value(value, precision: int = 2) -> str:
+    """Human formatting for table cells (numbers, None, strings)."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        magnitude = abs(value)
+        if magnitude != 0 and (magnitude >= 1e5 or magnitude < 1e-3):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+@dataclass
+class TextTable:
+    """A titled, column-aligned text table."""
+
+    title: str
+    headers: list
+    rows: list = field(default_factory=list)
+    precision: int = 2
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.headers):
+            raise ConfigurationError(
+                f"{self.title}: row has {len(cells)} cells, "
+                f"expected {len(self.headers)}")
+        self.rows.append([format_value(c, self.precision) for c in cells])
+
+    def render(self) -> str:
+        """Render the table as aligned monospaced text."""
+        table = [list(map(str, self.headers))] + self.rows
+        widths = [max(len(row[i]) for row in table)
+                  for i in range(len(self.headers))]
+        lines = [self.title, "-" * len(self.title)]
+        header = "  ".join(h.ljust(w) for h, w in zip(table[0], widths))
+        lines.append(header)
+        lines.append("  ".join("=" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Table 3: combined duplication + margining design points for a
+128-wide @ 600 mV system in 45 nm.
+
+For each spare budget the residual supply margin is solved, and the total
+power overhead (shuffle widening + supply scaling) is compared; the
+paper's point is the interior optimum — a few spares plus a few mV beats
+either pure technique.
+"""
+
+from __future__ import annotations
+
+from repro.devices.paper_anchors import TABLE3
+from repro.experiments.registry import ExperimentResult, experiment, get_analyzer
+from repro.experiments.report import TextTable
+from repro.mitigation.combined import enumerate_combinations, optimize_combination
+
+VDD = 0.600
+SPARE_BUDGETS = (0, 1, 2, 4, 8, 16, 26, 32)
+
+
+@experiment("table3", "Combined duplication+margining design points "
+                      "(45nm @ 600mV)", "Table 3")
+def run(fast: bool = False) -> ExperimentResult:
+    analyzer = get_analyzer("45nm")
+    points = enumerate_combinations(analyzer, VDD, SPARE_BUDGETS)
+
+    table = TextTable(
+        "128-wide @ 600 mV, 45 nm: (spares, margin) trade-off",
+        ["spares", "margin (mV)", "spare power (%)", "margin power (%)",
+         "total power (%)", "feasible"])
+    data = {"points": []}
+    for point in points:
+        table.add_row(point.spares, point.margin_mv,
+                      100 * point.spare_power_overhead,
+                      100 * point.margin_power_overhead,
+                      100 * point.power_overhead, point.feasible)
+        data["points"].append({
+            "spares": point.spares,
+            "margin_mv": point.margin_mv,
+            "power": point.power_overhead,
+            "feasible": point.feasible,
+        })
+
+    best = optimize_combination(analyzer, VDD)
+    data["optimum"] = {"spares": best.spares, "margin_mv": best.margin_mv,
+                       "power": best.power_overhead}
+
+    paper = TextTable(
+        "paper's Table 3 (for reference)",
+        ["spares", "margin (mV)", "power ovhd (%)"])
+    for spares, margin_mv, power_pct in TABLE3:
+        paper.add_row(spares, margin_mv, power_pct)
+
+    notes = [
+        f"optimizer's minimum-power point: {best.summary()}",
+        "the trade-off curve is unimodal: margin cost falls quickly with "
+        "the first few spares, then shuffle widening dominates",
+    ]
+    return ExperimentResult("table3", "Combined-mitigation design points",
+                            [table, paper], notes, data)

@@ -1,0 +1,55 @@
+"""Variation-mitigation techniques (paper Section 4).
+
+* :mod:`repro.mitigation.voltage_margin` — supply-voltage margining
+  (Section 4.2 / Table 2 / Fig. 6).
+* :mod:`repro.mitigation.frequency_margin` — clock-period margining
+  (Section 4.3 / Table 4).
+* :mod:`repro.mitigation.combined` — joint duplication + margining design
+  points (Section 4.4 / Table 3 / Fig. 8).
+* :mod:`repro.mitigation.compare` — duplication-vs-margining power
+  comparison (Fig. 7).
+"""
+
+from repro.mitigation.voltage_margin import MarginSolution, solve_voltage_margin
+from repro.mitigation.frequency_margin import (
+    FrequencyMarginSolution,
+    solve_frequency_margin,
+    memory_aligned_period,
+)
+from repro.mitigation.combined import (
+    CombinedDesignPoint,
+    required_margin_for_spares,
+    enumerate_combinations,
+    optimize_combination,
+)
+from repro.mitigation.compare import TechniqueComparison, compare_techniques
+from repro.mitigation.body_bias import (
+    BodyBiasSolution,
+    solve_body_bias,
+    compare_with_margining,
+)
+from repro.mitigation.error_tolerance import (
+    ReplayModel,
+    optimal_clock,
+    simd_vs_scalar,
+)
+
+__all__ = [
+    "ReplayModel",
+    "optimal_clock",
+    "simd_vs_scalar",
+    "BodyBiasSolution",
+    "solve_body_bias",
+    "compare_with_margining",
+    "MarginSolution",
+    "solve_voltage_margin",
+    "FrequencyMarginSolution",
+    "solve_frequency_margin",
+    "memory_aligned_period",
+    "CombinedDesignPoint",
+    "required_margin_for_spares",
+    "enumerate_combinations",
+    "optimize_combination",
+    "TechniqueComparison",
+    "compare_techniques",
+]

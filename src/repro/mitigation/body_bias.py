@@ -1,0 +1,153 @@
+"""Adaptive body biasing (ABB) — an extension beyond the paper's three
+techniques.
+
+The paper's related work (EVAL, Sarangi et al.) trades variation-induced
+errors against power with adaptive body bias / adaptive supply voltage;
+this module adds forward body bias (FBB) as a fourth knob next to the
+paper's duplication/margining/frequency trio:
+
+* FBB lowers every device threshold by ``body_coefficient * v_bb``
+  (body-effect coefficient ~0.1-0.2 V/V for the planar nodes studied),
+  which speeds the datapath much like a supply margin does;
+* the cost is exponential sub-threshold leakage growth,
+  ``exp(dVth / (n vT))``, charged to the leakage share of the
+  near-threshold domain's power.
+
+Because threshold shifts act *inside* the exponential sensitivity region,
+FBB is most effective exactly where margining is — the comparison
+(:func:`compare_with_margining`) shows which knob is cheaper for a given
+leakage share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from scipy.optimize import brentq
+
+from repro.core.analyzer import VariationAnalyzer
+from repro.errors import ConfigurationError
+from repro.simd.diet_soda import DIET_SODA, DietSodaPE
+
+__all__ = ["BodyBiasSolution", "solve_body_bias", "compare_with_margining"]
+
+#: Default body-effect coefficient (V of Vth reduction per V of FBB).
+DEFAULT_BODY_COEFFICIENT = 0.15
+#: Forward-bias safety limit before junction leakage explodes (V).
+MAX_FORWARD_BIAS = 0.5
+#: Leakage share of the DV domain's power at the operating point.
+DEFAULT_LEAKAGE_SHARE = 0.15
+
+
+@dataclass(frozen=True)
+class BodyBiasSolution:
+    """Result of a forward-body-bias search."""
+
+    technology: str
+    vdd: float
+    v_bb: float                 # applied forward body bias (V)
+    dvth: float                 # resulting threshold reduction (V)
+    feasible: bool
+    target_delay: float
+    achieved_delay: float
+    power_overhead: float
+
+    @property
+    def v_bb_mv(self) -> float:
+        return 1e3 * self.v_bb
+
+    def summary(self) -> str:
+        return (f"{self.technology}@{self.vdd:.2f}V: FBB "
+                f"{self.v_bb_mv:.1f} mV (dVth {1e3 * self.dvth:.1f} mV) "
+                f"-> power +{100 * self.power_overhead:.2f} %")
+
+
+def _biased_analyzer(analyzer: VariationAnalyzer, dvth: float):
+    """Analyzer whose devices have their thresholds shifted by ``-dvth``."""
+    mosfet = replace(analyzer.tech.mosfet,
+                     vth0=analyzer.tech.mosfet.vth0 - dvth)
+    tech = replace(analyzer.tech, mosfet=mosfet)
+    return VariationAnalyzer(tech, width=analyzer.width,
+                             paths_per_lane=analyzer.paths_per_lane,
+                             chain_length=analyzer.chain_length,
+                             signoff_quantile=analyzer.signoff_quantile)
+
+
+def leakage_overhead(analyzer, dvth: float,
+                     leakage_share: float = DEFAULT_LEAKAGE_SHARE,
+                     pe: DietSodaPE = DIET_SODA) -> float:
+    """Fractional PE power overhead of a threshold reduction ``dvth``.
+
+    Sub-threshold leakage multiplies by ``exp(dvth / (n vT))``; the
+    overhead charges that growth to the leakage share of the DV domain.
+    """
+    if dvth < 0:
+        raise ConfigurationError("dvth must be >= 0 (forward bias)")
+    n_vt = analyzer.tech.mosfet.n_slope * analyzer.tech.mosfet.thermal_voltage
+    import math
+    growth = math.exp(dvth / n_vt) - 1.0
+    return pe.dv_power_fraction * leakage_share * growth
+
+
+def solve_body_bias(analyzer, vdd, *, target_delay: float | None = None,
+                    body_coefficient: float = DEFAULT_BODY_COEFFICIENT,
+                    max_bias: float = MAX_FORWARD_BIAS,
+                    leakage_share: float = DEFAULT_LEAKAGE_SHARE,
+                    pe: DietSodaPE = DIET_SODA,
+                    xtol: float = 1e-5) -> BodyBiasSolution:
+    """Smallest forward body bias meeting the sign-off target at ``vdd``.
+
+    Mirrors :func:`repro.mitigation.voltage_margin.solve_voltage_margin`
+    but actuates the threshold instead of the supply.
+    """
+    if not 0.0 < body_coefficient < 1.0:
+        raise ConfigurationError("body_coefficient must be in (0, 1)")
+    if target_delay is None:
+        target_delay = analyzer.target_delay(vdd)
+
+    def achieved(v_bb: float) -> float:
+        biased = _biased_analyzer(analyzer, body_coefficient * v_bb)
+        return biased.chip_quantile(vdd)
+
+    def gap(v_bb: float) -> float:
+        return achieved(v_bb) - target_delay
+
+    if gap(0.0) <= 0.0:
+        return BodyBiasSolution(analyzer.tech.name, float(vdd), 0.0, 0.0,
+                                True, target_delay, achieved(0.0), 0.0)
+    if gap(max_bias) > 0.0:
+        return BodyBiasSolution(
+            analyzer.tech.name, float(vdd), max_bias,
+            body_coefficient * max_bias, False, target_delay,
+            achieved(max_bias),
+            leakage_overhead(analyzer, body_coefficient * max_bias,
+                             leakage_share, pe))
+    v_bb = brentq(gap, 0.0, max_bias, xtol=xtol)
+    for _ in range(4):
+        if gap(v_bb) <= 0.0:
+            break
+        v_bb = min(v_bb + xtol, max_bias)
+    dvth = body_coefficient * v_bb
+    return BodyBiasSolution(
+        analyzer.tech.name, float(vdd), float(v_bb), float(dvth), True,
+        float(target_delay), float(achieved(v_bb)),
+        leakage_overhead(analyzer, dvth, leakage_share, pe))
+
+
+def compare_with_margining(analyzer, vdd, *,
+                           leakage_share: float = DEFAULT_LEAKAGE_SHARE,
+                           pe: DietSodaPE = DIET_SODA) -> dict:
+    """Power-overhead comparison: forward body bias vs supply margining."""
+    from repro.mitigation.voltage_margin import solve_voltage_margin
+    abb = solve_body_bias(analyzer, vdd, leakage_share=leakage_share, pe=pe)
+    margin = solve_voltage_margin(analyzer, vdd, pe=pe)
+    if abb.feasible and (not margin.feasible
+                         or abb.power_overhead < margin.power_overhead):
+        winner = "body-bias"
+    else:
+        winner = "margining"
+    return {
+        "body_bias": abb,
+        "margining": margin,
+        "winner": winner,
+    }

@@ -1,0 +1,144 @@
+"""Combined structural duplication + voltage margining (Section 4.4).
+
+For a given spare budget ``alpha``, some residual margin ``V_M(alpha)``
+is still required to reach the sign-off target; the total power overhead
+is the sum of the shuffle-widening cost (spares) and the supply-scaling
+cost (margin).  The paper's Table 3 shows the trade-off curve has an
+interior optimum (2 spares + 10 mV beats either pure technique at
+45 nm / 600 mV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy.optimize import brentq
+
+from repro.errors import ConfigurationError
+from repro.simd.diet_soda import DIET_SODA, DietSodaPE
+
+__all__ = [
+    "CombinedDesignPoint",
+    "required_margin_for_spares",
+    "enumerate_combinations",
+    "optimize_combination",
+]
+
+
+@dataclass(frozen=True)
+class CombinedDesignPoint:
+    """One (spares, margin) design point with its cost breakdown."""
+
+    technology: str
+    vdd: float
+    spares: int
+    margin: float
+    feasible: bool
+    spare_power_overhead: float
+    margin_power_overhead: float
+    area_overhead: float
+
+    @property
+    def power_overhead(self) -> float:
+        return self.spare_power_overhead + self.margin_power_overhead
+
+    @property
+    def margin_mv(self) -> float:
+        return 1e3 * self.margin
+
+    def summary(self) -> str:
+        return (f"{self.spares:3d} spares + {self.margin_mv:5.1f} mV -> "
+                f"power +{100 * self.power_overhead:.2f} % "
+                f"(spares {100 * self.spare_power_overhead:.2f} %, "
+                f"margin {100 * self.margin_power_overhead:.2f} %)")
+
+
+def required_margin_for_spares(analyzer, vdd, spares: int, *,
+                               target_delay: float | None = None,
+                               max_margin: float = 0.2,
+                               xtol: float = 1e-5) -> float | None:
+    """Residual voltage margin needed on top of ``spares`` spare lanes.
+
+    Returns ``None`` when even ``max_margin`` cannot close the gap.
+    """
+    if spares < 0:
+        raise ConfigurationError("spares must be >= 0")
+    if target_delay is None:
+        target_delay = analyzer.target_delay(vdd)
+
+    def gap(margin: float) -> float:
+        return analyzer.chip_quantile(vdd + margin, spares=spares) - target_delay
+
+    if gap(0.0) <= 0.0:
+        return 0.0
+    if gap(max_margin) > 0.0:
+        return None
+    margin = float(brentq(gap, 0.0, max_margin, xtol=xtol))
+    # Guarantee the meeting side of the root (brentq tolerance slack).
+    for _ in range(4):
+        if gap(margin) <= 0.0:
+            break
+        margin = min(margin + xtol, max_margin)
+    return margin
+
+
+def evaluate_point(analyzer, vdd, spares: int, *,
+                   target_delay: float | None = None,
+                   max_margin: float = 0.2,
+                   pe: DietSodaPE = DIET_SODA) -> CombinedDesignPoint:
+    """Size the margin for a spare budget and price the combination."""
+    margin = required_margin_for_spares(
+        analyzer, vdd, spares, target_delay=target_delay,
+        max_margin=max_margin)
+    feasible = margin is not None
+    margin = margin if feasible else max_margin
+    return CombinedDesignPoint(
+        technology=analyzer.tech.name,
+        vdd=float(vdd),
+        spares=int(spares),
+        margin=float(margin),
+        feasible=feasible,
+        spare_power_overhead=pe.spare_power_overhead(spares),
+        margin_power_overhead=pe.margin_power_overhead(vdd, margin),
+        area_overhead=pe.spare_area_overhead(spares),
+    )
+
+
+def enumerate_combinations(analyzer, vdd, spare_counts, *,
+                           target_delay: float | None = None,
+                           pe: DietSodaPE = DIET_SODA) -> list:
+    """Evaluate a list of spare budgets (Table 3 rows)."""
+    return [evaluate_point(analyzer, vdd, int(s), target_delay=target_delay,
+                           pe=pe)
+            for s in spare_counts]
+
+
+def optimize_combination(analyzer, vdd, *, max_spares: int = 64,
+                         target_delay: float | None = None,
+                         pe: DietSodaPE = DIET_SODA) -> CombinedDesignPoint:
+    """Minimum-power (spares, margin) combination.
+
+    Sweeps integer spare budgets from 0 upward.  The margin component
+    decreases and the spare component increases monotonically with
+    ``alpha``, so the total is unimodal; the sweep stops once the total
+    overhead has risen for several consecutive budgets past the incumbent.
+    """
+    best = None
+    rising = 0
+    for spares in range(max_spares + 1):
+        point = evaluate_point(analyzer, vdd, spares,
+                               target_delay=target_delay, pe=pe)
+        if not point.feasible:
+            continue
+        if best is None or point.power_overhead < best.power_overhead:
+            best = point
+            rising = 0
+        else:
+            rising += 1
+            if rising >= 4:
+                break
+    if best is None:
+        raise ConfigurationError(
+            f"no feasible combination up to {max_spares} spares at "
+            f"{analyzer.tech.name}@{vdd}V")
+    return best

@@ -1,0 +1,84 @@
+"""Duplication vs margining power comparison (paper Fig. 7).
+
+Structural duplication wins where variation is small (few spares, and the
+widened shuffle network is cheap), voltage margining wins where variation
+is large (the exponential delay-voltage slope means a small supply bump
+absorbs a big tail, while spare counts explode).  The crossover voltage
+per node is the design guideline the paper draws from Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mitigation.voltage_margin import solve_voltage_margin
+from repro.simd.diet_soda import DIET_SODA, DietSodaPE
+from repro.sparing.duplication import solve_spares
+
+__all__ = ["TechniqueComparison", "compare_techniques", "crossover_voltage"]
+
+
+@dataclass(frozen=True)
+class TechniqueComparison:
+    """Power overheads of both techniques at one operating point."""
+
+    technology: str
+    vdd: float
+    duplication_spares: int
+    duplication_feasible: bool
+    duplication_power: float
+    margin_mv: float
+    margin_feasible: bool
+    margining_power: float
+
+    @property
+    def winner(self) -> str:
+        """Which technique costs less power (feasibility first)."""
+        if self.duplication_feasible and not self.margin_feasible:
+            return "duplication"
+        if self.margin_feasible and not self.duplication_feasible:
+            return "margining"
+        return ("duplication"
+                if self.duplication_power <= self.margining_power
+                else "margining")
+
+    def summary(self) -> str:
+        dup = (f"{self.duplication_spares} spares "
+               f"(+{100 * self.duplication_power:.2f} %)"
+               if self.duplication_feasible else "infeasible")
+        mar = (f"{self.margin_mv:.1f} mV (+{100 * self.margining_power:.2f} %)"
+               if self.margin_feasible else "infeasible")
+        return (f"{self.technology}@{self.vdd:.2f}V: duplication {dup} | "
+                f"margining {mar} -> {self.winner}")
+
+
+def compare_techniques(analyzer, vdd, *, pe: DietSodaPE = DIET_SODA,
+                       max_spares: int = 128) -> TechniqueComparison:
+    """Evaluate both techniques against the same sign-off target."""
+    dup = solve_spares(analyzer, vdd, max_spares=max_spares, pe=pe)
+    mar = solve_voltage_margin(analyzer, vdd, pe=pe)
+    return TechniqueComparison(
+        technology=analyzer.tech.name,
+        vdd=float(vdd),
+        duplication_spares=dup.spares,
+        duplication_feasible=dup.feasible,
+        duplication_power=dup.power_overhead,
+        margin_mv=mar.margin_mv,
+        margin_feasible=mar.feasible,
+        margining_power=mar.power_overhead,
+    )
+
+
+def crossover_voltage(analyzer, voltages, *, pe: DietSodaPE = DIET_SODA):
+    """Estimate where margining starts beating duplication.
+
+    Scans ``voltages`` (ascending) and returns the highest voltage at
+    which margining is the winner, or ``None`` if duplication wins
+    everywhere in the range.
+    """
+    crossover = None
+    for vdd in sorted(float(v) for v in voltages):
+        comparison = compare_techniques(analyzer, vdd, pe=pe)
+        if comparison.winner == "margining":
+            crossover = vdd
+    return crossover

@@ -1,0 +1,156 @@
+"""Timing-error tolerance (stall/replay) — the rejected alternative.
+
+The paper opens Section 4 by arguing *against* error-tolerant operation
+for wide SIMD: "an error encountered in one SIMD lane would cause the
+other SIMD lanes to stall, flush, and execute the same operations
+again", and cites Synctium's observation of a significant performance
+drop as single-stage error probabilities increase.  This module
+quantifies that argument with the calibrated statistics:
+
+* the per-cycle timing-error probability at a clock period ``T`` is the
+  tail of the (lane/chip) delay distribution beyond ``T``;
+* a replay mechanism charges ``penalty`` cycles per error event;
+* in an ``N``-wide SIMD machine *any* lane's error stalls all lanes, so
+  the event rate is the chip-level tail — it grows ~``N``-fold over a
+  scalar pipeline's for the same per-lane error rate.
+
+:func:`optimal_clock` finds the throughput-maximising (Razor-style)
+overclocking point; :func:`simd_vs_scalar` shows the SIMD optimum is far
+more conservative — the quantitative form of the paper's argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.chip_delay import ChipDelayEngine
+from repro.errors import ConfigurationError
+
+__all__ = ["ReplayModel", "optimal_clock", "simd_vs_scalar"]
+
+#: Default pipeline flush + re-execute cost in cycles.
+DEFAULT_PENALTY_CYCLES = 10.0
+
+
+@dataclass
+class ReplayModel:
+    """Stall/flush/replay error tolerance on a SIMD datapath.
+
+    Parameters
+    ----------
+    analyzer:
+        A :class:`~repro.core.analyzer.VariationAnalyzer`.
+    penalty_cycles:
+        Cycles lost per timing-error event (flush + re-execute).
+    """
+
+    analyzer: object
+    penalty_cycles: float = DEFAULT_PENALTY_CYCLES
+
+    def __post_init__(self) -> None:
+        if self.penalty_cycles <= 0:
+            raise ConfigurationError("penalty_cycles must be positive")
+        self._engines: dict = {}
+
+    def _engine(self, width: int) -> ChipDelayEngine:
+        if width < 1:
+            raise ConfigurationError("width must be >= 1")
+        engine = self._engines.get(width)
+        if engine is None:
+            base = self.analyzer.engine
+            engine = ChipDelayEngine(
+                self.analyzer.tech, width=width,
+                paths_per_lane=base.paths_per_lane,
+                chain_length=base.chain_length)
+            self._engines[width] = engine
+        return engine
+
+    def error_probability(self, vdd: float, clock: float,
+                          width: int | None = None) -> float:
+        """Per-cycle probability that *any* of ``width`` lanes errs.
+
+        This is the tail of the width-wide chip-delay distribution beyond
+        the clock period — correlations across lanes (die/lane scales)
+        included.
+        """
+        if clock <= 0:
+            raise ConfigurationError("clock must be positive")
+        width = self.analyzer.width if width is None else int(width)
+        return float(1.0 - self._engine(width).chip_cdf(vdd, clock))
+
+    def effective_throughput(self, vdd: float, clock: float,
+                             width: int | None = None) -> float:
+        """Useful operations per second under replay.
+
+        ``width / clock`` ideal rate, derated by the replay stall factor
+        ``1 / (1 + penalty * p_error)``.
+        """
+        width = self.analyzer.width if width is None else int(width)
+        p_err = self.error_probability(vdd, clock, width)
+        return (width / clock) / (1.0 + self.penalty_cycles * p_err)
+
+
+def optimal_clock(model: ReplayModel, vdd: float, width: int | None = None,
+                  n_grid: int = 120) -> dict:
+    """Throughput-optimal clock period under replay (Razor-style).
+
+    Scans clock periods from well inside the safe region down into the
+    error-prone region and returns the best point plus the safe
+    (99.9 %-quantile) reference.
+    """
+    width = model.analyzer.width if width is None else int(width)
+    engine = model._engine(width)
+    safe = engine.chip_quantile(vdd, 0.999)
+    median = engine.chip_quantile(vdd, 0.5)
+    clocks = np.linspace(0.90 * median, 1.05 * safe, n_grid)
+    throughputs = np.array([model.effective_throughput(vdd, float(t), width)
+                            for t in clocks])
+    best = int(np.argmax(throughputs))
+    return {
+        "clock": float(clocks[best]),
+        "throughput": float(throughputs[best]),
+        "safe_clock": float(safe),
+        "safe_throughput": model.effective_throughput(vdd, float(safe),
+                                                      width),
+        "overclock_gain": float(throughputs[best])
+        / model.effective_throughput(vdd, float(safe), width) - 1.0,
+        "error_probability": model.error_probability(
+            vdd, float(clocks[best]), width),
+    }
+
+
+def simd_vs_scalar(analyzer, vdd: float,
+                   penalty_cycles: float = DEFAULT_PENALTY_CYCLES) -> dict:
+    """The paper's Section-4 argument, quantified.
+
+    Compares a scalar pipeline (1 lane) against the 128-wide SIMD
+    machine at the *same* per-lane error probability: the SIMD machine's
+    any-lane event rate, its throughput derate, and how much more
+    conservatively it must be clocked to reach the same derate.
+    """
+    model = ReplayModel(analyzer, penalty_cycles=penalty_cycles)
+    width = analyzer.width
+
+    # Clock both at the scalar pipeline's 99% point.
+    scalar_clock = model._engine(1).chip_quantile(vdd, 0.99)
+    p_scalar = model.error_probability(vdd, scalar_clock, width=1)
+    p_simd = model.error_probability(vdd, scalar_clock, width=width)
+
+    derate_scalar = 1.0 / (1.0 + penalty_cycles * p_scalar)
+    derate_simd = 1.0 / (1.0 + penalty_cycles * p_simd)
+
+    # How much slower must the SIMD clock be for the same event rate?
+    simd_engine = model._engine(width)
+    matched_clock = simd_engine.chip_quantile(vdd, 1.0 - p_scalar)
+    return {
+        "scalar_clock": float(scalar_clock),
+        "p_scalar": p_scalar,
+        "p_simd": p_simd,
+        "amplification": p_simd / max(p_scalar, 1e-30),
+        "throughput_derate_scalar": derate_scalar,
+        "throughput_derate_simd": derate_simd,
+        "matched_clock": float(matched_clock),
+        "clock_slowdown_for_parity": float(matched_clock / scalar_clock - 1.0),
+    }

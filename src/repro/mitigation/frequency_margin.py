@@ -1,0 +1,97 @@
+"""Clock-frequency margining (paper Section 4.3 / Appendix E, Table 4).
+
+Instead of fixing the variation tail, simply stretch the clock period
+until the 99 % chip delay fits: the *variation-aware* clock period
+``T_va-clk`` is the 99 % chip delay itself, and the performance penalty is
+``T_va-clk / T_clk - 1`` relative to the designed period (the paper's
+Fig. 4 drop).  Two practical caveats the paper raises are modelled:
+
+* at advanced nodes the required stretch approaches 20 %, which usually
+  violates real-time constraints; and
+* the SIMD clock must stay an integer multiple of the (full-voltage)
+  memory clock to avoid cross-domain synchronisers, quantising the
+  achievable periods (:func:`memory_aligned_period`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "FrequencyMarginSolution",
+    "solve_frequency_margin",
+    "memory_aligned_period",
+]
+
+
+@dataclass(frozen=True)
+class FrequencyMarginSolution:
+    """One Table-4 row: designed vs variation-aware clock period."""
+
+    technology: str
+    vdd: float
+    t_clk: float          # designed period, seconds
+    t_va_clk: float       # variation-aware period, seconds
+    memory_period: float | None = None
+    t_va_clk_aligned: float | None = None
+
+    @property
+    def performance_drop(self) -> float:
+        """Fractional throughput loss of running at ``t_va_clk``."""
+        return self.t_va_clk / self.t_clk - 1.0
+
+    @property
+    def aligned_performance_drop(self) -> float | None:
+        """Drop after quantising to the memory clock (None if unaligned)."""
+        if self.t_va_clk_aligned is None:
+            return None
+        return self.t_va_clk_aligned / self.t_clk - 1.0
+
+    def summary(self) -> str:
+        base = (f"{self.technology}@{self.vdd:.2f}V: Tclk="
+                f"{1e9 * self.t_clk:.2f} ns, Tva-clk="
+                f"{1e9 * self.t_va_clk:.2f} ns "
+                f"(drop {100 * self.performance_drop:.1f} %)")
+        if self.t_va_clk_aligned is not None:
+            base += (f"; memory-aligned {1e9 * self.t_va_clk_aligned:.2f} ns "
+                     f"(drop {100 * self.aligned_performance_drop:.1f} %)")
+        return base
+
+
+def memory_aligned_period(t_va_clk: float, memory_period: float) -> float:
+    """Smallest multiple of the memory clock period covering ``t_va_clk``.
+
+    The paper: "the SIMD datapath clock period has to be multiples of the
+    memory clock period to avoid complex synchronization".
+    """
+    if t_va_clk <= 0 or memory_period <= 0:
+        raise ConfigurationError("periods must be positive")
+    return memory_period * math.ceil(t_va_clk / memory_period - 1e-12)
+
+
+def solve_frequency_margin(analyzer, vdd, *,
+                           memory_period: float | None = None
+                           ) -> FrequencyMarginSolution:
+    """Compute one Table-4 row for an operating voltage.
+
+    ``t_clk`` is the designed period — the chip's target delay at ``vdd``
+    (nominal-voltage FO4 sign-off scaled to ``vdd``); ``t_va_clk`` is the
+    99 % chip delay including near-threshold variation.  If
+    ``memory_period`` is given, the variation-aware period is additionally
+    quantised to the memory clock grid.
+    """
+    t_clk = analyzer.target_delay(vdd)
+    t_va = analyzer.chip_quantile(vdd)
+    aligned = (memory_aligned_period(t_va, memory_period)
+               if memory_period is not None else None)
+    return FrequencyMarginSolution(
+        technology=analyzer.tech.name,
+        vdd=float(vdd),
+        t_clk=float(t_clk),
+        t_va_clk=float(t_va),
+        memory_period=memory_period,
+        t_va_clk_aligned=aligned,
+    )

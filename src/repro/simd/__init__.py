@@ -1,0 +1,46 @@
+"""SIMD architecture substrate: the Diet SODA processing element, its
+XRAM shuffle crossbar, and structural lane/datapath models used by the
+sparing and mitigation studies.
+"""
+
+from repro.simd.diet_soda import DietSodaPE, Module, VoltageDomain, DIET_SODA
+from repro.simd.lane import SIMDLane, LaneState
+from repro.simd.datapath import SIMDDatapath
+from repro.simd.xram import XRAMCrossbar
+from repro.simd.shuffle import ShuffleNetwork
+from repro.simd.floorplan import LaneFloorplan
+from repro.simd.workloads import (
+    KERNELS,
+    ExecutionReport,
+    Phase,
+    SIMDMachine,
+    Workload,
+    color_space_conversion,
+    conv2d,
+    execute,
+    fft,
+    fir_filter,
+)
+
+__all__ = [
+    "DietSodaPE",
+    "Module",
+    "VoltageDomain",
+    "DIET_SODA",
+    "SIMDLane",
+    "LaneState",
+    "SIMDDatapath",
+    "XRAMCrossbar",
+    "ShuffleNetwork",
+    "LaneFloorplan",
+    "KERNELS",
+    "ExecutionReport",
+    "Phase",
+    "SIMDMachine",
+    "Workload",
+    "color_space_conversion",
+    "conv2d",
+    "execute",
+    "fft",
+    "fir_filter",
+]

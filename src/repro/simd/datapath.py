@@ -1,0 +1,176 @@
+"""Structural SIMD datapath: a set of lanes plus repair bookkeeping.
+
+Bridges the statistical engines (which produce per-lane delay matrices)
+and the repair flow (which needs lane identity, cluster structure and an
+XRAM bypass configuration).  Used by the spare-placement experiment
+(paper Appendix D / Fig. 12) and the lane-repair example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.simd.lane import LaneState, SIMDLane
+from repro.simd.xram import XRAMCrossbar
+
+__all__ = ["SIMDDatapath"]
+
+
+class SIMDDatapath:
+    """A ``width``-wide SIMD datapath with optional spare lanes.
+
+    Parameters
+    ----------
+    width:
+        Logical SIMD width the workload requires.
+    spares:
+        Number of spare lanes appended after the primary lanes.
+    cluster_size:
+        If given, lanes (including spares) are grouped into contiguous
+        clusters for *local* sparing: spares are distributed one per
+        ``cluster_size`` primaries and may only substitute within their
+        cluster.  ``None`` selects *global* sparing through the XRAM.
+    """
+
+    def __init__(self, width: int, spares: int = 0,
+                 cluster_size: int | None = None) -> None:
+        if width < 1:
+            raise ConfigurationError("width must be >= 1")
+        if spares < 0:
+            raise ConfigurationError("spares must be >= 0")
+        if cluster_size is not None:
+            if cluster_size < 1:
+                raise ConfigurationError("cluster_size must be >= 1")
+            if width % cluster_size:
+                raise ConfigurationError(
+                    f"width {width} not divisible by cluster_size {cluster_size}")
+            n_clusters = width // cluster_size
+            if spares % n_clusters:
+                raise ConfigurationError(
+                    f"{spares} spares cannot be spread evenly over "
+                    f"{n_clusters} clusters")
+        self.width = int(width)
+        self.spares = int(spares)
+        self.cluster_size = cluster_size
+        self.lanes = self._build_lanes()
+        self.xram = XRAMCrossbar(self.n_lanes, self.width)
+
+    # -- construction -------------------------------------------------------
+
+    def _build_lanes(self) -> list:
+        lanes = []
+        if self.cluster_size is None:
+            for i in range(self.width):
+                lanes.append(SIMDLane(index=i))
+            for i in range(self.spares):
+                lanes.append(SIMDLane(index=self.width + i, is_spare=True))
+        else:
+            n_clusters = self.width // self.cluster_size
+            spares_per_cluster = self.spares // n_clusters
+            idx = 0
+            for c in range(n_clusters):
+                for _ in range(self.cluster_size):
+                    lanes.append(SIMDLane(index=idx, cluster=c))
+                    idx += 1
+                for _ in range(spares_per_cluster):
+                    lanes.append(SIMDLane(index=idx, cluster=c, is_spare=True))
+                    idx += 1
+        return lanes
+
+    @property
+    def n_lanes(self) -> int:
+        """Total physical lanes (primaries + spares)."""
+        return self.width + self.spares
+
+    @property
+    def is_local_sparing(self) -> bool:
+        return self.cluster_size is not None
+
+    # -- test & repair -------------------------------------------------------
+
+    def load_delays(self, delays) -> None:
+        """Attach measured lane delays (seconds), one per physical lane."""
+        delays = np.asarray(delays, dtype=float)
+        if delays.shape != (self.n_lanes,):
+            raise ConfigurationError(
+                f"expected {self.n_lanes} delays, got shape {delays.shape}")
+        for lane, d in zip(self.lanes, delays):
+            lane.delay = float(d)
+            lane.state = LaneState.HEALTHY
+
+    def test(self, clock_period: float) -> list:
+        """Screen every lane against ``clock_period``; returns faulty lanes."""
+        faulty = []
+        for lane in self.lanes:
+            if lane.apply_test(clock_period) is LaneState.FAULTY:
+                faulty.append(lane)
+        return faulty
+
+    def repairable(self) -> bool:
+        """Can the tested datapath still provide ``width`` healthy lanes?
+
+        Global sparing: total healthy lanes >= width.  Local sparing:
+        additionally, no cluster may have more faults than its own spares
+        (the paper's Appendix D failure mode for bursty faults).
+        """
+        healthy_total = sum(lane.usable for lane in self.lanes)
+        if healthy_total < self.width:
+            return False
+        if not self.is_local_sparing:
+            return True
+        for c in self._cluster_ids():
+            members = [l for l in self.lanes if l.cluster == c]
+            healthy = sum(l.usable for l in members)
+            if healthy < self.cluster_size:
+                return False
+        return True
+
+    def repair(self) -> np.ndarray:
+        """Produce the XRAM bypass mapping for the tested datapath.
+
+        Returns the logical-lane -> physical-lane mapping and stores it as
+        the crossbar's active configuration.  Raises
+        :class:`~repro.errors.RoutingError` if irreparable.
+        """
+        if not self.repairable():
+            raise RoutingError("datapath is not repairable with its spares")
+        if self.is_local_sparing:
+            mapping = []
+            for c in self._cluster_ids():
+                members = [l for l in self.lanes if l.cluster == c]
+                healthy = [l.index for l in members if l.usable]
+                mapping.extend(healthy[: self.cluster_size])
+            mapping = np.asarray(mapping, dtype=int)
+            self.xram.store_configuration("bypass", mapping)
+            self.xram.select("bypass")
+        else:
+            faulty = [l.index for l in self.lanes if not l.usable]
+            mapping = self.xram.bypass_configuration(faulty)
+        # Power-gate healthy lanes that ended up unused.
+        used = set(int(i) for i in mapping)
+        for lane in self.lanes:
+            if lane.usable and lane.index not in used:
+                lane.state = LaneState.POWER_GATED
+        return mapping
+
+    def effective_delay(self) -> float:
+        """Chip delay after repair: slowest lane actually in use (seconds)."""
+        mapping = self.xram.active_mapping
+        delays = []
+        for i in mapping:
+            lane = self.lanes[int(i)]
+            if lane.delay is None:
+                raise ConfigurationError("lanes have no measured delays")
+            delays.append(lane.delay)
+        return float(max(delays))
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _cluster_ids(self):
+        return sorted({l.cluster for l in self.lanes if l.cluster is not None})
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = (f"local/{self.cluster_size}" if self.is_local_sparing else "global")
+        return (f"SIMDDatapath(width={self.width}, spares={self.spares}, "
+                f"placement={kind})")

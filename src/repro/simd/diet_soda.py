@@ -1,0 +1,213 @@
+"""Diet SODA processing-element model (Appendix B of the paper).
+
+Diet SODA [Seo et al., ISLPED 2010] is the 128-wide SIMD signal processor
+the paper's architecture study targets.  One processing element (PE)
+contains, per the paper's Figure 10:
+
+1. a 64 KB multi-banked SIMD memory (4 banks, full voltage),
+2. a 4 KB scalar memory (full voltage),
+3. a SIMD data prefetcher with 128-wide buffer (full voltage),
+4. the 128-wide 16-bit SIMD pipeline — register file, 128 functional
+   units, the 128x128 XRAM shuffle network (SSN) and a multi-output adder
+   tree (dual-voltage domain: runs at near-threshold for low power),
+5. two scalar pipelines (one per voltage domain), and
+6. four AGU pipelines feeding the memory banks (full voltage).
+
+The paper uses the PE's area/power breakdown to translate mitigation
+parameters (spare count, voltage margin) into chip-level overheads.  The
+published tables imply three constants (DESIGN.md Section 4.4):
+
+* spare area: 0.4516 % of PE area per spare FU slice (so the 128-FU array
+  is 57.8 % of the PE),
+* shuffle-network power: 13.7 % of PE power, scaling ~ (width/128)^1.5,
+* DV-domain power: 43 % of PE power (what a supply margin multiplies).
+
+The full per-module breakdown below is a *reconstruction* consistent with
+those constants; only the three constants affect reproduced numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.devices.paper_anchors import (
+    AREA_PER_SPARE_PCT,
+    DV_DOMAIN_POWER_FRACTION,
+    SHUFFLE_POWER_FRACTION_PCT,
+    SHUFFLE_WIDTH_EXPONENT,
+)
+from repro.errors import ConfigurationError
+
+__all__ = ["VoltageDomain", "Module", "DietSodaPE", "DIET_SODA"]
+
+
+class VoltageDomain(enum.Enum):
+    """Operating voltage domain of a PE module.
+
+    ``FULL`` modules always run at nominal voltage (memories and their
+    address logic, for data-retention reasons); ``DUAL`` modules can run at
+    either nominal or near-threshold voltage (the SIMD datapath).
+    """
+
+    FULL = "full-voltage"
+    DUAL = "dual-voltage"
+
+
+@dataclass(frozen=True)
+class Module:
+    """One architectural module of the PE.
+
+    ``area_fraction`` / ``power_fraction`` are fractions of the whole PE
+    (they sum to 1.0 across the PE).  ``scales_with_width`` marks modules
+    whose size tracks the SIMD width (relevant when spares are added).
+    """
+
+    name: str
+    domain: VoltageDomain
+    area_fraction: float
+    power_fraction: float
+    scales_with_width: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.area_fraction <= 1.0:
+            raise ConfigurationError(f"{self.name}: bad area fraction")
+        if not 0.0 <= self.power_fraction <= 1.0:
+            raise ConfigurationError(f"{self.name}: bad power fraction")
+
+
+def _default_modules() -> tuple:
+    """Reconstructed Diet SODA PE breakdown (see module docstring)."""
+    fv, dv = VoltageDomain.FULL, VoltageDomain.DUAL
+    return (
+        # -- full-voltage domain (57 % of power) ---------------------------
+        Module("simd-memory-banks", fv, area_fraction=0.200, power_fraction=0.230),
+        Module("scalar-memory", fv, area_fraction=0.020, power_fraction=0.030),
+        Module("data-prefetcher", fv, area_fraction=0.020, power_fraction=0.050),
+        Module("agu-pipelines", fv, area_fraction=0.040, power_fraction=0.080),
+        Module("scalar-pipeline-fv", fv, area_fraction=0.012, power_fraction=0.043),
+        Module("xram-shuffle-network", fv, area_fraction=0.060,
+               power_fraction=SHUFFLE_POWER_FRACTION_PCT / 100.0,
+               scales_with_width=True),
+        # -- dual-voltage domain (43 % of power) ---------------------------
+        Module("simd-functional-units", dv, area_fraction=0.578,
+               power_fraction=0.250, scales_with_width=True),
+        Module("simd-register-file", dv, area_fraction=0.050,
+               power_fraction=0.100, scales_with_width=True),
+        Module("multi-output-adder-tree", dv, area_fraction=0.010,
+               power_fraction=0.030),
+        Module("scalar-pipeline-dv", dv, area_fraction=0.010,
+               power_fraction=0.050),
+    )
+
+
+@dataclass(frozen=True)
+class DietSodaPE:
+    """A Diet SODA processing element with overhead accounting.
+
+    Parameters
+    ----------
+    simd_width:
+        Baseline SIMD width (128 in the paper).
+    modules:
+        Per-module breakdown; defaults to the reconstructed Diet SODA PE.
+    """
+
+    simd_width: int = 128
+    modules: tuple = field(default_factory=_default_modules)
+
+    def __post_init__(self) -> None:
+        if self.simd_width < 1:
+            raise ConfigurationError("simd_width must be >= 1")
+        area = sum(m.area_fraction for m in self.modules)
+        power = sum(m.power_fraction for m in self.modules)
+        if not math.isclose(area, 1.0, abs_tol=1e-6):
+            raise ConfigurationError(f"module area fractions sum to {area}, not 1")
+        if not math.isclose(power, 1.0, abs_tol=1e-6):
+            raise ConfigurationError(f"module power fractions sum to {power}, not 1")
+
+    # -- breakdown views ----------------------------------------------------
+
+    def module(self, name: str) -> Module:
+        """Look up a module by name."""
+        for m in self.modules:
+            if m.name == name:
+                return m
+        raise ConfigurationError(f"no module named {name!r}")
+
+    def domain_power_fraction(self, domain: VoltageDomain) -> float:
+        """Total power fraction of one voltage domain."""
+        return sum(m.power_fraction for m in self.modules if m.domain is domain)
+
+    @property
+    def dv_power_fraction(self) -> float:
+        """Power fraction of the dual-voltage (near-threshold) domain."""
+        return self.domain_power_fraction(VoltageDomain.DUAL)
+
+    @property
+    def fu_area_fraction(self) -> float:
+        """Area fraction of the 128-FU array (paper: 57.8 %)."""
+        return self.module("simd-functional-units").area_fraction
+
+    @property
+    def area_per_spare(self) -> float:
+        """PE area fraction added by one spare FU slice."""
+        return self.fu_area_fraction / self.simd_width
+
+    @property
+    def shuffle_power_fraction(self) -> float:
+        """PE power fraction of the XRAM shuffle network."""
+        return self.module("xram-shuffle-network").power_fraction
+
+    # -- mitigation overheads -------------------------------------------------
+
+    def spare_area_overhead(self, spares: float) -> float:
+        """Fractional PE area overhead of ``spares`` spare FU slices.
+
+        Table 1's area column: each spare replicates one FU slice of the
+        57.8 %-of-PE functional-unit array.
+        """
+        if spares < 0:
+            raise ConfigurationError("spares must be >= 0")
+        return self.area_per_spare * spares
+
+    def spare_power_overhead(self, spares: float) -> float:
+        """Fractional PE power overhead of ``spares`` spare FU slices.
+
+        Faulty/unused FUs are power-gated, so the run-time cost is the
+        widened shuffle network (which runs at full voltage): the XRAM's
+        13.7 % of PE power grows ~ (width')^1.5 (Table 1's power column).
+        """
+        if spares < 0:
+            raise ConfigurationError("spares must be >= 0")
+        growth = (1.0 + spares / self.simd_width) ** SHUFFLE_WIDTH_EXPONENT
+        return self.shuffle_power_fraction * (growth - 1.0)
+
+    def margin_power_overhead(self, vdd: float, margin: float) -> float:
+        """Fractional PE power overhead of a supply margin on the DV domain.
+
+        Switching power scales with Vdd^2 and the margin applies to every
+        module in the near-threshold domain (43 % of PE power):
+        ``0.43 * (((vdd+margin)/vdd)^2 - 1)`` (Table 2's power column).
+        """
+        if vdd <= 0:
+            raise ConfigurationError("vdd must be positive")
+        if margin < 0:
+            raise ConfigurationError("margin must be >= 0")
+        return self.dv_power_fraction * (((vdd + margin) / vdd) ** 2 - 1.0)
+
+    def combined_power_overhead(self, spares: float, vdd: float,
+                                margin: float) -> float:
+        """Power overhead of a combined (spares, margin) design point
+        (Table 3): the two contributions are additive to first order."""
+        return self.spare_power_overhead(spares) + self.margin_power_overhead(vdd, margin)
+
+
+#: The default PE instance used throughout the library.
+DIET_SODA = DietSodaPE()
+
+# The reconstructed breakdown must reproduce the reverse-engineered
+# constants the published tables imply.
+assert math.isclose(100 * DIET_SODA.area_per_spare, AREA_PER_SPARE_PCT, rel_tol=1e-6)
+assert math.isclose(DIET_SODA.dv_power_fraction, DV_DOMAIN_POWER_FRACTION, abs_tol=1e-9)

@@ -1,0 +1,68 @@
+"""Physical floorplan of the SIMD lane array.
+
+Diet SODA's 128 16-bit lanes are tiled as four 32-lane groups (one per
+memory bank, Appendix B Fig. 10).  The floorplan provides lane centre
+coordinates for the spatial-variation analyses: how far apart two lanes
+are decides how correlated their process variation is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LaneFloorplan"]
+
+
+@dataclass(frozen=True)
+class LaneFloorplan:
+    """A tiled SIMD lane array.
+
+    Parameters
+    ----------
+    n_lanes:
+        Total lanes (including spares).
+    lane_pitch_mm:
+        Centre-to-centre lane spacing within a row (16-bit datapath slice
+        pitch, ~60-100 um in 90 nm).
+    lanes_per_row:
+        Lanes per placement row; rows stack vertically.
+    row_pitch_mm:
+        Vertical spacing between rows.
+    """
+
+    n_lanes: int = 128
+    lane_pitch_mm: float = 0.08
+    lanes_per_row: int = 32
+    row_pitch_mm: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.n_lanes < 1 or self.lanes_per_row < 1:
+            raise ConfigurationError("lane counts must be >= 1")
+        if self.lane_pitch_mm <= 0 or self.row_pitch_mm <= 0:
+            raise ConfigurationError("pitches must be positive")
+
+    def lane_positions_mm(self) -> np.ndarray:
+        """``(n_lanes, 2)`` lane-centre coordinates in mm."""
+        idx = np.arange(self.n_lanes)
+        row = idx // self.lanes_per_row
+        col = idx % self.lanes_per_row
+        return np.stack([col * self.lane_pitch_mm,
+                         row * self.row_pitch_mm], axis=1)
+
+    def lane_distance_mm(self, i: int, j: int) -> float:
+        """Euclidean distance between two lane centres."""
+        pos = self.lane_positions_mm()
+        if not (0 <= i < self.n_lanes and 0 <= j < self.n_lanes):
+            raise ConfigurationError("lane index out of range")
+        return float(np.hypot(*(pos[i] - pos[j])))
+
+    @property
+    def extent_mm(self) -> tuple:
+        """(width, height) of the lane array bounding box."""
+        pos = self.lane_positions_mm()
+        return (float(pos[:, 0].max() - pos[:, 0].min()),
+                float(pos[:, 1].max() - pos[:, 1].min()))

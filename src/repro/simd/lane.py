@@ -1,0 +1,73 @@
+"""Structural SIMD lane model.
+
+A lane is one 16-bit slice of the SIMD datapath: functional unit, register
+file slice and its share of the adder tree — the unit of replacement for
+structural duplication.  The delay *statistics* of a lane live in
+:mod:`repro.core`; this module models lane *identity*: position, cluster
+membership, spare status and the test-time fault state the repair flow
+consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LaneState", "SIMDLane"]
+
+
+class LaneState(enum.Enum):
+    """Test-time classification of a lane."""
+
+    HEALTHY = "healthy"
+    FAULTY = "faulty"          # fails timing at the target clock
+    POWER_GATED = "power-gated"  # healthy spare left unused
+
+
+@dataclass
+class SIMDLane:
+    """One SIMD lane.
+
+    Parameters
+    ----------
+    index:
+        Physical position in the datapath (0-based).
+    is_spare:
+        True for lanes added by structural duplication.
+    cluster:
+        Cluster id for local-sparing placement; ``None`` under global
+        sparing.
+    delay:
+        Measured lane delay in seconds (slowest of its critical paths),
+        set by test; ``None`` before test.
+    """
+
+    index: int
+    is_spare: bool = False
+    cluster: int | None = None
+    delay: float | None = None
+    state: LaneState = LaneState.HEALTHY
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigurationError("lane index must be >= 0")
+        if self.delay is not None and self.delay <= 0:
+            raise ConfigurationError("lane delay must be positive")
+
+    def apply_test(self, clock_period: float) -> LaneState:
+        """Classify the lane against a clock period (test-time screening)."""
+        if self.delay is None:
+            raise ConfigurationError(
+                f"lane {self.index} has no measured delay to test")
+        if clock_period <= 0:
+            raise ConfigurationError("clock period must be positive")
+        self.state = (LaneState.HEALTHY if self.delay <= clock_period
+                      else LaneState.FAULTY)
+        return self.state
+
+    @property
+    def usable(self) -> bool:
+        """True if the lane can carry computation at the tested clock."""
+        return self.state is LaneState.HEALTHY

@@ -1,0 +1,61 @@
+"""SIMD shuffle-network (SSN) power/area scaling model.
+
+The Diet SODA SSN is a 128x128 XRAM crossbar operating at full voltage.
+Structural duplication widens it to ``(128 + spares)`` inputs, and —
+unlike the power-gated spare FUs themselves — the widened crossbar burns
+power at run time.  This module wraps the scaling law used by the
+overhead accounting in :class:`repro.simd.diet_soda.DietSodaPE` in an
+object that the placement studies can also query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.paper_anchors import (
+    SHUFFLE_POWER_FRACTION_PCT,
+    SHUFFLE_WIDTH_EXPONENT,
+)
+from repro.errors import ConfigurationError
+
+__all__ = ["ShuffleNetwork"]
+
+
+@dataclass(frozen=True)
+class ShuffleNetwork:
+    """Width-scaling model of the full-voltage shuffle network.
+
+    Parameters
+    ----------
+    base_width:
+        Width the ``power_fraction`` is quoted at (128 for Diet SODA).
+    power_fraction:
+        Fraction of PE power at ``base_width`` (0.137 for Diet SODA).
+    exponent:
+        Power-vs-width scaling exponent (1.5: wire-dominated crossbar).
+    """
+
+    base_width: int = 128
+    power_fraction: float = SHUFFLE_POWER_FRACTION_PCT / 100.0
+    exponent: float = SHUFFLE_WIDTH_EXPONENT
+
+    def __post_init__(self) -> None:
+        if self.base_width < 1:
+            raise ConfigurationError("base_width must be >= 1")
+        if not 0.0 < self.power_fraction < 1.0:
+            raise ConfigurationError("power_fraction must be in (0, 1)")
+        if self.exponent < 1.0:
+            raise ConfigurationError(
+                "a crossbar cannot scale sub-linearly with width")
+
+    def power_at_width(self, width: float) -> float:
+        """PE-power fraction of the network widened to ``width`` lanes."""
+        if width < 1:
+            raise ConfigurationError("width must be >= 1")
+        return self.power_fraction * (width / self.base_width) ** self.exponent
+
+    def widening_overhead(self, spares: float) -> float:
+        """Added PE-power fraction from widening by ``spares`` lanes."""
+        if spares < 0:
+            raise ConfigurationError("spares must be >= 0")
+        return self.power_at_width(self.base_width + spares) - self.power_fraction

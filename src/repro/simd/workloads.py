@@ -1,0 +1,311 @@
+"""DLP workload models for the SIMD datapath.
+
+The paper's premise (Section 1/2) is that hand-held signal-processing
+workloads have enough data-level parallelism to trade near-threshold
+slowdown for SIMD width.  This module provides cycle-accurate-ish models
+of the kernels Diet SODA targets — FIR filtering, FFT, 2-D convolution
+and colour-space conversion — mapped onto a ``width``-wide SIMD machine:
+
+* each kernel is a sequence of :class:`Phase` objects with a vector
+  element-operation count, its natural parallelism, scalar (serial)
+  bookkeeping operations and shuffle traffic through the SSN;
+* :class:`SIMDMachine` binds a width and an operating voltage to a
+  variation-aware clock period (the 99 % chip delay of the calibrated
+  statistics — slow silicon must still meet the clock);
+* :func:`execute` folds the two into cycles, runtime, lane utilisation
+  and a normalised energy estimate.
+
+This is the substrate behind the iso-throughput studies: how much SIMD
+width buys back the ~10x near-threshold slowdown for a *real* kernel
+(including its Amdahl scalar fraction), not just for ideal vector code.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.energy.model import EnergyModel
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Phase",
+    "Workload",
+    "SIMDMachine",
+    "ExecutionReport",
+    "execute",
+    "fir_filter",
+    "fft",
+    "conv2d",
+    "color_space_conversion",
+    "KERNELS",
+]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase of a kernel.
+
+    Parameters
+    ----------
+    name:
+        Phase label (e.g. ``"fft-stage-3"``).
+    vector_ops:
+        Total element operations in the phase.
+    parallelism:
+        Independent elements available per step (the phase's natural DLP
+        width); the machine can exploit at most ``min(width, parallelism)``
+        lanes.
+    scalar_ops:
+        Serial operations (address bookkeeping, loop control) that run on
+        the scalar pipeline, one per cycle.
+    shuffle_ops:
+        Vector permutations routed through the SSN (one cycle per shuffle
+        of up to ``width`` elements).
+    """
+
+    name: str
+    vector_ops: int
+    parallelism: int
+    scalar_ops: int = 0
+    shuffle_ops: int = 0
+
+    def __post_init__(self) -> None:
+        if self.vector_ops < 0 or self.scalar_ops < 0 or self.shuffle_ops < 0:
+            raise ConfigurationError(f"{self.name}: negative op counts")
+        if self.vector_ops and self.parallelism < 1:
+            raise ConfigurationError(f"{self.name}: parallelism must be >= 1")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named sequence of phases."""
+
+    name: str
+    phases: tuple
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ConfigurationError(f"{self.name}: no phases")
+
+    @property
+    def total_vector_ops(self) -> int:
+        return sum(p.vector_ops for p in self.phases)
+
+    @property
+    def total_scalar_ops(self) -> int:
+        return sum(p.scalar_ops for p in self.phases)
+
+    @property
+    def scalar_fraction(self) -> float:
+        """Amdahl serial share of the total operation count."""
+        total = self.total_vector_ops + self.total_scalar_ops
+        return self.total_scalar_ops / total if total else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Kernel generators (Diet SODA's camera/DSP domain)
+# ---------------------------------------------------------------------------
+
+
+def fir_filter(n_samples: int = 1024, n_taps: int = 16) -> Workload:
+    """Direct-form FIR filter: ``n_samples x n_taps`` MACs.
+
+    Samples are independent -> parallelism = n_samples; per-tap loop
+    control is scalar.
+    """
+    if n_samples < 1 or n_taps < 1:
+        raise ConfigurationError("n_samples and n_taps must be >= 1")
+    phases = (Phase("fir-mac", vector_ops=n_samples * n_taps,
+                    parallelism=n_samples, scalar_ops=n_taps,
+                    shuffle_ops=n_taps),)
+    return Workload(f"fir-{n_samples}x{n_taps}", phases)
+
+
+def fft(n_points: int = 1024) -> Workload:
+    """Radix-2 FFT: log2(n) stages of n/2 butterflies.
+
+    Each butterfly is ~10 element ops (complex mul + add/sub); every
+    stage ends with a data shuffle across the SSN (the XRAM's headline
+    use case).  Butterflies within a stage are independent; stages are
+    serial.
+    """
+    if n_points < 2 or n_points & (n_points - 1):
+        raise ConfigurationError("n_points must be a power of two >= 2")
+    stages = int(math.log2(n_points))
+    phases = []
+    for s in range(stages):
+        butterflies = n_points // 2
+        phases.append(Phase(
+            f"fft-stage-{s}",
+            vector_ops=10 * butterflies,
+            parallelism=butterflies,
+            scalar_ops=4,
+            shuffle_ops=math.ceil(n_points / 128),
+        ))
+    return Workload(f"fft-{n_points}", tuple(phases))
+
+
+def conv2d(height: int = 64, width: int = 64, kernel: int = 3) -> Workload:
+    """2-D convolution (camera pipeline): one MAC per pixel per tap.
+
+    Output pixels are independent; each kernel row needs a shifted view
+    of the image (a shuffle per row of taps).
+    """
+    if height < 1 or width < 1 or kernel < 1:
+        raise ConfigurationError("dimensions must be >= 1")
+    pixels = height * width
+    phases = (Phase(
+        "conv2d-mac",
+        vector_ops=pixels * kernel * kernel,
+        parallelism=pixels,
+        scalar_ops=kernel * kernel,
+        shuffle_ops=kernel * kernel,
+    ),)
+    return Workload(f"conv2d-{height}x{width}k{kernel}", phases)
+
+
+def color_space_conversion(n_pixels: int = 4096) -> Workload:
+    """RGB->YCbCr conversion: 3x3 matrix per pixel (9 MACs + 3 adds)."""
+    if n_pixels < 1:
+        raise ConfigurationError("n_pixels must be >= 1")
+    phases = (Phase("csc", vector_ops=12 * n_pixels, parallelism=n_pixels,
+                    scalar_ops=2),)
+    return Workload(f"csc-{n_pixels}", phases)
+
+
+#: Kernel registry used by examples and experiments.
+KERNELS = {
+    "fir": fir_filter,
+    "fft": fft,
+    "conv2d": conv2d,
+    "csc": color_space_conversion,
+}
+
+
+# ---------------------------------------------------------------------------
+# Machine model and execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SIMDMachine:
+    """A SIMD machine operating point.
+
+    Parameters
+    ----------
+    analyzer:
+        A :class:`~repro.core.analyzer.VariationAnalyzer` (technology and
+        architecture statistics).
+    vdd:
+        Operating voltage (V).
+    width:
+        Vector lanes available to the workload.
+    variation_aware:
+        If True (default) the clock period is the 99 % chip delay at
+        ``vdd`` (silicon must meet the clock across variation); if False
+        the variation-free target delay is used (ideal clock, for
+        what-if comparisons).
+    """
+
+    analyzer: object
+    vdd: float
+    width: int = 128
+    variation_aware: bool = True
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ConfigurationError("width must be >= 1")
+
+    @property
+    def clock_period(self) -> float:
+        """Cycle time in seconds."""
+        if self.variation_aware:
+            return self.analyzer.chip_quantile(self.vdd)
+        return self.analyzer.target_delay(self.vdd)
+
+    @property
+    def frequency(self) -> float:
+        return 1.0 / self.clock_period
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Result of running a workload on a machine."""
+
+    workload: str
+    width: int
+    vdd: float
+    cycles: int
+    runtime: float                 # seconds
+    vector_cycles: int
+    scalar_cycles: int
+    shuffle_cycles: int
+    lane_utilization: float        # useful lane-cycles / (cycles * width)
+    energy: float                  # normalised units (1 = one op at Vnom)
+
+    @property
+    def throughput(self) -> float:
+        """Element operations per second."""
+        return (self.vector_cycles * self.width * self.lane_utilization
+                / max(self.runtime, 1e-30)) if self.runtime else 0.0
+
+    def summary(self) -> str:
+        return (f"{self.workload:<18s} W={self.width:<4d} "
+                f"@{1e3 * self.vdd:.0f}mV: {self.cycles:>9d} cycles, "
+                f"{1e6 * self.runtime:9.2f} us, util "
+                f"{100 * self.lane_utilization:5.1f} %, energy "
+                f"{self.energy:10.1f}")
+
+
+def execute(workload: Workload, machine: SIMDMachine,
+            energy_model: EnergyModel | None = None) -> ExecutionReport:
+    """Run a workload on a machine operating point.
+
+    Cycle model: each phase issues ``ceil(vector_ops / usable_lanes)``
+    vector cycles with ``usable_lanes = min(width, parallelism)``, plus
+    its scalar cycles (serial) and shuffle cycles (one SSN pass each).
+    Energy: per-op energy at ``vdd`` (from the energy model) for every
+    vector/scalar op, plus one idle-lane leakage share for unused lanes.
+    """
+    if energy_model is None:
+        energy_model = EnergyModel(machine.analyzer.tech)
+
+    vector_cycles = 0
+    scalar_cycles = 0
+    shuffle_cycles = 0
+    useful_lane_cycles = 0
+    for phase in workload.phases:
+        if phase.vector_ops:
+            usable = min(machine.width, phase.parallelism)
+            cycles = math.ceil(phase.vector_ops / usable)
+            vector_cycles += cycles
+            useful_lane_cycles += phase.vector_ops
+        scalar_cycles += phase.scalar_ops
+        shuffle_cycles += phase.shuffle_ops
+
+    cycles = vector_cycles + scalar_cycles + shuffle_cycles
+    runtime = cycles * machine.clock_period
+    lane_util = (useful_lane_cycles / (cycles * machine.width)
+                 if cycles else 0.0)
+
+    # Energy: active ops at the per-op energy of this voltage, idle lanes
+    # burn the leakage share of the per-op energy.
+    e_op = float(energy_model.total_energy(machine.vdd))
+    e_leak = float(energy_model.leakage_energy(machine.vdd))
+    active_ops = workload.total_vector_ops + workload.total_scalar_ops
+    idle_lane_cycles = cycles * machine.width - useful_lane_cycles
+    energy = e_op * active_ops + e_leak * max(idle_lane_cycles, 0)
+
+    return ExecutionReport(
+        workload=workload.name,
+        width=machine.width,
+        vdd=machine.vdd,
+        cycles=cycles,
+        runtime=runtime,
+        vector_cycles=vector_cycles,
+        scalar_cycles=scalar_cycles,
+        shuffle_cycles=shuffle_cycles,
+        lane_utilization=lane_util,
+        energy=energy,
+    )

@@ -1,0 +1,171 @@
+"""Behavioural model of the XRAM swizzle crossbar (Satpathy et al., VLSI'11).
+
+The XRAM is an SRAM-topology crossbar: each crosspoint stores a
+configuration bit, each output column drives from exactly one selected
+input row.  The paper uses it for two things:
+
+* the SIMD shuffle network (SSN) of Diet SODA, and
+* *global* spare placement — because the crossbar can route any input to
+  any output, a spare FU anywhere can replace a faulty FU anywhere,
+  avoiding the clustered-local-sparing failure mode (Appendix D).
+
+This model implements configuration storage, routing semantics, validity
+checking, multiple stored configurations (the real XRAM holds several
+shuffle patterns at the crosspoints) and the faulty-lane bypass generator
+of the paper's Figure 12, plus first-order area/power scaling laws used by
+the overhead accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, RoutingError
+
+__all__ = ["XRAMCrossbar"]
+
+
+class XRAMCrossbar:
+    """An ``n_inputs x n_outputs`` crossbar with stored configurations.
+
+    Parameters
+    ----------
+    n_inputs:
+        Number of input rows (physical FUs, including spares).
+    n_outputs:
+        Number of output columns (logical lanes consumed downstream).
+        Defaults to ``n_inputs``.
+    """
+
+    def __init__(self, n_inputs: int, n_outputs: int | None = None) -> None:
+        if n_inputs < 1:
+            raise ConfigurationError("n_inputs must be >= 1")
+        self.n_inputs = int(n_inputs)
+        self.n_outputs = int(n_outputs) if n_outputs is not None else int(n_inputs)
+        if self.n_outputs < 1:
+            raise ConfigurationError("n_outputs must be >= 1")
+        self._configs: dict = {}
+        self._active: str | None = None
+
+    # -- configuration management ------------------------------------------
+
+    def store_configuration(self, name: str, mapping) -> None:
+        """Store a routing configuration at the crosspoints.
+
+        ``mapping`` is an array of length ``n_outputs``: ``mapping[j] = i``
+        routes input row ``i`` to output column ``j``.  Fan-out (one input
+        feeding several outputs) is legal — the XRAM supports broadcast
+        shuffles; an out-of-range input is not.
+        """
+        mapping = np.asarray(mapping, dtype=int)
+        if mapping.shape != (self.n_outputs,):
+            raise RoutingError(
+                f"mapping must have shape ({self.n_outputs},), got {mapping.shape}")
+        if np.any(mapping < 0) or np.any(mapping >= self.n_inputs):
+            raise RoutingError("mapping refers to inputs outside the crossbar")
+        self._configs[str(name)] = mapping.copy()
+        if self._active is None:
+            self._active = str(name)
+
+    def select(self, name: str) -> None:
+        """Make a stored configuration the active one."""
+        if name not in self._configs:
+            raise RoutingError(f"no configuration named {name!r} stored")
+        self._active = str(name)
+
+    @property
+    def configurations(self) -> tuple:
+        """Names of the stored configurations."""
+        return tuple(self._configs)
+
+    @property
+    def active_mapping(self) -> np.ndarray:
+        """The active output->input mapping (copy)."""
+        if self._active is None:
+            raise RoutingError("no configuration stored yet")
+        return self._configs[self._active].copy()
+
+    def crosspoint_matrix(self, name: str | None = None) -> np.ndarray:
+        """Boolean ``(n_inputs, n_outputs)`` crosspoint matrix of a config.
+
+        Exactly one ``True`` per output column (SRAM cell content).
+        """
+        mapping = (self._configs[name] if name is not None
+                   else self.active_mapping)
+        matrix = np.zeros((self.n_inputs, self.n_outputs), dtype=bool)
+        matrix[mapping, np.arange(self.n_outputs)] = True
+        return matrix
+
+    # -- routing -------------------------------------------------------------
+
+    def route(self, inputs):
+        """Route a vector of input values through the active configuration."""
+        inputs = np.asarray(inputs)
+        if inputs.shape[0] != self.n_inputs:
+            raise RoutingError(
+                f"expected {self.n_inputs} input values, got {inputs.shape[0]}")
+        return inputs[self.active_mapping]
+
+    def is_permutation(self, name: str | None = None) -> bool:
+        """True if the configuration routes distinct inputs to all outputs."""
+        mapping = (self._configs[name] if name is not None
+                   else self.active_mapping)
+        return len(np.unique(mapping)) == len(mapping)
+
+    # -- faulty-lane bypass (paper Fig. 12) ------------------------------------
+
+    def bypass_configuration(self, faulty, name: str = "bypass") -> np.ndarray:
+        """Build and store a configuration that skips faulty input rows.
+
+        Implements the paper's global-sparing repair: logical lane ``j`` is
+        served by the ``j``-th *healthy* physical FU in row order, so any
+        pattern of up to ``n_inputs - n_outputs`` faults (including bursts
+        in adjacent lanes) is repairable.
+
+        Parameters
+        ----------
+        faulty:
+            Iterable of faulty input-row indices (test-time fault map).
+
+        Returns
+        -------
+        numpy.ndarray
+            The stored mapping.
+
+        Raises
+        ------
+        RoutingError
+            If fewer than ``n_outputs`` healthy inputs remain.
+        """
+        faulty = set(int(i) for i in faulty)
+        for i in faulty:
+            if not 0 <= i < self.n_inputs:
+                raise RoutingError(f"faulty index {i} outside crossbar inputs")
+        healthy = [i for i in range(self.n_inputs) if i not in faulty]
+        if len(healthy) < self.n_outputs:
+            raise RoutingError(
+                f"{len(faulty)} faults leave only {len(healthy)} healthy FUs "
+                f"for {self.n_outputs} lanes")
+        mapping = np.asarray(healthy[: self.n_outputs], dtype=int)
+        self.store_configuration(name, mapping)
+        self.select(name)
+        return mapping
+
+    # -- physical scaling ----------------------------------------------------
+
+    def relative_power(self, reference_inputs: int = 128,
+                       exponent: float = 1.5) -> float:
+        """Power relative to a ``reference_inputs``-wide XRAM.
+
+        Crossbar energy is wire dominated; the paper's Table 1 power
+        overheads are consistent with ``power ~ width^1.5``.
+        """
+        if reference_inputs < 1:
+            raise ConfigurationError("reference_inputs must be >= 1")
+        return (self.n_inputs / reference_inputs) ** exponent
+
+    def relative_area(self, reference_inputs: int = 128) -> float:
+        """Area relative to a reference crossbar (crosspoints ~ n_in*n_out)."""
+        if reference_inputs < 1:
+            raise ConfigurationError("reference_inputs must be >= 1")
+        return (self.n_inputs * self.n_outputs) / float(reference_inputs ** 2)

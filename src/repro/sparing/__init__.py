@@ -1,0 +1,43 @@
+"""Structural duplication: spare-lane sizing, placement and repair.
+
+Implements Section 4.1 and Appendix D of the paper: how many spare SIMD
+lanes are needed to restore nominal-voltage timing sign-off at a
+near-threshold operating point (:mod:`repro.sparing.duplication`), whether
+to place them globally (XRAM) or locally (clusters)
+(:mod:`repro.sparing.placement`), and the test-time repair flow that turns
+a fault map into an XRAM bypass configuration
+(:mod:`repro.sparing.repair`).
+"""
+
+from repro.sparing.duplication import (
+    SpareSolution,
+    solve_spares,
+    continuous_spares,
+)
+from repro.sparing.placement import (
+    PlacementResult,
+    repair_probability,
+    compare_placements,
+)
+from repro.sparing.repair import RepairReport, repair_flow
+from repro.sparing.binning import (
+    BinningResult,
+    FrequencyBin,
+    bin_chips,
+    spare_binning_study,
+)
+
+__all__ = [
+    "BinningResult",
+    "FrequencyBin",
+    "bin_chips",
+    "spare_binning_study",
+    "SpareSolution",
+    "solve_spares",
+    "continuous_spares",
+    "PlacementResult",
+    "repair_probability",
+    "compare_placements",
+    "RepairReport",
+    "repair_flow",
+]

@@ -1,0 +1,139 @@
+"""Spare-lane sizing (structural duplication, paper Section 4.1 / Table 1).
+
+The paper adds ``alpha`` spare SIMD functional units to the 128-wide
+datapath; at test time the ``alpha`` slowest lanes are dropped (their FUs
+power-gated) and the XRAM routes around them.  ``alpha`` is sized so the
+99 % point of the resulting chip-delay distribution at the near-threshold
+operating voltage matches the 99 % point of the *unduplicated* chip at
+nominal voltage (both expressed in FO4 units — the ``target delay``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy.optimize import brentq
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.simd.diet_soda import DIET_SODA, DietSodaPE
+
+__all__ = ["SpareSolution", "solve_spares", "continuous_spares"]
+
+
+@dataclass(frozen=True)
+class SpareSolution:
+    """Result of a spare-sizing run.
+
+    ``feasible`` is False when even ``max_spares`` spares cannot reach the
+    target (the paper's ">128" table cells): correlated die-to-die
+    variation slows *every* lane of a slow die, which no amount of lane
+    redundancy can repair.
+    """
+
+    technology: str
+    vdd: float
+    spares: int
+    feasible: bool
+    target_delay: float
+    achieved_delay: float
+    area_overhead: float
+    power_overhead: float
+    max_spares: int
+
+    def summary(self) -> str:
+        spare_txt = (str(self.spares) if self.feasible
+                     else f">{self.max_spares}")
+        return (f"{self.technology}@{self.vdd:.2f}V: {spare_txt} spares "
+                f"(area +{100 * self.area_overhead:.1f} %, "
+                f"power +{100 * self.power_overhead:.1f} %)")
+
+
+def solve_spares(analyzer, vdd, *, target_delay: float | None = None,
+                 max_spares: int = 128, pe: DietSodaPE = DIET_SODA) -> SpareSolution:
+    """Minimum integer spare count restoring the nominal-voltage sign-off.
+
+    Parameters
+    ----------
+    analyzer:
+        A :class:`~repro.core.analyzer.VariationAnalyzer`.
+    vdd:
+        Near-threshold operating voltage (V).
+    target_delay:
+        Sign-off target in seconds; defaults to the paper's definition
+        (``FO4(vdd) * fo4chipd@FV``, see
+        :meth:`~repro.core.analyzer.VariationAnalyzer.target_delay`).
+    max_spares:
+        Saturation bound (paper: 128 — doubling the datapath).
+    pe:
+        Processing element used for overhead accounting.
+
+    Notes
+    -----
+    The 99 % chip delay is monotone non-increasing in the spare count, so
+    a bracketed binary search over integers finds the minimum exactly.
+    """
+    if max_spares < 0:
+        raise ConfigurationError("max_spares must be >= 0")
+    if target_delay is None:
+        target_delay = analyzer.target_delay(vdd)
+
+    def achieved(alpha: int) -> float:
+        return analyzer.chip_quantile(vdd, spares=alpha)
+
+    if achieved(0) <= target_delay:
+        return _solution(analyzer, vdd, 0, True, target_delay, achieved(0),
+                         pe, max_spares)
+    if achieved(max_spares) > target_delay:
+        return _solution(analyzer, vdd, max_spares, False, target_delay,
+                         achieved(max_spares), pe, max_spares)
+
+    lo, hi = 0, max_spares           # achieved(lo) > target >= achieved(hi)
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if achieved(mid) <= target_delay:
+            hi = mid
+        else:
+            lo = mid
+    return _solution(analyzer, vdd, hi, True, target_delay, achieved(hi),
+                     pe, max_spares)
+
+
+def continuous_spares(analyzer, vdd, *, target_delay: float | None = None,
+                      max_spares: float = 512.0) -> float:
+    """Real-valued spare count solving ``q99(vdd, alpha) == target``.
+
+    Uses the continuous order-statistic CDF (regularised incomplete beta);
+    returns ``math.inf`` when saturated.  This is the smooth objective the
+    calibration fitter matches against the paper's Table 1, avoiding
+    integer-jump discontinuities in the least-squares residuals.
+    """
+    if target_delay is None:
+        target_delay = analyzer.target_delay(vdd)
+
+    def gap(alpha: float) -> float:
+        return analyzer.chip_quantile(vdd, spares=alpha) - target_delay
+
+    if gap(0.0) <= 0.0:
+        return 0.0
+    if gap(float(max_spares)) > 0.0:
+        return math.inf
+    try:
+        return brentq(gap, 0.0, float(max_spares), xtol=1e-4)
+    except ValueError as exc:  # pragma: no cover - defensive
+        raise ConvergenceError(f"continuous spare solve failed: {exc}") from exc
+
+
+def _solution(analyzer, vdd, spares: int, feasible: bool, target: float,
+              achieved: float, pe: DietSodaPE, max_spares: int) -> SpareSolution:
+    return SpareSolution(
+        technology=analyzer.tech.name,
+        vdd=float(vdd),
+        spares=int(spares),
+        feasible=feasible,
+        target_delay=float(target),
+        achieved_delay=float(achieved),
+        area_overhead=pe.spare_area_overhead(spares),
+        power_overhead=pe.spare_power_overhead(spares),
+        max_spares=int(max_spares),
+    )

@@ -1,0 +1,98 @@
+"""Test-time repair flow: fault map -> XRAM bypass configuration.
+
+This is the operational counterpart of the sizing analysis: given one
+manufactured chip (a sampled lane-delay vector), screen the lanes against
+the target clock, derive the XRAM shuffle configuration that routes the
+logical SIMD lanes onto healthy physical FUs (paper Fig. 12c), and report
+the post-repair chip delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.simd.datapath import SIMDDatapath
+
+__all__ = ["RepairReport", "repair_flow"]
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """Outcome of the repair flow on one chip sample."""
+
+    repaired: bool
+    n_faulty: int
+    faulty_lanes: tuple
+    mapping: np.ndarray | None
+    effective_delay: float | None
+    clock_period: float
+    meets_timing: bool
+
+    def summary(self) -> str:
+        if not self.repaired:
+            return (f"IRREPARABLE: {self.n_faulty} faulty lanes "
+                    f"{list(self.faulty_lanes)[:8]}...")
+        status = "PASS" if self.meets_timing else "FAIL"
+        return (f"repaired {self.n_faulty} faulty lanes; post-repair delay "
+                f"{1e9 * self.effective_delay:.3f} ns vs clock "
+                f"{1e9 * self.clock_period:.3f} ns -> {status}")
+
+
+def repair_flow(analyzer, vdd, *, spares: int,
+                cluster_size: int | None = None,
+                clock_period: float | None = None,
+                rng=None, seed: int | None = 0,
+                lane_delays=None) -> RepairReport:
+    """Run the full test-and-repair flow on one sampled chip.
+
+    Parameters
+    ----------
+    analyzer:
+        A :class:`~repro.core.analyzer.VariationAnalyzer`.
+    vdd:
+        Operating voltage (V).
+    spares:
+        Spare lanes manufactured.
+    cluster_size:
+        ``None`` for global (XRAM) sparing, else the local cluster size.
+    clock_period:
+        Screening clock (seconds); defaults to the mitigation target.
+    lane_delays:
+        Optional pre-measured lane delays (length ``width + spares``);
+        sampled from the calibrated statistics when omitted.
+    """
+    if clock_period is None:
+        clock_period = analyzer.target_delay(vdd)
+    if lane_delays is None:
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        lane_delays = analyzer.engine.sample_lane_matrix(
+            vdd, 1, rng, spares=spares)[0]
+
+    datapath = SIMDDatapath(analyzer.width, spares=spares,
+                            cluster_size=cluster_size)
+    datapath.load_delays(lane_delays)
+    faulty = datapath.test(clock_period)
+    faulty_ids = tuple(l.index for l in faulty)
+
+    try:
+        mapping = datapath.repair()
+    except RoutingError:
+        return RepairReport(
+            repaired=False, n_faulty=len(faulty_ids), faulty_lanes=faulty_ids,
+            mapping=None, effective_delay=None,
+            clock_period=float(clock_period), meets_timing=False)
+
+    effective = datapath.effective_delay()
+    return RepairReport(
+        repaired=True,
+        n_faulty=len(faulty_ids),
+        faulty_lanes=faulty_ids,
+        mapping=mapping,
+        effective_delay=float(effective),
+        clock_period=float(clock_period),
+        meets_timing=bool(effective <= clock_period),
+    )

@@ -1,0 +1,81 @@
+"""Unit helpers.
+
+The library computes internally in SI units (volts, seconds, watts).  The
+paper, however, reports voltages in millivolts, delays in nanoseconds or
+"FO4 units", and overheads in percent.  These helpers make conversions
+explicit at API boundaries instead of scattering magic constants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Boltzmann constant times unit charge at room temperature (300 K), volts.
+THERMAL_VOLTAGE = 0.02585
+
+# ---------------------------------------------------------------------------
+# Voltage
+# ---------------------------------------------------------------------------
+
+
+def mv(value):
+    """Convert millivolts to volts (``mv(500) == 0.5``)."""
+    return np.asarray(value, dtype=float) / 1e3 if np.ndim(value) else float(value) / 1e3
+
+
+def to_mv(volts):
+    """Convert volts to millivolts."""
+    return np.asarray(volts, dtype=float) * 1e3 if np.ndim(volts) else float(volts) * 1e3
+
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+
+def ps(value):
+    """Convert picoseconds to seconds."""
+    return np.asarray(value, dtype=float) * 1e-12 if np.ndim(value) else float(value) * 1e-12
+
+
+def ns(value):
+    """Convert nanoseconds to seconds."""
+    return np.asarray(value, dtype=float) * 1e-9 if np.ndim(value) else float(value) * 1e-9
+
+
+def to_ps(seconds):
+    """Convert seconds to picoseconds."""
+    return np.asarray(seconds, dtype=float) * 1e12 if np.ndim(seconds) else float(seconds) * 1e12
+
+
+def to_ns(seconds):
+    """Convert seconds to nanoseconds."""
+    return np.asarray(seconds, dtype=float) * 1e9 if np.ndim(seconds) else float(seconds) * 1e9
+
+
+# ---------------------------------------------------------------------------
+# Ratios
+# ---------------------------------------------------------------------------
+
+
+def percent(fraction):
+    """Convert a fraction to percent (``percent(0.05) == 5.0``)."""
+    return np.asarray(fraction, dtype=float) * 100.0 if np.ndim(fraction) else float(fraction) * 100.0
+
+
+def from_percent(value):
+    """Convert percent to a fraction (``from_percent(5.0) == 0.05``)."""
+    return np.asarray(value, dtype=float) / 100.0 if np.ndim(value) else float(value) / 100.0
+
+
+def three_sigma_over_mu(samples, axis=None):
+    """The paper's variation metric: ``3 * std / mean`` as a *fraction*.
+
+    ``samples`` may be any array-like of delay samples.  Uses the
+    population standard deviation (ddof=0), matching how distribution
+    spread is quoted for Monte-Carlo ensembles.
+    """
+    samples = np.asarray(samples, dtype=float)
+    mean = samples.mean(axis=axis)
+    std = samples.std(axis=axis)
+    return 3.0 * std / mean

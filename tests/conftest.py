@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.analyzer import VariationAnalyzer
+from repro.devices.technology import available_technologies, get_technology
+
+
+@pytest.fixture(scope="session")
+def tech90():
+    return get_technology("90nm")
+
+
+@pytest.fixture(scope="session")
+def tech22():
+    return get_technology("22nm")
+
+
+@pytest.fixture(scope="session", params=available_technologies())
+def any_tech(request):
+    """Parametrised over all four technology cards."""
+    return get_technology(request.param)
+
+
+@pytest.fixture(scope="session")
+def analyzer90():
+    """Full-size 90 nm analyzer shared across tests (cached quadratures)."""
+    return VariationAnalyzer("90nm")
+
+
+@pytest.fixture(scope="session")
+def analyzer45():
+    return VariationAnalyzer("45nm")
+
+
+@pytest.fixture(scope="session")
+def small_analyzer(tech90):
+    """A small architecture for fast cross-validation tests."""
+    return VariationAnalyzer(tech90, width=16, paths_per_lane=10,
+                             chain_length=20)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

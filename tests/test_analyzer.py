@@ -1,0 +1,92 @@
+"""VariationAnalyzer: the high-level API."""
+
+import numpy as np
+import pytest
+
+from repro.core.analyzer import VariationAnalyzer
+from repro.core.results import DelayDistribution
+from repro.errors import ConfigurationError
+
+
+def test_accepts_name_or_card(tech90):
+    by_name = VariationAnalyzer("90nm", width=4, paths_per_lane=2,
+                                chain_length=5)
+    by_card = VariationAnalyzer(tech90, width=4, paths_per_lane=2,
+                                chain_length=5)
+    assert by_name.tech.name == by_card.tech.name == "90nm"
+
+
+def test_rejects_bad_inputs(tech90):
+    with pytest.raises(ConfigurationError):
+        VariationAnalyzer(123)
+    with pytest.raises(ConfigurationError):
+        VariationAnalyzer(tech90, signoff_quantile=1.5)
+
+
+def test_performance_drop_zero_at_nominal(small_analyzer):
+    assert small_analyzer.performance_drop(
+        small_analyzer.nominal_vdd) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_performance_drop_positive_at_ntv(small_analyzer):
+    assert small_analyzer.performance_drop(0.55) > 0
+
+
+def test_performance_drop_monotone(small_analyzer):
+    drops = [small_analyzer.performance_drop(v)
+             for v in (0.5, 0.6, 0.7, 0.8)]
+    assert all(a > b for a, b in zip(drops, drops[1:]))
+
+
+def test_target_delay_definition(small_analyzer):
+    v = 0.55
+    expected = (small_analyzer.fo4_unit(v)
+                * small_analyzer.nominal_signoff_fo4())
+    assert small_analyzer.target_delay(v) == pytest.approx(expected)
+
+
+def test_target_below_achieved_at_ntv(small_analyzer):
+    """The unmitigated chip misses the target at NTV (that's the problem
+    the paper mitigates)."""
+    assert small_analyzer.chip_quantile(0.55) > small_analyzer.target_delay(0.55)
+
+
+def test_chip_quantile_cached(small_analyzer):
+    a = small_analyzer.chip_quantile(0.61)
+    b = small_analyzer.chip_quantile(0.61)
+    assert a is b or a == b
+
+
+def test_distributions_have_fo4_units(small_analyzer):
+    dist = small_analyzer.chip_distribution(0.6, n_samples=500, seed=1)
+    assert isinstance(dist, DelayDistribution)
+    fo4 = dist.in_fo4_units()
+    # A 20-gate path must sit near 20 FO4 units and above.
+    assert 15 < float(np.median(fo4)) < 40
+
+
+def test_distribution_labels(small_analyzer):
+    assert small_analyzer.chip_distribution(
+        0.6, n_samples=10, seed=0).label == "16-wide@0.6V"
+    assert small_analyzer.chip_distribution(
+        0.6, spares=2, n_samples=10, seed=0).label == "16-wide+2-spares@0.6V"
+    assert small_analyzer.lane_distribution(
+        0.6, n_samples=10, seed=0).label == "1-wide@0.6V"
+    assert small_analyzer.path_distribution(
+        0.6, n_samples=10, seed=0).label == "critical-path@0.6V"
+
+
+def test_chain_variation_fraction(analyzer90):
+    v = analyzer90.chain_variation(0.5)
+    assert 0.03 < v < 0.25  # a fraction, not percent
+
+
+def test_monte_carlo_factory_shares_card(small_analyzer):
+    mc = small_analyzer.monte_carlo(seed=0)
+    assert mc.tech is small_analyzer.tech
+
+
+def test_architecture_parameters_exposed(small_analyzer):
+    assert small_analyzer.width == 16
+    assert small_analyzer.paths_per_lane == 10
+    assert small_analyzer.chain_length == 20

@@ -1,0 +1,109 @@
+"""Calibration machinery (anchor decomposition, guesses, residuals).
+
+These test the *fitting tools*, not the fit itself (the baked constants
+are pinned by tests/test_paper_fidelity.py).  Full least-squares runs
+are too slow for the suite; residual evaluation and guess construction
+are cheap and catch regressions in the machinery.
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices.calibration import (
+    CardParameters,
+    card_parameters_of,
+    decompose_fig1_anchors,
+    initial_guess_90nm,
+    make_card,
+    primary_residuals,
+    secondary_residuals,
+)
+from repro.devices.paper_anchors import (
+    FIG1_CHAIN50_3SIGMA,
+    FIG1_SINGLE_3SIGMA,
+)
+
+
+def test_anchor_decomposition_consistency():
+    """r/c must recombine to the original single/chain anchors."""
+    anchors = decompose_fig1_anchors()
+    for vdd, (r, c) in anchors.items():
+        single = 300 * np.hypot(r, c)
+        chain = 300 * np.hypot(r / np.sqrt(50), c)
+        assert single == pytest.approx(FIG1_SINGLE_3SIGMA[vdd], rel=1e-6)
+        assert chain == pytest.approx(FIG1_CHAIN50_3SIGMA[vdd], rel=1e-6)
+
+
+def test_anchor_decomposition_random_dominates():
+    anchors = decompose_fig1_anchors()
+    for vdd, (r, c) in anchors.items():
+        assert r > c > 0
+
+
+def test_initial_guess_shape_and_bounds():
+    x0 = initial_guess_90nm(0.30, 0.17, 1.25, 1.8, 0.3)
+    assert x0.shape == (12,)
+    # Sigmas non-negative, scale is a log.
+    assert np.all(x0[5:11] >= 0)
+    assert -30 < x0[11] < -18
+
+
+def test_initial_guess_hits_fig1_endpoints():
+    """The delta-method start must land near the 1.0/0.5 V anchors."""
+    from repro.core.analyzer import VariationAnalyzer
+    x0 = initial_guess_90nm(0.30, 0.17, 1.25, 1.8, 0.3)
+    p = CardParameters(
+        vth0=x0[0], vth_split=x0[1], n_slope=x0[2], alpha=x0[3],
+        strength_p=x0[4], sigma_vth_wid=x0[5], sigma_vth_lane=x0[6],
+        sigma_vth_d2d=x0[7], sigma_mult_rand=x0[8], sigma_mult_lane=x0[9],
+        sigma_mult_corr=x0[10], fo4_scale=float(np.exp(x0[11])))
+    analyzer = VariationAnalyzer(make_card("90nm", p))
+    assert 100 * analyzer.chain_variation(1.0, 1) == pytest.approx(
+        FIG1_SINGLE_3SIGMA[1.0], rel=0.1)
+    assert 100 * analyzer.chain_variation(0.5, 50) == pytest.approx(
+        FIG1_CHAIN50_3SIGMA[0.5], rel=0.1)
+
+
+def test_card_parameters_roundtrip():
+    p = card_parameters_of("90nm")
+    card = make_card("90nm", p)
+    baked = card_parameters_of("90nm")
+    assert card.mosfet.vth0 == pytest.approx(baked.vth0)
+    assert card.variation.sigma_mult_lane == pytest.approx(
+        baked.sigma_mult_lane)
+
+
+def test_primary_residuals_small_at_baked_constants():
+    """The shipped card must sit near the fit optimum."""
+    p = card_parameters_of("90nm")
+    theta = np.array([p.vth0, p.vth_split, p.n_slope, p.alpha, p.strength_p,
+                      p.sigma_vth_wid, p.sigma_vth_lane, p.sigma_vth_d2d,
+                      p.sigma_mult_rand, p.sigma_mult_lane,
+                      p.sigma_mult_corr, np.log(p.fo4_scale)])
+    residuals = primary_residuals(theta)
+    cost = 0.5 * float(np.sum(residuals ** 2))
+    assert cost < 30.0
+
+
+def test_secondary_residuals_small_at_baked_constants():
+    inherited = card_parameters_of("90nm")
+    for node in ("45nm", "32nm", "22nm"):
+        p = card_parameters_of(node)
+        theta = np.array([p.vth0, p.vth_split, p.sigma_vth_wid,
+                          p.sigma_vth_lane, p.sigma_vth_d2d])
+        residuals = secondary_residuals(theta, node, inherited)
+        cost = 0.5 * float(np.sum(residuals ** 2))
+        assert cost < 30.0, node
+
+
+def test_format_card_is_valid_python():
+    p = card_parameters_of("90nm")
+    snippet = p.format_card("90nm")
+    from repro.devices.mosfet import TransregionalModel
+    from repro.devices.technology import TechnologyNode
+    from repro.devices.variation import VariationModel
+    card = eval(snippet.replace('process="..."', 'process="x"'),
+                {"TechnologyNode": TechnologyNode,
+                 "TransregionalModel": TransregionalModel,
+                 "VariationModel": VariationModel})
+    assert card.mosfet.vth0 == pytest.approx(p.vth0, abs=1e-4)

@@ -1,0 +1,72 @@
+"""Gate chains and ring oscillators."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.chain import GateChain, RingOscillator, fo4_chain
+from repro.errors import ConfigurationError
+from repro.units import three_sigma_over_mu
+
+
+def test_fo4_chain_nominal_delay(tech90):
+    chain = fo4_chain(50)
+    assert len(chain) == 50
+    assert chain.nominal_delay(tech90, 0.6) == pytest.approx(
+        50 * tech90.fo4_unit(0.6))
+
+
+def test_chain_rejects_empty_and_bad_fanout():
+    with pytest.raises(ConfigurationError):
+        fo4_chain(0)
+    with pytest.raises(ConfigurationError):
+        GateChain(["inv"], fanout=0.0)
+
+
+def test_mixed_chain_delay_adds(tech90):
+    chain = GateChain(["inv", "nand2", "nor2"], fanout=2.0)
+    expected = sum(g.delay(tech90, 0.7, 2.0) for g in chain.gates)
+    assert chain.nominal_delay(tech90, 0.7) == pytest.approx(float(expected))
+
+
+def test_chain_sampling_statistics(tech90, rng):
+    chain = fo4_chain(50)
+    samples = chain.sample_delays(tech90, 0.6, 4000, rng)
+    assert samples.mean() == pytest.approx(
+        chain.nominal_delay(tech90, 0.6), rel=0.05)
+    # Matches the MonteCarloEngine's chain (same statistical model).
+    from repro.core.montecarlo import MonteCarloEngine
+    mc = MonteCarloEngine(tech90, seed=4)
+    reference = mc.chain_delays(0.6, 50, 4000)
+    assert float(three_sigma_over_mu(samples)) == pytest.approx(
+        float(three_sigma_over_mu(reference)), rel=0.12)
+
+
+def test_chain_per_stage_fanout(tech90):
+    chain = GateChain(["inv", "inv"], fanout=[1.0, 4.0])
+    d1 = chain.gates[0].delay(tech90, 0.8, 1.0)
+    d2 = chain.gates[1].delay(tech90, 0.8, 4.0)
+    assert chain.nominal_delay(tech90, 0.8) == pytest.approx(float(d1 + d2))
+
+
+def test_ring_oscillator_frequency(tech90):
+    ring = RingOscillator(stages=11, fanout=1.0)
+    f = ring.nominal_frequency(tech90, 1.0)
+    assert f == pytest.approx(
+        1.0 / (2 * ring.chain.nominal_delay(tech90, 1.0)))
+    # NTV ring runs much slower.
+    assert ring.nominal_frequency(tech90, 0.5) < 0.3 * f
+
+
+def test_ring_oscillator_validation():
+    with pytest.raises(ConfigurationError):
+        RingOscillator(stages=4)
+    with pytest.raises(ConfigurationError):
+        RingOscillator(stages=1)
+
+
+def test_ring_oscillator_sampling(tech90, rng):
+    ring = RingOscillator(stages=11)
+    freqs = ring.sample_frequencies(tech90, 0.6, 2000, rng)
+    assert np.all(freqs > 0)
+    spread = freqs.std() / freqs.mean()
+    assert 0.005 < spread < 0.2

@@ -1,0 +1,130 @@
+"""Chip-delay engine: CDF/quantile consistency, order-statistics
+semantics, spare handling."""
+
+import numpy as np
+import pytest
+
+from repro.core.chip_delay import ChipDelayEngine, chip_delay_cdf
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def engine(tech90):
+    return ChipDelayEngine(tech90, width=16, paths_per_lane=10,
+                           chain_length=20)
+
+
+def test_cdf_monotone_in_x(engine):
+    med = engine.chip_quantile(0.6, 0.5)
+    xs = np.linspace(0.8 * med, 1.3 * med, 40)
+    cdf = engine.chip_cdf(0.6, xs)
+    assert np.all(np.diff(cdf) >= -1e-12)
+    assert cdf[0] < 0.05 and cdf[-1] > 0.95
+
+
+def test_quantile_inverts_cdf(engine):
+    for q in (0.1, 0.5, 0.9, 0.99):
+        x = engine.chip_quantile(0.6, q)
+        assert float(engine.chip_cdf(0.6, x)) == pytest.approx(q, abs=1e-6)
+
+
+def test_quantile_decreases_with_spares(engine):
+    qs = [engine.chip_quantile(0.55, spares=a) for a in (0, 1, 2, 4, 8)]
+    assert all(a > b for a, b in zip(qs, qs[1:]))
+
+
+def test_fractional_spares_interpolate(engine):
+    q1 = engine.chip_quantile(0.55, spares=1)
+    q15 = engine.chip_quantile(0.55, spares=1.5)
+    q2 = engine.chip_quantile(0.55, spares=2)
+    assert q2 < q15 < q1
+
+
+def test_quantile_increases_at_lower_vdd(engine):
+    assert engine.chip_quantile(0.5) > engine.chip_quantile(0.6) \
+        > engine.chip_quantile(0.8)
+
+
+def test_wider_chip_is_slower(tech90):
+    narrow = ChipDelayEngine(tech90, width=4, paths_per_lane=10,
+                             chain_length=20)
+    wide = ChipDelayEngine(tech90, width=64, paths_per_lane=10,
+                           chain_length=20)
+    assert wide.chip_quantile(0.6) > narrow.chip_quantile(0.6)
+
+
+def test_more_paths_per_lane_is_slower(tech90):
+    few = ChipDelayEngine(tech90, width=16, paths_per_lane=5,
+                          chain_length=20)
+    many = ChipDelayEngine(tech90, width=16, paths_per_lane=100,
+                           chain_length=20)
+    assert many.chip_quantile(0.6) > few.chip_quantile(0.6)
+
+
+def test_sampling_matches_deterministic_quantile(engine, rng):
+    samples = engine.sample_chips(0.55, 40_000, rng)
+    empirical = np.quantile(samples, 0.99)
+    deterministic = engine.chip_quantile(0.55, 0.99)
+    assert empirical == pytest.approx(deterministic, rel=0.01)
+
+
+def test_sampling_with_spares_matches_quantile(engine, rng):
+    samples = engine.sample_chips(0.55, 40_000, rng, spares=4)
+    empirical = np.quantile(samples, 0.99)
+    deterministic = engine.chip_quantile(0.55, 0.99, spares=4)
+    assert empirical == pytest.approx(deterministic, rel=0.01)
+
+
+def test_spare_sampling_equals_partition_of_lane_matrix(engine):
+    rng1 = np.random.default_rng(5)
+    rng2 = np.random.default_rng(5)
+    chips = engine.sample_chips(0.6, 200, rng1, spares=3)
+    lanes = engine.sample_lane_matrix(0.6, 200, rng2, spares=3)
+    expected = np.sort(lanes, axis=1)[:, -4]  # 4th largest = drop 3
+    np.testing.assert_allclose(chips, expected, rtol=1e-12)
+
+
+def test_lane_is_max_ordering(engine, rng):
+    """lane delays stochastically dominate path delays."""
+    paths = engine.sample_paths(0.6, 20_000, rng)
+    lanes = engine.sample_lanes(0.6, 20_000, rng)
+    assert lanes.mean() > paths.mean()
+    assert np.quantile(lanes, 0.99) > np.quantile(paths, 0.99)
+
+
+def test_chain_statistics_scaling(engine):
+    one = engine.chain_statistics(0.6, 1)
+    fifty = engine.chain_statistics(0.6, 50)
+    assert float(fifty.mean) == pytest.approx(50 * float(one.mean), rel=1e-9)
+    # Averaging: relative spread shrinks but stays above correlated floor.
+    assert float(fifty.three_sigma_over_mu) < float(one.three_sigma_over_mu)
+    floor = np.hypot(engine.tech.variation.sigma_mult_chain_corr, 0.0)
+    assert float(fifty.three_sigma_over_mu) > 3 * floor * 0.9
+
+
+def test_invalid_arguments(engine, tech90):
+    with pytest.raises(ConfigurationError):
+        ChipDelayEngine(tech90, width=0)
+    with pytest.raises(ConfigurationError):
+        engine.chip_quantile(0.6, q=1.5)
+    with pytest.raises(ConfigurationError):
+        engine.chip_cdf(0.6, 1e-9, spares=-1)
+    with pytest.raises(ConfigurationError):
+        engine.sample_chips(0.6, 10, np.random.default_rng(0), spares=1.5)
+
+
+def test_functional_wrapper(tech90):
+    x = chip_delay_cdf(tech90, 0.6, 1e-7, width=4, paths_per_lane=5,
+                       chain_length=10)
+    assert 0.0 <= float(x) <= 1.0
+
+
+def test_integer_spares_match_binomial_form(engine):
+    """betainc(width, a+1, g) must equal the binomial tail for integer a."""
+    from scipy.special import betainc
+    from scipy.stats import binom
+    g = np.linspace(0.01, 0.999, 50)
+    for a in (1, 3, 7):
+        beta_form = betainc(engine.width, a + 1.0, g)
+        binom_form = binom.cdf(a, engine.width + a, 1.0 - g)
+        np.testing.assert_allclose(beta_form, binom_form, atol=1e-12)

@@ -1,0 +1,64 @@
+"""Combined duplication + margining optimisation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mitigation.combined import (
+    enumerate_combinations,
+    evaluate_point,
+    optimize_combination,
+    required_margin_for_spares,
+)
+
+
+def test_margin_decreases_with_spares(analyzer45):
+    margins = [required_margin_for_spares(analyzer45, 0.6, s)
+               for s in (0, 2, 8, 26)]
+    assert all(m is not None for m in margins)
+    assert all(a >= b for a, b in zip(margins, margins[1:]))
+
+
+def test_pure_margining_matches_margin_solver(analyzer45):
+    from repro.mitigation.voltage_margin import solve_voltage_margin
+    combo = required_margin_for_spares(analyzer45, 0.6, 0)
+    pure = solve_voltage_margin(analyzer45, 0.6).margin
+    assert combo == pytest.approx(pure, abs=2e-5)
+
+
+def test_enumerate_combinations_rows(analyzer45):
+    points = enumerate_combinations(analyzer45, 0.6, (0, 2, 8))
+    assert [p.spares for p in points] == [0, 2, 8]
+    assert all(p.feasible for p in points)
+    # Margin power falls, spare power rises.
+    assert points[0].margin_power_overhead > points[-1].margin_power_overhead
+    assert points[0].spare_power_overhead < points[-1].spare_power_overhead
+
+
+def test_optimum_beats_pure_techniques(analyzer45):
+    best = optimize_combination(analyzer45, 0.6)
+    pure_margin = evaluate_point(analyzer45, 0.6, 0)
+    assert best.power_overhead <= pure_margin.power_overhead + 1e-12
+    assert best.feasible
+    # Paper's headline: the optimum is an interior point at 45nm/600mV.
+    assert best.spares > 0
+    assert best.margin > 0
+
+
+def test_point_accounting_consistent(analyzer45):
+    from repro.simd.diet_soda import DIET_SODA
+    p = evaluate_point(analyzer45, 0.6, 4)
+    assert p.power_overhead == pytest.approx(
+        DIET_SODA.spare_power_overhead(4)
+        + DIET_SODA.margin_power_overhead(0.6, p.margin))
+    assert p.area_overhead == pytest.approx(DIET_SODA.spare_area_overhead(4))
+    assert "spares" in p.summary()
+
+
+def test_negative_spares_rejected(analyzer45):
+    with pytest.raises(ConfigurationError):
+        required_margin_for_spares(analyzer45, 0.6, -1)
+
+
+def test_infeasible_budget_returns_none(analyzer45):
+    assert required_margin_for_spares(analyzer45, 0.5, 0,
+                                      max_margin=1e-4) is None

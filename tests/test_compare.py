@@ -1,0 +1,44 @@
+"""Duplication-vs-margining comparison (Fig. 7 logic)."""
+
+import pytest
+
+from repro.mitigation.compare import compare_techniques, crossover_voltage
+
+
+def test_comparison_fields(analyzer90):
+    c = compare_techniques(analyzer90, 0.6)
+    assert c.technology == "90nm"
+    assert c.duplication_feasible
+    assert c.margin_feasible
+    assert c.winner in ("duplication", "margining")
+    assert "->" in c.summary()
+
+
+def test_duplication_wins_high_v_90nm(analyzer90):
+    """Paper: at 90nm duplication alone handles the variation (cheap)."""
+    c = compare_techniques(analyzer90, 0.65)
+    assert c.winner == "duplication"
+
+
+def test_margining_wins_when_duplication_saturates(analyzer45):
+    c = compare_techniques(analyzer45, 0.5)
+    assert not c.duplication_feasible
+    assert c.winner == "margining"
+
+
+def test_crossover_exists_for_advanced_node(analyzer45):
+    voltages = (0.5, 0.55, 0.6, 0.65, 0.7)
+    crossover = crossover_voltage(analyzer45, voltages)
+    assert crossover is not None
+    # Below the crossover margining must win.
+    low = compare_techniques(analyzer45, 0.5)
+    assert low.winner == "margining"
+
+
+def test_comparisons_share_target(analyzer90):
+    """Both techniques are judged against the same sign-off target."""
+    from repro.mitigation.voltage_margin import solve_voltage_margin
+    from repro.sparing.duplication import solve_spares
+    dup = solve_spares(analyzer90, 0.6)
+    mar = solve_voltage_margin(analyzer90, 0.6)
+    assert dup.target_delay == pytest.approx(mar.target_delay)

@@ -1,0 +1,67 @@
+"""Cross-validation: the analytic order-statistics engine against the
+brute-force per-gate Monte-Carlo, on a reduced architecture.
+
+This is the correctness keystone: if the Cornish-Fisher path
+approximation or the quadrature over the correlated scales were wrong,
+the two engines would disagree at the distribution tails.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.chip_delay import ChipDelayEngine
+from repro.core.montecarlo import MonteCarloEngine
+
+WIDTH, PATHS, CHAIN = 16, 10, 20
+
+
+@pytest.fixture(scope="module")
+def engines(tech90):
+    analytic = ChipDelayEngine(tech90, width=WIDTH, paths_per_lane=PATHS,
+                               chain_length=CHAIN)
+    mc = MonteCarloEngine(tech90, seed=99)
+    return analytic, mc
+
+
+@pytest.mark.parametrize("vdd", [0.5, 0.7, 1.0])
+def test_chain_statistics_match_full_mc(engines, vdd):
+    analytic, mc = engines
+    samples = mc.chain_delays(vdd, CHAIN, 40_000)
+    stats = analytic.chain_statistics(vdd, CHAIN)
+    assert float(stats.mean) == pytest.approx(samples.mean(), rel=3e-3)
+    assert float(stats.std) == pytest.approx(samples.std(), rel=0.03)
+
+
+@pytest.mark.parametrize("vdd", [0.55, 0.8])
+def test_chip_delay_distribution_matches_full_mc(engines, vdd):
+    analytic, mc = engines
+    full = mc.system_delays(vdd, width=WIDTH, paths_per_lane=PATHS,
+                            chain_length=CHAIN, n_chips=4000,
+                            batch_size=250)
+    fast = analytic.sample_chips(vdd, 20_000, np.random.default_rng(3))
+    assert fast.mean() == pytest.approx(full.mean(), rel=0.01)
+    for q in (0.5, 0.9, 0.99):
+        assert np.quantile(fast, q) == pytest.approx(
+            np.quantile(full, q), rel=0.015)
+    deterministic = analytic.chip_quantile(vdd, 0.99)
+    assert deterministic == pytest.approx(np.quantile(full, 0.99), rel=0.015)
+
+
+def test_spare_dropping_matches_full_mc(engines):
+    analytic, mc = engines
+    spares = 3
+    full = mc.system_delays(0.6, width=WIDTH, paths_per_lane=PATHS,
+                            chain_length=CHAIN, n_chips=4000,
+                            spares=spares, batch_size=250)
+    deterministic = analytic.chip_quantile(0.6, 0.99, spares=spares)
+    assert deterministic == pytest.approx(np.quantile(full, 0.99), rel=0.02)
+
+
+def test_lane_delays_match_full_mc(engines):
+    analytic, mc = engines
+    full = mc.lane_delays(0.6, paths_per_lane=PATHS, chain_length=CHAIN,
+                          n_samples=20_000)
+    fast = analytic.sample_lanes(0.6, 20_000, np.random.default_rng(8))
+    assert fast.mean() == pytest.approx(full.mean(), rel=0.01)
+    assert np.quantile(fast, 0.95) == pytest.approx(
+        np.quantile(full, 0.95), rel=0.015)

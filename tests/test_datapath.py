@@ -1,0 +1,107 @@
+"""Structural SIMD datapath: lanes, test and repair."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.simd.datapath import SIMDDatapath
+from repro.simd.lane import LaneState, SIMDLane
+from repro.simd.shuffle import ShuffleNetwork
+
+
+def _delays(n, slow=(), base=1.0, slow_value=2.0):
+    d = np.full(n, base)
+    d[list(slow)] = slow_value
+    return d
+
+
+def test_lane_testing():
+    lane = SIMDLane(index=0, delay=1.5)
+    assert lane.apply_test(2.0) is LaneState.HEALTHY
+    assert lane.apply_test(1.0) is LaneState.FAULTY
+    assert not lane.usable
+
+
+def test_lane_validation():
+    with pytest.raises(ConfigurationError):
+        SIMDLane(index=-1)
+    with pytest.raises(ConfigurationError):
+        SIMDLane(index=0, delay=0.0)
+    with pytest.raises(ConfigurationError):
+        SIMDLane(index=0).apply_test(1.0)
+
+
+def test_global_repair_burst():
+    dp = SIMDDatapath(width=8, spares=2)
+    dp.load_delays(_delays(10, slow=[2, 3]))
+    faulty = dp.test(clock_period=1.5)
+    assert [l.index for l in faulty] == [2, 3]
+    assert dp.repairable()
+    mapping = dp.repair()
+    np.testing.assert_array_equal(mapping, [0, 1, 4, 5, 6, 7, 8, 9])
+    assert dp.effective_delay() == pytest.approx(1.0)
+
+
+def test_local_repair_fails_on_burst():
+    # 8 lanes in clusters of 4, one spare per cluster; burst of 2 faults
+    # inside cluster 0 is unrepairable locally...
+    dp = SIMDDatapath(width=8, spares=2, cluster_size=4)
+    dp.load_delays(_delays(10, slow=[0, 1]))
+    dp.test(1.5)
+    assert not dp.repairable()
+    with pytest.raises(RoutingError):
+        dp.repair()
+    # ...but the same fault pattern is repairable globally.
+    dp2 = SIMDDatapath(width=8, spares=2)
+    dp2.load_delays(_delays(10, slow=[0, 1]))
+    dp2.test(1.5)
+    assert dp2.repairable()
+
+
+def test_local_repair_distributed_faults():
+    dp = SIMDDatapath(width=8, spares=2, cluster_size=4)
+    # One fault in each cluster (clusters are lanes 0-4 and 5-9 inc. spares).
+    dp.load_delays(_delays(10, slow=[1, 6]))
+    dp.test(1.5)
+    assert dp.repairable()
+    mapping = dp.repair()
+    assert len(mapping) == 8
+    assert 1 not in mapping and 6 not in mapping
+
+
+def test_unused_healthy_spares_power_gated():
+    dp = SIMDDatapath(width=4, spares=2)
+    dp.load_delays(_delays(6))
+    dp.test(1.5)
+    dp.repair()
+    states = [l.state for l in dp.lanes]
+    assert states.count(LaneState.POWER_GATED) == 2
+
+
+def test_construction_validation():
+    with pytest.raises(ConfigurationError):
+        SIMDDatapath(width=0)
+    with pytest.raises(ConfigurationError):
+        SIMDDatapath(width=8, spares=-1)
+    with pytest.raises(ConfigurationError):
+        SIMDDatapath(width=8, cluster_size=3)      # not divisible
+    with pytest.raises(ConfigurationError):
+        SIMDDatapath(width=8, spares=3, cluster_size=4)  # uneven spares
+
+
+def test_load_delays_shape_checked():
+    dp = SIMDDatapath(width=4, spares=1)
+    with pytest.raises(ConfigurationError):
+        dp.load_delays(np.ones(4))
+
+
+def test_shuffle_network_scaling():
+    ssn = ShuffleNetwork()
+    assert ssn.power_at_width(128) == pytest.approx(0.137)
+    assert ssn.widening_overhead(0) == pytest.approx(0.0)
+    assert ssn.widening_overhead(128) == pytest.approx(
+        0.137 * (2 ** 1.5 - 1))
+    with pytest.raises(ConfigurationError):
+        ShuffleNetwork(exponent=0.5)
+    with pytest.raises(ConfigurationError):
+        ssn.widening_overhead(-1)

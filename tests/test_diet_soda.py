@@ -1,0 +1,93 @@
+"""Diet SODA PE breakdown and overhead accounting."""
+
+import math
+
+import pytest
+
+from repro.devices.paper_anchors import TABLE1, TABLE2
+from repro.errors import ConfigurationError
+from repro.simd.diet_soda import DIET_SODA, DietSodaPE, Module, VoltageDomain
+
+
+def test_fractions_sum_to_one():
+    assert sum(m.area_fraction for m in DIET_SODA.modules) == pytest.approx(1.0)
+    assert sum(m.power_fraction for m in DIET_SODA.modules) == pytest.approx(1.0)
+
+
+def test_reverse_engineered_constants():
+    assert 100 * DIET_SODA.area_per_spare == pytest.approx(57.8 / 128, rel=1e-6)
+    assert DIET_SODA.dv_power_fraction == pytest.approx(0.43)
+    assert DIET_SODA.shuffle_power_fraction == pytest.approx(0.137)
+
+
+def test_module_lookup():
+    assert DIET_SODA.module("simd-functional-units").domain is VoltageDomain.DUAL
+    with pytest.raises(ConfigurationError):
+        DIET_SODA.module("gpu")
+
+
+def test_spare_area_overhead_matches_table1_intact_cells():
+    """Every intact Table-1 area cell must be reproduced within rounding."""
+    for node, rows in TABLE1.items():
+        for vdd, entry in rows.items():
+            if entry.saturated or entry.inferred:
+                continue
+            model = 100 * DIET_SODA.spare_area_overhead(entry.spares)
+            # Paper truncates to one decimal; allow that rounding.
+            assert model == pytest.approx(entry.area_pct, abs=0.2), \
+                f"{node}@{vdd}"
+
+
+def test_spare_power_overhead_matches_table1_intact_cells():
+    for node, rows in TABLE1.items():
+        for vdd, entry in rows.items():
+            if entry.saturated:
+                continue
+            model = 100 * DIET_SODA.spare_power_overhead(entry.spares)
+            assert model == pytest.approx(entry.power_pct, abs=0.45), \
+                f"{node}@{vdd}: {model} vs {entry.power_pct}"
+
+
+def test_margin_power_overhead_matches_table2():
+    """The 43%-DV-domain V^2 model must reproduce Table 2's power column."""
+    for node, rows in TABLE2.items():
+        for vdd, entry in rows.items():
+            model = 100 * DIET_SODA.margin_power_overhead(
+                vdd, entry.margin_mv * 1e-3)
+            assert model == pytest.approx(entry.power_pct, abs=0.35), \
+                f"{node}@{vdd}: {model} vs {entry.power_pct}"
+
+
+def test_overheads_monotone():
+    assert DIET_SODA.spare_power_overhead(10) > DIET_SODA.spare_power_overhead(2)
+    assert (DIET_SODA.margin_power_overhead(0.5, 0.02)
+            > DIET_SODA.margin_power_overhead(0.5, 0.01))
+
+
+def test_combined_additivity():
+    total = DIET_SODA.combined_power_overhead(4, 0.6, 0.01)
+    assert total == pytest.approx(
+        DIET_SODA.spare_power_overhead(4)
+        + DIET_SODA.margin_power_overhead(0.6, 0.01))
+
+
+def test_validation_errors():
+    with pytest.raises(ConfigurationError):
+        DIET_SODA.spare_area_overhead(-1)
+    with pytest.raises(ConfigurationError):
+        DIET_SODA.margin_power_overhead(0.0, 0.01)
+    with pytest.raises(ConfigurationError):
+        DIET_SODA.margin_power_overhead(0.6, -0.01)
+
+
+def test_inconsistent_breakdown_rejected():
+    bad = (Module("a", VoltageDomain.FULL, 0.5, 0.5),)
+    with pytest.raises(ConfigurationError):
+        DietSodaPE(simd_width=128, modules=bad)
+
+
+def test_domain_power_split():
+    fv = DIET_SODA.domain_power_fraction(VoltageDomain.FULL)
+    dv = DIET_SODA.domain_power_fraction(VoltageDomain.DUAL)
+    assert fv + dv == pytest.approx(1.0)
+    assert fv == pytest.approx(0.57)

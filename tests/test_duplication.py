@@ -1,0 +1,70 @@
+"""Structural-duplication spare solver."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sparing.duplication import continuous_spares, solve_spares
+
+
+def test_minimality(analyzer90):
+    """The solver returns the *smallest* sufficient spare count."""
+    sol = solve_spares(analyzer90, 0.58)
+    assert sol.feasible and sol.spares >= 1
+    target = analyzer90.target_delay(0.58)
+    assert analyzer90.chip_quantile(0.58, spares=sol.spares) <= target
+    assert analyzer90.chip_quantile(0.58, spares=sol.spares - 1) > target
+
+
+def test_zero_spares_at_nominal(analyzer90):
+    sol = solve_spares(analyzer90, analyzer90.nominal_vdd)
+    assert sol.feasible and sol.spares == 0
+    assert sol.power_overhead == 0.0
+    assert sol.area_overhead == 0.0
+
+
+def test_spares_grow_as_voltage_drops(analyzer90):
+    counts = [solve_spares(analyzer90, v).spares
+              for v in (0.52, 0.55, 0.6, 0.65)]
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+    assert counts[0] > counts[-1]
+
+
+def test_saturation_reported(analyzer45):
+    sol = solve_spares(analyzer45, 0.5, max_spares=128)
+    assert not sol.feasible
+    assert sol.spares == 128
+    assert ">128" in sol.summary()
+
+
+def test_custom_target(analyzer90):
+    generous = analyzer90.chip_quantile(0.6) * 1.01
+    sol = solve_spares(analyzer90, 0.6, target_delay=generous)
+    assert sol.spares == 0
+
+
+def test_continuous_consistent_with_integer(analyzer90):
+    cont = continuous_spares(analyzer90, 0.58)
+    sol = solve_spares(analyzer90, 0.58)
+    # The continuous solve has xtol=1e-4 on alpha, so allow that slack
+    # around the integer boundary.
+    assert math.ceil(cont - 1e-3) == sol.spares
+
+
+def test_continuous_saturation_is_inf(analyzer45):
+    assert continuous_spares(analyzer45, 0.5, max_spares=128.0) == math.inf
+
+
+def test_overheads_match_pe_model(analyzer90):
+    from repro.simd.diet_soda import DIET_SODA
+    sol = solve_spares(analyzer90, 0.55)
+    assert sol.power_overhead == pytest.approx(
+        DIET_SODA.spare_power_overhead(sol.spares))
+    assert sol.area_overhead == pytest.approx(
+        DIET_SODA.spare_area_overhead(sol.spares))
+
+
+def test_negative_max_spares_rejected(analyzer90):
+    with pytest.raises(ConfigurationError):
+        solve_spares(analyzer90, 0.6, max_spares=-1)

@@ -1,0 +1,104 @@
+"""Energy model and operating regions (Fig. 9 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.energy.model import EnergyModel
+from repro.energy.regions import (
+    OperatingRegion,
+    classify_region,
+    minimum_energy_voltage,
+    region_boundaries,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def model(tech90):
+    return EnergyModel(tech90)
+
+
+def test_normalised_at_nominal(model, tech90):
+    assert float(model.total_energy(tech90.nominal_vdd)) == pytest.approx(1.0)
+    assert float(model.relative_delay(tech90.nominal_vdd)) == pytest.approx(1.0)
+
+
+def test_leakage_fraction_at_nominal(model, tech90):
+    frac = float(model.leakage_energy(tech90.nominal_vdd))
+    assert frac == pytest.approx(model.leakage_fraction_nominal)
+
+
+def test_ntv_energy_savings_severalfold(model, tech90):
+    """Paper: scaling to NTV yields a several-fold (order 10x counting
+    the full nominal range) energy reduction."""
+    from repro.energy.regions import region_boundaries
+    ntv = region_boundaries(tech90)[0] * 1.05   # just above threshold
+    savings = model.energy_savings_at(ntv)
+    assert 3 < savings < 20
+
+
+def test_ntv_delay_cost_order_10x(model):
+    cost = model.performance_cost_at(0.5)
+    assert 4 < cost < 30
+
+
+def test_energy_minimum_near_subthreshold_boundary(model, tech90):
+    v_min = minimum_energy_voltage(model)
+    sub_near, near_super = region_boundaries(tech90)
+    assert v_min < sub_near + 0.05  # at/below the near-threshold boundary
+    # The minimum is a true interior minimum.
+    e_min = float(model.total_energy(v_min))
+    assert float(model.total_energy(v_min + 0.07)) > e_min
+    assert float(model.total_energy(max(v_min - 0.07, 0.16))) > e_min
+
+
+def test_ntv_vs_minimum_tradeoff(model):
+    """Paper: near-threshold costs ~2x the minimum energy but is far
+    faster than the minimum-energy point."""
+    v_min = minimum_energy_voltage(model)
+    ntv = 0.5
+    energy_ratio = float(model.total_energy(ntv) / model.total_energy(v_min))
+    speedup = float(model.relative_delay(v_min) / model.relative_delay(ntv))
+    assert 1.0 <= energy_ratio < 4.0
+    assert speedup > 2
+
+
+def test_switching_energy_quadratic(model, tech90):
+    e_half = float(model.switching_energy(tech90.nominal_vdd / 2))
+    e_full = float(model.switching_energy(tech90.nominal_vdd))
+    assert e_half == pytest.approx(e_full / 4)
+
+
+def test_leakage_energy_rises_below_threshold(model):
+    assert float(model.leakage_energy(0.25)) > float(model.leakage_energy(0.45))
+
+
+def test_evaluate_point_fields(model):
+    point = model.evaluate(0.5)
+    assert point.total_energy == pytest.approx(
+        point.switching_energy + point.leakage_energy)
+    assert point.region in ("sub", "near", "super")
+    assert point.energy_delay_product == pytest.approx(
+        point.total_energy * point.delay)
+
+
+def test_sweep_length(model):
+    points = model.sweep(np.linspace(0.3, 1.0, 8))
+    assert len(points) == 8
+
+
+def test_region_classification(tech90):
+    assert classify_region(tech90, 0.2) is OperatingRegion.SUB_THRESHOLD
+    assert classify_region(tech90, 1.0) is OperatingRegion.SUPER_THRESHOLD
+    sub_near, _ = region_boundaries(tech90)
+    assert classify_region(
+        tech90, sub_near * 1.2) is OperatingRegion.NEAR_THRESHOLD
+
+
+def test_validation():
+    from repro.devices import get_technology
+    with pytest.raises(ConfigurationError):
+        EnergyModel(get_technology("90nm"), leakage_fraction_nominal=1.5)
+    model = EnergyModel(get_technology("90nm"))
+    with pytest.raises(ConfigurationError):
+        minimum_energy_voltage(model, v_lo=0.9, v_hi=0.5)

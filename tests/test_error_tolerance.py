@@ -1,0 +1,85 @@
+"""Stall/replay error-tolerance model (the paper's rejected alternative)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mitigation.error_tolerance import (
+    ReplayModel,
+    optimal_clock,
+    simd_vs_scalar,
+)
+
+VDD = 0.55
+
+
+@pytest.fixture(scope="module")
+def model(analyzer90):
+    return ReplayModel(analyzer90, penalty_cycles=10.0)
+
+
+def test_error_probability_monotone_in_clock(model):
+    tight = model.error_probability(VDD, 0.9 * model.analyzer.chip_quantile(VDD))
+    loose = model.error_probability(VDD, 1.1 * model.analyzer.chip_quantile(VDD))
+    assert 0 <= loose < tight <= 1
+
+
+def test_error_probability_grows_with_width(model):
+    clock = model.analyzer.chip_quantile(VDD, q=0.5)
+    p1 = model.error_probability(VDD, clock, width=1)
+    p128 = model.error_probability(VDD, clock, width=128)
+    assert p128 > p1
+
+
+def test_chip_cdf_consistency(model, analyzer90):
+    """At the 99% chip quantile, the any-lane error rate is 1%."""
+    clock = analyzer90.chip_quantile(VDD)
+    p = model.error_probability(VDD, clock, width=128)
+    assert p == pytest.approx(0.01, abs=2e-3)
+
+
+def test_effective_throughput_shape(model):
+    safe = model.analyzer.chip_quantile(VDD, q=0.999)
+    reckless = 0.9 * model.analyzer.chip_quantile(VDD, q=0.5)
+    # Overclocking into the error region can *lose* throughput.
+    assert (model.effective_throughput(VDD, safe)
+            > 0.5 * model.effective_throughput(VDD, reckless))
+
+
+def test_optimal_clock_beats_reckless(model):
+    result = optimal_clock(model, VDD, width=128)
+    assert result["throughput"] >= result["safe_throughput"]
+    assert 0 <= result["error_probability"] < 0.5
+    assert result["overclock_gain"] >= 0
+
+
+def test_scalar_tolerates_more_overclocking(model):
+    """A scalar pipeline's throughput-optimal point sits deeper in the
+    error region than the 128-wide machine's (relative to its own safe
+    clock) — the quantitative form of the paper's argument."""
+    simd = optimal_clock(model, VDD, width=128)
+    scalar = optimal_clock(model, VDD, width=1)
+    rel_simd = simd["clock"] / simd["safe_clock"]
+    rel_scalar = scalar["clock"] / scalar["safe_clock"]
+    assert rel_scalar <= rel_simd + 1e-9
+    assert scalar["error_probability"] >= simd["error_probability"] - 1e-12
+
+
+def test_simd_vs_scalar_amplification(analyzer90):
+    result = simd_vs_scalar(analyzer90, VDD)
+    # Any-lane error rate amplifies strongly over the scalar rate ...
+    assert result["amplification"] > 5
+    assert result["p_simd"] > result["p_scalar"]
+    # ... so SIMD throughput derates more and needs a slower clock for
+    # parity.
+    assert (result["throughput_derate_simd"]
+            < result["throughput_derate_scalar"])
+    assert result["clock_slowdown_for_parity"] > 0
+
+
+def test_validation(analyzer90, model):
+    with pytest.raises(ConfigurationError):
+        ReplayModel(analyzer90, penalty_cycles=0)
+    with pytest.raises(ConfigurationError):
+        model.error_probability(VDD, -1.0)
+    with pytest.raises(ConfigurationError):
+        model.error_probability(VDD, 1.0, width=0)

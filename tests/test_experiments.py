@@ -1,0 +1,166 @@
+"""Experiment registry and per-artifact sanity checks (fast mode)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import list_experiments, run_experiment
+
+ALL_IDS = ("fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+           "fig9", "fig10", "fig11", "fig12",
+           "table1", "table2", "table3", "table4")
+ABLATION_IDS = ("ablation1", "ablation2", "ablation3", "ablation4")
+
+
+def test_catalogue_complete():
+    ids = [e.experiment_id for e in list_experiments()]
+    assert ids == list(ALL_IDS) + list(ABLATION_IDS)
+
+
+def test_unknown_experiment():
+    with pytest.raises(ConfigurationError):
+        run_experiment("fig99")
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run every experiment once in fast mode and share the results."""
+    return {eid: run_experiment(eid, fast=True) for eid in ALL_IDS}
+
+
+def test_all_render(results):
+    for eid, res in results.items():
+        text = res.render()
+        assert eid in text
+        assert res.tables, eid
+        for table in res.tables:
+            assert table.rows, f"{eid}: empty table"
+
+
+def test_fig1_chain_averaging(results):
+    data = results["fig1"].data
+    for s, c in zip(data["single"], data["chain"]):
+        assert s > c
+
+
+def test_fig2_node_ordering_at_055(results):
+    data = results["fig2"].data
+    v90 = data["90nm"]["pct"][data["90nm"]["vdd"].index(0.55)]
+    v22 = data["22nm"]["pct"][data["22nm"]["vdd"].index(0.55)]
+    assert v22 > 2 * v90
+
+
+def test_fig3_max_effect_ordering(results):
+    data = results["fig3"].data
+    means = dict(zip(data["labels"], data["mean_fo4"]))
+    assert (means["critical-path@1V"] < means["1-wide@1V"]
+            < means["128-wide@1V"])
+    # NTV curves drift right (in FO4 units).
+    assert means["128-wide@0.5V"] > means["128-wide@1V"]
+
+
+def test_fig4_monotone_drop(results):
+    data = results["fig4"].data["90nm"]
+    voltages = sorted(data)
+    drops = [data[v] for v in voltages]
+    assert all(a >= b for a, b in zip(drops, drops[1:]))
+
+
+def test_fig5_spares_tighten_distribution(results):
+    data = results["fig5"].data
+    p99 = data["p99_fo4"]
+    assert p99[0] > p99[-1]
+    assert data["solver_spares"] is not None
+
+
+def test_fig6_margin_recovers_target(results):
+    data = results["fig6"].data
+    assert data["margin_p99_ns"][0] > data["target_ns"]
+    assert data["margin_p99_ns"][20] <= data["target_ns"]
+    assert data["margin_mv"] is not None
+
+
+def test_fig7_winner_flips_with_voltage(results):
+    rows45 = results["fig7"].data["45nm"]["rows"]
+    by_vdd = {r["vdd"]: r["winner"] for r in rows45}
+    assert by_vdd[0.5] == "margining"
+    assert by_vdd[0.7] == "duplication"
+
+
+def test_fig8_grid_monotone(results):
+    grid = results["fig8"].data["grid"]
+    # More margin -> faster; more spares -> faster.
+    assert grid[(0, 0)] > grid[(0, 20)]
+    assert grid[(0, 0)] > grid[(32, 0)]
+
+
+def test_fig9_minimum_below_ntv(results):
+    data = results["fig9"].data
+    assert data["v_min"] < 0.55
+    assert data["boundaries"][0] < data["boundaries"][1]
+
+
+def test_fig10_inventory_consistent(results):
+    data = results["fig10"].data
+    areas = sum(m["area"] for m in data["modules"].values())
+    powers = sum(m["power"] for m in data["modules"].values())
+    assert areas == pytest.approx(1.0)
+    assert powers == pytest.approx(1.0)
+    assert data["dv_power_fraction"] == pytest.approx(0.43)
+
+
+def test_fig11_diminishing_returns(results):
+    data = results["fig11"].data["90nm"]
+    assert data[1] > data[10] > data[50] > data[200]
+    # Early averaging is much faster than late averaging.
+    early = data[1] - data[10]
+    late = data[50] - data[200]
+    assert early > 3 * late
+
+
+def test_fig12_global_beats_local(results):
+    policies = results["fig12"].data["policies"]
+    global_yield = policies[0]["yield"]
+    assert policies[0]["cluster_size"] is None
+    for p in policies[1:]:
+        assert global_yield >= p["yield"] - 1e-9
+    assert results["fig12"].data["demo_mapping"] == [0, 1, 4, 5, 6, 7, 8, 9]
+
+
+def test_table1_more_spares_at_lower_vdd(results):
+    for node, rows in results["table1"].data.items():
+        feasible = {v: r["spares"] for v, r in rows.items() if r["feasible"]}
+        voltages = sorted(feasible)
+        counts = [feasible[v] for v in voltages]
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+
+def test_table2_margins_positive(results):
+    for node, rows in results["table2"].data.items():
+        for v, r in rows.items():
+            assert r["feasible"] and r["margin_mv"] > 0
+
+
+def test_table3_interior_optimum(results):
+    opt = results["table3"].data["optimum"]
+    assert opt["spares"] > 0 and opt["margin_mv"] > 0
+    points = {p["spares"]: p["power"] for p in results["table3"].data["points"]
+              if p["feasible"]}
+    assert opt["power"] <= min(points.values()) + 1e-9
+
+
+def test_table4_drops_match_fig4(results):
+    t4 = results["table4"].data["90nm"][0.5]["drop"]
+    fig4 = results["fig4"].data["90nm"][0.5] / 100.0
+    assert t4 == pytest.approx(fig4, rel=1e-6)
+    aligned = results["table4"].data["90nm"][0.5]["aligned_drop"]
+    assert aligned >= t4
+
+
+def test_ablation_experiments_run():
+    for eid in ABLATION_IDS:
+        res = run_experiment(eid, fast=True)
+        assert res.tables and res.tables[0].rows
+    decomposition = run_experiment("ablation1", fast=True).data
+    assert decomposition["components"]["threshold (all scales)"] > 0.02
+    structures = run_experiment("ablation3", fast=True).data
+    assert structures["corner_ratio"] < 1.0

@@ -1,0 +1,137 @@
+"""Extension modules: body bias, frequency binning, process corners."""
+
+import numpy as np
+import pytest
+
+from repro.devices.corners import (
+    corner_vs_statistical,
+    derive_corner,
+    standard_corners,
+)
+from repro.errors import ConfigurationError
+from repro.mitigation.body_bias import (
+    compare_with_margining,
+    leakage_overhead,
+    solve_body_bias,
+)
+from repro.sparing.binning import bin_chips, spare_binning_study
+
+VDD = 0.55
+
+
+# -- body bias ---------------------------------------------------------------
+
+
+def test_body_bias_meets_target(analyzer90):
+    sol = solve_body_bias(analyzer90, VDD)
+    assert sol.feasible and sol.v_bb > 0
+    assert sol.achieved_delay <= sol.target_delay * (1 + 1e-6)
+    assert sol.dvth == pytest.approx(0.15 * sol.v_bb)
+
+
+def test_body_bias_zero_at_nominal(analyzer90):
+    sol = solve_body_bias(analyzer90, analyzer90.nominal_vdd)
+    assert sol.feasible and sol.v_bb == 0.0
+    assert sol.power_overhead == 0.0
+
+
+def test_body_bias_grows_at_lower_vdd(analyzer90):
+    low = solve_body_bias(analyzer90, 0.5)
+    high = solve_body_bias(analyzer90, 0.65)
+    assert low.v_bb > high.v_bb > 0
+
+
+def test_leakage_overhead_monotone(analyzer90):
+    small = leakage_overhead(analyzer90, 0.005)
+    large = leakage_overhead(analyzer90, 0.02)
+    assert 0 < small < large
+    with pytest.raises(ConfigurationError):
+        leakage_overhead(analyzer90, -0.01)
+
+
+def test_body_bias_comparison(analyzer90):
+    result = compare_with_margining(analyzer90, VDD)
+    assert result["winner"] in ("body-bias", "margining")
+    assert result["body_bias"].feasible
+    assert result["margining"].feasible
+
+
+def test_body_bias_validation(analyzer90):
+    with pytest.raises(ConfigurationError):
+        solve_body_bias(analyzer90, VDD, body_coefficient=1.5)
+
+
+# -- frequency binning ---------------------------------------------------------
+
+
+def test_binning_partitions_population(analyzer90):
+    result = bin_chips(analyzer90, VDD, n_chips=4000, seed=1)
+    total = sum(b.fraction for b in result.bins) + result.scrap_fraction
+    assert total == pytest.approx(1.0)
+    assert sum(b.count for b in result.bins) <= result.n_chips
+
+
+def test_binning_grades_ordered(analyzer90):
+    result = bin_chips(analyzer90, VDD, n_chips=4000, seed=1)
+    grades = [b.grade for b in result.bins]
+    assert grades == sorted(grades)
+    assert result.bins[0].relative_value == pytest.approx(1.0)
+
+
+def test_spares_improve_bins(analyzer90):
+    study = spare_binning_study(analyzer90, VDD,
+                                spare_options=(0, 8, 16),
+                                n_chips=4000, seed=2)
+    values = [r.expected_value for r in study]
+    yields = [r.full_speed_yield for r in study]
+    assert values[-1] >= values[0]
+    assert yields[-1] >= yields[0]
+    # At this NTV point, unspared full-speed yield is visibly imperfect.
+    assert yields[0] < 0.999
+
+
+def test_binning_rejects_fast_grades(analyzer90):
+    with pytest.raises(ConfigurationError):
+        bin_chips(analyzer90, VDD, grades=(0.9, 1.0), n_chips=100)
+
+
+def test_binning_summary(analyzer90):
+    result = bin_chips(analyzer90, VDD, n_chips=500, seed=3)
+    assert "E[value]" in result.summary()
+
+
+# -- corners -----------------------------------------------------------------
+
+
+def test_corner_ordering(tech90):
+    corners = standard_corners(tech90)
+    ff = float(corners["FF"].fo4_delay(0.6))
+    tt = float(corners["TT"].fo4_delay(0.6))
+    ss = float(corners["SS"].fo4_delay(0.6))
+    assert ff < tt < ss
+
+
+def test_tt_corner_matches_nominal(tech90):
+    tt = standard_corners(tech90)["TT"]
+    assert float(tt.fo4_delay(0.6)) == pytest.approx(tech90.fo4_unit(0.6))
+
+
+def test_corner_card_is_deterministic(tech90):
+    ss = derive_corner(tech90, 3.0)
+    assert ss.tech.variation.sigma_vth_wid == 0.0
+    assert ss.tech.variation.sigma_vth_d2d == 0.0
+    hybrid = derive_corner(tech90, 3.0, include_within_die=True)
+    assert hybrid.tech.variation.sigma_vth_wid > 0.0
+    assert hybrid.tech.variation.sigma_vth_d2d == 0.0
+
+
+def test_corner_vs_statistical(analyzer90):
+    result = corner_vs_statistical(analyzer90, VDD)
+    assert result["corner_delay"] > 0
+    assert result["statistical_delay"] > 0
+    # For the calibrated 90nm card (tiny die-level sigma, large
+    # within-die spread over 12,800 paths), the SS corner *understates*
+    # the wide-SIMD chip delay.
+    assert result["ratio"] < 1.0
+    with pytest.raises(ConfigurationError):
+        corner_vs_statistical(analyzer90, VDD, sigma_count=-1)

@@ -1,0 +1,57 @@
+"""Frequency-margining solver and memory-clock alignment."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mitigation.frequency_margin import (
+    memory_aligned_period,
+    solve_frequency_margin,
+)
+
+
+def test_drop_equals_fig4_drop(analyzer90):
+    sol = solve_frequency_margin(analyzer90, 0.55)
+    assert sol.performance_drop == pytest.approx(
+        analyzer90.performance_drop(0.55), rel=1e-9)
+
+
+def test_variation_aware_period_slower(analyzer90):
+    sol = solve_frequency_margin(analyzer90, 0.6)
+    assert sol.t_va_clk > sol.t_clk
+
+
+def test_memory_alignment_rounds_up():
+    assert memory_aligned_period(10.4, 2.0) == pytest.approx(12.0)
+    assert memory_aligned_period(10.0, 2.0) == pytest.approx(10.0)
+    with pytest.raises(ConfigurationError):
+        memory_aligned_period(-1.0, 2.0)
+    with pytest.raises(ConfigurationError):
+        memory_aligned_period(1.0, 0.0)
+
+
+def test_aligned_solution(analyzer90):
+    mem = analyzer90.chip_quantile(analyzer90.nominal_vdd)
+    sol = solve_frequency_margin(analyzer90, 0.6, memory_period=mem)
+    assert sol.t_va_clk_aligned >= sol.t_va_clk
+    assert sol.aligned_performance_drop >= sol.performance_drop
+    # Aligned period is an exact multiple of the memory clock.
+    ratio = sol.t_va_clk_aligned / mem
+    assert ratio == pytest.approx(round(ratio), abs=1e-9)
+
+
+def test_unaligned_solution_has_no_aligned_fields(analyzer90):
+    sol = solve_frequency_margin(analyzer90, 0.6)
+    assert sol.t_va_clk_aligned is None
+    assert sol.aligned_performance_drop is None
+
+
+def test_advanced_node_drop_larger(analyzer90, analyzer45):
+    d90 = solve_frequency_margin(analyzer90, 0.55).performance_drop
+    d45 = solve_frequency_margin(analyzer45, 0.55).performance_drop
+    assert d45 > 2 * d90
+
+
+def test_summary_contains_periods(analyzer90):
+    sol = solve_frequency_margin(analyzer90, 0.6)
+    text = sol.summary()
+    assert "Tclk" in text and "Tva-clk" in text

@@ -1,0 +1,61 @@
+"""Logical-effort gate library."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import GATE_LIBRARY, Gate, get_gate
+from repro.errors import ConfigurationError
+
+
+def test_library_contents():
+    for name in ("inv", "nand2", "nor2", "xor2", "aoi21", "buf"):
+        assert get_gate(name).name == name
+
+
+def test_unknown_gate():
+    with pytest.raises(ConfigurationError):
+        get_gate("nand17")
+
+
+def test_effort_delay_formula():
+    inv = get_gate("inv")
+    assert inv.effort_delay_units(4.0) == pytest.approx(5.0)
+    nand = get_gate("nand2")
+    assert nand.effort_delay_units(3.0) == pytest.approx(2.0 + 4.0)
+
+
+def test_fo4_inverter_matches_technology_unit(tech90):
+    inv = get_gate("inv")
+    assert float(inv.delay(tech90, 0.6, fanout=4.0)) == pytest.approx(
+        tech90.fo4_unit(0.6))
+
+
+def test_gate_delay_ordering(tech90):
+    """Higher logical effort -> slower gate at the same fanout."""
+    inv = float(get_gate("inv").delay(tech90, 0.6, 4.0))
+    nand = float(get_gate("nand2").delay(tech90, 0.6, 4.0))
+    nor = float(get_gate("nor2").delay(tech90, 0.6, 4.0))
+    xor = float(get_gate("xor2").delay(tech90, 0.6, 4.0))
+    assert inv < nand < nor < xor
+
+
+def test_gate_delay_scales_with_variation(tech90):
+    nand = get_gate("nand2")
+    base = float(nand.delay(tech90, 0.5))
+    slow = float(nand.delay(tech90, 0.5, dvth=0.02))
+    assert slow > base
+    assert float(nand.delay(tech90, 0.5, mult=0.25)) == pytest.approx(
+        1.25 * base)
+
+
+def test_gate_validation():
+    with pytest.raises(ConfigurationError):
+        Gate("bad", logical_effort=0.0, parasitic=1.0, inputs=1)
+    with pytest.raises(ConfigurationError):
+        Gate("bad", logical_effort=1.0, parasitic=1.0, inputs=0)
+    with pytest.raises(ConfigurationError):
+        get_gate("inv").effort_delay_units(0.0)
+
+
+def test_size_scale_positive_everywhere():
+    assert all(g.size_scale > 0 for g in GATE_LIBRARY.values())

@@ -1,0 +1,153 @@
+"""Gauss-Hermite moments and Cornish-Fisher quantiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.moments import (
+    DelayMoments,
+    chain_moments,
+    cornish_fisher_cdf,
+    cornish_fisher_quantile,
+    gate_delay_moments,
+    hermite_nodes,
+)
+from repro.errors import ConfigurationError
+
+
+def test_hermite_nodes_integrate_gaussian_moments():
+    z, w = hermite_nodes(24)
+    assert np.sum(w) == pytest.approx(1.0)
+    assert np.sum(w * z) == pytest.approx(0.0, abs=1e-12)
+    assert np.sum(w * z ** 2) == pytest.approx(1.0)
+    assert np.sum(w * z ** 4) == pytest.approx(3.0)
+
+
+def test_hermite_rejects_tiny_order():
+    with pytest.raises(ConfigurationError):
+        hermite_nodes(1)
+
+
+def test_gate_moments_match_monte_carlo(tech90):
+    """Quadrature moments must agree with brute-force sampling."""
+    rng = np.random.default_rng(42)
+    n = 400_000
+    var = tech90.variation
+    eps = rng.normal(0, var.sigma_vth_wid, n)
+    mult = rng.normal(0, var.sigma_mult_rand, n)
+    samples = tech90.fo4_delay(0.5, eps, mult)
+    m = gate_delay_moments(tech90, 0.5)
+    assert float(m.mean) == pytest.approx(samples.mean(), rel=2e-3)
+    assert float(m.var) == pytest.approx(samples.var(), rel=2e-2)
+    skew_mc = ((samples - samples.mean()) ** 3).mean()
+    assert float(m.third) == pytest.approx(skew_mc, rel=0.15)
+
+
+def test_gate_moments_vectorised_over_die(tech90):
+    offsets = np.array([-0.01, 0.0, 0.01])
+    m = gate_delay_moments(tech90, 0.5, offsets)
+    assert m.mean.shape == (3,)
+    # Higher threshold offset -> slower gate.
+    assert m.mean[2] > m.mean[1] > m.mean[0]
+
+
+def test_chain_moments_additivity(tech90):
+    g = gate_delay_moments(tech90, 0.6)
+    c = chain_moments(g, 50)
+    assert float(c.mean) == pytest.approx(50 * float(g.mean))
+    assert float(c.var) == pytest.approx(50 * float(g.var))
+    assert float(c.third) == pytest.approx(50 * float(g.third))
+    with pytest.raises(ConfigurationError):
+        chain_moments(g, 0)
+
+
+def test_chain_averaging_reduces_relative_spread(tech90):
+    g = gate_delay_moments(tech90, 0.5)
+    c = chain_moments(g, 50)
+    assert float(c.three_sigma_over_mu) == pytest.approx(
+        float(g.three_sigma_over_mu) / np.sqrt(50), rel=1e-6)
+
+
+def _moments(mean=1.0, std=0.1, skew=0.2):
+    var = std ** 2
+    return DelayMoments(mean=np.float64(mean), var=np.float64(var),
+                        third=np.float64(skew * std ** 3))
+
+
+def test_cf_quantile_median_and_symmetry():
+    m = _moments(skew=0.0)
+    assert float(cornish_fisher_quantile(m, 0.5)) == pytest.approx(1.0)
+    hi = float(cornish_fisher_quantile(m, 0.9))
+    lo = float(cornish_fisher_quantile(m, 0.1))
+    assert hi - 1.0 == pytest.approx(1.0 - lo)
+
+
+def test_cf_cdf_inverts_quantile():
+    m = _moments(skew=0.3)
+    u = np.linspace(0.001, 0.999, 101)
+    x = cornish_fisher_quantile(m, u)
+    back = cornish_fisher_cdf(m, x)
+    np.testing.assert_allclose(back, u, atol=1e-10)
+
+
+def test_cf_cdf_inverts_quantile_negative_skew():
+    m = _moments(skew=-0.3)
+    u = np.linspace(0.001, 0.999, 101)
+    back = cornish_fisher_cdf(m, cornish_fisher_quantile(m, u))
+    np.testing.assert_allclose(back, u, atol=1e-10)
+
+
+def test_cf_quantile_monotone_in_u():
+    m = _moments(skew=0.4)
+    u = np.linspace(1e-6, 1 - 1e-6, 1000)
+    x = cornish_fisher_quantile(m, u)
+    assert np.all(np.diff(x) > 0)
+
+
+def test_cf_quantile_rejects_bad_u():
+    m = _moments()
+    with pytest.raises(ConfigurationError):
+        cornish_fisher_quantile(m, 0.0)
+    with pytest.raises(ConfigurationError):
+        cornish_fisher_quantile(m, 1.0)
+
+
+def test_cf_matches_gaussian_when_skewless():
+    from scipy.stats import norm
+    m = _moments(mean=2.0, std=0.5, skew=0.0)
+    u = np.array([0.01, 0.25, 0.75, 0.99])
+    np.testing.assert_allclose(cornish_fisher_quantile(m, u),
+                               norm.ppf(u, 2.0, 0.5), rtol=1e-10)
+
+
+def test_cf_approximates_lognormal_tail():
+    """CF with matched cumulants should track a mildly-skewed lognormal."""
+    sigma = 0.05
+    mean = np.exp(sigma ** 2 / 2)
+    var = (np.exp(sigma ** 2) - 1) * np.exp(sigma ** 2)
+    skew = (np.exp(sigma ** 2) + 2) * np.sqrt(np.exp(sigma ** 2) - 1)
+    m = DelayMoments(mean=np.float64(mean), var=np.float64(var),
+                     third=np.float64(skew * var ** 1.5))
+    from scipy.stats import lognorm
+    for q in (0.9, 0.99, 0.999):
+        exact = lognorm.ppf(q, sigma)
+        approx = float(cornish_fisher_quantile(m, q))
+        assert approx == pytest.approx(exact, rel=2e-3)
+
+
+def test_moments_scaled():
+    m = _moments(mean=1.0, std=0.1, skew=0.2)
+    s = m.scaled(2.0)
+    assert float(s.mean) == pytest.approx(2.0)
+    assert float(s.std) == pytest.approx(0.2)
+    # Skewness is scale-invariant.
+    assert float(s.skewness) == pytest.approx(float(m.skewness))
+
+
+@settings(max_examples=40, deadline=None)
+@given(skew=st.floats(-0.8, 0.8), u=st.floats(0.001, 0.999))
+def test_cf_roundtrip_property(skew, u):
+    m = _moments(skew=skew)
+    x = cornish_fisher_quantile(m, u)
+    assert float(cornish_fisher_cdf(m, x)) == pytest.approx(u, abs=1e-8)

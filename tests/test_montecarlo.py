@@ -1,0 +1,78 @@
+"""Per-gate Monte-Carlo engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.montecarlo import MonteCarloEngine
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def mc(tech90):
+    return MonteCarloEngine(tech90, seed=3)
+
+
+def test_seed_reproducibility(tech90):
+    a = MonteCarloEngine(tech90, seed=5).chain_delays(0.6, 10, 500)
+    b = MonteCarloEngine(tech90, seed=5).chain_delays(0.6, 10, 500)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_chain_mean_scales_with_length(mc, tech90):
+    short = mc.chain_delays(0.7, 10, 20_000)
+    long = mc.chain_delays(0.7, 40, 20_000)
+    assert long.mean() / short.mean() == pytest.approx(4.0, rel=0.01)
+
+
+def test_chain_matches_nominal_fo4(mc, tech90):
+    samples = mc.chain_delays(0.6, 50, 50_000)
+    nominal = 50 * tech90.fo4_unit(0.6)
+    # Mean exceeds the nominal slightly (convexity of delay in Vth).
+    assert samples.mean() == pytest.approx(nominal, rel=0.05)
+
+
+def test_die_effects_increase_spread(tech90):
+    with_die = MonteCarloEngine(tech90, seed=1).chain_delays(
+        0.6, 50, 20_000, include_die=True)
+    without = MonteCarloEngine(tech90, seed=1).chain_delays(
+        0.6, 50, 20_000, include_die=False)
+    rel_with = with_die.std() / with_die.mean()
+    rel_without = without.std() / without.mean()
+    assert rel_with > rel_without
+
+
+def test_gate_delays_positive(mc):
+    samples = mc.gate_delays(0.5, 5000)
+    assert np.all(samples > 0)
+
+
+def test_system_delays_batching_consistent(tech90):
+    a = MonteCarloEngine(tech90, seed=11).system_delays(
+        0.6, width=4, paths_per_lane=3, chain_length=5, n_chips=300,
+        batch_size=7)
+    b = MonteCarloEngine(tech90, seed=11).system_delays(
+        0.6, width=4, paths_per_lane=3, chain_length=5, n_chips=300,
+        batch_size=300)
+    # Different batching orders draw the same per-chip structure because
+    # every draw happens within a batch; distributions must agree.
+    assert a.mean() == pytest.approx(b.mean(), rel=0.05)
+    assert np.all(a > 0) and np.all(b > 0)
+
+
+def test_system_spares_reduce_delay(tech90):
+    base = MonteCarloEngine(tech90, seed=2).system_delays(
+        0.55, width=16, paths_per_lane=5, chain_length=10, n_chips=1500)
+    spared = MonteCarloEngine(tech90, seed=2).system_delays(
+        0.55, width=16, paths_per_lane=5, chain_length=10, n_chips=1500,
+        spares=4)
+    assert np.quantile(spared, 0.99) < np.quantile(base, 0.99)
+
+
+def test_invalid_args(mc):
+    with pytest.raises(ConfigurationError):
+        mc.chain_delays(0.6, 0, 10)
+    with pytest.raises(ConfigurationError):
+        mc.chain_delays(0.6, 5, 0)
+    with pytest.raises(ConfigurationError):
+        mc.system_delays(0.6, width=4, paths_per_lane=2, chain_length=3,
+                         n_chips=10, spares=-1)

@@ -1,0 +1,149 @@
+"""Transregional MOSFET model invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.mosfet import TransregionalModel
+from repro.errors import VoltageRangeError
+
+
+@pytest.fixture(scope="module")
+def device():
+    return TransregionalModel(vth0=0.35, n_slope=1.4, alpha=1.8, dibl=0.05)
+
+
+@pytest.fixture(scope="module")
+def unbalanced():
+    return TransregionalModel(vth0=0.30, n_slope=1.3, alpha=1.8, dibl=0.05,
+                              vth_split=0.15, strength_p=0.5)
+
+
+def test_drive_monotone_in_vdd(device):
+    v = np.linspace(0.2, 1.2, 200)
+    drives = device.drive(v)
+    assert np.all(np.diff(drives) > 0)
+
+
+def test_drive_monotone_in_vth_shift(device):
+    shifts = np.linspace(-0.05, 0.05, 50)
+    drives = device.drive(0.5, shifts)
+    assert np.all(np.diff(drives) < 0)  # higher Vth -> less current
+
+
+def test_log_drive_consistent(device):
+    v = np.linspace(0.3, 1.0, 20)
+    np.testing.assert_allclose(np.exp(device.log_drive(v)), device.drive(v),
+                               rtol=1e-10)
+
+
+def test_unbalanced_log_drive_consistent(unbalanced):
+    v = np.linspace(0.3, 1.0, 20)
+    np.testing.assert_allclose(np.exp(unbalanced.log_drive(v)),
+                               unbalanced.drive(v), rtol=1e-10)
+
+
+def test_subthreshold_slope_matches_model(device):
+    """Deep sub-threshold current follows exp(alpha V / (2 n vT)).
+
+    The softplus**alpha form has an effective sub-threshold slope factor
+    of 2n/alpha; verify the implementation against that closed form.
+    """
+    v1, v2 = 0.10, 0.12
+    ratio = device.drive(v2) / device.drive(v1)
+    expected = np.exp((v2 - v1) * (1 + device.dibl) * device.alpha
+                      / (2 * device.n_slope * device.thermal_voltage))
+    assert ratio == pytest.approx(expected, rel=0.02)
+
+
+def test_sensitivity_matches_numerical_derivative(device):
+    for vdd in (0.4, 0.5, 0.7, 1.0):
+        h = 1e-6
+        num = (np.log(device.drive(vdd, -h)) - np.log(device.drive(vdd, h))) / (2 * h)
+        # delay ~ 1/I so d ln(delay)/dVth = -d ln(I)/dVth = num with sign.
+        assert device.delay_vth_sensitivity(vdd) == pytest.approx(num, rel=1e-4)
+
+
+def test_sensitivity_matches_numerical_derivative_unbalanced(unbalanced):
+    for vdd in (0.4, 0.5, 0.7, 1.0):
+        h = 1e-6
+        num = (np.log(unbalanced.drive(vdd, -h))
+               - np.log(unbalanced.drive(vdd, h))) / (2 * h)
+        assert unbalanced.delay_vth_sensitivity(vdd) == pytest.approx(
+            num, rel=1e-4)
+
+
+def test_sensitivity_grows_toward_low_voltage(device):
+    v = np.linspace(0.3, 1.0, 40)
+    s = device.delay_vth_sensitivity(v)
+    assert np.all(np.diff(s) < 0)  # decreasing with voltage
+    assert s[0] > 3 * s[-1]
+
+
+def test_sensitivity_bounded_by_subthreshold_limit(device):
+    """S cannot exceed the sub-threshold limit alpha/(2 n vT) * ... ~ 1/(n vT)."""
+    limit = device.alpha / (2 * device.n_slope * device.thermal_voltage)
+    s = device.delay_vth_sensitivity(np.linspace(0.05, 1.2, 100))
+    assert np.all(s <= limit * 1.0001)
+
+
+def test_unbalanced_collapses_to_single_branch():
+    single = TransregionalModel(vth0=0.3, n_slope=1.4, alpha=2.0)
+    merged = TransregionalModel(vth0=0.3, n_slope=1.4, alpha=2.0,
+                                vth_split=0.0, strength_p=1.0)
+    v = np.linspace(0.3, 1.0, 10)
+    np.testing.assert_allclose(single.drive(v), merged.drive(v))
+
+
+def test_unbalanced_weak_branch_dominates_at_low_v(unbalanced):
+    """Near the weak threshold the sensitivity approaches the weak branch's."""
+    s_low = float(unbalanced.delay_vth_sensitivity(0.42))
+    balanced = TransregionalModel(vth0=0.30, n_slope=1.3, alpha=1.8, dibl=0.05)
+    assert s_low > float(balanced.delay_vth_sensitivity(0.42))
+
+
+def test_region_classification(device):
+    assert device.region(0.2) == "sub"
+    assert device.region(0.40) == "near"
+    assert device.region(1.0) == "super"
+
+
+def test_region_rejects_nonpositive(device):
+    with pytest.raises(VoltageRangeError):
+        device.region(0.0)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"vth0": -0.1, "n_slope": 1.4},
+    {"vth0": 0.3, "n_slope": 0.9},
+    {"vth0": 0.3, "n_slope": 1.4, "alpha": 5.0},
+    {"vth0": 0.3, "n_slope": 1.4, "dibl": -0.01},
+    {"vth0": 0.3, "n_slope": 1.4, "vth_split": -0.05},
+    {"vth0": 0.3, "n_slope": 1.4, "strength_p": 0.0},
+])
+def test_constructor_validation(kwargs):
+    with pytest.raises(VoltageRangeError):
+        TransregionalModel(**kwargs)
+
+
+def test_leakage_increases_with_dibl_supply(device):
+    assert device.subthreshold_leakage(1.0) > device.subthreshold_leakage(0.5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(vdd=st.floats(0.2, 1.2), dvth=st.floats(-0.06, 0.06))
+def test_drive_always_positive_finite(vdd, dvth):
+    device = TransregionalModel(vth0=0.35, n_slope=1.4, alpha=1.8, dibl=0.05)
+    d = float(device.drive(vdd, dvth))
+    assert np.isfinite(d) and d > 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(vdd=st.floats(0.25, 1.2))
+def test_broadcasting_matches_scalar(vdd):
+    device = TransregionalModel(vth0=0.35, n_slope=1.4, alpha=1.8)
+    shifts = np.array([-0.02, 0.0, 0.02])
+    vector = device.drive(vdd, shifts)
+    scalars = [float(device.drive(vdd, s)) for s in shifts]
+    np.testing.assert_allclose(vector, scalars, rtol=1e-12)

@@ -1,0 +1,85 @@
+"""Structural netlist."""
+
+import pytest
+
+from repro.circuits.netlist import Netlist
+from repro.errors import NetlistError
+
+
+def _simple():
+    nl = Netlist("simple")
+    nl.add_cell("g1", "nand2", ["a", "b"], "n1")
+    nl.add_cell("g2", "inv", ["n1"], "y")
+    nl.mark_output("y")
+    return nl
+
+
+def test_primary_ports():
+    nl = _simple()
+    assert nl.primary_inputs == ("a", "b")
+    assert nl.primary_outputs == ("y",)
+    assert nl.n_cells == 2
+
+
+def test_duplicate_cell_rejected():
+    nl = _simple()
+    with pytest.raises(NetlistError):
+        nl.add_cell("g1", "inv", ["y"], "z")
+
+
+def test_multiple_drivers_rejected():
+    nl = _simple()
+    with pytest.raises(NetlistError):
+        nl.add_cell("g3", "inv", ["a"], "n1")
+
+
+def test_arity_mismatch_rejected():
+    nl = Netlist()
+    with pytest.raises(NetlistError):
+        nl.add_cell("g1", "nand2", ["a"], "y")
+
+
+def test_topological_order():
+    nl = _simple()
+    order = [c.name for c in nl.topological_order()]
+    assert order.index("g1") < order.index("g2")
+
+
+def test_cycle_detection():
+    nl = Netlist()
+    nl.add_cell("g1", "inv", ["b"], "a")
+    nl.add_cell("g2", "inv", ["a"], "b")
+    with pytest.raises(NetlistError):
+        nl.topological_order()
+
+
+def test_logic_depth():
+    nl = Netlist()
+    nl.add_cell("g1", "inv", ["a"], "n1")
+    nl.add_cell("g2", "inv", ["n1"], "n2")
+    nl.add_cell("g3", "nand2", ["n2", "a"], "y")
+    nl.mark_output("y")
+    assert nl.logic_depth() == 3
+
+
+def test_fanout_counts():
+    nl = Netlist()
+    nl.add_cell("g1", "inv", ["a"], "n1")
+    nl.add_cell("g2", "inv", ["n1"], "y1")
+    nl.add_cell("g3", "inv", ["n1"], "y2")
+    assert nl.fanout_of("g1") == 2
+    assert nl.fanout_of("g2") == 1  # floor of 1 for outputs
+
+
+def test_path_to_tracks_deepest_input():
+    nl = Netlist()
+    nl.add_cell("g1", "inv", ["a"], "n1")
+    nl.add_cell("g2", "inv", ["n1"], "n2")
+    nl.add_cell("g3", "nand2", ["n2", "a"], "y")
+    path = [c.name for c in nl.path_to("y")]
+    assert path == ["g1", "g2", "g3"]
+
+
+def test_missing_cell_lookup():
+    with pytest.raises(NetlistError):
+        _simple().cell("nope")

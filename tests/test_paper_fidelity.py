@@ -1,0 +1,182 @@
+"""Fidelity contract: the calibrated cards must reproduce the paper's
+anchors within stated tolerances.
+
+These tests pin the *shape* claims of the paper (who wins, orderings,
+growth patterns) tightly and the absolute values loosely; EXPERIMENTS.md
+records the exact residuals.  If a card constant is retuned, these tests
+define what "still reproduces the paper" means.
+"""
+
+import math
+
+import pytest
+
+from repro.devices.paper_anchors import (
+    CHAIN50_ABS_DELAY_NS,
+    FIG1_CHAIN50_3SIGMA,
+    FIG1_SINGLE_3SIGMA,
+    FIG2_POINTS,
+    FIG4_PERF_DROP,
+    TABLE1,
+    TABLE2,
+)
+from repro.experiments.registry import get_analyzer
+from repro.mitigation.voltage_margin import solve_voltage_margin
+from repro.sparing.duplication import solve_spares
+
+NODES = ("90nm", "45nm", "32nm", "22nm")
+
+
+# -- Figure 1 -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("vdd,paper", list(FIG1_CHAIN50_3SIGMA.items()))
+def test_fig1_chain_variation(vdd, paper):
+    model = 100 * get_analyzer("90nm").chain_variation(vdd, 50)
+    assert model == pytest.approx(paper, rel=0.08)
+
+
+@pytest.mark.parametrize("vdd,paper", list(FIG1_SINGLE_3SIGMA.items()))
+def test_fig1_single_inverter_variation(vdd, paper):
+    model = 100 * get_analyzer("90nm").chain_variation(vdd, 1)
+    assert model == pytest.approx(paper, rel=0.10)
+
+
+def test_fig1_chain_averaging_effect():
+    """Single-gate variation far exceeds chain variation at every Vdd."""
+    analyzer = get_analyzer("90nm")
+    for vdd in FIG1_SINGLE_3SIGMA:
+        assert (analyzer.chain_variation(vdd, 1)
+                > 2 * analyzer.chain_variation(vdd, 50))
+
+
+@pytest.mark.parametrize("vdd,paper_ns", list(CHAIN50_ABS_DELAY_NS.items()))
+def test_section32_absolute_chain_delays(vdd, paper_ns):
+    model_ns = 1e9 * get_analyzer("90nm").chain_mean_delay(vdd, 50)
+    assert model_ns == pytest.approx(paper_ns, rel=0.10)
+
+
+# -- Figure 2 -----------------------------------------------------------------
+
+
+def test_fig2_22nm_endpoints():
+    analyzer = get_analyzer("22nm")
+    assert 100 * analyzer.chain_variation(0.8) == pytest.approx(
+        FIG2_POINTS["22nm"][0.8], rel=0.10)
+    assert 100 * analyzer.chain_variation(0.5) == pytest.approx(
+        FIG2_POINTS["22nm"][0.5], rel=0.10)
+
+
+def test_fig2_scaling_ratio_at_055():
+    ratio = (get_analyzer("22nm").chain_variation(0.55)
+             / get_analyzer("90nm").chain_variation(0.55))
+    assert ratio == pytest.approx(FIG2_POINTS["ratio_22_over_90_at_055"],
+                                  rel=0.15)
+
+
+def test_fig2_variation_grows_as_vdd_falls():
+    for node in NODES:
+        analyzer = get_analyzer(node)
+        values = [analyzer.chain_variation(v)
+                  for v in (0.5, 0.6, 0.7, analyzer.nominal_vdd)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+
+def test_fig2_90nm_is_least_variable():
+    for node in ("45nm", "32nm", "22nm"):
+        assert (get_analyzer(node).chain_variation(0.55)
+                > get_analyzer("90nm").chain_variation(0.55))
+
+
+# -- Figure 4 -----------------------------------------------------------------
+
+
+def test_fig4_90nm_drop_small():
+    """Headline claim: 90nm performance drop at 0.5 V is only ~5 %."""
+    drop = 100 * get_analyzer("90nm").performance_drop(0.5)
+    assert drop == pytest.approx(FIG4_PERF_DROP["90nm"][0.5], abs=2.5)
+    assert drop < 10
+
+
+def test_fig4_22nm_drop_large():
+    drop = 100 * get_analyzer("22nm").performance_drop(0.5)
+    assert drop == pytest.approx(FIG4_PERF_DROP["22nm"][0.5], rel=0.25)
+
+
+def test_fig4_drop_ordering_90_vs_22():
+    for vdd in (0.5, 0.6, 0.7):
+        assert (get_analyzer("22nm").performance_drop(vdd)
+                > get_analyzer("90nm").performance_drop(vdd))
+
+
+# -- Table 1 ------------------------------------------------------------------
+
+
+def test_table1_saturation_cells():
+    """Every paper ">128" cell must saturate (or nearly so) in the model."""
+    for node, rows in TABLE1.items():
+        for vdd, entry in rows.items():
+            if not entry.saturated:
+                continue
+            sol = solve_spares(get_analyzer(node), vdd)
+            assert (not sol.feasible) or sol.spares > 96, f"{node}@{vdd}"
+
+
+def test_table1_feasible_cells_within_2x():
+    for node, rows in TABLE1.items():
+        for vdd, entry in rows.items():
+            if entry.saturated:
+                continue
+            sol = solve_spares(get_analyzer(node), vdd)
+            assert sol.feasible, f"{node}@{vdd} unexpectedly saturated"
+            ratio = (sol.spares + 1) / (entry.spares + 1)
+            assert 1 / 3 < ratio < 3, \
+                f"{node}@{vdd}: {sol.spares} vs paper {entry.spares}"
+
+
+def test_table1_exponential_growth_90nm():
+    counts = [solve_spares(get_analyzer("90nm"), v).spares
+              for v in (0.5, 0.55, 0.6, 0.65, 0.7)]
+    assert counts[0] > 4 * counts[2] >= counts[2] > counts[4]
+
+
+# -- Table 2 ------------------------------------------------------------------
+
+
+def test_table2_margins_within_50pct():
+    for node, rows in TABLE2.items():
+        for vdd, entry in rows.items():
+            sol = solve_voltage_margin(get_analyzer(node), vdd)
+            assert sol.feasible, f"{node}@{vdd}"
+            assert sol.margin_mv == pytest.approx(entry.margin_mv, rel=0.5), \
+                f"{node}@{vdd}: {sol.margin_mv:.1f} vs {entry.margin_mv}"
+
+
+def test_table2_90nm_margins_are_smallest():
+    for vdd in (0.5, 0.6, 0.7):
+        m90 = solve_voltage_margin(get_analyzer("90nm"), vdd).margin_mv
+        for node in ("45nm", "32nm", "22nm"):
+            assert solve_voltage_margin(get_analyzer(node), vdd).margin_mv > m90
+
+
+# -- Section 4.4 headline -----------------------------------------------------
+
+
+def test_combined_beats_pure_at_45nm_600mv():
+    """Paper Table 3: a few spares + a few mV beats either pure scheme."""
+    from repro.mitigation.combined import evaluate_point, optimize_combination
+    analyzer = get_analyzer("45nm")
+    best = optimize_combination(analyzer, 0.6)
+    pure_margin = evaluate_point(analyzer, 0.6, 0)
+    pure_dup = solve_spares(analyzer, 0.6)
+    assert best.power_overhead < pure_margin.power_overhead
+    assert best.power_overhead < pure_dup.power_overhead
+    assert 0 < best.spares < pure_dup.spares
+
+
+def test_conclusion_90nm_duplication_alone_suffices():
+    """Paper conclusion: at 90nm structural duplication alone handles the
+    variation with small overhead at sensible NTV points."""
+    sol = solve_spares(get_analyzer("90nm"), 0.6)
+    assert sol.feasible
+    assert sol.power_overhead < 0.03

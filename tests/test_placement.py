@@ -1,0 +1,78 @@
+"""Spare placement: global vs local repair yields."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sparing.placement import compare_placements, repair_probability
+
+
+@pytest.fixture(scope="module")
+def placement_args(analyzer90):
+    # A clock between target and unmitigated p99 so faults are common
+    # enough for the yield contrast to show at modest sample counts.
+    clock = analyzer90.target_delay(0.55)
+    return dict(analyzer=analyzer90, vdd=0.55, clock_period=clock)
+
+
+def test_global_beats_local(placement_args):
+    a = placement_args
+    g = repair_probability(a["analyzer"], a["vdd"], spares=32,
+                           clock_period=a["clock_period"],
+                           n_chips=1500, seed=1)
+    l = repair_probability(a["analyzer"], a["vdd"], spares=32,
+                           cluster_size=4, clock_period=a["clock_period"],
+                           n_chips=1500, seed=1)
+    assert g.repair_probability >= l.repair_probability
+    assert g.policy.startswith("global")
+
+
+def test_more_spares_higher_yield(placement_args):
+    a = placement_args
+    lo = repair_probability(a["analyzer"], a["vdd"], spares=8,
+                            clock_period=a["clock_period"],
+                            n_chips=1500, seed=2)
+    hi = repair_probability(a["analyzer"], a["vdd"], spares=64,
+                            clock_period=a["clock_period"],
+                            n_chips=1500, seed=2)
+    assert hi.repair_probability >= lo.repair_probability
+
+
+def test_larger_clusters_trend_toward_global(placement_args):
+    """Bigger clusters pool spares, approaching global flexibility."""
+    a = placement_args
+    yields = []
+    for size in (4, 16, 64):
+        res = repair_probability(a["analyzer"], a["vdd"], spares=32,
+                                 cluster_size=size,
+                                 clock_period=a["clock_period"],
+                                 n_chips=2500, seed=3)
+        yields.append(res.repair_probability)
+    assert yields[-1] >= yields[0]
+
+
+def test_compare_placements_skips_nonintegral(analyzer90):
+    results = compare_placements(analyzer90, 0.55, spares=32,
+                                 cluster_sizes=(4, 5, 7, 8),
+                                 n_chips=300, seed=0)
+    policies = [r.cluster_size for r in results]
+    assert policies[0] is None          # global first
+    assert 5 not in policies and 7 not in policies
+
+
+def test_invalid_configs(analyzer90):
+    with pytest.raises(ConfigurationError):
+        repair_probability(analyzer90, 0.55, spares=-1)
+    with pytest.raises(ConfigurationError):
+        repair_probability(analyzer90, 0.55, spares=32, cluster_size=5,
+                           n_chips=10)
+    with pytest.raises(ConfigurationError):
+        repair_probability(analyzer90, 0.55, spares=30, cluster_size=4,
+                           n_chips=10)  # 30 spares over 32 clusters
+
+
+def test_result_summary_readable(placement_args):
+    a = placement_args
+    res = repair_probability(a["analyzer"], a["vdd"], spares=8,
+                             clock_period=a["clock_period"],
+                             n_chips=200, seed=4)
+    assert "yield" in res.summary()

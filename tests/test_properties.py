@@ -1,0 +1,130 @@
+"""Cross-stack property-based tests (hypothesis).
+
+These pin down invariants that must hold for *any* parameterisation, not
+just the calibrated cards: monotonicities of the delay model, order
+statistics, solver consistency and repair-routing validity.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analyzer import VariationAnalyzer
+from repro.core.chip_delay import ChipDelayEngine
+from repro.devices.mosfet import TransregionalModel
+from repro.devices.technology import TechnologyNode
+from repro.devices.variation import VariationModel
+
+
+def _card(vth0, n_slope, sigma_wid, sigma_lane):
+    return TechnologyNode(
+        name="prop", process="hypothesis card", nominal_vdd=1.0, min_vdd=0.4,
+        mosfet=TransregionalModel(vth0=vth0, n_slope=n_slope, alpha=1.8,
+                                  dibl=0.05),
+        variation=VariationModel(
+            sigma_vth_wid=sigma_wid, sigma_vth_lane=sigma_lane,
+            sigma_vth_d2d=0.002, sigma_mult_rand=0.03,
+            sigma_mult_lane=0.01, sigma_mult_corr=0.005),
+        fo4_scale=1e-10,
+    )
+
+
+card_strategy = st.builds(
+    _card,
+    vth0=st.floats(0.25, 0.42),
+    n_slope=st.floats(1.2, 1.8),
+    sigma_wid=st.floats(0.002, 0.02),
+    sigma_lane=st.floats(0.0, 0.01),
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(card=card_strategy, vdd=st.floats(0.48, 0.95))
+def test_fo4_delay_positive_and_voltage_monotone(card, vdd):
+    d_lo = float(card.fo4_delay(vdd))
+    d_hi = float(card.fo4_delay(vdd + 0.05))
+    assert 0 < d_hi < d_lo
+
+
+@settings(max_examples=10, deadline=None)
+@given(card=card_strategy)
+def test_chain_variation_decreases_with_length(card):
+    engine = ChipDelayEngine(card, width=4, paths_per_lane=4, chain_length=10)
+    v1 = float(engine.chain_statistics(0.55, 1).three_sigma_over_mu)
+    v10 = float(engine.chain_statistics(0.55, 10).three_sigma_over_mu)
+    v100 = float(engine.chain_statistics(0.55, 100).three_sigma_over_mu)
+    assert v1 > v10 > v100 > 0
+    # Floor: the correlated component survives infinite averaging.
+    floor = 3 * card.variation.sigma_mult_chain_corr
+    assert v100 > floor * 0.8
+
+
+@settings(max_examples=8, deadline=None)
+@given(card=card_strategy, vdd=st.floats(0.5, 0.8),
+       spares=st.integers(0, 6))
+def test_chip_quantile_monotone_in_spares_and_q(card, vdd, spares):
+    engine = ChipDelayEngine(card, width=8, paths_per_lane=5, chain_length=10)
+    q50 = engine.chip_quantile(vdd, 0.5, spares=spares)
+    q99 = engine.chip_quantile(vdd, 0.99, spares=spares)
+    assert q99 > q50 > 0
+    if spares:
+        assert engine.chip_quantile(vdd, 0.99, spares=spares - 1) >= q99
+
+
+@settings(max_examples=8, deadline=None)
+@given(card=card_strategy, vdd=st.floats(0.5, 0.7))
+def test_solver_outputs_meet_their_targets(card, vdd):
+    from repro.mitigation.voltage_margin import solve_voltage_margin
+    from repro.sparing.duplication import solve_spares
+    analyzer = VariationAnalyzer(card, width=8, paths_per_lane=5,
+                                 chain_length=10)
+    target = analyzer.target_delay(vdd)
+    dup = solve_spares(analyzer, vdd, max_spares=64)
+    if dup.feasible:
+        assert dup.achieved_delay <= target * (1 + 1e-9)
+    mar = solve_voltage_margin(analyzer, vdd, max_margin=0.3)
+    if mar.feasible:
+        assert mar.achieved_delay <= target * (1 + 1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(width=st.integers(2, 12), spares=st.integers(0, 6),
+       data=st.data())
+def test_repair_mapping_always_valid(width, spares, data):
+    """For any fault pattern within budget, global repair produces a
+    permutation of healthy lanes; beyond budget it must refuse."""
+    from repro.errors import RoutingError
+    from repro.simd.datapath import SIMDDatapath
+    n = width + spares
+    n_faulty = data.draw(st.integers(0, n))
+    faulty = data.draw(st.permutations(range(n))).copy()[:n_faulty]
+    delays = np.ones(n)
+    delays[list(faulty)] = 3.0
+    dp = SIMDDatapath(width=width, spares=spares)
+    dp.load_delays(delays)
+    dp.test(2.0)
+    if n_faulty <= spares:
+        mapping = dp.repair()
+        assert len(set(mapping.tolist())) == width
+        assert not (set(mapping.tolist()) & set(faulty))
+        assert dp.effective_delay() == pytest.approx(1.0)
+    else:
+        assert not dp.repairable()
+        with pytest.raises(RoutingError):
+            dp.repair()
+
+
+@settings(max_examples=10, deadline=None)
+@given(card=card_strategy, vdd=st.floats(0.5, 0.8))
+def test_sampling_consistent_with_cdf(card, vdd):
+    """Empirical ensembles must agree with the deterministic CDF at the
+    median (tight statistics, small n)."""
+    engine = ChipDelayEngine(card, width=8, paths_per_lane=5, chain_length=10)
+    rng = np.random.default_rng(0)
+    samples = engine.sample_chips(vdd, 4000, rng)
+    median = engine.chip_quantile(vdd, 0.5)
+    frac_below = float((samples <= median).mean())
+    assert frac_below == pytest.approx(0.5, abs=0.05)

@@ -1,0 +1,79 @@
+"""Property-based tests for the extension modules."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import quantile_ci
+from repro.devices.spatial import SpatialField
+from repro.simd.floorplan import LaneFloorplan
+from repro.simd.workloads import Phase, SIMDMachine, Workload, execute
+
+
+@settings(max_examples=30, deadline=None)
+@given(vector_ops=st.integers(1, 100_000),
+       parallelism=st.integers(1, 4096),
+       width_a=st.integers(1, 256), width_b=st.integers(1, 256))
+def test_cycles_monotone_in_width(analyzer90, vector_ops, parallelism,
+                                  width_a, width_b):
+    """More lanes never increase the cycle count."""
+    wl = Workload("prop", (Phase("p", vector_ops=vector_ops,
+                                 parallelism=parallelism),))
+    lo, hi = sorted((width_a, width_b))
+    narrow = execute(wl, SIMDMachine(analyzer=analyzer90, vdd=0.7, width=lo))
+    wide = execute(wl, SIMDMachine(analyzer=analyzer90, vdd=0.7, width=hi))
+    assert wide.cycles <= narrow.cycles
+    # Work conservation: cycles * usable lanes >= total ops.
+    usable = min(hi, parallelism)
+    assert wide.vector_cycles * usable >= vector_ops
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=st.lists(st.integers(1, 10_000), min_size=1, max_size=6))
+def test_phase_cycles_additive(analyzer90, ops):
+    """A multi-phase workload costs the sum of its phases."""
+    phases = tuple(Phase(f"p{i}", vector_ops=o, parallelism=128)
+                   for i, o in enumerate(ops))
+    machine = SIMDMachine(analyzer=analyzer90, vdd=0.7, width=128)
+    whole = execute(Workload("whole", phases), machine)
+    parts = sum(execute(Workload(f"part{i}", (p,)), machine).cycles
+                for i, p in enumerate(phases))
+    assert whole.cycles == parts
+
+
+@settings(max_examples=20, deadline=None)
+@given(sigma=st.floats(0.001, 0.05), lc=st.floats(0.05, 20.0),
+       n=st.integers(2, 24))
+def test_spatial_covariance_always_psd(sigma, lc, n):
+    """Any floorplan/field pair yields a valid covariance matrix."""
+    field = SpatialField(sigma=sigma, correlation_length_mm=lc)
+    plan = LaneFloorplan(n_lanes=n, lanes_per_row=max(n // 2, 1))
+    cov = field.covariance_matrix(plan.lane_positions_mm())
+    eigs = np.linalg.eigvalsh(cov)
+    assert eigs.min() > -1e-10 * sigma ** 2
+    # Diagonal equals the point variance.
+    np.testing.assert_allclose(np.diag(cov), sigma ** 2, rtol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(q=st.floats(0.05, 0.99), n=st.integers(100, 3000))
+def test_quantile_ci_brackets_for_any_q(q, n):
+    rng = np.random.default_rng(abs(hash((round(q, 6), n))) % 2 ** 32)
+    samples = rng.exponential(1.0, n)
+    lo, hi = quantile_ci(samples, q)
+    assert lo <= np.quantile(samples, q) <= hi
+
+
+@settings(max_examples=15, deadline=None)
+@given(width=st.integers(4, 64), spares=st.integers(0, 8),
+       faults=st.integers(0, 8))
+def test_binning_value_bounds(analyzer90, width, spares, faults):
+    """Expected chip value always lies in [0, 1]."""
+    from repro.sparing.binning import bin_chips
+    result = bin_chips(analyzer90, 0.6, spares=spares, n_chips=300,
+                       seed=width)
+    assert 0.0 <= result.expected_value <= 1.0
+    assert 0.0 <= result.full_speed_yield <= 1.0

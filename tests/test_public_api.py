@@ -1,0 +1,74 @@
+"""Public API surface: exports resolve, errors share the hierarchy."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro.errors import (
+    CalibrationError,
+    ConfigurationError,
+    ConvergenceError,
+    NetlistError,
+    ReproError,
+    RoutingError,
+    TechnologyError,
+    VoltageRangeError,
+)
+
+PACKAGES = (
+    "repro",
+    "repro.core",
+    "repro.devices",
+    "repro.circuits",
+    "repro.simd",
+    "repro.sparing",
+    "repro.mitigation",
+    "repro.energy",
+    "repro.analysis",
+    "repro.experiments",
+)
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+def test_version_string():
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+
+@pytest.mark.parametrize("exc", [
+    TechnologyError, VoltageRangeError, CalibrationError, ConvergenceError,
+    NetlistError, RoutingError, ConfigurationError,
+])
+def test_error_hierarchy(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_value_error_compatibility():
+    """Range/configuration misuse is also catchable as ValueError."""
+    assert issubclass(VoltageRangeError, ValueError)
+    assert issubclass(ConfigurationError, ValueError)
+
+
+def test_top_level_convenience():
+    analyzer = repro.VariationAnalyzer("90nm", width=4, paths_per_lane=2,
+                                       chain_length=5)
+    assert analyzer.tech is repro.get_technology("90nm")
+    assert "90nm" in repro.available_technologies()
+
+
+def test_analyzer_docstring_examples_current():
+    """The module docstring's quoted numbers track the calibrated cards."""
+    analyzer = repro.VariationAnalyzer("90nm")
+    assert round(100 * analyzer.chain_variation(0.5), 1) == pytest.approx(
+        9.1, abs=0.3)
+    assert round(100 * analyzer.performance_drop(0.5), 1) == pytest.approx(
+        6.5, abs=0.3)

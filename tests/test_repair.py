@@ -1,0 +1,59 @@
+"""Test-time repair flow (fault map -> XRAM bypass)."""
+
+import numpy as np
+import pytest
+
+from repro.sparing.repair import repair_flow
+
+
+def test_repair_with_explicit_delays(small_analyzer):
+    clock = 1.0
+    delays = np.full(18, 0.9)          # width 16 + 2 spares
+    delays[[3, 7]] = 1.5               # two faulty lanes
+    report = repair_flow(small_analyzer, 0.6, spares=2, clock_period=clock,
+                         lane_delays=delays)
+    assert report.repaired
+    assert report.n_faulty == 2
+    assert set(report.faulty_lanes) == {3, 7}
+    assert report.meets_timing
+    assert 3 not in report.mapping and 7 not in report.mapping
+    assert report.effective_delay == pytest.approx(0.9)
+
+
+def test_irreparable_when_faults_exceed_spares(small_analyzer):
+    delays = np.full(17, 0.9)
+    delays[[0, 1, 2]] = 1.5
+    report = repair_flow(small_analyzer, 0.6, spares=1, clock_period=1.0,
+                         lane_delays=delays)
+    assert not report.repaired
+    assert report.mapping is None
+    assert "IRREPARABLE" in report.summary()
+
+
+def test_local_cluster_burst_fails(small_analyzer):
+    delays = np.full(20, 0.9)          # 16 + 4 spares, clusters of 4+1
+    delays[[0, 1]] = 1.5               # burst inside cluster 0
+    report = repair_flow(small_analyzer, 0.6, spares=4, cluster_size=4,
+                         clock_period=1.0, lane_delays=delays)
+    assert not report.repaired
+    # Global sparing repairs the identical chip.
+    report2 = repair_flow(small_analyzer, 0.6, spares=4, clock_period=1.0,
+                          lane_delays=delays)
+    assert report2.repaired
+
+
+def test_sampled_flow_end_to_end(small_analyzer):
+    report = repair_flow(small_analyzer, 0.55, spares=4, seed=9)
+    assert report.clock_period == pytest.approx(
+        small_analyzer.target_delay(0.55))
+    if report.repaired:
+        assert len(report.mapping) == small_analyzer.width
+        assert report.effective_delay > 0
+
+
+def test_healthy_chip_trivial_repair(small_analyzer):
+    delays = np.full(16, 0.5)
+    report = repair_flow(small_analyzer, 0.6, spares=0, clock_period=1.0,
+                         lane_delays=delays)
+    assert report.repaired and report.n_faulty == 0
+    np.testing.assert_array_equal(report.mapping, np.arange(16))

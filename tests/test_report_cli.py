@@ -1,0 +1,71 @@
+"""Report rendering and the experiments CLI."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.__main__ import main as cli_main
+from repro.experiments.report import TextTable, format_value
+
+
+# -- format_value -------------------------------------------------------------
+
+
+def test_format_value_basics():
+    assert format_value(None) == "-"
+    assert format_value(True) == "yes"
+    assert format_value(False) == "no"
+    assert format_value(3) == "3"
+    assert format_value(3.14159) == "3.14"
+    assert format_value("abc") == "abc"
+
+
+def test_format_value_extremes():
+    assert "e" in format_value(1.5e9)
+    assert "e" in format_value(1.5e-7)
+    assert format_value(float("nan")) == "-"
+    assert format_value(0.0) == "0.00"
+
+
+def test_format_value_precision():
+    assert format_value(3.14159, precision=4) == "3.1416"
+
+
+# -- TextTable ----------------------------------------------------------------
+
+
+def test_table_alignment():
+    table = TextTable("My Table", ["col", "value"])
+    table.add_row("a", 1.0)
+    table.add_row("bbbb", 22.5)
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0] == "My Table"
+    # All data rows share the same width.
+    widths = {len(l) for l in lines[2:]}
+    assert len(widths) == 1
+
+
+def test_table_rejects_ragged_rows():
+    table = TextTable("t", ["a", "b"])
+    with pytest.raises(ConfigurationError):
+        table.add_row(1)
+
+
+# -- CLI ------------------------------------------------------------------------
+
+
+def test_cli_list(capsys):
+    assert cli_main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig1" in out and "table4" in out and "ablation1" in out
+
+
+def test_cli_runs_single_experiment(capsys):
+    assert cli_main(["fig9", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "fig9" in out and "completed in" in out
+
+
+def test_cli_unknown_experiment():
+    with pytest.raises(ConfigurationError):
+        cli_main(["fig99"])

@@ -1,0 +1,72 @@
+"""Result containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import DelayDistribution, VariationSweep
+from repro.errors import ConfigurationError
+
+
+def _dist(samples=None, fo4=1e-10):
+    if samples is None:
+        samples = np.linspace(1e-9, 2e-9, 101)
+    return DelayDistribution(samples=samples, vdd=0.6, label="test",
+                             fo4_unit=fo4)
+
+
+def test_distribution_statistics():
+    d = _dist()
+    assert d.mean == pytest.approx(1.5e-9)
+    assert d.percentile(0) == pytest.approx(1e-9)
+    assert d.percentile(100) == pytest.approx(2e-9)
+    assert d.signoff_delay == pytest.approx(d.percentile(99))
+
+
+def test_distribution_fo4_units():
+    d = _dist(fo4=1e-10)
+    np.testing.assert_allclose(d.in_fo4_units(), d.samples / 1e-10)
+    assert d.signoff_fo4 == pytest.approx(d.signoff_delay / 1e-10)
+
+
+def test_distribution_without_fo4_unit_raises():
+    d = DelayDistribution(samples=np.ones(10) * 1e-9, vdd=0.6)
+    with pytest.raises(ConfigurationError):
+        d.in_fo4_units()
+
+
+def test_distribution_rejects_empty():
+    with pytest.raises(ConfigurationError):
+        DelayDistribution(samples=np.array([]), vdd=0.6)
+    with pytest.raises(ConfigurationError):
+        DelayDistribution(samples=np.ones((3, 3)), vdd=0.6)
+
+
+def test_distribution_histogram_in_ns():
+    d = _dist()
+    counts, edges = d.histogram(bins=10)
+    assert counts.sum() == 101
+    assert edges[0] == pytest.approx(1.0)   # ns
+    assert edges[-1] == pytest.approx(2.0)
+
+
+def test_distribution_summary_mentions_label():
+    assert "test" in _dist().summary()
+
+
+def test_sweep_interpolation():
+    sweep = VariationSweep(x=np.array([0.5, 0.6, 0.7]),
+                           values=np.array([10.0, 6.0, 5.0]))
+    assert sweep.value_at(0.55) == pytest.approx(8.0)
+    assert sweep.value_at(0.6) == pytest.approx(6.0)
+
+
+def test_sweep_rows_sorted():
+    sweep = VariationSweep(x=np.array([0.7, 0.5, 0.6]),
+                           values=np.array([5.0, 10.0, 6.0]))
+    xs = [x for x, _ in sweep.rows()]
+    assert xs == sorted(xs)
+
+
+def test_sweep_shape_mismatch():
+    with pytest.raises(ConfigurationError):
+        VariationSweep(x=np.array([1.0, 2.0]), values=np.array([1.0]))

@@ -1,0 +1,126 @@
+"""Spatial variation fields and the lane floorplan."""
+
+import numpy as np
+import pytest
+
+from repro.devices.spatial import (
+    SpatialField,
+    effective_lane_sigma,
+    lane_correlation_matrix,
+)
+from repro.errors import ConfigurationError
+from repro.simd.floorplan import LaneFloorplan
+
+
+@pytest.fixture(scope="module")
+def field():
+    return SpatialField(sigma=0.010, correlation_length_mm=1.0)
+
+
+@pytest.fixture(scope="module")
+def floorplan():
+    return LaneFloorplan()
+
+
+def test_correlation_kernel(field):
+    assert float(field.correlation(0.0)) == pytest.approx(1.0)
+    assert float(field.correlation(1.0)) == pytest.approx(np.exp(-1))
+    assert float(field.correlation(10.0)) < 1e-4
+
+
+def test_covariance_matrix_properties(field, floorplan):
+    cov = field.covariance_matrix(floorplan.lane_positions_mm())
+    assert cov.shape == (128, 128)
+    np.testing.assert_allclose(cov, cov.T)
+    np.testing.assert_allclose(np.diag(cov), field.sigma ** 2)
+    # Positive semi-definite.
+    eigs = np.linalg.eigvalsh(cov)
+    assert eigs.min() > -1e-12
+
+
+def test_sampling_statistics(field, floorplan, rng):
+    samples = field.sample(floorplan.lane_positions_mm()[:16], 20_000, rng)
+    assert samples.shape == (20_000, 16)
+    assert samples.std() == pytest.approx(field.sigma, rel=0.03)
+    # Adjacent lanes (80 um apart, Lc = 1 mm) are highly correlated.
+    r = np.corrcoef(samples[:, 0], samples[:, 1])[0, 1]
+    assert r == pytest.approx(np.exp(-0.08), abs=0.03)
+
+
+def test_zero_sigma_field(floorplan, rng):
+    quiet = SpatialField(sigma=0.0, correlation_length_mm=1.0)
+    samples = quiet.sample(floorplan.lane_positions_mm()[:4], 10, rng)
+    assert np.all(samples == 0)
+    assert np.allclose(lane_correlation_matrix(quiet, floorplan), np.eye(128))
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        SpatialField(sigma=-1, correlation_length_mm=1.0)
+    with pytest.raises(ConfigurationError):
+        SpatialField(sigma=0.01, correlation_length_mm=0.0)
+    field = SpatialField(sigma=0.01, correlation_length_mm=1.0)
+    with pytest.raises(ConfigurationError):
+        field.covariance_matrix(np.zeros((4, 3)))
+
+
+def test_effective_lane_sigma_decomposition(field, floorplan):
+    result = effective_lane_sigma(field, floorplan, n_samples=3000)
+    # The field splits into a die-common part and lane deviations,
+    # recombining to roughly the point sigma.
+    total = np.hypot(result["sigma_die"], result["sigma_lane"])
+    assert total == pytest.approx(field.sigma, rel=0.1)
+    assert result["sigma_lane"] > 0
+    # Adjacent lanes are positively correlated -> bursty faults.
+    assert result["neighbor_correlation"] > 0.5
+
+
+def test_longer_correlation_means_more_die_level(floorplan):
+    """As Lc grows past the die size, the field becomes die-to-die."""
+    short = effective_lane_sigma(
+        SpatialField(0.01, 0.3), floorplan, n_samples=2000)
+    long = effective_lane_sigma(
+        SpatialField(0.01, 30.0), floorplan, n_samples=2000)
+    assert long["sigma_die"] > short["sigma_die"]
+    assert long["sigma_lane"] < short["sigma_lane"]
+
+
+def test_floorplan_geometry(floorplan):
+    pos = floorplan.lane_positions_mm()
+    assert pos.shape == (128, 2)
+    # 4 rows of 32.
+    assert len(np.unique(pos[:, 1])) == 4
+    assert floorplan.lane_distance_mm(0, 1) == pytest.approx(0.08)
+    assert floorplan.lane_distance_mm(0, 32) == pytest.approx(0.9)
+    width, height = floorplan.extent_mm
+    assert width == pytest.approx(31 * 0.08)
+    assert height == pytest.approx(3 * 0.9)
+
+
+def test_floorplan_validation():
+    with pytest.raises(ConfigurationError):
+        LaneFloorplan(n_lanes=0)
+    with pytest.raises(ConfigurationError):
+        LaneFloorplan(lane_pitch_mm=-1)
+    with pytest.raises(ConfigurationError):
+        LaneFloorplan().lane_distance_mm(0, 500)
+
+
+def test_card_abstraction_is_consistent_with_a_field(tech90, floorplan):
+    """The calibrated card's lane/die split corresponds to a plausible
+    spatial field: find the correlation length whose decomposition
+    matches the card's sigma ratio."""
+    var = tech90.variation
+    target_ratio = var.sigma_vth_d2d / max(var.sigma_vth_lane, 1e-12)
+    total = np.hypot(var.sigma_vth_lane, var.sigma_vth_d2d)
+    best = None
+    for lc in (0.1, 0.3, 1.0, 3.0, 10.0, 30.0):
+        result = effective_lane_sigma(SpatialField(total, lc), floorplan,
+                                      n_samples=1500)
+        ratio = result["sigma_die"] / max(result["sigma_lane"], 1e-12)
+        err = abs(np.log(max(ratio, 1e-6) / max(target_ratio, 1e-6)))
+        if best is None or err < best[1]:
+            best = (lc, err)
+    # Some physically sensible correlation length (0.1-30 mm) matches the
+    # calibrated split within a factor ~2.
+    assert best[1] < np.log(2.5)

@@ -1,0 +1,76 @@
+"""Quantile and bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.core.stats import bootstrap_ci, quantile_ci
+from repro.errors import ConfigurationError
+
+
+def test_quantile_ci_brackets_point_estimate(rng):
+    samples = rng.normal(0, 1, 5000)
+    lo, hi = quantile_ci(samples, 0.99)
+    point = np.quantile(samples, 0.99)
+    assert lo <= point <= hi
+    assert hi > lo
+
+
+def test_quantile_ci_coverage(rng):
+    """The 95 % CI should contain the true quantile ~95 % of the time."""
+    true_q99 = norm.ppf(0.99)
+    hits = 0
+    trials = 300
+    for _ in range(trials):
+        samples = rng.normal(0, 1, 800)
+        lo, hi = quantile_ci(samples, 0.99, confidence=0.95)
+        hits += lo <= true_q99 <= hi
+    coverage = hits / trials
+    assert 0.90 <= coverage <= 1.0
+
+
+def test_quantile_ci_narrows_with_samples(rng):
+    small = quantile_ci(rng.normal(0, 1, 500), 0.99)
+    large = quantile_ci(rng.normal(0, 1, 50_000), 0.99)
+    assert (large[1] - large[0]) < (small[1] - small[0])
+
+
+def test_quantile_ci_validation(rng):
+    with pytest.raises(ConfigurationError):
+        quantile_ci([1.0] * 5, 0.99)
+    with pytest.raises(ConfigurationError):
+        quantile_ci(rng.normal(0, 1, 100), 1.5)
+    with pytest.raises(ConfigurationError):
+        quantile_ci(rng.normal(0, 1, 100), 0.5, confidence=0.0)
+
+
+def test_bootstrap_ci_contains_estimate(rng):
+    samples = rng.normal(10, 2, 2000)
+    lo, hi = bootstrap_ci(samples, np.mean, n_boot=300, seed=1)
+    assert lo <= samples.mean() <= hi
+    # Should roughly match the analytic standard error.
+    se = samples.std() / np.sqrt(samples.size)
+    assert (hi - lo) == pytest.approx(2 * 1.96 * se, rel=0.4)
+
+
+def test_bootstrap_ci_reproducible(rng):
+    samples = rng.normal(0, 1, 500)
+    a = bootstrap_ci(samples, np.std, seed=7, n_boot=200)
+    b = bootstrap_ci(samples, np.std, seed=7, n_boot=200)
+    assert a == b
+
+
+def test_bootstrap_validation(rng):
+    with pytest.raises(ConfigurationError):
+        bootstrap_ci([1.0] * 5, np.mean)
+    with pytest.raises(ConfigurationError):
+        bootstrap_ci(rng.normal(0, 1, 100), np.mean, n_boot=5)
+
+
+def test_distribution_signoff_ci(analyzer90):
+    dist = analyzer90.chip_distribution(0.6, n_samples=3000, seed=4)
+    lo, hi = dist.signoff_ci()
+    assert lo <= dist.signoff_delay <= hi
+    # The deterministic quantile should fall inside the sampling CI.
+    deterministic = analyzer90.chip_quantile(0.6)
+    assert lo * 0.995 <= deterministic <= hi * 1.005

@@ -1,0 +1,92 @@
+"""Technology cards and registry."""
+
+import numpy as np
+import pytest
+
+from repro.devices.technology import (
+    TechnologyNode,
+    available_technologies,
+    get_technology,
+)
+from repro.errors import TechnologyError, VoltageRangeError
+
+
+def test_four_nodes_registered():
+    assert available_technologies() == ("90nm", "45nm", "32nm", "22nm")
+
+
+def test_lookup_variants():
+    assert get_technology("90nm").name == "90nm"
+    assert get_technology("90").name == "90nm"
+    assert get_technology(" 22NM ").name == "22nm"
+
+
+def test_unknown_node_raises():
+    with pytest.raises(TechnologyError):
+        get_technology("65nm")
+
+
+def test_nominal_voltages_follow_paper():
+    expected = {"90nm": 1.0, "45nm": 1.0, "32nm": 0.9, "22nm": 0.8}
+    for name, vnom in expected.items():
+        assert get_technology(name).nominal_vdd == pytest.approx(vnom)
+
+
+def test_fo4_delay_decreases_with_voltage(any_tech):
+    voltages = np.linspace(any_tech.min_vdd, any_tech.nominal_vdd, 30)
+    delays = any_tech.fo4_delay(voltages)
+    assert np.all(np.diff(delays) < 0)
+
+
+def test_fo4_delay_increases_with_vth_shift(any_tech):
+    slow = any_tech.fo4_delay(0.5, dvth=0.02)
+    fast = any_tech.fo4_delay(0.5, dvth=-0.02)
+    assert slow > any_tech.fo4_delay(0.5) > fast
+
+
+def test_fo4_mult_factor(any_tech):
+    base = any_tech.fo4_delay(0.6)
+    assert any_tech.fo4_delay(0.6, mult=0.1) == pytest.approx(1.1 * base)
+
+
+def test_log_fo4_delay_consistent(any_tech):
+    v = np.linspace(any_tech.min_vdd, any_tech.nominal_vdd, 10)
+    np.testing.assert_allclose(np.exp(any_tech.log_fo4_delay(v)),
+                               any_tech.fo4_delay(v), rtol=1e-10)
+
+
+def test_delay_voltage_slope_positive_and_steeper_at_ntv(any_tech):
+    s_low = any_tech.delay_voltage_slope(0.5)
+    s_high = any_tech.delay_voltage_slope(any_tech.nominal_vdd - 0.01)
+    assert s_low > s_high > 0
+
+
+def test_validate_vdd(any_tech):
+    any_tech.validate_vdd(0.6)
+    with pytest.raises(VoltageRangeError):
+        any_tech.validate_vdd(any_tech.nominal_vdd + 0.2)
+    with pytest.raises(VoltageRangeError):
+        any_tech.validate_vdd(0.2)
+
+
+def test_with_variation_swaps_model(tech90):
+    quiet = tech90.with_variation(tech90.variation.scaled(0.0))
+    assert quiet.variation.sigma_vth_wid == 0
+    assert quiet.mosfet is tech90.mosfet
+
+
+def test_card_construction_validation(tech90):
+    with pytest.raises(TechnologyError):
+        TechnologyNode(name="x", process="x", nominal_vdd=0.5, min_vdd=0.6,
+                       mosfet=tech90.mosfet, variation=tech90.variation,
+                       fo4_scale=1e-11)
+    with pytest.raises(TechnologyError):
+        TechnologyNode(name="x", process="x", nominal_vdd=1.0, min_vdd=0.5,
+                       mosfet=tech90.mosfet, variation=tech90.variation,
+                       fo4_scale=-1.0)
+
+
+def test_scaling_order_faster_fo4(tech90, tech22):
+    """Newer nodes are faster at their own nominal voltage."""
+    assert (tech22.fo4_unit(tech22.nominal_vdd)
+            < tech90.fo4_unit(tech90.nominal_vdd))

@@ -1,0 +1,56 @@
+"""Temperature behaviour: inverse temperature dependence at NTV."""
+
+import pytest
+
+from repro.devices.temperature import (
+    T_REF,
+    delay_temperature_sensitivity,
+    itd_crossover_voltage,
+    with_temperature,
+)
+from repro.errors import ConfigurationError, ConvergenceError
+
+
+def test_reference_temperature_is_identity(tech90):
+    same = with_temperature(tech90, T_REF)
+    assert float(same.fo4_delay(0.6)) == pytest.approx(tech90.fo4_unit(0.6))
+
+
+def test_hot_silicon_fast_at_ntv(tech90):
+    """ITD: heating speeds up near-threshold gates."""
+    hot = with_temperature(tech90, 360.0)
+    assert float(hot.fo4_delay(0.5)) < tech90.fo4_unit(0.5)
+
+
+def test_hot_silicon_slow_at_nominal(tech90):
+    """Super-threshold: mobility loss dominates, heating slows gates."""
+    hot = with_temperature(tech90, 360.0)
+    assert float(hot.fo4_delay(1.0)) > tech90.fo4_unit(1.0)
+
+
+def test_sensitivity_signs(tech90):
+    assert delay_temperature_sensitivity(tech90, 0.5) < 0
+    assert delay_temperature_sensitivity(tech90, 1.0) > 0
+
+
+def test_crossover_in_near_threshold_region(tech90):
+    crossover = itd_crossover_voltage(tech90)
+    assert 0.5 < crossover < 0.95
+    # Sensitivity flips sign across the crossover.
+    assert delay_temperature_sensitivity(tech90, crossover - 0.05) < 0
+    assert delay_temperature_sensitivity(tech90, crossover + 0.05) > 0
+
+
+def test_crossover_exists_on_every_node(any_tech):
+    crossover = itd_crossover_voltage(any_tech)
+    assert any_tech.min_vdd < crossover < any_tech.nominal_vdd
+
+
+def test_no_crossover_raises(tech90):
+    with pytest.raises(ConvergenceError):
+        itd_crossover_voltage(tech90, v_lo=0.45, v_hi=0.5)
+
+
+def test_invalid_temperature(tech90):
+    with pytest.raises(ConfigurationError):
+        with_temperature(tech90, -10.0)

@@ -1,0 +1,78 @@
+"""Statistical static timing engine."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.netlist import Netlist
+from repro.circuits.timing import StatisticalTimingEngine
+from repro.errors import ConfigurationError
+
+
+def _chain_netlist(n):
+    nl = Netlist("chain")
+    prev = "a"
+    for i in range(n):
+        nl.add_cell(f"g{i}", "inv", [prev], f"n{i}")
+        prev = f"n{i}"
+    nl.mark_output(prev)
+    return nl
+
+
+def test_nominal_delay_of_chain_matches_gate_sum(tech90):
+    nl = _chain_netlist(10)
+    eng = StatisticalTimingEngine(tech90)
+    # Internal stages have fanout 1; the FO4 unit has fanout 4, so the
+    # chain is faster per stage than 10x FO4.
+    d = eng.nominal_delay(nl, 0.7)
+    inv_fo1 = float(2.0 / 5.0 * tech90.fo4_unit(0.7))  # p + g*1 = 2 units
+    assert d == pytest.approx(10 * inv_fo1, rel=1e-9)
+
+
+def test_reconvergent_paths_take_max(tech90):
+    nl = Netlist("reconv")
+    nl.add_cell("s1", "inv", ["a"], "n1")       # short path
+    nl.add_cell("l1", "inv", ["a"], "m1")       # long path
+    nl.add_cell("l2", "inv", ["m1"], "m2")
+    nl.add_cell("l3", "inv", ["m2"], "m3")
+    nl.add_cell("j", "nand2", ["n1", "m3"], "y")
+    nl.mark_output("y")
+    eng = StatisticalTimingEngine(tech90)
+    d = eng.nominal_delay(nl, 0.8)
+    long_only = Netlist("long")
+    long_only.add_cell("l1", "inv", ["a"], "m1")
+    long_only.add_cell("l2", "inv", ["m1"], "m2")
+    long_only.add_cell("l3", "inv", ["m2"], "m3")
+    long_only.add_cell("j", "nand2", ["m3", "m3x"], "y")
+    long_only.mark_output("y")
+    assert d == pytest.approx(eng.nominal_delay(long_only, 0.8), rel=1e-9)
+
+
+def test_mc_mean_tracks_nominal(tech90):
+    nl = _chain_netlist(20)
+    eng = StatisticalTimingEngine(tech90, seed=1)
+    res = eng.run(nl, 0.6, n_samples=2000)
+    assert res.mean == pytest.approx(eng.nominal_delay(nl, 0.6), rel=0.05)
+
+
+def test_run_rejects_zero_samples(tech90):
+    eng = StatisticalTimingEngine(tech90)
+    with pytest.raises(ConfigurationError):
+        eng.run(_chain_netlist(3), 0.6, n_samples=0)
+
+
+def test_run_without_outputs_raises(tech90):
+    nl = Netlist("empty-outputs")
+    nl.add_cell("g", "inv", ["a"], "y")
+    nl.mark_output("z")  # never driven
+    eng = StatisticalTimingEngine(tech90)
+    with pytest.raises(ConfigurationError):
+        eng.run(nl, 0.6, n_samples=10)
+
+
+def test_include_die_false_reduces_spread(tech90):
+    nl = _chain_netlist(30)
+    with_die = StatisticalTimingEngine(tech90, seed=2).run(
+        nl, 0.6, n_samples=1500, include_die=True)
+    without = StatisticalTimingEngine(tech90, seed=2).run(
+        nl, 0.6, n_samples=1500, include_die=False)
+    assert without.three_sigma_over_mu < with_die.three_sigma_over_mu

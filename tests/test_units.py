@@ -1,0 +1,48 @@
+"""Unit-conversion helpers."""
+
+import numpy as np
+import pytest
+
+from repro import units
+
+
+def test_mv_roundtrip():
+    assert units.mv(500) == pytest.approx(0.5)
+    assert units.to_mv(0.5) == pytest.approx(500.0)
+    assert units.to_mv(units.mv(617.3)) == pytest.approx(617.3)
+
+
+def test_time_conversions():
+    assert units.ns(1.0) == pytest.approx(1e-9)
+    assert units.ps(1.0) == pytest.approx(1e-12)
+    assert units.to_ns(2.5e-9) == pytest.approx(2.5)
+    assert units.to_ps(2.5e-9) == pytest.approx(2500.0)
+
+
+def test_percent_roundtrip():
+    assert units.percent(0.05) == pytest.approx(5.0)
+    assert units.from_percent(5.0) == pytest.approx(0.05)
+
+
+def test_array_conversions_preserve_shape():
+    x = np.array([1.0, 2.0, 3.0])
+    assert units.to_ns(units.ns(x)).shape == (3,)
+    np.testing.assert_allclose(units.to_ns(units.ns(x)), x)
+
+
+def test_three_sigma_over_mu_known_value():
+    samples = np.array([9.0, 10.0, 11.0])
+    expected = 3.0 * np.std(samples) / 10.0
+    assert units.three_sigma_over_mu(samples) == pytest.approx(expected)
+
+
+def test_three_sigma_over_mu_scale_invariant():
+    rng = np.random.default_rng(0)
+    samples = rng.normal(10.0, 1.0, 1000)
+    a = units.three_sigma_over_mu(samples)
+    b = units.three_sigma_over_mu(samples * 7.5)
+    assert a == pytest.approx(b)
+
+
+def test_thermal_voltage_room_temperature():
+    assert units.THERMAL_VOLTAGE == pytest.approx(0.02585, rel=1e-3)

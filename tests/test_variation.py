@@ -1,0 +1,111 @@
+"""Variation model: sampling semantics and physical scaling laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.variation import (
+    VariationModel,
+    combine_sigmas,
+    ler_sigma_vth,
+    pelgrom_sigma_vth,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def model():
+    return VariationModel(sigma_vth_wid=0.010, sigma_vth_d2d=0.003,
+                          sigma_mult_rand=0.04, sigma_mult_corr=0.015,
+                          sigma_vth_lane=0.004, sigma_mult_lane=0.008)
+
+
+def test_negative_sigma_rejected():
+    with pytest.raises(ConfigurationError):
+        VariationModel(sigma_vth_wid=-0.01, sigma_vth_d2d=0,
+                       sigma_mult_rand=0, sigma_mult_corr=0)
+
+
+def test_gate_sampling_statistics(model, rng):
+    draws = model.sample_gates(rng, 200_000)
+    assert draws.dvth.std() == pytest.approx(model.sigma_vth_wid, rel=0.02)
+    assert draws.mult.std() == pytest.approx(model.sigma_mult_rand, rel=0.02)
+    assert abs(draws.dvth.mean()) < 1e-4
+
+
+def test_gate_sampling_pelgrom_size_scaling(model, rng):
+    big = model.sample_gates(rng, 200_000, size_scale=4.0)
+    assert big.dvth.std() == pytest.approx(model.sigma_vth_wid / 2.0, rel=0.02)
+
+
+def test_lane_and_die_sampling_shapes(model, rng):
+    lanes = model.sample_lanes(rng, (100, 8))
+    assert lanes.dvth.shape == (100, 8)
+    dies = model.sample_dies(rng, 50)
+    assert dies.dvth.shape == (50,)
+    assert dies.mult.shape == (50,)
+
+
+def test_zero_sigma_yields_zero_draws(rng):
+    model = VariationModel(sigma_vth_wid=0, sigma_vth_d2d=0,
+                           sigma_mult_rand=0, sigma_mult_corr=0)
+    draws = model.sample_gates(rng, 100)
+    assert np.all(draws.dvth == 0)
+    dies = model.sample_dies(rng, 10)
+    assert np.all(dies.mult == 0)
+
+
+def test_chain_corr_views(model):
+    assert model.sigma_vth_chain_corr == pytest.approx(
+        np.hypot(0.004, 0.003))
+    assert model.sigma_mult_chain_corr == pytest.approx(
+        np.hypot(0.008, 0.015))
+    assert model.sigma_vth_total == pytest.approx(
+        combine_sigmas(0.010, 0.004, 0.003))
+
+
+def test_ablation_copies(model):
+    no_corr = model.without_correlated()
+    assert no_corr.sigma_vth_lane == 0 and no_corr.sigma_mult_corr == 0
+    assert no_corr.sigma_vth_wid == model.sigma_vth_wid
+    no_rand = model.without_random()
+    assert no_rand.sigma_vth_wid == 0 and no_rand.sigma_mult_rand == 0
+    assert no_rand.sigma_vth_lane == model.sigma_vth_lane
+
+
+def test_scaled(model):
+    doubled = model.scaled(2.0)
+    assert doubled.sigma_vth_wid == pytest.approx(0.020)
+    assert doubled.sigma_mult_lane == pytest.approx(0.016)
+    with pytest.raises(ConfigurationError):
+        model.scaled(-1.0)
+
+
+def test_pelgrom_law():
+    base = pelgrom_sigma_vth(3.0, 1.0, 1.0)
+    assert base == pytest.approx(3e-3)
+    # Quadrupling area halves sigma.
+    assert pelgrom_sigma_vth(3.0, 2.0, 2.0) == pytest.approx(base / 2.0)
+    with pytest.raises(ConfigurationError):
+        pelgrom_sigma_vth(3.0, 0.0, 1.0)
+
+
+def test_ler_scaling():
+    at22 = ler_sigma_vth(0.010, 22.0)
+    at90 = ler_sigma_vth(0.010, 90.0)
+    assert at22 == pytest.approx(0.010)
+    assert at22 > at90  # LER worsens with scaling
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(0, 0.05), st.floats(0, 0.05), st.floats(0, 0.05))
+def test_combine_sigmas_is_rss(a, b, c):
+    assert combine_sigmas(a, b, c) == pytest.approx(
+        np.sqrt(a * a + b * b + c * c))
+
+
+def test_sampling_reproducible(model):
+    a = model.sample_gates(np.random.default_rng(7), 100)
+    b = model.sample_gates(np.random.default_rng(7), 100)
+    np.testing.assert_array_equal(a.dvth, b.dvth)

@@ -1,0 +1,64 @@
+"""Voltage-margin solver."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mitigation.voltage_margin import solve_voltage_margin
+
+
+def test_margin_meets_target_exactly(analyzer90):
+    sol = solve_voltage_margin(analyzer90, 0.55)
+    assert sol.feasible and sol.margin > 0
+    assert sol.achieved_delay <= sol.target_delay * (1 + 1e-6)
+    # Brent root: the achieved delay should sit right at the target.
+    assert sol.achieved_delay == pytest.approx(sol.target_delay, rel=1e-3)
+
+
+def test_zero_margin_at_nominal(analyzer90):
+    sol = solve_voltage_margin(analyzer90, analyzer90.nominal_vdd)
+    assert sol.feasible and sol.margin == 0.0
+    assert sol.power_overhead == 0.0
+
+
+def test_margin_grows_as_voltage_drops(analyzer90):
+    margins = [solve_voltage_margin(analyzer90, v).margin
+               for v in (0.5, 0.6, 0.7)]
+    assert margins[0] > margins[1] > margins[2] > 0
+
+
+def test_advanced_node_needs_bigger_margin(analyzer90, analyzer45):
+    m90 = solve_voltage_margin(analyzer90, 0.6).margin_mv
+    m45 = solve_voltage_margin(analyzer45, 0.6).margin_mv
+    assert m45 > 2 * m90
+
+
+def test_final_vdd_and_units(analyzer90):
+    sol = solve_voltage_margin(analyzer90, 0.6)
+    assert sol.final_vdd == pytest.approx(0.6 + sol.margin)
+    assert sol.margin_mv == pytest.approx(1e3 * sol.margin)
+    assert "mV" in sol.summary()
+
+
+def test_infeasible_when_bound_too_small(analyzer45):
+    sol = solve_voltage_margin(analyzer45, 0.5, max_margin=1e-4)
+    assert not sol.feasible
+    assert sol.margin == pytest.approx(1e-4)
+
+
+def test_power_overhead_model(analyzer90):
+    from repro.simd.diet_soda import DIET_SODA
+    sol = solve_voltage_margin(analyzer90, 0.55)
+    assert sol.power_overhead == pytest.approx(
+        DIET_SODA.margin_power_overhead(0.55, sol.margin))
+
+
+def test_bad_max_margin_rejected(analyzer90):
+    with pytest.raises(ConfigurationError):
+        solve_voltage_margin(analyzer90, 0.6, max_margin=0.0)
+
+
+def test_margin_precision_sub_millivolt(analyzer90):
+    """The deterministic engine should give stable sub-mV solutions."""
+    a = solve_voltage_margin(analyzer90, 0.55, xtol=1e-6).margin_mv
+    b = solve_voltage_margin(analyzer90, 0.55, xtol=1e-7).margin_mv
+    assert a == pytest.approx(b, abs=0.01)

@@ -1,0 +1,118 @@
+"""DLP workload models and the SIMD machine cycle model."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simd.workloads import (
+    KERNELS,
+    Phase,
+    SIMDMachine,
+    Workload,
+    color_space_conversion,
+    conv2d,
+    execute,
+    fft,
+    fir_filter,
+)
+
+
+@pytest.fixture(scope="module")
+def machine(analyzer90):
+    return SIMDMachine(analyzer=analyzer90, vdd=0.6, width=128)
+
+
+def test_kernel_registry():
+    assert set(KERNELS) == {"fir", "fft", "conv2d", "csc"}
+    for factory in KERNELS.values():
+        assert isinstance(factory(), Workload)
+
+
+def test_fir_op_counts():
+    wl = fir_filter(n_samples=256, n_taps=8)
+    assert wl.total_vector_ops == 256 * 8
+    assert wl.scalar_fraction < 0.01
+
+
+def test_fft_structure():
+    wl = fft(256)
+    assert len(wl.phases) == 8                 # log2(256) stages
+    assert wl.total_vector_ops == 8 * 10 * 128
+    with pytest.raises(ConfigurationError):
+        fft(100)
+
+
+def test_conv2d_op_counts():
+    wl = conv2d(8, 8, 3)
+    assert wl.total_vector_ops == 64 * 9
+
+
+def test_phase_validation():
+    with pytest.raises(ConfigurationError):
+        Phase("bad", vector_ops=-1, parallelism=4)
+    with pytest.raises(ConfigurationError):
+        Phase("bad", vector_ops=10, parallelism=0)
+    with pytest.raises(ConfigurationError):
+        Workload("empty", ())
+
+
+def test_execute_cycle_accounting(machine):
+    wl = color_space_conversion(n_pixels=128)
+    report = execute(wl, machine)
+    # 12*128 ops over 128 lanes (parallelism 128) -> 12 vector cycles.
+    assert report.vector_cycles == 12
+    assert report.scalar_cycles == 2
+    assert report.cycles == 14
+    assert report.runtime == pytest.approx(14 * machine.clock_period)
+
+
+def test_wider_machine_fewer_cycles(analyzer90):
+    wl = fir_filter(1024, 16)
+    narrow = execute(wl, SIMDMachine(analyzer=analyzer90, vdd=0.6, width=32))
+    wide = execute(wl, SIMDMachine(analyzer=analyzer90, vdd=0.6, width=128))
+    assert wide.cycles < narrow.cycles
+    # Vector part scales ~4x; scalar/shuffle parts do not (Amdahl).
+    assert narrow.vector_cycles == pytest.approx(4 * wide.vector_cycles,
+                                                 rel=0.01)
+
+
+def test_width_cannot_exceed_parallelism(analyzer90):
+    wl = Workload("tiny", (Phase("p", vector_ops=64, parallelism=8),))
+    wide = execute(wl, SIMDMachine(analyzer=analyzer90, vdd=0.6, width=128))
+    assert wide.vector_cycles == 8             # only 8 lanes usable
+    assert wide.lane_utilization < 0.1
+
+
+def test_ntv_slower_but_cheaper(analyzer90):
+    wl = fft(1024)
+    nominal = execute(wl, SIMDMachine(analyzer=analyzer90, vdd=1.0))
+    ntv = execute(wl, SIMDMachine(analyzer=analyzer90, vdd=0.55))
+    assert ntv.runtime > 3 * nominal.runtime
+    assert ntv.energy < nominal.energy
+
+
+def test_width_recovers_ntv_throughput(analyzer90):
+    """The paper's premise: widening the SIMD array at NTV recovers the
+    throughput of a narrow nominal-voltage design for DLP kernels."""
+    wl = conv2d(64, 64, 3)
+    narrow_nominal = execute(wl, SIMDMachine(analyzer=analyzer90, vdd=1.0,
+                                             width=8))
+    wide_ntv = execute(wl, SIMDMachine(analyzer=analyzer90, vdd=0.55,
+                                       width=128))
+    assert wide_ntv.runtime < narrow_nominal.runtime
+    assert wide_ntv.energy < 1.2 * narrow_nominal.energy
+
+
+def test_variation_aware_clock_slower(analyzer90):
+    aware = SIMDMachine(analyzer=analyzer90, vdd=0.55, width=128,
+                        variation_aware=True)
+    ideal = SIMDMachine(analyzer=analyzer90, vdd=0.55, width=128,
+                        variation_aware=False)
+    assert aware.clock_period > ideal.clock_period
+    assert aware.frequency < ideal.frequency
+
+
+def test_report_summary_readable(machine):
+    report = execute(fft(256), machine)
+    assert "fft-256" in report.summary()

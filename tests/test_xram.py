@@ -1,0 +1,103 @@
+"""XRAM crossbar behavioural model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.simd.xram import XRAMCrossbar
+
+
+def test_store_and_route():
+    xram = XRAMCrossbar(4)
+    xram.store_configuration("rev", [3, 2, 1, 0])
+    data = np.array([10, 20, 30, 40])
+    np.testing.assert_array_equal(xram.route(data), [40, 30, 20, 10])
+
+
+def test_broadcast_allowed_permutation_detected():
+    xram = XRAMCrossbar(4)
+    xram.store_configuration("bcast", [0, 0, 0, 0])
+    assert not xram.is_permutation("bcast")
+    xram.store_configuration("perm", [1, 0, 3, 2])
+    assert xram.is_permutation("perm")
+
+
+def test_crosspoint_matrix_one_hot_per_output():
+    xram = XRAMCrossbar(5, 3)
+    xram.store_configuration("c", [4, 0, 2])
+    matrix = xram.crosspoint_matrix("c")
+    assert matrix.shape == (5, 3)
+    np.testing.assert_array_equal(matrix.sum(axis=0), [1, 1, 1])
+
+
+def test_configuration_switching():
+    xram = XRAMCrossbar(3)
+    xram.store_configuration("a", [0, 1, 2])
+    xram.store_configuration("b", [2, 1, 0])
+    assert set(xram.configurations) == {"a", "b"}
+    xram.select("b")
+    np.testing.assert_array_equal(xram.active_mapping, [2, 1, 0])
+    with pytest.raises(RoutingError):
+        xram.select("missing")
+
+
+def test_invalid_mappings_rejected():
+    xram = XRAMCrossbar(4)
+    with pytest.raises(RoutingError):
+        xram.store_configuration("bad", [0, 1])           # wrong length
+    with pytest.raises(RoutingError):
+        xram.store_configuration("bad", [0, 1, 2, 7])     # out of range
+
+
+def test_route_requires_configuration():
+    xram = XRAMCrossbar(2)
+    with pytest.raises(RoutingError):
+        xram.route(np.array([1, 2]))
+
+
+def test_bypass_skips_faulty_paper_example():
+    """Paper Fig. 12(c): 10 FUs, 8 lanes, FU-2 and FU-3 faulty."""
+    xram = XRAMCrossbar(10, 8)
+    mapping = xram.bypass_configuration([2, 3])
+    np.testing.assert_array_equal(mapping, [0, 1, 4, 5, 6, 7, 8, 9])
+    assert xram.is_permutation()
+
+
+def test_bypass_too_many_faults():
+    xram = XRAMCrossbar(10, 8)
+    with pytest.raises(RoutingError):
+        xram.bypass_configuration([0, 1, 2])
+    with pytest.raises(RoutingError):
+        xram.bypass_configuration([10])
+
+
+def test_physical_scaling():
+    small = XRAMCrossbar(128)
+    grown = XRAMCrossbar(134)
+    assert small.relative_power() == pytest.approx(1.0)
+    assert grown.relative_power() == pytest.approx((134 / 128) ** 1.5)
+    assert grown.relative_area() > 1.0
+
+
+def test_constructor_validation():
+    with pytest.raises(ConfigurationError):
+        XRAMCrossbar(0)
+    with pytest.raises(ConfigurationError):
+        XRAMCrossbar(4, 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sets(st.integers(0, 15), max_size=6))
+def test_bypass_property(faulty):
+    """Any fault set within the spare budget yields a valid permutation
+    avoiding every faulty FU."""
+    xram = XRAMCrossbar(16, 10)
+    if len(faulty) > 6:
+        return
+    mapping = xram.bypass_configuration(faulty)
+    assert len(set(mapping.tolist())) == 10
+    assert not (set(mapping.tolist()) & faulty)
+    # Order-preserving: healthy FUs used in ascending order.
+    assert list(mapping) == sorted(mapping)
