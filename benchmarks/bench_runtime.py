@@ -1,0 +1,54 @@
+"""Benchmark: the parallel runtime layer.
+
+Two headline claims of ``repro.runtime``:
+
+* a rerun of fig4 (48 deterministic quantile solves) is measurably faster
+  because every solve hits the persistent :class:`QuantileCache`;
+* :class:`ParallelSampler` output is bit-identical regardless of the
+  worker count (sharded ``SeedSequence.spawn`` streams).
+"""
+
+import time
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.devices.technology import get_technology
+from repro.runtime import ParallelSampler
+
+
+def test_fig4_rerun_hits_quantile_cache(benchmark, tmp_path, monkeypatch,
+                                        save_report):
+    from repro.experiments.registry import get_analyzer, run_experiment
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    get_analyzer.cache_clear()
+    start = time.perf_counter()
+    cold = run_experiment("fig4")
+    cold_s = time.perf_counter() - start
+
+    get_analyzer.cache_clear()   # drop in-memory state: disk hits only
+    warm = run_once(benchmark, run_experiment, "fig4")
+    warm_s = benchmark.stats.stats.mean
+    get_analyzer.cache_clear()   # don't leak tmp-cache analyzers
+
+    save_report(warm)
+    assert warm.data == cold.data
+    assert warm_s < 0.5 * cold_s, (
+        f"cache rerun not faster: cold={cold_s:.3f}s warm={warm_s:.3f}s")
+
+
+def test_parallel_sampler_jobs4_matches_serial(benchmark):
+    tech = get_technology("90nm")
+    kwargs = dict(width=4, paths_per_lane=3, chain_length=5, n_chips=2000,
+                  root_seed=42)
+    with ParallelSampler(1) as serial:
+        expected = serial.system_delays(tech, 0.6, **kwargs)
+
+    def sharded():
+        with ParallelSampler(4) as parallel:
+            return parallel.system_delays(tech, 0.6, **kwargs)
+
+    result = run_once(benchmark, sharded)
+    np.testing.assert_array_equal(result, expected)

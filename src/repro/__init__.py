@@ -33,6 +33,7 @@ from repro.devices import (
     get_technology,
 )
 from repro.errors import ReproError
+from repro.runtime import ParallelSampler, QuantileCache
 
 __all__ = [
     "__version__",
@@ -47,4 +48,6 @@ __all__ = [
     "available_technologies",
     "get_technology",
     "ReproError",
+    "ParallelSampler",
+    "QuantileCache",
 ]

@@ -26,6 +26,8 @@ from repro.core.montecarlo import MonteCarloEngine
 from repro.core.results import DelayDistribution
 from repro.devices.technology import TechnologyNode, get_technology
 from repro.errors import ConfigurationError
+from repro.runtime.cache import QuantileCache
+from repro.runtime.context import current_runtime, profiled_stage
 
 __all__ = ["VariationAnalyzer"]
 
@@ -43,10 +45,16 @@ class VariationAnalyzer:
         (Section 3.2).
     signoff_quantile:
         The chip-delay quantile performance is judged at (paper: 0.99).
+    quantile_cache:
+        Persistent memo for deterministic quantiles; defaults to the
+        standard on-disk :class:`~repro.runtime.cache.QuantileCache`
+        (``~/.cache/repro``, overridable via ``REPRO_CACHE_DIR`` and
+        disabled by ``REPRO_CACHE_DISABLE``).
     """
 
     def __init__(self, tech, *, width: int = 128, paths_per_lane: int = 100,
-                 chain_length: int = 50, signoff_quantile: float = 0.99) -> None:
+                 chain_length: int = 50, signoff_quantile: float = 0.99,
+                 quantile_cache: QuantileCache | None = None) -> None:
         if isinstance(tech, str):
             tech = get_technology(tech)
         if not isinstance(tech, TechnologyNode):
@@ -59,6 +67,8 @@ class VariationAnalyzer:
         self.engine = ChipDelayEngine(
             tech, width=width, paths_per_lane=paths_per_lane,
             chain_length=chain_length)
+        self.quantile_cache = (QuantileCache() if quantile_cache is None
+                               else quantile_cache)
         self._signoff_cache: dict = {}
 
     # -- basic properties ----------------------------------------------------
@@ -102,15 +112,36 @@ class VariationAnalyzer:
     def chip_quantile(self, vdd, spares: int = 0, q: float | None = None) -> float:
         """Deterministic chip-delay quantile in seconds.
 
-        ``q`` defaults to the analyzer's sign-off quantile (99 %).
+        ``q`` defaults to the analyzer's sign-off quantile (99 %).  Results
+        are memoised twice: in-process (a dict keyed by the rounded query
+        point, so ``q=None`` and an explicit ``q=signoff_quantile`` share
+        an entry) and on disk via :attr:`quantile_cache`, so repeated runs
+        never re-pay a deterministic solve.
         """
-        key = (round(float(vdd), 9), int(spares),
-               self.signoff_quantile if q is None else float(q))
+        q_eff = self.signoff_quantile if q is None else float(q)
+        key = (round(float(vdd), 9), int(spares), round(q_eff, 12))
         cached = self._signoff_cache.get(key)
-        if cached is None:
-            cached = self.engine.chip_quantile(vdd, key[2], spares=spares)
-            self._signoff_cache[key] = cached
-        return cached
+        if cached is not None:
+            return cached
+        engine = self.engine
+        disk_key = QuantileCache.make_key(
+            self.tech, width=engine.width,
+            paths_per_lane=engine.paths_per_lane,
+            chain_length=engine.chain_length,
+            quad_within=engine.quad_within,
+            quad_corr_vth=engine.quad_corr_vth,
+            quad_corr_mult=engine.quad_corr_mult,
+            vdd=key[0], q=key[2], spares=key[1])
+        value = self.quantile_cache.get(disk_key)
+        if value is None:
+            with profiled_stage("analyzer.quantile_solve"):
+                value = engine.chip_quantile(vdd, q_eff, spares=spares)
+            self.quantile_cache.put(disk_key, value)
+        else:
+            with profiled_stage("analyzer.quantile_cache_hit"):
+                pass
+        self._signoff_cache[key] = value
+        return value
 
     def chip_quantile_fo4(self, vdd, spares: int = 0, q: float | None = None) -> float:
         """Chip-delay quantile expressed in FO4 units at the same ``vdd``.
@@ -149,10 +180,28 @@ class VariationAnalyzer:
     def chip_distribution(self, vdd, *, spares: int = 0, n_samples: int = 10_000,
                           seed: int | None = 0, rng=None,
                           label: str | None = None) -> DelayDistribution:
-        """Sampled chip-delay ensemble (Figs. 3, 5, 6)."""
-        if rng is None:
-            rng = np.random.default_rng(seed)
-        samples = self.engine.sample_chips(vdd, n_samples, rng, spares=spares)
+        """Sampled chip-delay ensemble (Figs. 3, 5, 6).
+
+        When a parallel runtime is active (``--jobs N`` with N > 1) and no
+        explicit ``rng`` was passed, sampling shards across the runtime's
+        worker pool via :class:`~repro.runtime.parallel.ParallelSampler`;
+        the sharded stream is reproducible in ``seed`` but differs from
+        the serial single-generator stream.
+        """
+        runtime = current_runtime()
+        if (rng is None and runtime is not None
+                and runtime.sampler is not None and runtime.sampler.jobs > 1):
+            samples = runtime.sampler.sample_chips(
+                self.tech, vdd, n_samples=n_samples, width=self.width,
+                paths_per_lane=self.paths_per_lane,
+                chain_length=self.chain_length, spares=spares,
+                root_seed=seed)
+        else:
+            if rng is None:
+                rng = np.random.default_rng(seed)
+            with profiled_stage("analyzer.sample_chips", n_samples):
+                samples = self.engine.sample_chips(vdd, n_samples, rng,
+                                                   spares=spares)
         if label is None:
             spare_txt = f"+{spares}-spares" if spares else ""
             label = f"{self.width}-wide{spare_txt}@{vdd:g}V"

@@ -147,6 +147,8 @@ class ChipDelayEngine:
         self.paths_per_lane = int(paths_per_lane)
         self.chain_length = int(chain_length)
         self.quad_within = int(quad_within)
+        self.quad_corr_vth = int(quad_corr_vth)
+        self.quad_corr_mult = int(quad_corr_mult)
 
         var = tech.variation
         die_dvth, die_dvth_w = _grid(var.sigma_vth_d2d, quad_corr_vth)

@@ -89,6 +89,9 @@ class MonteCarloEngine:
         """
         if spares < 0:
             raise ConfigurationError("spares must be >= 0")
+        if batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {batch_size}")
         n_lanes = width + spares
         var = self.tech.variation
         vdd = float(vdd)
@@ -117,6 +120,9 @@ class MonteCarloEngine:
     def lane_delays(self, vdd, *, paths_per_lane: int, chain_length: int,
                     n_samples: int, batch_size: int = 512):
         """Full per-gate MC of single-lane delays (max of P paths), seconds."""
+        if batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {batch_size}")
         var = self.tech.variation
         vdd = float(vdd)
         out = np.empty(n_samples, dtype=float)

@@ -1,12 +1,48 @@
-"""CLI for the experiment registry (``python -m repro.experiments``)."""
+"""CLI for the experiment registry (``python -m repro.experiments``).
+
+Supports the parallel runtime layer:
+
+* ``--jobs N`` — for a single experiment, sampling shards fan out across
+  ``N`` worker processes; for ``all``, whole experiments are dispatched
+  across the pool so independent artifacts regenerate concurrently.
+* ``--profile`` — print per-stage wall-time/sample counters (collected on
+  both sides of the process boundary) after the run.
+"""
 
 from __future__ import annotations
 
 import argparse
 import sys
 import time
+from concurrent.futures import ProcessPoolExecutor
 
+from repro.errors import ConfigurationError
 from repro.experiments.registry import list_experiments, run_experiment
+from repro.runtime import build_runtime
+
+
+def _run_remote(payload: tuple) -> tuple:
+    """Run one experiment inside a pool worker; returns rendered text.
+
+    The worker activates its own serial runtime so stage counters are
+    still collected and can be merged into the parent's profiler.
+    """
+    experiment_id, fast = payload
+    runtime = build_runtime(jobs=1, profile=True)
+    start = time.perf_counter()
+    result = run_experiment(experiment_id, fast=fast, runtime=runtime)
+    elapsed = time.perf_counter() - start
+    return experiment_id, result.render(), elapsed, runtime.profiler.as_dict()
+
+
+def _run_all_parallel(targets: list, fast: bool, runtime) -> None:
+    """Regenerate every experiment concurrently, printing in catalogue order."""
+    with ProcessPoolExecutor(max_workers=runtime.jobs) as pool:
+        for experiment_id, rendered, elapsed, profile in pool.map(
+                _run_remote, [(t, fast) for t in targets]):
+            runtime.profiler.merge(profile)
+            print(rendered)
+            print(f"\n[{experiment_id} completed in {elapsed:.1f} s]\n")
 
 
 def main(argv=None) -> int:
@@ -18,21 +54,44 @@ def main(argv=None) -> int:
                              "'list', or 'all'")
     parser.add_argument("--fast", action="store_true",
                         help="reduced sample counts (quick look)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sampling shards (and, "
+                             "with 'all', whole experiments); default 1")
+    parser.add_argument("--profile", action="store_true",
+                        help="print per-stage wall-time/sample counters")
     args = parser.parse_args(argv)
+
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
 
     if args.target == "list":
         for exp in list_experiments():
             print(f"{exp.experiment_id:<8s} {exp.title}  [{exp.paper_ref}]")
         return 0
 
-    targets = ([e.experiment_id for e in list_experiments()]
-               if args.target == "all" else [args.target])
-    for target in targets:
-        start = time.perf_counter()
-        result = run_experiment(target, fast=args.fast)
-        elapsed = time.perf_counter() - start
-        print(result.render())
-        print(f"\n[{target} completed in {elapsed:.1f} s]\n")
+    runtime = build_runtime(jobs=args.jobs, profile=args.profile)
+    try:
+        targets = ([e.experiment_id for e in list_experiments()]
+                   if args.target == "all" else [args.target])
+        if args.target == "all" and runtime.jobs > 1:
+            _run_all_parallel(targets, args.fast, runtime)
+        else:
+            for target in targets:
+                start = time.perf_counter()
+                result = run_experiment(target, fast=args.fast,
+                                        runtime=runtime)
+                elapsed = time.perf_counter() - start
+                print(result.render())
+                print(f"\n[{target} completed in {elapsed:.1f} s]\n")
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        runtime.close()
+
+    if args.profile:
+        print(runtime.profiler.render())
     return 0
 
 

@@ -16,6 +16,7 @@ from functools import lru_cache
 
 from repro.core.analyzer import VariationAnalyzer
 from repro.errors import ConfigurationError
+from repro.runtime.context import activate_runtime
 
 __all__ = [
     "Experiment",
@@ -105,8 +106,15 @@ def list_experiments() -> list:
     return sorted(_REGISTRY.values(), key=key)
 
 
-def run_experiment(experiment_id: str, fast: bool = False) -> ExperimentResult:
-    """Run one experiment by id (e.g. ``"fig4"``, ``"table1"``)."""
+def run_experiment(experiment_id: str, fast: bool = False,
+                   runtime=None) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"fig4"``, ``"table1"``).
+
+    Passing a :class:`~repro.runtime.context.ReproRuntime` activates it
+    for the duration of the run: the analyzer layer shards its ensemble
+    sampling across the runtime's worker pool and records per-stage
+    wall-time/sample counters on its profiler.
+    """
     _load_all()
     try:
         exp = _REGISTRY[experiment_id]
@@ -114,7 +122,11 @@ def run_experiment(experiment_id: str, fast: bool = False) -> ExperimentResult:
         raise ConfigurationError(
             f"unknown experiment {experiment_id!r}; run "
             f"`python -m repro.experiments list` for the catalogue") from None
-    return exp.run(fast=fast)
+    if runtime is None:
+        return exp.run(fast=fast)
+    with activate_runtime(runtime), \
+            runtime.profiler.stage(f"experiment.{experiment_id}"):
+        return exp.run(fast=fast)
 
 
 @lru_cache(maxsize=8)

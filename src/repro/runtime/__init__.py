@@ -1,0 +1,59 @@
+"""Execution runtime: parallel sharded sampling, persistent quantile
+cache, and lightweight profiling.
+
+The statistics layer (:mod:`repro.core`) stays pure and serial; this
+package supplies the *how fast* — see :class:`ParallelSampler` for
+reproducible process-parallel sampling, :class:`QuantileCache` for the
+on-disk memo of deterministic sign-off quantiles, and
+:class:`ReproRuntime` / :func:`activate_runtime` for threading a worker
+pool and profiler through the experiment registry
+(``python -m repro.experiments --jobs N --profile``).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.cache import (
+    ENV_CACHE_DIR,
+    ENV_CACHE_DISABLE,
+    QuantileCache,
+    technology_fingerprint,
+)
+from repro.runtime.context import (
+    ReproRuntime,
+    activate_runtime,
+    current_runtime,
+    profiled_stage,
+)
+from repro.runtime.parallel import (
+    DEFAULT_SHARD_SIZE,
+    ParallelSampler,
+    plan_shards,
+    shard_seeds,
+)
+from repro.runtime.profile import Profiler, StageStats
+
+__all__ = [
+    "ParallelSampler",
+    "QuantileCache",
+    "ReproRuntime",
+    "Profiler",
+    "StageStats",
+    "activate_runtime",
+    "current_runtime",
+    "profiled_stage",
+    "build_runtime",
+    "plan_shards",
+    "shard_seeds",
+    "technology_fingerprint",
+    "DEFAULT_SHARD_SIZE",
+    "ENV_CACHE_DIR",
+    "ENV_CACHE_DISABLE",
+]
+
+
+def build_runtime(jobs: int = 1, profile: bool = False) -> ReproRuntime:
+    """A ready-to-activate runtime with a sampler sized to ``jobs``."""
+    runtime = ReproRuntime(jobs=int(jobs), profile=bool(profile))
+    runtime.sampler = ParallelSampler(runtime.jobs,
+                                      profiler=runtime.profiler)
+    return runtime

@@ -1,0 +1,189 @@
+"""Persistent memo cache for deterministic chip-delay quantiles.
+
+``ChipDelayEngine.chip_quantile`` is a pure function of the technology
+card, the architecture parameters and the quadrature orders — yet every
+process recomputed it from scratch (a bracketing search plus a Brent solve,
+each iteration a full Gauss-Hermite CDF evaluation).  ``python -m
+repro.experiments all`` alone re-derives the same sign-off quantiles for
+fig4/fig7/table1-4 across runs.
+
+:class:`QuantileCache` memoises those solves on disk so a deterministic
+number is never paid for twice, across processes and across runs:
+
+* **Location** — ``$REPRO_CACHE_DIR/quantiles.json`` when the
+  ``REPRO_CACHE_DIR`` environment variable is set, else
+  ``~/.cache/repro/quantiles.json``.  Set ``REPRO_CACHE_DISABLE=1`` to turn
+  the cache off entirely (every ``get`` misses, ``put`` is a no-op).
+* **Key** — technology node name + a fingerprint of the full calibrated
+  card (so re-calibration invalidates old entries), the architecture
+  (width / paths-per-lane / chain-length), the three quadrature orders,
+  and the query point (vdd, q, spares).
+* **Exactness** — values are stored as ``float.hex()`` strings, so a cache
+  hit returns the *exact bytes* of the original solve, not a decimal
+  round-trip approximation.
+
+Writes are atomic (temp file + ``os.replace``) and merge with the entries
+already on disk, so concurrent processes can only lose a duplicate solve,
+never corrupt the file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+
+__all__ = ["QuantileCache", "technology_fingerprint",
+           "ENV_CACHE_DIR", "ENV_CACHE_DISABLE"]
+
+#: Environment variable overriding the cache directory.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Environment variable disabling the persistent cache ("1"/"true"/...).
+ENV_CACHE_DISABLE = "REPRO_CACHE_DISABLE"
+
+_FILE_VERSION = 1
+
+_fingerprints: dict = {}
+
+
+def _cache_disabled() -> bool:
+    return os.environ.get(ENV_CACHE_DISABLE, "").strip().lower() in (
+        "1", "true", "yes", "on")
+
+
+def default_cache_dir() -> str:
+    """The directory quantile caches live in (honours ``REPRO_CACHE_DIR``)."""
+    override = os.environ.get(ENV_CACHE_DIR)
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def technology_fingerprint(tech) -> str:
+    """A short stable hash of a calibrated technology card.
+
+    Hashes every numeric constant of the card (device model, variation
+    model, delay scale), so any re-calibration produces a different
+    fingerprint and silently invalidates stale cache entries.
+    """
+    cached = _fingerprints.get(tech)
+    if cached is None:
+        payload = json.dumps(dataclasses.asdict(tech), sort_keys=True,
+                             default=repr)
+        cached = hashlib.sha256(payload.encode()).hexdigest()[:16]
+        _fingerprints[tech] = cached
+    return cached
+
+
+class QuantileCache:
+    """On-disk memo for deterministic chip-delay quantiles.
+
+    Parameters
+    ----------
+    path:
+        Cache file; defaults to ``<cache dir>/quantiles.json`` (see module
+        docstring for the directory resolution rules).
+    enabled:
+        Force the cache on/off; defaults to the ``REPRO_CACHE_DISABLE``
+        environment variable.
+    """
+
+    def __init__(self, path: str | None = None,
+                 enabled: bool | None = None) -> None:
+        if path is None:
+            path = os.path.join(default_cache_dir(), "quantiles.json")
+        self.path = str(path)
+        self.enabled = (not _cache_disabled()) if enabled is None else bool(enabled)
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict | None = None   # lazy-loaded
+
+    # -- keys ---------------------------------------------------------------
+
+    @staticmethod
+    def make_key(tech, *, width: int, paths_per_lane: int, chain_length: int,
+                 quad_within: int, quad_corr_vth: int, quad_corr_mult: int,
+                 vdd: float, q: float, spares: float) -> str:
+        """The canonical cache key for one deterministic quantile."""
+        return ":".join((
+            tech.name, technology_fingerprint(tech),
+            f"w{int(width)}", f"p{int(paths_per_lane)}",
+            f"c{int(chain_length)}",
+            f"gh{int(quad_within)}-{int(quad_corr_vth)}-{int(quad_corr_mult)}",
+            f"v{float(vdd)!r}", f"q{float(q)!r}", f"s{float(spares)!r}",
+        ))
+
+    # -- persistence ----------------------------------------------------------
+
+    def _read_file(self) -> dict:
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+            if payload.get("version") != _FILE_VERSION:
+                return {}
+            entries = payload.get("entries", {})
+            return entries if isinstance(entries, dict) else {}
+        except (OSError, ValueError):
+            # Missing or corrupt cache files are never fatal.
+            return {}
+
+    def _load(self) -> dict:
+        if self._entries is None:
+            self._entries = self._read_file() if self.enabled else {}
+        return self._entries
+
+    def _write(self) -> None:
+        directory = os.path.dirname(self.path) or "."
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump({"version": _FILE_VERSION,
+                           "entries": self._entries}, fh, indent=0)
+            os.replace(tmp, self.path)
+        except OSError:
+            # A read-only cache dir degrades to in-memory behaviour.
+            pass
+
+    # -- access ---------------------------------------------------------------
+
+    def get(self, key: str) -> float | None:
+        """The memoised value for ``key``, or ``None`` on a miss."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        stored = self._load().get(key)
+        if stored is None:
+            self.misses += 1
+            return None
+        try:
+            value = float.fromhex(stored)
+        except (TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: float) -> None:
+        """Memoise ``value`` under ``key`` (write-through, merge-on-write)."""
+        if not self.enabled:
+            return
+        # Merge with whatever landed on disk since we loaded, so concurrent
+        # writers only ever lose a duplicate solve.
+        merged = self._read_file()
+        merged.update(self._load())
+        merged[key] = float(value).hex()
+        self._entries = merged
+        self._write()
+
+    def clear(self) -> None:
+        """Drop every entry (memory and disk)."""
+        self._entries = {}
+        if self.enabled:
+            self._write()
+
+    def __len__(self) -> int:
+        return len(self._load())

@@ -1,0 +1,81 @@
+"""The active runtime: worker pool + profiler threaded through the stack.
+
+The experiment registry and :class:`~repro.core.analyzer.VariationAnalyzer`
+sit several layers apart, and forcing every runner signature to carry a
+``runtime=`` argument would churn the whole experiments package.  Instead a
+:class:`ReproRuntime` is *activated* for the duration of a run
+(:func:`activate_runtime`), and the layers below consult
+:func:`current_runtime` — the analyzer routes ensemble sampling through the
+active :class:`~repro.runtime.parallel.ParallelSampler` and records its hot
+stages on the active profiler via :func:`profiled_stage`.
+
+A :class:`contextvars.ContextVar` keeps activations re-entrant and safe
+under nested/concurrent use (each pool worker simply has no active runtime
+unless it activates its own).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+from repro.runtime.profile import Profiler
+
+__all__ = ["ReproRuntime", "current_runtime", "activate_runtime",
+           "profiled_stage"]
+
+_ACTIVE: ContextVar = ContextVar("repro_runtime", default=None)
+
+
+@dataclass
+class ReproRuntime:
+    """One run's execution context.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process budget (1 = fully in-process).
+    profile:
+        Whether the CLI should render the profiler at the end.
+    sampler:
+        A :class:`~repro.runtime.parallel.ParallelSampler` (or ``None`` for
+        a serial runtime); typed loosely to keep this module import-light.
+    profiler:
+        Stage counters shared by every layer of the run.
+    """
+
+    jobs: int = 1
+    profile: bool = False
+    sampler: object = None
+    profiler: Profiler = field(default_factory=Profiler)
+
+    def close(self) -> None:
+        if self.sampler is not None:
+            self.sampler.close()
+
+
+def current_runtime() -> ReproRuntime | None:
+    """The runtime activated for the current context, if any."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def activate_runtime(runtime: ReproRuntime):
+    """Make ``runtime`` the :func:`current_runtime` inside the block."""
+    token = _ACTIVE.set(runtime)
+    try:
+        yield runtime
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextmanager
+def profiled_stage(name: str, samples: int = 0):
+    """Record the block on the active runtime's profiler (no-op otherwise)."""
+    runtime = _ACTIVE.get()
+    if runtime is None:
+        yield
+        return
+    with runtime.profiler.stage(name, samples):
+        yield

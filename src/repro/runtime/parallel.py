@@ -1,0 +1,208 @@
+"""Sharded, process-parallel Monte-Carlo sampling.
+
+The paper's statistics are embarrassingly parallel — chips are iid draws —
+so both sampling engines shard perfectly.  :class:`ParallelSampler` splits
+a request for ``n`` chips into fixed-size shards, derives one independent
+random stream per shard with :meth:`numpy.random.SeedSequence.spawn`, and
+fans the shards out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+**Reproducibility contract**: the shard plan and every shard's stream
+depend only on ``(root_seed, shard_size, n)`` — never on the worker count —
+so for a given root seed the concatenated output is *bit-identical* whether
+it was computed with ``jobs=1`` (fully in-process) or ``jobs=32``.  The
+sharded stream intentionally differs from the legacy single-``Generator``
+serial stream: it is a new, self-consistent stream keyed by the root seed.
+
+Workers memoise their :class:`~repro.core.chip_delay.ChipDelayEngine`
+instances per (card, architecture) so the Gauss-Hermite tabulations are
+paid once per process, not once per shard.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.core.chip_delay import ChipDelayEngine
+from repro.core.montecarlo import MonteCarloEngine
+from repro.errors import ConfigurationError
+from repro.runtime.context import current_runtime
+
+__all__ = ["ParallelSampler", "plan_shards", "shard_seeds",
+           "DEFAULT_SHARD_SIZE"]
+
+#: Default chips per shard; part of the reproducibility key.
+DEFAULT_SHARD_SIZE = 256
+
+
+def plan_shards(n: int, shard_size: int = DEFAULT_SHARD_SIZE) -> list:
+    """Split ``n`` samples into deterministic shard sizes.
+
+    The plan depends only on ``(n, shard_size)`` — the worker count never
+    changes what is computed, only where.
+    """
+    if n < 1:
+        raise ConfigurationError(f"sample count must be >= 1, got {n}")
+    if shard_size < 1:
+        raise ConfigurationError(f"shard_size must be >= 1, got {shard_size}")
+    full, rest = divmod(int(n), int(shard_size))
+    return [int(shard_size)] * full + ([rest] if rest else [])
+
+
+def shard_seeds(root_seed, n_shards: int) -> list:
+    """One independent :class:`~numpy.random.SeedSequence` per shard."""
+    return np.random.SeedSequence(root_seed).spawn(n_shards)
+
+
+# -- worker side --------------------------------------------------------------
+
+_WORKER_ENGINES: dict = {}
+
+
+def _chip_engine(tech, width: int, paths_per_lane: int,
+                 chain_length: int) -> ChipDelayEngine:
+    """Per-process engine memo (quadrature tabulations are expensive)."""
+    key = (tech, width, paths_per_lane, chain_length)
+    engine = _WORKER_ENGINES.get(key)
+    if engine is None:
+        engine = ChipDelayEngine(tech, width=width,
+                                 paths_per_lane=paths_per_lane,
+                                 chain_length=chain_length)
+        _WORKER_ENGINES[key] = engine
+    return engine
+
+
+def _system_delays_shard(task: dict) -> np.ndarray:
+    """One shard of per-gate Monte-Carlo chip delays (runs in a worker)."""
+    rng = np.random.default_rng(task["seed"])
+    engine = MonteCarloEngine(task["tech"], rng=rng)
+    return engine.system_delays(
+        task["vdd"], width=task["width"],
+        paths_per_lane=task["paths_per_lane"],
+        chain_length=task["chain_length"], n_chips=task["n"],
+        spares=task["spares"], batch_size=task["batch_size"])
+
+
+def _sample_chips_shard(task: dict) -> np.ndarray:
+    """One shard of analytic chip-delay samples (runs in a worker)."""
+    rng = np.random.default_rng(task["seed"])
+    engine = _chip_engine(task["tech"], task["width"],
+                          task["paths_per_lane"], task["chain_length"])
+    return engine.sample_chips(task["vdd"], task["n"], rng,
+                               spares=task["spares"])
+
+
+# -- driver side ---------------------------------------------------------------
+
+
+class ParallelSampler:
+    """Shards iid chip sampling across a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None`` means one per CPU, ``1`` runs every
+        shard in-process (no pool) while keeping the sharded stream.
+    shard_size:
+        Chips per shard.  Part of the reproducibility key: changing it
+        changes the random stream, changing ``jobs`` never does.
+    profiler:
+        Optional explicit :class:`~repro.runtime.profile.Profiler`; when
+        absent, stages are recorded on the active runtime's profiler.
+    """
+
+    def __init__(self, jobs: int | None = None, *,
+                 shard_size: int = DEFAULT_SHARD_SIZE,
+                 profiler=None) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if shard_size < 1:
+            raise ConfigurationError(
+                f"shard_size must be >= 1, got {shard_size}")
+        self.jobs = int(jobs)
+        self.shard_size = int(shard_size)
+        self.profiler = profiler
+        self._executor: ProcessPoolExecutor | None = None
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ParallelSampler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- execution ----------------------------------------------------------
+
+    def _record(self, name: str, wall_s: float, samples: int) -> None:
+        profiler = self.profiler
+        if profiler is None:
+            runtime = current_runtime()
+            profiler = runtime.profiler if runtime is not None else None
+        if profiler is not None:
+            profiler.record(name, wall_s, samples)
+
+    def _run(self, fn, tasks: list, stage: str, n_samples: int) -> np.ndarray:
+        start = time.perf_counter()
+        if self.jobs == 1 or len(tasks) == 1:
+            parts = [fn(task) for task in tasks]
+        else:
+            parts = list(self._pool().map(fn, tasks))
+        out = np.concatenate(parts) if len(parts) > 1 else parts[0]
+        self._record(stage, time.perf_counter() - start, n_samples)
+        return out
+
+    def _tasks(self, n: int, root_seed, common: dict) -> list:
+        counts = plan_shards(n, self.shard_size)
+        seeds = shard_seeds(root_seed, len(counts))
+        return [dict(common, n=count, seed=seed)
+                for count, seed in zip(counts, seeds)]
+
+    # -- public sampling API -------------------------------------------------
+
+    def system_delays(self, tech, vdd, *, width: int, paths_per_lane: int,
+                      chain_length: int, n_chips: int, spares: int = 0,
+                      batch_size: int = 64, root_seed=0) -> np.ndarray:
+        """Sharded :meth:`MonteCarloEngine.system_delays` (seconds).
+
+        Bit-identical for a given ``(root_seed, shard_size, batch_size)``
+        regardless of ``jobs``.
+        """
+        tasks = self._tasks(n_chips, root_seed, dict(
+            tech=tech, vdd=float(vdd), width=int(width),
+            paths_per_lane=int(paths_per_lane),
+            chain_length=int(chain_length), spares=int(spares),
+            batch_size=int(batch_size)))
+        return self._run(_system_delays_shard, tasks,
+                         "sampler.system_delays", n_chips)
+
+    def sample_chips(self, tech, vdd, *, n_samples: int, width: int = 128,
+                     paths_per_lane: int = 100, chain_length: int = 50,
+                     spares: int = 0, root_seed=0) -> np.ndarray:
+        """Sharded :meth:`ChipDelayEngine.sample_chips` (seconds).
+
+        Bit-identical for a given ``(root_seed, shard_size)`` regardless
+        of ``jobs``.
+        """
+        tasks = self._tasks(n_samples, root_seed, dict(
+            tech=tech, vdd=float(vdd), width=int(width),
+            paths_per_lane=int(paths_per_lane),
+            chain_length=int(chain_length), spares=int(spares)))
+        return self._run(_sample_chips_shard, tasks,
+                         "sampler.sample_chips", n_samples)

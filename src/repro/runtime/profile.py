@@ -1,0 +1,101 @@
+"""Lightweight runtime observability.
+
+:class:`Profiler` accumulates per-stage wall time, call and sample
+counters.  It is deliberately tiny: the runtime layer wraps its hot spots
+(`sampling shards, quantile solves, cache lookups, whole experiments`) in
+:meth:`Profiler.stage` blocks, and ``python -m repro.experiments --profile``
+renders the aggregate at the end of the run.
+
+Counters survive process boundaries: a worker serialises its profiler with
+:meth:`Profiler.as_dict` and the parent folds it back in with
+:meth:`Profiler.merge` — this is how ``--jobs N --profile`` reports stages
+executed inside pool workers.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = ["StageStats", "Profiler"]
+
+
+@dataclass
+class StageStats:
+    """Aggregate counters for one named runtime stage."""
+
+    name: str
+    calls: int = 0
+    wall_s: float = 0.0
+    samples: int = 0
+
+    def add(self, wall_s: float, samples: int = 0) -> None:
+        self.calls += 1
+        self.wall_s += float(wall_s)
+        self.samples += int(samples)
+
+    @property
+    def samples_per_s(self) -> float:
+        return self.samples / self.wall_s if self.wall_s > 0 else 0.0
+
+
+class Profiler:
+    """Accumulates :class:`StageStats`, keyed by stage name."""
+
+    def __init__(self) -> None:
+        self._stages: dict = {}
+
+    def record(self, name: str, wall_s: float, samples: int = 0) -> None:
+        """Fold one timed call into the ``name`` stage."""
+        stage = self._stages.get(name)
+        if stage is None:
+            stage = self._stages[name] = StageStats(name=name)
+        stage.add(wall_s, samples)
+
+    @contextmanager
+    def stage(self, name: str, samples: int = 0):
+        """Time a ``with`` block as one call of stage ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - start, samples)
+
+    def stages(self) -> list:
+        """All stages, slowest first."""
+        return sorted(self._stages.values(), key=lambda s: -s.wall_s)
+
+    def as_dict(self) -> dict:
+        """Serialisable snapshot (for crossing process boundaries)."""
+        return {s.name: {"calls": s.calls, "wall_s": s.wall_s,
+                         "samples": s.samples}
+                for s in self._stages.values()}
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold an :meth:`as_dict` snapshot (e.g. from a worker) in."""
+        for name, rec in snapshot.items():
+            stage = self._stages.get(name)
+            if stage is None:
+                stage = self._stages[name] = StageStats(name=name)
+            stage.calls += int(rec["calls"])
+            stage.wall_s += float(rec["wall_s"])
+            stage.samples += int(rec["samples"])
+
+    def render(self) -> str:
+        """Aligned text report of every stage (slowest first)."""
+        headers = ("stage", "calls", "wall (s)", "samples", "samples/s")
+        rows = [headers]
+        for s in self.stages():
+            rows.append((s.name, str(s.calls), f"{s.wall_s:.3f}",
+                         str(s.samples),
+                         f"{s.samples_per_s:.0f}" if s.samples else "-"))
+        widths = [max(len(r[i]) for r in rows) for i in range(len(headers))]
+        lines = ["runtime profile", "---------------"]
+        for i, row in enumerate(rows):
+            lines.append("  ".join(
+                c.ljust(w) if j == 0 else c.rjust(w)
+                for j, (c, w) in enumerate(zip(row, widths))))
+            if i == 0:
+                lines.append("  ".join("=" * w for w in widths))
+        return "\n".join(lines)

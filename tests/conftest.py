@@ -2,11 +2,30 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core.analyzer import VariationAnalyzer
 from repro.devices.technology import available_technologies, get_technology
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_quantile_cache(tmp_path_factory):
+    """Point the persistent quantile cache at a per-session temp dir.
+
+    Keeps the suite from reading or polluting the developer's real
+    ``~/.cache/repro`` while still exercising the on-disk cache path.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("quantile-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture(scope="session")

@@ -76,3 +76,16 @@ def test_invalid_args(mc):
     with pytest.raises(ConfigurationError):
         mc.system_delays(0.6, width=4, paths_per_lane=2, chain_length=3,
                          n_chips=10, spares=-1)
+
+
+def test_batch_size_validated(mc):
+    """batch_size <= 0 used to loop forever; it must raise instead."""
+    with pytest.raises(ConfigurationError):
+        mc.system_delays(0.6, width=2, paths_per_lane=2, chain_length=3,
+                         n_chips=10, batch_size=0)
+    with pytest.raises(ConfigurationError):
+        mc.system_delays(0.6, width=2, paths_per_lane=2, chain_length=3,
+                         n_chips=10, batch_size=-4)
+    with pytest.raises(ConfigurationError):
+        mc.lane_delays(0.6, paths_per_lane=2, chain_length=3,
+                       n_samples=10, batch_size=0)

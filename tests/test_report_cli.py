@@ -66,6 +66,29 @@ def test_cli_runs_single_experiment(capsys):
     assert "fig9" in out and "completed in" in out
 
 
-def test_cli_unknown_experiment():
-    with pytest.raises(ConfigurationError):
-        cli_main(["fig99"])
+def test_cli_unknown_experiment_exits_2(capsys):
+    """A bogus id must print a clean error to stderr, not a traceback."""
+    assert cli_main(["fig99"]) == 2
+    captured = capsys.readouterr()
+    assert "unknown experiment" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_cli_rejects_bad_jobs(capsys):
+    assert cli_main(["fig9", "--jobs", "0"]) == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_cli_profile_flag(capsys):
+    assert cli_main(["fig9", "--fast", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "runtime profile" in out
+    assert "experiment.fig9" in out
+
+
+def test_cli_parallel_jobs_smoke(capsys):
+    """--jobs 2 shards ensemble sampling through a worker pool."""
+    assert cli_main(["fig3", "--fast", "--jobs", "2", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "fig3" in out and "completed in" in out
+    assert "sampler.sample_chips" in out
