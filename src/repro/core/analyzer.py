@@ -109,7 +109,30 @@ class VariationAnalyzer:
 
     # -- architecture level -----------------------------------------------------
 
-    def chip_quantile(self, vdd, spares: int = 0, q: float | None = None) -> float:
+    def _point_key(self, vdd, spares, q):
+        """In-process memo key ``(vdd, spares, q)`` for one query point.
+
+        Spares are keyed on the *rounded float* (not ``int``): the engine
+        supports fractional sparing, and truncation would silently collide
+        ``spares=1.5`` with ``spares=1`` in both cache layers.
+        """
+        q_eff = self.signoff_quantile if q is None else float(q)
+        return (round(float(vdd), 9), round(float(spares), 9),
+                round(q_eff, 12))
+
+    def _disk_key(self, key) -> str:
+        """The persistent-cache key for an in-process ``_point_key``."""
+        engine = self.engine
+        return QuantileCache.make_key(
+            self.tech, width=engine.width,
+            paths_per_lane=engine.paths_per_lane,
+            chain_length=engine.chain_length,
+            quad_within=engine.quad_within,
+            quad_corr_vth=engine.quad_corr_vth,
+            quad_corr_mult=engine.quad_corr_mult,
+            vdd=key[0], q=key[2], spares=key[1])
+
+    def chip_quantile(self, vdd, spares: float = 0, q: float | None = None) -> float:
         """Deterministic chip-delay quantile in seconds.
 
         ``q`` defaults to the analyzer's sign-off quantile (99 %).  Results
@@ -119,23 +142,15 @@ class VariationAnalyzer:
         never re-pay a deterministic solve.
         """
         q_eff = self.signoff_quantile if q is None else float(q)
-        key = (round(float(vdd), 9), int(spares), round(q_eff, 12))
+        key = self._point_key(vdd, spares, q)
         cached = self._signoff_cache.get(key)
         if cached is not None:
             return cached
-        engine = self.engine
-        disk_key = QuantileCache.make_key(
-            self.tech, width=engine.width,
-            paths_per_lane=engine.paths_per_lane,
-            chain_length=engine.chain_length,
-            quad_within=engine.quad_within,
-            quad_corr_vth=engine.quad_corr_vth,
-            quad_corr_mult=engine.quad_corr_mult,
-            vdd=key[0], q=key[2], spares=key[1])
+        disk_key = self._disk_key(key)
         value = self.quantile_cache.get(disk_key)
         if value is None:
             with profiled_stage("analyzer.quantile_solve"):
-                value = engine.chip_quantile(vdd, q_eff, spares=spares)
+                value = self.engine.chip_quantile(vdd, q_eff, spares=spares)
             self.quantile_cache.put(disk_key, value)
         else:
             with profiled_stage("analyzer.quantile_cache_hit"):
@@ -143,7 +158,58 @@ class VariationAnalyzer:
         self._signoff_cache[key] = value
         return value
 
-    def chip_quantile_fo4(self, vdd, spares: int = 0, q: float | None = None) -> float:
+    def chip_quantiles(self, vdd, spares: float = 0, q=None) -> np.ndarray:
+        """Batched deterministic chip-delay quantiles (seconds).
+
+        ``vdd``, ``spares`` and ``q`` broadcast together; the result has
+        the broadcast shape (scalar inputs return a plain float).  The
+        whole batch shares one pass through both cache layers — one
+        in-process memo sweep, one :meth:`QuantileCache.get_many` disk
+        lookup — and every remaining miss is solved in a single
+        :meth:`ChipDelayEngine.chip_quantile_batch` call, so partial hits
+        only pay for the points that are genuinely new.  Values agree
+        bit-for-bit with what :meth:`chip_quantile` caches.
+        """
+        q_eff = self.signoff_quantile if q is None else q
+        vdd_b, sp_b, q_b = np.broadcast_arrays(
+            np.asarray(vdd, dtype=float), np.asarray(spares, dtype=float),
+            np.asarray(q_eff, dtype=float))
+        shape = vdd_b.shape
+        keys = [self._point_key(v, s, qq) for v, s, qq in
+                zip(vdd_b.ravel(), sp_b.ravel(), q_b.ravel())]
+        out = np.empty(len(keys))
+        missing: dict = {}          # unique missed key -> output positions
+        for i, key in enumerate(keys):
+            cached = self._signoff_cache.get(key)
+            if cached is not None:
+                out[i] = cached
+            else:
+                missing.setdefault(key, []).append(i)
+        if missing:
+            ukeys = list(missing)
+            disk_vals = self.quantile_cache.get_many(
+                self._disk_key(k) for k in ukeys)
+            solve_keys = [k for k, v in zip(ukeys, disk_vals) if v is None]
+            solved: dict = {}
+            if solve_keys:
+                with profiled_stage("analyzer.quantile_solve_batch",
+                                    len(solve_keys)):
+                    values = np.atleast_1d(self.engine.chip_quantile_batch(
+                        np.array([k[0] for k in solve_keys]),
+                        np.array([k[2] for k in solve_keys]),
+                        np.array([k[1] for k in solve_keys])))
+                solved = dict(zip(solve_keys, (float(v) for v in values)))
+                self.quantile_cache.put_many(
+                    (self._disk_key(k), v) for k, v in solved.items())
+            for key, disk_val in zip(ukeys, disk_vals):
+                value = solved[key] if disk_val is None else disk_val
+                self._signoff_cache[key] = value
+                out[missing[key]] = value
+        if shape == ():
+            return float(out[0])
+        return out.reshape(shape)
+
+    def chip_quantile_fo4(self, vdd, spares: float = 0, q: float | None = None) -> float:
         """Chip-delay quantile expressed in FO4 units at the same ``vdd``.
 
         This is the paper's ``fo4chipd`` metric.
@@ -154,7 +220,7 @@ class VariationAnalyzer:
         """``fo4chipd`` of the spare-less chip at nominal (full) voltage."""
         return self.chip_quantile_fo4(self.nominal_vdd)
 
-    def performance_drop(self, vdd, spares: int = 0) -> float:
+    def performance_drop(self, vdd, spares: float = 0) -> float:
         """Fractional performance drop vs the full-voltage baseline (Fig. 4).
 
         ``(fo4chipd@NTV - fo4chipd@FV) / fo4chipd@FV``: by normalising both
@@ -164,6 +230,24 @@ class VariationAnalyzer:
         """
         return (self.chip_quantile_fo4(vdd, spares)
                 / self.nominal_signoff_fo4() - 1.0)
+
+    def performance_drops(self, vdds, spares: float = 0) -> np.ndarray:
+        """Vectorised :meth:`performance_drop` over a supply sweep (Fig. 4).
+
+        All sign-off quantiles behind the sweep are resolved through one
+        :meth:`chip_quantiles` batch, so a whole Fig.-4 column costs a
+        single kernelised solve instead of one scalar root-find per
+        voltage.  Each element equals the scalar method exactly for
+        cached points.
+        """
+        vdds = np.asarray(vdds, dtype=float)
+        flat = np.atleast_1d(vdds).ravel()
+        quantiles = np.atleast_1d(self.chip_quantiles(flat, spares))
+        fo4 = np.array([self.fo4_unit(v) for v in flat])
+        drops = (quantiles / fo4) / self.nominal_signoff_fo4() - 1.0
+        if vdds.shape == ():
+            return float(drops[0])
+        return drops.reshape(vdds.shape)
 
     def target_delay(self, vdd) -> float:
         """The mitigation target delay at ``vdd`` (seconds), Section 4.2.

@@ -22,6 +22,18 @@ Two evaluation styles are provided:
   :meth:`ChipDelayEngine.chip_quantile`): noise-free, so millivolt-scale
   voltage-margin searches are well posed, and fractional spare counts are
   supported through the regularised-incomplete-beta order-statistic form.
+  Every CDF evaluation runs on a per-``vdd`` *conditioned kernel* — the
+  path moments at the (die x lane) threshold-offset grid plus the
+  multiplicative scale/weight tensors — held in a bounded LRU cache, so
+  repeated evaluations at one supply point pay only the broadcasted
+  Cornish-Fisher inversion and two weighted contractions.
+* **Batched** quantile solving (:meth:`ChipDelayEngine.chip_quantile_batch`):
+  solves many ``(vdd, q, spares)`` query points simultaneously — kernels
+  for all distinct supply points are built in one vectorized pass, a
+  cheap low-order-quadrature presolve brackets every root tightly, and a
+  vectorized Chandrupatla (inverse-quadratic/bisection hybrid) iteration
+  polishes all roots at full quadrature order in a handful of batched
+  CDF sweeps.
 * **Sampling** (:meth:`ChipDelayEngine.sample_chips` and friends): draws
   ensembles for the paper's histogram figures via inverse-transform
   sampling — equivalent to per-gate Monte-Carlo up to the Edgeworth
@@ -30,14 +42,17 @@ Two evaluation styles are provided:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
+from scipy.interpolate import CubicSpline
 from scipy.optimize import brentq
-from scipy.special import betainc
+from scipy.special import betainc, log_ndtr, ndtri
 
 from repro.core.moments import (
     DelayMoments,
+    _skew_coefficient,
     chain_moments,
     cornish_fisher_cdf,
     cornish_fisher_quantile,
@@ -52,6 +67,23 @@ __all__ = [
     "chip_delay_quantile",
     "chip_delay_cdf",
 ]
+
+#: Bound on the per-engine kernel / offset-moment caches (entries are a few
+#: KB each; voltage sweeps touch tens of supply points, not thousands).
+_KERNEL_CACHE_SIZE = 256
+
+#: Batched-solver tuning.  Query points sharing (q, spares) and differing
+#: only in vdd form a *sweep cluster*: every ``_ANCHOR_STRIDE``-th member is
+#: solved from scratch and the rest start from a log-space cubic spline of
+#: the anchor roots (the quantile-vs-vdd curve is smooth, so the spline is
+#: accurate to ~1e-4 relative — 2-3 secant sweeps from convergence).
+_ANCHOR_STRIDE = 3
+_CLUSTER_MIN = 8
+#: Secant acceptance: the extrapolated iterate's error is ~ C * d_k * d_{k-1}
+#: (relative step sizes) with C = |F''/2F'| * root under ~50 for every
+#: calibrated card; 200 adds a 4x safety factor.
+_SECANT_C = 200.0
+_SECANT_TOL = 1e-11
 
 
 def _grid(sigma: float, order: int):
@@ -116,6 +148,249 @@ class _CorrelatedGrids:
     lane_mult_w: np.ndarray
 
 
+@dataclass(frozen=True)
+class _KernelLevel:
+    """The ``x``-independent geometry of one quadrature resolution.
+
+    ``offsets`` are the correlated (die + lane) threshold offsets, shape
+    ``(J, A)``; ``scale`` the multiplicative factors ``(1+M)(1+m_l)`` on the
+    ``(K, B)`` grid; ``lane_w``/``die_w`` the separable quadrature weights.
+    All four are independent of ``vdd``, ``x`` and ``spares``.
+    """
+
+    offsets: np.ndarray   # (J, A)
+    scale: np.ndarray     # (K, B)
+    lane_w: np.ndarray    # (A, B)
+    die_w: np.ndarray     # (J, K)
+
+
+class _CdfKernel:
+    """Per-``vdd`` conditioned CDF kernel: path moments at every offset.
+
+    Holds the chain mean / std / skew coefficient evaluated at the fine
+    ``(J, A)`` offset grid and at the coarse presolve grid, plus a bracket
+    anchor ``ref`` (the median conditioned path mean).  Everything here
+    depends only on ``vdd`` — a CDF evaluation reduces to one broadcasted
+    Cornish-Fisher inversion against these tensors.
+    """
+
+    __slots__ = ("vdd", "mean", "std", "a6", "coarse_mean", "coarse_std",
+                 "coarse_a6", "ref")
+
+    def __init__(self, vdd, mean, std, a6, coarse_mean, coarse_std,
+                 coarse_a6, ref):
+        self.vdd = vdd
+        self.mean = mean
+        self.std = std
+        self.a6 = a6                    # clipped skewness / 6
+        self.coarse_mean = coarse_mean
+        self.coarse_std = coarse_std
+        self.coarse_a6 = coarse_a6
+        self.ref = ref
+
+
+def _chandrupatla(f, lo, hi, flo, fhi, rtol, maxiter: int = 120):
+    """Vectorized Chandrupatla root finder (IQI/bisection hybrid).
+
+    Solves ``f = 0`` for every query point simultaneously.  ``f(x, idx)``
+    must evaluate the objective at points ``x`` for query indices ``idx``
+    (both 1-D of equal length) — only still-active points are evaluated
+    each iteration.  ``(lo, hi)`` must bracket per point:
+    ``flo <= 0 <= fhi``.  Terminates each point once its bracket shrinks
+    below ``2 * rtol * |root|``.
+    """
+    lo = np.asarray(lo, dtype=float)
+    hi = np.asarray(hi, dtype=float)
+    n = lo.size
+    a = hi.copy()
+    fa = np.asarray(fhi, dtype=float).copy()
+    b = lo.copy()
+    fb = np.asarray(flo, dtype=float).copy()
+    c = b.copy()
+    fc = fb.copy()
+    t = np.full(n, 0.5)
+    root = np.where(np.abs(fa) < np.abs(fb), a, b)
+    active = np.ones(n, dtype=bool)
+    for end, fend in ((lo, fb), (hi, fa)):
+        exact = fend == 0.0
+        root[exact] = end[exact]
+        active[exact] = False
+    for _ in range(maxiter):
+        idx = np.flatnonzero(active)
+        if idx.size == 0:
+            return root
+        xt = a[idx] + t[idx] * (b[idx] - a[idx])
+        ft = f(xt, idx)
+        same = np.sign(ft) == np.sign(fa[idx])
+        ci = np.where(same, a[idx], b[idx])
+        fci = np.where(same, fa[idx], fb[idx])
+        bi = np.where(same, b[idx], a[idx])
+        fbi = np.where(same, fb[idx], fa[idx])
+        ai, fai = xt, ft
+        a[idx], fa[idx] = ai, fai
+        b[idx], fb[idx] = bi, fbi
+        c[idx], fc[idx] = ci, fci
+
+        use_a = np.abs(fai) < np.abs(fbi)
+        xm = np.where(use_a, ai, bi)
+        fm = np.where(use_a, fai, fbi)
+        root[idx] = xm
+        tol = 2.0 * rtol * np.abs(xm)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            tlim = tol / np.abs(bi - ci)
+            done = (fm == 0.0) | (tlim > 0.5) | ~np.isfinite(tlim)
+            # Inverse-quadratic step where the bracket geometry allows it,
+            # bisection otherwise (Chandrupatla's acceptance test).
+            xi = (ai - bi) / (ci - bi)
+            phi = (fai - fbi) / (fci - fbi)
+            iqi = (phi ** 2 < xi) & ((1.0 - phi) ** 2 < 1.0 - xi)
+            t_iqi = (fai / (fbi - fai) * fci / (fbi - fci)
+                     + (ci - ai) / (bi - ai) * fai / (fci - fai)
+                     * fbi / (fci - fbi))
+            t_new = np.where(iqi & np.isfinite(t_iqi), t_iqi, 0.5)
+            t_new = np.clip(t_new, tlim, 1.0 - tlim)
+        t[idx] = np.where(np.isfinite(t_new), t_new, 0.5)
+        active[idx[done]] = False
+    if active.any():
+        raise ConvergenceError(
+            "batched chip-delay quantile root-finding did not converge")
+    return root
+
+
+def _expand_bracket(f, lo, hi, flo, fhi):
+    """Geometrically expand per-point brackets until ``flo <= 0 <= fhi``."""
+    for _ in range(80):
+        need = np.flatnonzero(fhi < 0.0)
+        if need.size == 0:
+            break
+        hi[need] *= 1.25
+        fhi[need] = f(hi[need], need)
+    for _ in range(80):
+        need = np.flatnonzero(flo > 0.0)
+        if need.size == 0:
+            break
+        lo[need] *= 0.8
+        flo[need] = f(lo[need], need)
+    if (fhi < 0.0).any() or (flo > 0.0).any():
+        raise ConvergenceError("could not bracket the chip-delay quantile")
+
+
+def _clusters(vdds, qs, sps):
+    """Partition query points into anchors and spline-seeded sweep members.
+
+    Points sharing ``(q, spares)`` with at least ``_CLUSTER_MIN`` distinct
+    supply voltages form a cluster; every ``_ANCHOR_STRIDE``-th member (plus
+    the endpoints) is an *anchor*.  Returns ``(anchors, jobs)`` where each
+    job is ``(anchor_indices, member_indices)`` ordered by vdd.
+    """
+    groups: dict = {}
+    for i, (q, s) in enumerate(zip(qs, sps)):
+        groups.setdefault((q, s), []).append(i)
+    anchors: list = []
+    jobs = []
+    for members in groups.values():
+        if len(members) < _CLUSTER_MIN:
+            anchors.extend(members)
+            continue
+        members = sorted(members, key=lambda i: vdds[i])
+        picked = sorted(set(range(0, len(members), _ANCHOR_STRIDE))
+                        | {len(members) - 1})
+        picked_set = set(picked)
+        anchors.extend(members[i] for i in picked)
+        jobs.append((
+            np.array([members[i] for i in picked]),
+            np.array([members[i] for i in range(len(members))
+                      if i not in picked_set]),
+        ))
+    return np.array(sorted(anchors), dtype=int), jobs
+
+
+class _PointsEval:
+    """Batched chip-CDF evaluator for a fixed set of heterogeneous points.
+
+    Precomputes the x-independent broadcast tensors once per solve, so each
+    sweep over the ``(N, J, K, A, B)`` tensor spends the minimum number of
+    elementwise passes: the Cornish-Fisher z-argument is the affine map
+    ``w = x * t1 - t0`` of the query delay, the citardauq discriminant one
+    multiply-add, and both quadrature contractions are BLAS matvecs.  The
+    citardauq inversion is applied unconditionally (exact as the skew
+    coefficient -> 0) and the max-of-P-paths power uses the
+    ``exp(P * log_ndtr)`` fusion.
+    """
+
+    __slots__ = ("width", "paths", "t1", "t0", "a4", "w_lo", "w_hi",
+                 "lane_w", "die_w", "qs", "sps")
+
+    def __init__(self, engine, level, mean, std, a6, qs, sps):
+        inv_s = 1.0 / std                                    # (N, J, A)
+        self.t1 = (inv_s[:, :, None, :, None]
+                   / level.scale[None, None, :, None, :])
+        self.t0 = (mean * inv_s - a6)[:, :, None, :, None]
+        self.a4 = (4.0 * a6)[:, :, None, :, None]
+        self.lane_w = level.lane_w.ravel()
+        self.die_w = level.die_w.ravel()
+        self.width = engine.width
+        self.paths = engine.paths_per_lane
+        self.qs = qs
+        self.sps = sps
+        # Saturation thresholds: outside [z_lo, z_hi] the max-of-P-paths CDF
+        # Phi(z)^P is 0 or 1 to <1e-15 absolute, so only the (typically
+        # 10-30 %) in-band elements pay the log-ndtr call.  Mapped to the
+        # pre-inversion variable w = z + a z^2 (monotone), per element.
+        z_lo = float(ndtri(np.exp(-36.8 / self.paths)))
+        z_hi = float(-ndtri(1e-15 / self.paths))
+        a = 0.25 * self.a4
+        self.w_lo = z_lo + a * (z_lo * z_lo)
+        self.w_hi = z_hi + a * (z_hi * z_hi)
+
+    def cdf(self, x, idx):
+        """``P(chip delay <= x_i)`` for query subset ``idx`` (1-D, same size)."""
+        full = idx.size == self.t0.shape[0]
+        t1 = self.t1 if full else self.t1[idx]
+        t0 = self.t0 if full else self.t0[idx]
+        a4 = self.a4 if full else self.a4[idx]
+        w_lo = self.w_lo if full else self.w_lo[idx]
+        w_hi = self.w_hi if full else self.w_hi[idx]
+        w = x[:, None, None, None, None] * t1
+        w -= t0
+        hi = w >= w_hi
+        mid = w > w_lo
+        mid &= ~hi
+        f_lane = hi.astype(float)
+        wm = w[mid]
+        am = np.broadcast_to(a4, w.shape)[mid]
+        disc = am * wm
+        disc += 1.0
+        np.maximum(disc, 0.0, out=disc)
+        np.sqrt(disc, out=disc)
+        disc += 1.0
+        wm *= 2.0
+        wm /= disc
+        lf = log_ndtr(wm)
+        lf *= self.paths
+        f_lane[mid] = np.exp(lf, out=lf)
+        n, j, k, a, b = f_lane.shape
+        g_lane = f_lane.reshape(n * j * k, a * b) @ self.lane_w
+        np.clip(g_lane, 0.0, 1.0, out=g_lane)
+        g_lane = g_lane.reshape(n, j * k)
+        sp = self.sps[idx]
+        zero = sp == 0.0
+        if zero.all():
+            f_chip = g_lane ** self.width
+        elif not zero.any():
+            f_chip = betainc(self.width, sp[:, None] + 1.0, g_lane)
+        else:
+            f_chip = np.empty_like(g_lane)
+            f_chip[zero] = g_lane[zero] ** self.width
+            nz = ~zero
+            f_chip[nz] = betainc(self.width, sp[nz, None] + 1.0, g_lane[nz])
+        return f_chip @ self.die_w
+
+    def objective(self, x, idx):
+        """CDF minus target quantile (the root-finding residual)."""
+        return self.cdf(x, idx) - self.qs[idx]
+
+
 class ChipDelayEngine:
     """Order-statistics delay engine for one technology node.
 
@@ -158,9 +433,32 @@ class ChipDelayEngine:
         self._grids = _CorrelatedGrids(
             die_dvth, die_dvth_w, die_mult, die_mult_w,
             lane_dvth, lane_dvth_w, lane_mult, lane_mult_w)
-        self._offset_cache: dict = {}
+        self._fine = self._make_level(self.quad_corr_vth, self.quad_corr_mult)
+        # Low-order presolve level: ~20x cheaper per CDF sweep, used only to
+        # bracket roots tightly before full-order refinement.
+        self._coarse = self._make_level(max(2, self.quad_corr_vth // 2),
+                                        max(2, self.quad_corr_mult // 2))
+        # Kernel builds evaluate path moments only at the fine offsets; the
+        # coarse (presolve-only) moments are interpolated from them, so the
+        # sorted fine-offset view is precomputed here.
+        self._offset_order = np.argsort(self._fine.offsets, axis=None)
+        self._offset_cache: OrderedDict = OrderedDict()
+        self._kernel_cache: OrderedDict = OrderedDict()
 
     # -- internals -----------------------------------------------------------
+
+    def _make_level(self, vth_order: int, mult_order: int) -> _KernelLevel:
+        var = self.tech.variation
+        die_dvth, die_dvth_w = _grid(var.sigma_vth_d2d, vth_order)
+        die_mult, die_mult_w = _grid(var.sigma_mult_corr, mult_order)
+        lane_dvth, lane_dvth_w = _grid(var.sigma_vth_lane, vth_order)
+        lane_mult, lane_mult_w = _grid(var.sigma_mult_lane, mult_order)
+        return _KernelLevel(
+            offsets=die_dvth[:, None] + lane_dvth[None, :],
+            scale=(1.0 + die_mult)[:, None] * (1.0 + lane_mult)[None, :],
+            lane_w=lane_dvth_w[:, None] * lane_mult_w[None, :],
+            die_w=die_dvth_w[:, None] * die_mult_w[None, :],
+        )
 
     def _offset_moments(self, vdd: float) -> _OffsetMoments:
         key = round(float(vdd), 9)
@@ -170,7 +468,67 @@ class ChipDelayEngine:
             out = _OffsetMoments(self.tech, vdd, self.chain_length,
                                  self.quad_within, span)
             self._offset_cache[key] = out
+            while len(self._offset_cache) > _KERNEL_CACHE_SIZE:
+                self._offset_cache.popitem(last=False)
+        else:
+            self._offset_cache.move_to_end(key)
         return out
+
+    def _ensure_kernels(self, keys) -> None:
+        """Build (vectorized, one pass) the CDF kernels for missing vdds.
+
+        ``keys`` are supply voltages already rounded to the cache precision
+        (9 decimals, matching ``_offset_cache``).
+        """
+        requested = list(dict.fromkeys(keys))
+        missing = []
+        for key in requested:
+            if key in self._kernel_cache:
+                self._kernel_cache.move_to_end(key)
+            else:
+                missing.append(key)
+        if not missing:
+            return
+        offs = self._fine.offsets.ravel()
+        vdds = np.asarray(missing, dtype=float)
+        gate = gate_delay_moments(self.tech, vdds[:, None], offs[None, :],
+                                  n_points=self.quad_within)
+        path = chain_moments(gate, self.chain_length)
+        mean = np.asarray(path.mean)
+        std = np.asarray(path.std)
+        a6 = np.asarray(_skew_coefficient(path)) / 6.0
+        fine_shape = self._fine.offsets.shape
+        coarse_shape = self._coarse.offsets.shape
+        # The coarse (presolve) moments are interpolated over the offset
+        # axis instead of re-integrated: the presolve only needs ~1e-3 and
+        # the grid is dense, so this shaves 20 % off every kernel build.
+        order = self._offset_order
+        offs_sorted = offs[order]
+        coffs = self._coarse.offsets.ravel()
+        for i, key in enumerate(missing):
+            kernel = _CdfKernel(
+                vdd=key,
+                mean=mean[i].reshape(fine_shape),
+                std=std[i].reshape(fine_shape),
+                a6=a6[i].reshape(fine_shape),
+                coarse_mean=np.interp(coffs, offs_sorted,
+                                      mean[i, order]).reshape(coarse_shape),
+                coarse_std=np.interp(coffs, offs_sorted,
+                                     std[i, order]).reshape(coarse_shape),
+                coarse_a6=np.interp(coffs, offs_sorted,
+                                    a6[i, order]).reshape(coarse_shape),
+                ref=float(np.median(mean[i])),
+            )
+            self._kernel_cache[key] = kernel
+        # Never evict a kernel the in-flight batch still needs.
+        limit = max(_KERNEL_CACHE_SIZE, len(requested))
+        while len(self._kernel_cache) > limit:
+            self._kernel_cache.popitem(last=False)
+
+    def _cdf_kernel(self, vdd: float) -> _CdfKernel:
+        key = round(float(vdd), 9)
+        self._ensure_kernels((key,))
+        return self._kernel_cache[key]
 
     def path_moments(self, vdd, corr_dvth) -> DelayMoments:
         """Path moments conditioned on a correlated (lane+die) Vth offset."""
@@ -201,49 +559,236 @@ class ChipDelayEngine:
         (used by the calibration fitter and the continuous spare solver).
         """
         self._check_spares(spares)
-        g = self._grids
-        om = self._offset_moments(float(vdd))
+        kernel = self._cdf_kernel(float(vdd))
+        level = self._fine
         x = np.asarray(x, dtype=float)
-        x_flat = np.atleast_1d(x)
+        x_flat = np.atleast_1d(x).ravel()
 
         # Axes: (J die_vth, K die_mult, A lane_vth, B lane_mult, X).
-        offsets = g.die_dvth[:, None] + g.lane_dvth[None, :]       # (J, A)
-        m = om(offsets)
-        mean = m.mean[:, None, :, None, None]
-        std = np.sqrt(m.var)[:, None, :, None, None]
-        gamma_m = DelayMoments(mean=m.mean, var=m.var, third=m.third)
-        gamma = np.asarray(gamma_m.skewness)[:, None, :, None, None]
-
-        scale = ((1.0 + g.die_mult)[None, :, None, None, None]
-                 * (1.0 + g.lane_mult)[None, None, None, :, None])
-        y = x_flat[None, None, None, None, :] / scale
+        mean = kernel.mean[:, None, :, None, None]
+        std = kernel.std[:, None, :, None, None]
+        gamma = (6.0 * kernel.a6)[:, None, :, None, None]
+        y = x_flat[None, None, None, None, :] / level.scale[None, :, None, :, None]
 
         moments = DelayMoments(mean=mean, var=std ** 2, third=gamma * std ** 3)
         f_path = cornish_fisher_cdf(moments, y)
         f_lane = f_path ** self.paths_per_lane
         # Average over the lane-level variation -> per-die lane CDF.
-        lane_w = (g.lane_dvth_w[None, None, :, None, None]
-                  * g.lane_mult_w[None, None, None, :, None])
-        g_lane = (f_lane * lane_w).sum(axis=(2, 3))                # (J, K, X)
+        g_lane = np.einsum("jkabx,ab->jkx", f_lane, level.lane_w)
         g_lane = np.clip(g_lane, 0.0, 1.0)
         if spares == 0:
             f_chip = g_lane ** self.width
         else:
             f_chip = betainc(self.width, float(spares) + 1.0, g_lane)
-        die_w = g.die_dvth_w[:, None, None] * g.die_mult_w[None, :, None]
-        out = (f_chip * die_w).sum(axis=(0, 1))
+        out = np.einsum("jkx,jk->x", f_chip, level.die_w)
         return out[0] if x.ndim == 0 else out.reshape(x.shape)
+
+    def _secant_polish(self, ev, x0, slope, gidx=None, maxiter: int = 10):
+        """Masked vectorized secant iteration at full quadrature order.
+
+        ``x0`` are starting guesses (already within ~1e-2 relative of the
+        roots), ``slope`` an approximate CDF derivative for the first
+        Newton step.  ``gidx`` maps the local points onto ``ev``'s point
+        axis (defaults to all points, in order).  A point is *accepted* at
+        the extrapolated iterate once the secant error model
+        ``C * d_k * d_{k-1}`` drops below tolerance; points whose steps
+        stop contracting are left to the bracketing fallback.  Returns
+        ``(root, done, last_iterate, last_step)``.
+        """
+        n = x0.size
+        all_idx = np.arange(n) if gidx is None else gidx
+        f0 = ev.objective(x0, all_idx)
+        root = x0.copy()
+        done = f0 == 0.0
+        ok = np.isfinite(slope) & (slope > 0.0)
+        step = np.where(ok, f0 / np.where(ok, slope, 1.0), 0.0)
+        np.clip(step, -0.05 * x0, 0.05 * x0, out=step)
+        x_prev = x0.copy()
+        f_prev = f0.copy()
+        x_cur = x0 - step
+        d_last = np.abs(step) / x_cur
+        active = ~done & ok & (step != 0.0)
+        for it in range(maxiter):
+            idx = np.flatnonzero(active)
+            if idx.size == 0:
+                break
+            fc = ev.objective(x_cur[idx], all_idx[idx])
+            with np.errstate(divide="ignore", invalid="ignore"):
+                sec = (fc * (x_cur[idx] - x_prev[idx])
+                       / (fc - f_prev[idx]))
+            new = x_cur[idx] - sec
+            d_new = np.abs(sec) / np.abs(x_cur[idx])
+            exact = fc == 0.0
+            accept = exact | (_SECANT_C * d_new * d_last[idx] < _SECANT_TOL) \
+                | (d_new < 1e-13)
+            # Only bail to the bracketing fallback on genuine divergence
+            # (step doubling); non-contracting steps during the first two
+            # rounds are the normal oscillation transient after a Newton
+            # overshoot (pronounced at the high-variation nodes, where the
+            # coarse-model seed is a ~1e-2 start) and resolve on their own.
+            diverged = ~np.isfinite(new) | (new <= 0.0)
+            if it >= 2:
+                diverged |= d_new > 2.0 * d_last[idx]
+            accept &= ~diverged
+            root[idx[accept]] = np.where(exact[accept], x_cur[idx][accept],
+                                         new[accept])
+            done[idx[accept]] = True
+            active[idx[accept | diverged]] = False
+            cont = ~(accept | diverged)
+            ci = idx[cont]
+            x_prev[ci] = x_cur[ci]
+            f_prev[ci] = fc[cont]
+            x_cur[ci] = new[cont]
+            d_last[ci] = d_new[cont]
+        return root, done, x_cur, d_last
+
+    def _solve_points(self, keys, qs, sps):
+        """Solve all ``(vdd-key, q, spares)`` points of one chunk at once.
+
+        Anchor points (every ``_ANCHOR_STRIDE``-th member of a voltage
+        sweep, plus all non-sweep points) are presolved on the coarse
+        quadrature level and polished at full order *first*; the remaining
+        sweep members then start from a log-space cubic spline through the
+        fully-converged anchor roots.  Splining the fine roots (rather
+        than the coarse presolve values) matters at the high-variation
+        nodes, where the coarse quadrature's model bias is ~1e-2: the bias
+        is smooth in ``vdd``, so the spline absorbs it and members land
+        within ~1e-4, finishing in two to three secant rounds.  Any point
+        the secant model rejects falls back to bracketed Chandrupatla
+        iteration.
+        """
+        kernels = [self._kernel_cache[k] for k in keys]
+        n = len(kernels)
+        all_idx = np.arange(n)
+        vdds = np.array([k.vdd for k in kernels])
+        ref = np.array([k.ref for k in kernels])
+        fine = _PointsEval(self, self._fine,
+                           np.stack([k.mean for k in kernels]),
+                           np.stack([k.std for k in kernels]),
+                           np.stack([k.a6 for k in kernels]), qs, sps)
+        coarse = _PointsEval(self, self._coarse,
+                             np.stack([k.coarse_mean for k in kernels]),
+                             np.stack([k.coarse_std for k in kernels]),
+                             np.stack([k.coarse_a6 for k in kernels]),
+                             qs, sps)
+
+        anchors, jobs = _clusters(vdds, qs, sps)
+
+        def f_anchor(x, pos):
+            return coarse.objective(x, anchors[pos])
+
+        lo = 0.4 * ref[anchors]
+        hi = 1.6 * ref[anchors]
+        pos = np.arange(anchors.size)
+        flo = f_anchor(lo, pos)
+        fhi = f_anchor(hi, pos)
+        _expand_bracket(f_anchor, lo, hi, flo, fhi)
+        x0 = np.empty(n)
+        x0[anchors] = _chandrupatla(f_anchor, lo, hi, flo, fhi, rtol=1e-6)
+        root = np.empty(n)
+
+        def coarse_slope(sub):
+            # First-step Newton slope from a coarse finite difference; the
+            # coarse pdf tracks the full-order pdf to ~20 %, good enough
+            # to shrink the starting error by ~5x before the secant takes
+            # over.
+            h = 1e-4 * x0[sub]
+            fc0 = coarse.objective(x0[sub], sub)
+            fc1 = coarse.objective(x0[sub] + h, sub)
+            return (fc1 - fc0) / h
+
+        def polish(sub):
+            r, done, x_last, d_last = self._secant_polish(
+                fine, x0[sub], coarse_slope(sub), gidx=sub)
+            root[sub] = r
+            if done.all():
+                return
+            bad = np.flatnonzero(~done)
+            rest = sub[bad]
+
+            def f_rest(x, pos):
+                return fine.objective(x, rest[pos])
+
+            width = np.clip(8.0 * d_last[bad], 1e-3, 0.5)
+            center = np.where(x_last[bad] > 0.0, x_last[bad], x0[rest])
+            lo = center * (1.0 - width)
+            hi = center * (1.0 + width)
+            pos = np.arange(rest.size)
+            flo = f_rest(lo, pos)
+            fhi = f_rest(hi, pos)
+            _expand_bracket(f_rest, lo, hi, flo, fhi)
+            root[rest] = _chandrupatla(f_rest, lo, hi, flo, fhi, rtol=4e-13)
+
+        polish(anchors)
+        if jobs:
+            for a_i, m_i in jobs:
+                spline = CubicSpline(vdds[a_i], np.log(root[a_i]))
+                x0[m_i] = np.exp(spline(vdds[m_i]))
+            polish(np.concatenate([m_i for _, m_i in jobs]))
+        return root
+
+    def chip_quantile_batch(self, vdd, q=0.99, spares=0.0, *,
+                            chunk_size: int = 64) -> np.ndarray:
+        """Quantiles of the chip delay for a batch of query points.
+
+        ``vdd``, ``q`` and ``spares`` broadcast together; the result has
+        the broadcast shape (a scalar input returns a numpy scalar shape
+        ``()``).  All distinct supply points are kernelised in a single
+        vectorized pass and all roots are polished simultaneously; results
+        match the scalar :meth:`chip_quantile` to ~1e-12 relative.
+        """
+        vdd_b, q_b, sp_b = np.broadcast_arrays(
+            np.asarray(vdd, dtype=float), np.asarray(q, dtype=float),
+            np.asarray(spares, dtype=float))
+        shape = vdd_b.shape
+        vdds = vdd_b.ravel()
+        qs = q_b.ravel().copy()
+        sps = sp_b.ravel().copy()
+        if qs.size and not ((qs > 0.0) & (qs < 1.0)).all():
+            raise ConfigurationError("quantile must be in (0, 1)")
+        if sps.size and (sps < 0).any():
+            raise ConfigurationError("spares must be >= 0")
+        # Solve each distinct (vdd, q, spares) point once and scatter the
+        # roots back — sweeps assembled from overlapping grids often repeat
+        # points, and the spline seeding needs distinct voltages anyway.
+        seen: dict = {}
+        scatter = np.empty(vdds.size, dtype=int)
+        ukeys: list = []
+        uq: list = []
+        usp: list = []
+        for i, (v, qv, sv) in enumerate(zip(vdds, qs, sps)):
+            point = (round(float(v), 9), float(qv), float(sv))
+            j = seen.get(point)
+            if j is None:
+                j = len(ukeys)
+                seen[point] = j
+                ukeys.append(point[0])
+                uq.append(point[1])
+                usp.append(point[2])
+            scatter[i] = j
+        uq_arr = np.asarray(uq)
+        usp_arr = np.asarray(usp)
+        self._ensure_kernels(ukeys)
+        uout = np.empty(len(ukeys))
+        for start in range(0, len(ukeys), int(chunk_size)):
+            sl = slice(start, start + int(chunk_size))
+            uout[sl] = self._solve_points(ukeys[sl], uq_arr[sl], usp_arr[sl])
+        out = uout[scatter]
+        if shape == ():
+            return float(out[0])
+        return out.reshape(shape)
 
     def chip_quantile(self, vdd, q: float = 0.99, spares: float = 0) -> float:
         """The ``q`` quantile of the chip delay distribution, in seconds.
 
-        ``spares`` may be fractional (see :meth:`chip_cdf`).
+        ``spares`` may be fractional (see :meth:`chip_cdf`).  Scalar
+        counterpart of :meth:`chip_quantile_batch`, kept as the reference
+        solver: Brent iteration over the kernel-backed :meth:`chip_cdf`.
         """
         if not 0.0 < q < 1.0:
             raise ConfigurationError(f"quantile must be in (0, 1), got {q}")
         vdd = float(vdd)
-        om = self._offset_moments(vdd)
-        ref = float(np.median(np.atleast_1d(om(0.0).mean)))
+        ref = self._cdf_kernel(vdd).ref
         lo = 0.4 * ref
         hi = 1.6 * ref
         for _ in range(80):
@@ -258,8 +803,10 @@ class ChipDelayEngine:
             lo *= 0.8
         else:
             raise ConvergenceError("could not bracket the chip-delay quantile")
+        # xtol is absolute: delays are ~1e-9 s, so it must sit far below the
+        # delay scale or it, not rtol, bounds the achieved precision.
         return brentq(lambda x: self.chip_cdf(vdd, x, spares) - q, lo, hi,
-                      xtol=1e-16, rtol=1e-12)
+                      xtol=1e-24, rtol=1e-12)
 
     # -- sampling --------------------------------------------------------------
 

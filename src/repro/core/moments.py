@@ -57,7 +57,13 @@ def hermite_nodes(n_points: int):
     if n_points < 2:
         raise ConfigurationError("quadrature needs at least 2 points")
     x, w = np.polynomial.hermite.hermgauss(n_points)
-    return x * np.sqrt(2.0), w / np.sqrt(np.pi)
+    nodes = x * np.sqrt(2.0)
+    weights = w / np.sqrt(np.pi)
+    # The arrays are shared through the lru_cache: a caller mutating them
+    # would silently corrupt every later quadrature, so freeze them.
+    nodes.setflags(write=False)
+    weights.setflags(write=False)
+    return nodes, weights
 
 
 @dataclass(frozen=True)
@@ -111,22 +117,28 @@ def gate_delay_moments(tech, vdd, die_dvth=0.0, n_points: int = 48) -> DelayMome
     tech:
         A :class:`~repro.devices.technology.TechnologyNode`.
     vdd:
-        Supply voltage (V), scalar.
+        Supply voltage (V); scalar or an array broadcastable against
+        ``die_dvth`` (the batched kernel builder evaluates many supply
+        points in one call).
     die_dvth:
-        Die-level threshold offset(s); scalar or array of shape ``(S,)``.
-        The result broadcasts to the same shape.
+        Die-level threshold offset(s); scalar or array.  The result
+        broadcasts to ``broadcast_shapes(vdd.shape, die_dvth.shape)``.
     n_points:
         Quadrature order.
     """
     die_dvth = np.asarray(die_dvth, dtype=float)
-    scalar_input = die_dvth.ndim == 0
-    die_dvth = np.atleast_1d(die_dvth)
+    vdd = np.asarray(vdd, dtype=float)
+    shape = np.broadcast_shapes(die_dvth.shape, vdd.shape)
+    scalar_input = shape == ()
 
     z, w = hermite_nodes(n_points)
     sigma_w = tech.variation.sigma_vth_wid
-    # (S, K) matrix of delays at each quadrature node.
-    dvth = die_dvth[:, None] + sigma_w * z[None, :]
-    delay = tech.fo4_delay(float(vdd), dvth)
+    # (..., K) tensor of delays at each quadrature node.
+    dvth = np.broadcast_to(die_dvth, shape)[..., None] + sigma_w * z
+    if scalar_input:
+        delay = tech.fo4_delay(float(vdd), dvth)
+    else:
+        delay = tech.fo4_delay(np.broadcast_to(vdd, shape)[..., None], dvth)
 
     # Raw moments over the threshold component.
     m1 = delay @ w
@@ -144,8 +156,6 @@ def gate_delay_moments(tech, vdd, die_dvth=0.0, n_points: int = 48) -> DelayMome
     # true variance is 0 and floating-point noise can land epsilon-negative.
     var = np.maximum(m2 - m1 ** 2, (1e-12 * m1) ** 2)
     third = m3 - 3.0 * m1 * m2 + 2.0 * m1 ** 3
-    if scalar_input:
-        return DelayMoments(mean=mean[0], var=var[0], third=third[0])
     return DelayMoments(mean=mean, var=var, third=third)
 
 

@@ -8,6 +8,8 @@ FO4 point matches the 128-wide@1V baseline.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.experiments.registry import ExperimentResult, experiment, get_analyzer
 from repro.experiments.report import TextTable
 from repro.sparing.duplication import solve_spares
@@ -29,16 +31,20 @@ def run(fast: bool = False) -> ExperimentResult:
     table = TextTable(
         f"128-wide + alpha spares @ {VDD} V (99% point in FO4 units; "
         f"baseline 128-wide@{analyzer.nominal_vdd:g}V = {target_fo4:.2f})",
-        ["spares", "mean (FO4)", "p99 (FO4)", "3sigma/mu (%)",
-         "meets baseline"])
+        ["spares", "mean (FO4)", "p99 (FO4)", "p99 det (FO4)",
+         "3sigma/mu (%)", "meets baseline"])
+    # All deterministic sign-off points of the spare sweep in one batch.
+    det_fo4 = analyzer.chip_quantiles(
+        VDD, spares=np.array(SPARE_STEPS, dtype=float)) / analyzer.fo4_unit(VDD)
     data = {"target_fo4": target_fo4, "spares": [], "p99_fo4": [],
+            "p99_det_fo4": [float(d) for d in det_fo4],
             "samples_fo4": {}}
-    for spares in SPARE_STEPS:
+    for spares, det in zip(SPARE_STEPS, det_fo4):
         dist = analyzer.chip_distribution(VDD, spares=spares, n_samples=n,
                                           seed=22)
         fo4 = dist.in_fo4_units()
         p99 = dist.signoff_fo4
-        table.add_row(spares, float(fo4.mean()), p99,
+        table.add_row(spares, float(fo4.mean()), p99, float(det),
                       100 * dist.three_sigma_over_mu, bool(p99 <= target_fo4))
         data["spares"].append(spares)
         data["p99_fo4"].append(p99)

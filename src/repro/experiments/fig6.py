@@ -8,6 +8,8 @@ same recovery achieved with spare lanes at a fixed 600 mV supply.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.experiments.registry import ExperimentResult, experiment, get_analyzer
 from repro.experiments.report import TextTable
 from repro.mitigation.voltage_margin import solve_voltage_margin
@@ -27,26 +29,40 @@ def run(fast: bool = False) -> ExperimentResult:
 
     table = TextTable(
         f"128-wide @ 600 mV, 45 nm (target delay {target_ns:.3f} ns)",
-        ["configuration", "mean (ns)", "p99 (ns)", "meets target"])
-    data = {"target_ns": target_ns, "margin_p99_ns": {}, "spare_p99_ns": {}}
+        ["configuration", "mean (ns)", "p99 (ns)", "p99 det (ns)",
+         "meets target"])
+    data = {"target_ns": target_ns, "margin_p99_ns": {}, "spare_p99_ns": {},
+            "margin_p99_det_ns": {}, "spare_p99_det_ns": {}}
 
-    for mv in MARGIN_STEPS_MV:
+    # Deterministic sign-off companions to the sampled rows, one batched
+    # solve per sweep (the margin sweep and the spare sweep share the
+    # 600 mV kernel through the engine's LRU).
+    det_margin = analyzer.chip_quantiles(
+        VDD + np.array(MARGIN_STEPS_MV, dtype=float) * 1e-3)
+    det_spare = analyzer.chip_quantiles(
+        VDD, spares=np.array(SPARE_STEPS, dtype=float))
+
+    for mv, det in zip(MARGIN_STEPS_MV, det_margin):
         dist = analyzer.chip_distribution(VDD + mv * 1e-3, n_samples=n,
                                           seed=31,
                                           label=f"128-wide@{600 + mv}mV")
         p99 = float(to_ns(dist.signoff_delay))
-        table.add_row(dist.label, float(to_ns(dist.mean)), p99,
+        det_ns = float(to_ns(det))
+        table.add_row(dist.label, float(to_ns(dist.mean)), p99, det_ns,
                       bool(p99 <= target_ns))
         data["margin_p99_ns"][mv] = p99
+        data["margin_p99_det_ns"][mv] = det_ns
 
-    for spares in SPARE_STEPS:
+    for spares, det in zip(SPARE_STEPS, det_spare):
         dist = analyzer.chip_distribution(VDD, spares=spares, n_samples=n,
                                           seed=32,
                                           label=f"128+{spares}-spares@600mV")
         p99 = float(to_ns(dist.signoff_delay))
-        table.add_row(dist.label, float(to_ns(dist.mean)), p99,
+        det_ns = float(to_ns(det))
+        table.add_row(dist.label, float(to_ns(dist.mean)), p99, det_ns,
                       bool(p99 <= target_ns))
         data["spare_p99_ns"][spares] = p99
+        data["spare_p99_det_ns"][spares] = det_ns
 
     solution = solve_voltage_margin(analyzer, VDD)
     data["margin_mv"] = solution.margin_mv if solution.feasible else None

@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.devices.technology import available_technologies
 from repro.experiments.registry import ExperimentResult, experiment, get_analyzer
 from repro.experiments.report import TextTable
-from repro.mitigation.frequency_margin import solve_frequency_margin
+from repro.mitigation.frequency_margin import solve_frequency_margins
 from repro.units import to_ns
 
 VOLTAGES = (0.50, 0.55, 0.60, 0.65, 0.70)
@@ -33,9 +33,9 @@ def run(fast: bool = False) -> ExperimentResult:
             ["Vdd (V)", "Tclk (ns)", "Tva-clk (ns)", "perf drop (%)",
              "aligned Tva (ns)", "aligned drop (%)"])
         data[node] = {}
-        for vdd in VOLTAGES:
-            sol = solve_frequency_margin(analyzer, vdd,
-                                         memory_period=memory_period)
+        solutions = solve_frequency_margins(analyzer, VOLTAGES,
+                                            memory_period=memory_period)
+        for vdd, sol in zip(VOLTAGES, solutions):
             table.add_row(vdd, float(to_ns(sol.t_clk)),
                           float(to_ns(sol.t_va_clk)),
                           100 * sol.performance_drop,

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
 from scipy.optimize import brentq
 
 from repro.errors import ConfigurationError
@@ -69,9 +70,12 @@ def required_margin_for_spares(analyzer, vdd, spares: int, *,
     def gap(margin: float) -> float:
         return analyzer.chip_quantile(vdd + margin, spares=spares) - target_delay
 
-    if gap(0.0) <= 0.0:
+    # Bracket endpoints solved as one two-point batch on the shared kernel.
+    q_lo, q_hi = np.atleast_1d(analyzer.chip_quantiles(
+        np.array([vdd + 0.0, vdd + max_margin]), spares=float(spares)))
+    if q_lo - target_delay <= 0.0:
         return 0.0
-    if gap(max_margin) > 0.0:
+    if q_hi - target_delay > 0.0:
         return None
     margin = float(brentq(gap, 0.0, max_margin, xtol=xtol))
     # Guarantee the meeting side of the root (brentq tolerance slack).

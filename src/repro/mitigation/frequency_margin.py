@@ -18,11 +18,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 __all__ = [
     "FrequencyMarginSolution",
     "solve_frequency_margin",
+    "solve_frequency_margins",
     "memory_aligned_period",
 ]
 
@@ -95,3 +98,20 @@ def solve_frequency_margin(analyzer, vdd, *,
         memory_period=memory_period,
         t_va_clk_aligned=aligned,
     )
+
+
+def solve_frequency_margins(analyzer, vdds, *,
+                            memory_period: float | None = None) -> list:
+    """Table-4 rows for a whole sweep of operating voltages.
+
+    All 99 % chip delays behind the sweep are resolved with one batched
+    :meth:`~repro.core.analyzer.VariationAnalyzer.chip_quantiles` call;
+    the per-voltage :func:`solve_frequency_margin` constructions below it
+    are then pure cache hits.
+    """
+    vdds = [float(v) for v in np.atleast_1d(np.asarray(vdds, dtype=float))]
+    if vdds:
+        analyzer.chip_quantiles(np.array(vdds))
+    return [solve_frequency_margin(analyzer, vdd,
+                                   memory_period=memory_period)
+            for vdd in vdds]

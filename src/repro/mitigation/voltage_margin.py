@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
 from scipy.optimize import brentq
 
 from repro.errors import ConfigurationError, ConvergenceError
@@ -88,26 +89,31 @@ def solve_voltage_margin(analyzer, vdd, *, target_delay: float | None = None,
     def gap(margin: float) -> float:
         return analyzer.chip_quantile(vdd + margin) - target_delay
 
-    g0 = gap(0.0)
-    if g0 <= 0.0:
-        return _solution(analyzer, vdd, 0.0, True, target_delay,
-                         analyzer.chip_quantile(vdd), pe)
-    if gap(max_margin) > 0.0:
+    # Both bracket endpoints in one batched solve (they share the cached
+    # CDF kernel); the achieved delays are reused below instead of being
+    # re-queried per return path.
+    q_lo, q_hi = np.atleast_1d(analyzer.chip_quantiles(
+        np.array([vdd + 0.0, vdd + max_margin])))
+    if q_lo - target_delay <= 0.0:
+        return _solution(analyzer, vdd, 0.0, True, target_delay, q_lo, pe)
+    if q_hi - target_delay > 0.0:
         return _solution(analyzer, vdd, max_margin, False, target_delay,
-                         analyzer.chip_quantile(vdd + max_margin), pe)
+                         q_hi, pe)
     try:
         margin = brentq(gap, 0.0, max_margin, xtol=xtol)
     except ValueError as exc:  # pragma: no cover - defensive
         raise ConvergenceError(f"margin search failed: {exc}") from exc
     # brentq returns a point within xtol of the root, possibly on the
     # infeasible side; step onto the meeting side so the returned margin
-    # is guaranteed sufficient.
+    # is guaranteed sufficient.  Track the achieved delay alongside so the
+    # final point is never solved twice.
+    achieved = gap(margin) + target_delay
     for _ in range(4):
-        if gap(margin) <= 0.0:
+        if achieved - target_delay <= 0.0:
             break
         margin = min(margin + xtol, max_margin)
-    return _solution(analyzer, vdd, margin, True, target_delay,
-                     analyzer.chip_quantile(vdd + margin), pe)
+        achieved = gap(margin) + target_delay
+    return _solution(analyzer, vdd, margin, True, target_delay, achieved, pe)
 
 
 def _solution(analyzer, vdd, margin: float, feasible: bool, target: float,

@@ -152,30 +152,51 @@ class QuantileCache:
 
     def get(self, key: str) -> float | None:
         """The memoised value for ``key``, or ``None`` on a miss."""
+        return self.get_many((key,))[0]
+
+    def get_many(self, keys) -> list:
+        """Memoised values for ``keys`` in order, ``None`` per miss.
+
+        One lookup pass for a whole batch of query points — the disk file
+        is read (at most) once regardless of the batch size, so partial
+        hits cost the same as a single :meth:`get`.
+        """
+        keys = list(keys)
         if not self.enabled:
-            self.misses += 1
-            return None
-        stored = self._load().get(key)
-        if stored is None:
-            self.misses += 1
-            return None
-        try:
-            value = float.fromhex(stored)
-        except (TypeError, ValueError):
-            self.misses += 1
-            return None
-        self.hits += 1
-        return value
+            self.misses += len(keys)
+            return [None] * len(keys)
+        entries = self._load()
+        out = []
+        for key in keys:
+            stored = entries.get(key)
+            value = None
+            if stored is not None:
+                try:
+                    value = float.fromhex(stored)
+                except (TypeError, ValueError):
+                    value = None
+            if value is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            out.append(value)
+        return out
 
     def put(self, key: str, value: float) -> None:
         """Memoise ``value`` under ``key`` (write-through, merge-on-write)."""
-        if not self.enabled:
+        self.put_many(((key, value),))
+
+    def put_many(self, items) -> None:
+        """Memoise many ``(key, value)`` pairs in one merged atomic write."""
+        items = list(items)
+        if not self.enabled or not items:
             return
         # Merge with whatever landed on disk since we loaded, so concurrent
         # writers only ever lose a duplicate solve.
         merged = self._read_file()
         merged.update(self._load())
-        merged[key] = float(value).hex()
+        for key, value in items:
+            merged[key] = float(value).hex()
         self._entries = merged
         self._write()
 

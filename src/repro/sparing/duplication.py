@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
 from scipy.optimize import brentq
 
 from repro.errors import ConfigurationError, ConvergenceError
@@ -81,21 +82,26 @@ def solve_spares(analyzer, vdd, *, target_delay: float | None = None,
     def achieved(alpha: int) -> float:
         return analyzer.chip_quantile(vdd, spares=alpha)
 
-    if achieved(0) <= target_delay:
-        return _solution(analyzer, vdd, 0, True, target_delay, achieved(0),
+    # Both saturation endpoints in one batched solve on the shared kernel.
+    a_zero, a_max = np.atleast_1d(analyzer.chip_quantiles(
+        vdd, spares=np.array([0.0, float(max_spares)])))
+    if a_zero <= target_delay:
+        return _solution(analyzer, vdd, 0, True, target_delay, a_zero,
                          pe, max_spares)
-    if achieved(max_spares) > target_delay:
+    if a_max > target_delay:
         return _solution(analyzer, vdd, max_spares, False, target_delay,
-                         achieved(max_spares), pe, max_spares)
+                         a_max, pe, max_spares)
 
     lo, hi = 0, max_spares           # achieved(lo) > target >= achieved(hi)
+    best = a_max                     # achieved(hi), maintained with hi
     while hi - lo > 1:
         mid = (lo + hi) // 2
-        if achieved(mid) <= target_delay:
-            hi = mid
+        value = achieved(mid)
+        if value <= target_delay:
+            hi, best = mid, value
         else:
             lo = mid
-    return _solution(analyzer, vdd, hi, True, target_delay, achieved(hi),
+    return _solution(analyzer, vdd, hi, True, target_delay, best,
                      pe, max_spares)
 
 

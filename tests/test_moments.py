@@ -29,6 +29,32 @@ def test_hermite_rejects_tiny_order():
         hermite_nodes(1)
 
 
+def test_hermite_nodes_are_read_only():
+    """The lru_cached arrays are shared; mutation must be rejected."""
+    z, w = hermite_nodes(16)
+    with pytest.raises(ValueError):
+        z[0] = 0.0
+    with pytest.raises(ValueError):
+        w[0] = 0.0
+    # A failed write above must not have corrupted the cached copy.
+    z2, w2 = hermite_nodes(16)
+    assert np.sum(w2) == pytest.approx(1.0)
+    assert np.sum(w2 * z2 ** 2) == pytest.approx(1.0)
+
+
+def test_gate_moments_broadcast_vdd_axis(tech90):
+    """A (vdd x offsets) grid must equal the per-voltage scalar calls."""
+    vdds = np.array([0.55, 0.6, 0.7])
+    offsets = np.array([-0.02, 0.0, 0.015])
+    grid = gate_delay_moments(tech90, vdds[:, None], offsets[None, :],
+                              n_points=24)
+    for i, vdd in enumerate(vdds):
+        row = gate_delay_moments(tech90, float(vdd), offsets, n_points=24)
+        np.testing.assert_allclose(grid.mean[i], row.mean, rtol=1e-14)
+        np.testing.assert_allclose(grid.var[i], row.var, rtol=1e-14)
+        np.testing.assert_allclose(grid.third[i], row.third, rtol=1e-13)
+
+
 def test_gate_moments_match_monte_carlo(tech90):
     """Quadrature moments must agree with brute-force sampling."""
     rng = np.random.default_rng(42)
