@@ -1,0 +1,190 @@
+"""Benchmark: observability overhead, disabled and enabled.
+
+The observability layer promises a near-free disabled path: every
+instrumentation site resolves through one :class:`~contextvars.ContextVar`
+lookup to shared no-op singletons.  This benchmark quantifies that promise
+on a fig4-style sign-off sweep (fresh engines, disk cache off, so the
+solver pays its true cost) and writes ``BENCH_obs.json`` at the repository
+root:
+
+* **off** — the sweep with no observability active (what every library
+  user gets by default); this exercises the instrumented code on its
+  no-op path.
+* **on** — the same sweep under a live tracer + metrics registry.
+* **disabled overhead** — the no-op path's cost attributed to
+  instrumentation, computed from the *measured* number of instrumentation
+  calls the sweep makes (counted with a tallying registry) times the
+  *measured* per-call cost of the disabled accessors, as a fraction of
+  sweep time.  Asserted ``< 2%``.
+
+Run directly::
+
+    python benchmarks/bench_obs_overhead.py            # full
+    python benchmarks/bench_obs_overhead.py --smoke    # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+# The cache must be off before repro is imported anywhere down the line.
+os.environ.setdefault("REPRO_CACHE_DISABLE", "1")
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.chip_delay import ChipDelayEngine            # noqa: E402
+from repro.devices.technology import get_technology          # noqa: E402
+from repro.obs import api                                    # noqa: E402
+from repro.obs.api import activate_obs, build_obs            # noqa: E402
+from repro.obs.metrics import MetricsRegistry                # noqa: E402
+
+NODE = "22nm"
+Q = 0.99
+SPARES = 0.0
+
+#: Disabled-path budget for the instrumentation, percent of sweep time.
+MAX_DISABLED_OVERHEAD_PCT = 2.0
+
+
+class _TallyingMetrics(MetricsRegistry):
+    """A live registry that also counts how often instruments are fetched."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.calls = 0
+
+    def counter(self, name):
+        self.calls += 1
+        return super().counter(name)
+
+    def gauge(self, name):
+        self.calls += 1
+        return super().gauge(name)
+
+    def histogram(self, name, buckets=None):
+        self.calls += 1
+        if buckets is None:
+            return super().histogram(name)
+        return super().histogram(name, buckets)
+
+
+def sweep_once(tech, vdds) -> float:
+    """One fig4-style sweep on a fresh engine; returns wall seconds."""
+    engine = ChipDelayEngine(tech)
+    t0 = time.perf_counter()
+    engine.chip_quantile_batch(vdds, Q, SPARES)
+    return time.perf_counter() - t0
+
+
+def count_obs_calls(tech, vdds) -> tuple:
+    """(metric-instrument fetches, spans) one sweep performs."""
+    obs = build_obs(trace=True, metrics=True)
+    tally = _TallyingMetrics()
+    obs.metrics = tally
+    with activate_obs(obs):
+        sweep_once(tech, vdds)
+    return tally.calls, len(obs.tracer)
+
+
+def disabled_call_cost(iterations: int) -> dict:
+    """Measured per-call cost (seconds) of the no-op accessors."""
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        api.counter("bench.noop").inc()
+    counter_s = (time.perf_counter() - t0) / iterations
+
+    noop_span = api.span  # resolves to the shared nullcontext per call
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        with noop_span("bench.noop"):
+            pass
+    span_s = (time.perf_counter() - t0) / iterations
+    return {"counter_s": counter_s, "span_s": span_s}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: fewer sweep points and repeats")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_obs.json")
+    args = parser.parse_args(argv)
+
+    n_points = 12 if args.smoke else 32
+    repeats = 3 if args.smoke else 5
+    micro_iters = 100_000 if args.smoke else 1_000_000
+
+    tech = get_technology(NODE)
+    vdds = np.linspace(tech.min_vdd, tech.nominal_vdd, n_points)
+    sweep_once(tech, vdds)           # warm-up: quadratures, numpy caches
+
+    off_s, on_s = [], []
+    live = build_obs(trace=True, metrics=True)
+    for _ in range(repeats):
+        off_s.append(sweep_once(tech, vdds))
+        with activate_obs(live):
+            on_s.append(sweep_once(tech, vdds))
+    t_off, t_on = min(off_s), min(on_s)
+
+    metric_calls, span_calls = count_obs_calls(tech, vdds)
+    cost = disabled_call_cost(micro_iters)
+    disabled_obs_s = (metric_calls * cost["counter_s"]
+                      + span_calls * cost["span_s"])
+    disabled_pct = 100.0 * disabled_obs_s / t_off
+    enabled_pct = 100.0 * (t_on - t_off) / t_off
+
+    print(f"sweep ({NODE}, {n_points} points): "
+          f"off {1e3 * t_off:.1f} ms   on {1e3 * t_on:.1f} ms   "
+          f"enabled overhead {enabled_pct:+.2f}%")
+    print(f"instrumentation calls per sweep: {metric_calls} metric fetches, "
+          f"{span_calls} spans")
+    print(f"disabled accessor cost: counter {1e9 * cost['counter_s']:.0f} ns, "
+          f"span {1e9 * cost['span_s']:.0f} ns "
+          f"-> disabled-mode overhead {disabled_pct:.4f}% "
+          f"(budget {MAX_DISABLED_OVERHEAD_PCT}%)")
+
+    payload = {
+        "benchmark": "obs_overhead",
+        "smoke": bool(args.smoke),
+        "config": {
+            "node": NODE,
+            "q": Q,
+            "spares": SPARES,
+            "points": n_points,
+            "repeats": repeats,
+            "micro_iterations": micro_iters,
+            "cache_disabled": True,
+            "sweep": "fig4-style (min_vdd..nominal_vdd)",
+        },
+        "off_s": t_off,
+        "on_s": t_on,
+        "enabled_overhead_pct": enabled_pct,
+        "obs_calls": {"metric_fetches": metric_calls, "spans": span_calls},
+        "disabled_ns_per_call": {
+            "counter": 1e9 * cost["counter_s"],
+            "span": 1e9 * cost["span_s"],
+        },
+        "disabled_overhead_pct": disabled_pct,
+        "max_disabled_overhead_pct": MAX_DISABLED_OVERHEAD_PCT,
+        "passed": disabled_pct < MAX_DISABLED_OVERHEAD_PCT,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n",
+                           encoding="utf-8")
+    print(f"\nwrote {args.output}")
+
+    assert disabled_pct < MAX_DISABLED_OVERHEAD_PCT, (
+        f"disabled-mode observability overhead {disabled_pct:.3f}% exceeds "
+        f"the {MAX_DISABLED_OVERHEAD_PCT}% budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

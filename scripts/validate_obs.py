@@ -1,0 +1,96 @@
+"""Validate observability artifacts (CI gate).
+
+Checks a Chrome trace-event file and a run manifest against the schemas
+in :mod:`repro.obs.manifest`, plus structural invariants the schemas
+cannot express: the trace must contain at least one complete span, the
+manifest's cache ledger must reconcile, and with ``--expect-workers`` the
+trace must contain spans recorded in at least two distinct processes
+(proof that pool workers handed their span batches back).
+
+Usage::
+
+    python scripts/validate_obs.py --trace trace.json --manifest m.json
+    python scripts/validate_obs.py --trace t2.json --expect-workers
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.manifest import (                             # noqa: E402
+    MANIFEST_SCHEMA,
+    TRACE_SCHEMA,
+    validate_schema,
+)
+
+
+def check_trace(path: Path, expect_workers: bool) -> list:
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    errors = validate_schema(doc, TRACE_SCHEMA)
+    spans = [e for e in doc.get("traceEvents", []) if e.get("ph") == "X"]
+    if not spans:
+        errors.append(f"{path}: no complete ('X') span events")
+    for e in spans:
+        if "ts" not in e or "dur" not in e:
+            errors.append(f"{path}: span {e.get('name')!r} lacks ts/dur")
+            break
+    pids = {e.get("pid") for e in spans}
+    if expect_workers and len(pids) < 2:
+        errors.append(f"{path}: expected spans from >=2 processes "
+                      f"(pool workers), saw pids {sorted(pids)}")
+    if not errors:
+        print(f"ok: {path} — {len(spans)} spans across "
+              f"{len(pids)} process(es)")
+    return errors
+
+
+def check_manifest(path: Path) -> list:
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    errors = validate_schema(doc, MANIFEST_SCHEMA)
+    cache = doc.get("cache", {})
+    lookups = cache.get("hits", 0) + cache.get("misses", 0)
+    if lookups == 0:
+        errors.append(f"{path}: cache ledger is empty "
+                      f"(no quantile lookups recorded)")
+    if not doc.get("cards"):
+        errors.append(f"{path}: no technology-card fingerprints")
+    stages = doc.get("stages", {})
+    if not any(name.startswith("experiment.") for name in stages):
+        errors.append(f"{path}: no experiment.* stage recorded")
+    if not errors:
+        print(f"ok: {path} — targets {doc['run']['targets']}, "
+              f"cache {cache.get('hits')}h/{cache.get('misses')}m, "
+              f"{len(stages)} stages")
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", type=Path, default=None,
+                        help="Chrome trace-event JSON to validate")
+    parser.add_argument("--manifest", type=Path, default=None,
+                        help="run manifest JSON to validate")
+    parser.add_argument("--expect-workers", action="store_true",
+                        help="require spans from >=2 distinct pids")
+    args = parser.parse_args(argv)
+    if args.trace is None and args.manifest is None:
+        parser.error("nothing to validate: pass --trace and/or --manifest")
+
+    errors = []
+    if args.trace is not None:
+        errors += check_trace(args.trace, args.expect_workers)
+    if args.manifest is not None:
+        errors += check_manifest(args.manifest)
+    for err in errors:
+        print(f"error: {err}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

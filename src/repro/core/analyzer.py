@@ -26,10 +26,16 @@ from repro.core.montecarlo import MonteCarloEngine
 from repro.core.results import DelayDistribution
 from repro.devices.technology import TechnologyNode, get_technology
 from repro.errors import ConfigurationError
+from repro.obs.api import counter as _obs_counter
 from repro.runtime.cache import QuantileCache
 from repro.runtime.context import current_runtime, profiled_stage
 
 __all__ = ["VariationAnalyzer"]
+
+#: Minimum uncached query points before a batch solve fans out across an
+#: active parallel runtime's worker pool (below this the pool round trip
+#: costs more than the solve).
+_MIN_PARALLEL_SOLVE = 8
 
 
 class VariationAnalyzer:
@@ -158,6 +164,33 @@ class VariationAnalyzer:
         self._signoff_cache[key] = value
         return value
 
+    def _solve_batch(self, solve_keys) -> np.ndarray:
+        """Solve uncached ``(vdd, spares, q)`` points in one batch.
+
+        When a parallel runtime with a multi-process pool is active and
+        the batch is big enough, the solve fans out across the pool via
+        :meth:`~repro.runtime.parallel.ParallelSampler.solve_quantiles`
+        (fixed-size chunks, each a worker-side
+        :meth:`~repro.core.chip_delay.ChipDelayEngine.chip_quantile_batch`);
+        otherwise it runs in-process.  Both paths polish every root to
+        the solver's ~1e-12 relative tolerance.
+        """
+        vdds = np.array([k[0] for k in solve_keys])
+        qs = np.array([k[2] for k in solve_keys])
+        sps = np.array([k[1] for k in solve_keys])
+        runtime = current_runtime()
+        sampler = runtime.sampler if runtime is not None else None
+        engine = self.engine
+        if (sampler is not None and sampler.jobs > 1
+                and len(solve_keys) >= _MIN_PARALLEL_SOLVE):
+            return sampler.solve_quantiles(
+                self.tech, vdds, qs, sps, width=engine.width,
+                paths_per_lane=engine.paths_per_lane,
+                chain_length=engine.chain_length,
+                quads=(engine.quad_within, engine.quad_corr_vth,
+                       engine.quad_corr_mult))
+        return np.atleast_1d(engine.chip_quantile_batch(vdds, qs, sps))
+
     def chip_quantiles(self, vdd, spares: float = 0, q=None) -> np.ndarray:
         """Batched deterministic chip-delay quantiles (seconds).
 
@@ -185,6 +218,7 @@ class VariationAnalyzer:
                 out[i] = cached
             else:
                 missing.setdefault(key, []).append(i)
+        _obs_counter("analyzer.memo_hits").inc(len(keys) - len(missing))
         if missing:
             ukeys = list(missing)
             disk_vals = self.quantile_cache.get_many(
@@ -194,10 +228,8 @@ class VariationAnalyzer:
             if solve_keys:
                 with profiled_stage("analyzer.quantile_solve_batch",
                                     len(solve_keys)):
-                    values = np.atleast_1d(self.engine.chip_quantile_batch(
-                        np.array([k[0] for k in solve_keys]),
-                        np.array([k[2] for k in solve_keys]),
-                        np.array([k[1] for k in solve_keys])))
+                    values = np.atleast_1d(
+                        self._solve_batch(solve_keys))
                 solved = dict(zip(solve_keys, (float(v) for v in values)))
                 self.quantile_cache.put_many(
                     (self._disk_key(k), v) for k, v in solved.items())

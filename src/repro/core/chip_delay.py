@@ -60,6 +60,8 @@ from repro.core.moments import (
     hermite_nodes,
 )
 from repro.errors import ConfigurationError, ConvergenceError
+from repro.obs.api import counter as _obs_counter
+from repro.obs.api import histogram as _obs_histogram
 
 __all__ = [
     "ChipDelayEngine",
@@ -444,6 +446,11 @@ class ChipDelayEngine:
         self._offset_order = np.argsort(self._fine.offsets, axis=None)
         self._offset_cache: OrderedDict = OrderedDict()
         self._kernel_cache: OrderedDict = OrderedDict()
+        # Kernel-LRU economics, always counted (plain int bumps): rendered
+        # by --profile via the obs counters and exposed for tests/tools.
+        self.kernel_hits = 0
+        self.kernel_misses = 0
+        self.kernel_evictions = 0
 
     # -- internals -----------------------------------------------------------
 
@@ -464,6 +471,7 @@ class ChipDelayEngine:
         key = round(float(vdd), 9)
         out = self._offset_cache.get(key)
         if out is None:
+            _obs_counter("offset_cache.misses").inc()
             span = self.tech.variation.sigma_vth_chain_corr
             out = _OffsetMoments(self.tech, vdd, self.chain_length,
                                  self.quad_within, span)
@@ -471,6 +479,7 @@ class ChipDelayEngine:
             while len(self._offset_cache) > _KERNEL_CACHE_SIZE:
                 self._offset_cache.popitem(last=False)
         else:
+            _obs_counter("offset_cache.hits").inc()
             self._offset_cache.move_to_end(key)
         return out
 
@@ -487,8 +496,13 @@ class ChipDelayEngine:
                 self._kernel_cache.move_to_end(key)
             else:
                 missing.append(key)
+        hits = len(requested) - len(missing)
+        self.kernel_hits += hits
+        _obs_counter("kernel_cache.hits").inc(hits)
         if not missing:
             return
+        self.kernel_misses += len(missing)
+        _obs_counter("kernel_cache.misses").inc(len(missing))
         offs = self._fine.offsets.ravel()
         vdds = np.asarray(missing, dtype=float)
         gate = gate_delay_moments(self.tech, vdds[:, None], offs[None, :],
@@ -524,6 +538,8 @@ class ChipDelayEngine:
         limit = max(_KERNEL_CACHE_SIZE, len(requested))
         while len(self._kernel_cache) > limit:
             self._kernel_cache.popitem(last=False)
+            self.kernel_evictions += 1
+            _obs_counter("kernel_cache.evictions").inc()
 
     def _cdf_kernel(self, vdd: float) -> _CdfKernel:
         key = round(float(vdd), 9)
@@ -593,7 +609,8 @@ class ChipDelayEngine:
         the extrapolated iterate once the secant error model
         ``C * d_k * d_{k-1}`` drops below tolerance; points whose steps
         stop contracting are left to the bracketing fallback.  Returns
-        ``(root, done, last_iterate, last_step)``.
+        ``(root, done, last_iterate, last_step, rounds)`` where ``rounds``
+        is the number of secant sweeps executed (for the solver metrics).
         """
         n = x0.size
         all_idx = np.arange(n) if gidx is None else gidx
@@ -608,10 +625,12 @@ class ChipDelayEngine:
         x_cur = x0 - step
         d_last = np.abs(step) / x_cur
         active = ~done & ok & (step != 0.0)
+        rounds = 0
         for it in range(maxiter):
             idx = np.flatnonzero(active)
             if idx.size == 0:
                 break
+            rounds += 1
             fc = ev.objective(x_cur[idx], all_idx[idx])
             with np.errstate(divide="ignore", invalid="ignore"):
                 sec = (fc * (x_cur[idx] - x_prev[idx])
@@ -640,7 +659,7 @@ class ChipDelayEngine:
             f_prev[ci] = fc[cont]
             x_cur[ci] = new[cont]
             d_last[ci] = d_new[cont]
-        return root, done, x_cur, d_last
+        return root, done, x_cur, d_last, rounds
 
     def _solve_points(self, keys, qs, sps):
         """Solve all ``(vdd-key, q, spares)`` points of one chunk at once.
@@ -673,6 +692,8 @@ class ChipDelayEngine:
                              qs, sps)
 
         anchors, jobs = _clusters(vdds, qs, sps)
+        _obs_counter("solver.anchor_points").inc(anchors.size)
+        _obs_counter("solver.spline_seeded").inc(n - anchors.size)
 
         def f_anchor(x, pos):
             return coarse.objective(x, anchors[pos])
@@ -698,12 +719,16 @@ class ChipDelayEngine:
             return (fc1 - fc0) / h
 
         def polish(sub):
-            r, done, x_last, d_last = self._secant_polish(
+            r, done, x_last, d_last, rounds = self._secant_polish(
                 fine, x0[sub], coarse_slope(sub), gidx=sub)
             root[sub] = r
+            _obs_counter("solver.secant_converged").inc(int(done.sum()))
+            _obs_histogram("solver.secant_rounds",
+                           buckets=(1, 2, 3, 5, 8, 13, 21)).observe(rounds)
             if done.all():
                 return
             bad = np.flatnonzero(~done)
+            _obs_counter("solver.chandrupatla_fallback").inc(bad.size)
             rest = sub[bad]
 
             def f_rest(x, pos):
@@ -787,6 +812,7 @@ class ChipDelayEngine:
         """
         if not 0.0 < q < 1.0:
             raise ConfigurationError(f"quantile must be in (0, 1), got {q}")
+        _obs_counter("solver.scalar_solves").inc()
         vdd = float(vdd)
         ref = self._cdf_kernel(vdd).ref
         lo = 0.4 * ref

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.api import counter as _obs_counter
 
 __all__ = ["MonteCarloEngine"]
 
@@ -95,6 +96,7 @@ class MonteCarloEngine:
         n_lanes = width + spares
         var = self.tech.variation
         vdd = float(vdd)
+        _obs_counter("montecarlo.chips").inc(int(n_chips))
         out = np.empty(n_chips, dtype=float)
         done = 0
         while done < n_chips:
@@ -125,6 +127,7 @@ class MonteCarloEngine:
                 f"batch_size must be >= 1, got {batch_size}")
         var = self.tech.variation
         vdd = float(vdd)
+        _obs_counter("montecarlo.lanes").inc(int(n_samples))
         out = np.empty(n_samples, dtype=float)
         done = 0
         while done < n_samples:

@@ -1,12 +1,20 @@
 """CLI for the experiment registry (``python -m repro.experiments``).
 
-Supports the parallel runtime layer:
+Supports the parallel runtime and observability layers:
 
-* ``--jobs N`` — for a single experiment, sampling shards fan out across
-  ``N`` worker processes; for ``all``, whole experiments are dispatched
-  across the pool so independent artifacts regenerate concurrently.
-* ``--profile`` — print per-stage wall-time/sample counters (collected on
-  both sides of the process boundary) after the run.
+* ``--jobs N`` — for a single experiment, sampling shards and batched
+  quantile solves fan out across ``N`` worker processes; for ``all``,
+  whole experiments are dispatched across the pool so independent
+  artifacts regenerate concurrently.
+* ``--profile`` — print per-stage wall-time/sample counters plus the
+  metrics registry (cache hits/misses, kernel-LRU economics, solver
+  fallbacks) after the run.
+* ``--trace FILE`` — write a Chrome trace-event JSON timeline of the
+  run's spans, including spans executed inside pool workers; open it at
+  https://ui.perfetto.dev.
+* ``--metrics FILE`` — write a run manifest (root seed, card
+  fingerprints, versions, cache state before/after, per-stage stats,
+  metrics snapshot) for bit-reproducibility provenance.
 """
 
 from __future__ import annotations
@@ -18,29 +26,62 @@ from concurrent.futures import ProcessPoolExecutor
 
 from repro.errors import ConfigurationError
 from repro.experiments.registry import list_experiments, run_experiment
+from repro.obs.manifest import build_manifest, cache_file_state, write_manifest
+from repro.obs.trace import write_chrome_trace
 from repro.runtime import build_runtime
+
+#: The registry's default sampling root seed (experiments are seeded,
+#: not randomised); recorded in the run manifest.
+ROOT_SEED = 0
 
 
 def _run_remote(payload: tuple) -> tuple:
     """Run one experiment inside a pool worker; returns rendered text.
 
-    The worker activates its own serial runtime so stage counters are
-    still collected and can be merged into the parent's profiler.
+    The worker builds a serial runtime mirroring the parent's
+    ``--profile``/``--trace``/``--metrics`` flags, so collection happens
+    remotely only when the parent will actually consume it — a
+    non-profiled parallel ``all`` run skips it entirely (the experiment
+    runs with no active runtime at all).  Stage counters, span batches
+    and metric snapshots come back for the parent to merge.
     """
-    experiment_id, fast = payload
-    runtime = build_runtime(jobs=1, profile=True)
+    experiment_id, fast, obs_ctx = payload
+    profile = bool(obs_ctx.get("profile"))
+    trace = bool(obs_ctx.get("trace"))
+    metrics = bool(obs_ctx.get("metrics"))
     start = time.perf_counter()
+    if not (profile or trace or metrics):
+        result = run_experiment(experiment_id, fast=fast)
+        elapsed = time.perf_counter() - start
+        return experiment_id, result.render(), elapsed, {}, {}
+    runtime = build_runtime(jobs=1, profile=profile, trace=trace,
+                            metrics=metrics)
+    if trace:
+        # Continue the parent's trace: same trace id, parented under the
+        # dispatching CLI's root span.
+        runtime.obs.tracer.trace_id = obs_ctx["trace_id"]
+        runtime.obs.tracer.base_parent = obs_ctx.get("parent")
     result = run_experiment(experiment_id, fast=fast, runtime=runtime)
     elapsed = time.perf_counter() - start
-    return experiment_id, result.render(), elapsed, runtime.profiler.as_dict()
+    return (experiment_id, result.render(), elapsed,
+            runtime.profiler.as_dict(), runtime.obs.export())
 
 
 def _run_all_parallel(targets: list, fast: bool, runtime) -> None:
     """Regenerate every experiment concurrently, printing in catalogue order."""
+    obs = runtime.obs
+    obs_ctx = {
+        "profile": runtime.profile,
+        "trace": obs.tracer.enabled,
+        "trace_id": obs.tracer.trace_id,
+        "parent": obs.tracer.current_span(),
+        "metrics": obs.metrics.enabled,
+    }
     with ProcessPoolExecutor(max_workers=runtime.jobs) as pool:
-        for experiment_id, rendered, elapsed, profile in pool.map(
-                _run_remote, [(t, fast) for t in targets]):
+        for experiment_id, rendered, elapsed, profile, obs_snap in pool.map(
+                _run_remote, [(t, fast, obs_ctx) for t in targets]):
             runtime.profiler.merge(profile)
+            obs.merge_export(obs_snap)
             print(rendered)
             print(f"\n[{experiment_id} completed in {elapsed:.1f} s]\n")
 
@@ -55,10 +96,19 @@ def main(argv=None) -> int:
     parser.add_argument("--fast", action="store_true",
                         help="reduced sample counts (quick look)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="worker processes for sampling shards (and, "
-                             "with 'all', whole experiments); default 1")
+                        help="worker processes for sampling shards and "
+                             "quantile solves (and, with 'all', whole "
+                             "experiments); default 1")
     parser.add_argument("--profile", action="store_true",
-                        help="print per-stage wall-time/sample counters")
+                        help="print per-stage wall-time/sample counters "
+                             "and the metrics registry")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a Chrome trace-event JSON timeline "
+                             "(open in Perfetto: https://ui.perfetto.dev)")
+    parser.add_argument("--metrics", metavar="FILE", default=None,
+                        help="write a JSON run manifest (seed, card "
+                             "fingerprints, cache state, stage stats, "
+                             "metrics snapshot)")
     args = parser.parse_args(argv)
 
     if args.jobs < 1:
@@ -70,28 +120,51 @@ def main(argv=None) -> int:
             print(f"{exp.experiment_id:<8s} {exp.title}  [{exp.paper_ref}]")
         return 0
 
-    runtime = build_runtime(jobs=args.jobs, profile=args.profile)
+    runtime = build_runtime(jobs=args.jobs, profile=args.profile,
+                            trace=bool(args.trace),
+                            metrics=bool(args.metrics))
+    cache_before = cache_file_state() if args.metrics else None
+    run_start = time.perf_counter()
     try:
         targets = ([e.experiment_id for e in list_experiments()]
                    if args.target == "all" else [args.target])
-        if args.target == "all" and runtime.jobs > 1:
-            _run_all_parallel(targets, args.fast, runtime)
-        else:
-            for target in targets:
-                start = time.perf_counter()
-                result = run_experiment(target, fast=args.fast,
-                                        runtime=runtime)
-                elapsed = time.perf_counter() - start
-                print(result.render())
-                print(f"\n[{target} completed in {elapsed:.1f} s]\n")
+        with runtime.obs.tracer.span("cli.run", target=args.target,
+                                     jobs=args.jobs, fast=args.fast):
+            if args.target == "all" and runtime.jobs > 1:
+                _run_all_parallel(targets, args.fast, runtime)
+            else:
+                for target in targets:
+                    start = time.perf_counter()
+                    result = run_experiment(target, fast=args.fast,
+                                            runtime=runtime)
+                    elapsed = time.perf_counter() - start
+                    print(result.render())
+                    print(f"\n[{target} completed in {elapsed:.1f} s]\n")
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
         runtime.close()
+    elapsed_wall_s = time.perf_counter() - run_start
 
     if args.profile:
         print(runtime.profiler.render())
+        if len(runtime.obs.metrics):
+            print()
+            print(runtime.obs.metrics.render())
+    if args.trace:
+        write_chrome_trace(args.trace, runtime.obs.tracer)
+        print(f"[trace written to {args.trace} — open in "
+              f"https://ui.perfetto.dev]", file=sys.stderr)
+    if args.metrics:
+        manifest = build_manifest(
+            targets=targets, fast=args.fast, jobs=runtime.jobs,
+            root_seed=ROOT_SEED, profiler=runtime.profiler,
+            metrics=runtime.obs.metrics, cache_before=cache_before,
+            cache_after=cache_file_state(), elapsed_wall_s=elapsed_wall_s,
+            trace_file=args.trace)
+        write_manifest(args.metrics, manifest)
+        print(f"[run manifest written to {args.metrics}]", file=sys.stderr)
     return 0
 
 

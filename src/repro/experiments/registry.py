@@ -16,6 +16,7 @@ from functools import lru_cache
 
 from repro.core.analyzer import VariationAnalyzer
 from repro.errors import ConfigurationError
+from repro.obs.api import span as _obs_span
 from repro.runtime.context import activate_runtime
 
 __all__ = [
@@ -124,8 +125,11 @@ def run_experiment(experiment_id: str, fast: bool = False,
             f"`python -m repro.experiments list` for the catalogue") from None
     if runtime is None:
         return exp.run(fast=fast)
+    # The span resolves against the runtime's obs context, which
+    # activate_runtime has made current by the time it is entered.
     with activate_runtime(runtime), \
-            runtime.profiler.stage(f"experiment.{experiment_id}"):
+            runtime.profiler.stage(f"experiment.{experiment_id}"), \
+            _obs_span(f"experiment.{experiment_id}", fast=bool(fast)):
         return exp.run(fast=fast)
 
 

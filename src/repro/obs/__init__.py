@@ -1,0 +1,105 @@
+"""Structured observability: span tracing, metrics, run manifests.
+
+``repro.obs`` subsumes and extends the PR-1 :mod:`repro.runtime.profile`
+wall-time tables with three machine-readable instruments:
+
+* **Span tracing** (:class:`Tracer`) — hierarchical ``span(name, **attrs)``
+  context managers that nest, carry attributes (node, vdd, shard id, ...)
+  and export to Chrome trace-event JSON viewable in Perfetto
+  (``python -m repro.experiments fig4 --trace trace.json``).  Spans started
+  inside :class:`~repro.runtime.parallel.ParallelSampler` pool workers are
+  serialised back with the shard results and folded into the parent trace.
+* **Metrics registry** (:class:`MetricsRegistry`) — counters, gauges and
+  fixed-bucket histograms with a
+  ``metrics.counter("quantile_cache.hits")``-style API, instrumented at the
+  runtime's hot seams: quantile-cache hits/misses, kernel-LRU economics,
+  batch-solver secant-vs-Chandrupatla fallbacks, per-shard sample counts.
+* **Run manifests** (:func:`build_manifest`) — a JSON provenance record of
+  one experiment run (root seed, card fingerprints, package/numpy versions,
+  cache state before/after, per-stage stats, metrics snapshot), written by
+  ``--metrics FILE``.
+
+Everything is **off by default**: the module-level accessors
+(:func:`counter`, :func:`span`, ...) resolve through a
+:class:`contextvars.ContextVar` that defaults to no-op singletons, so with
+observability disabled an instrumentation site costs one context-variable
+lookup and a no-op method call (guarded by
+``benchmarks/bench_obs_overhead.py``).
+
+The PR-1 :class:`~repro.runtime.profile.Profiler` remains the aggregate
+wall-time view and is re-exported here; ``--profile`` renders both the
+stage table and the metrics counters.
+"""
+
+from __future__ import annotations
+
+from repro.obs.api import (
+    NOOP_OBS,
+    Observability,
+    activate_obs,
+    build_obs,
+    counter,
+    current_obs,
+    gauge,
+    histogram,
+    span,
+)
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    TRACE_SCHEMA,
+    build_manifest,
+    cache_file_state,
+    strip_timing,
+    validate_schema,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    NOOP_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import NOOP_TRACER, Tracer, write_chrome_trace
+
+_PROFILE_EXPORTS = ("Profiler", "StageStats")
+
+
+def __getattr__(name: str):
+    # Profiler/StageStats live in repro.runtime.profile, whose package
+    # pulls in the core solver; resolve lazily so instrumenting
+    # repro.core modules with repro.obs never forms an import cycle.
+    if name in _PROFILE_EXPORTS:
+        from repro.runtime import profile
+        return getattr(profile, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Observability",
+    "Tracer",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Profiler",
+    "StageStats",
+    "activate_obs",
+    "build_obs",
+    "current_obs",
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+    "build_manifest",
+    "write_manifest",
+    "write_chrome_trace",
+    "cache_file_state",
+    "strip_timing",
+    "validate_schema",
+    "MANIFEST_SCHEMA",
+    "TRACE_SCHEMA",
+    "NOOP_OBS",
+    "NOOP_METRICS",
+    "NOOP_TRACER",
+]

@@ -1,0 +1,149 @@
+"""Ambient observability context and the no-op fast path.
+
+One :class:`Observability` (a tracer + a metrics registry) is *activated*
+for the duration of a run, mirroring
+:func:`repro.runtime.context.activate_runtime`; instrumentation sites call
+the module-level accessors::
+
+    from repro.obs.api import counter, span
+
+    counter("quantile_cache.hits").inc(n)
+    with span("solver.batch", node=tech.name, points=len(qs)):
+        ...
+
+With nothing activated the accessors resolve to shared no-op singletons —
+one :class:`contextvars.ContextVar` lookup plus a do-nothing method call —
+so the instrumented hot paths cost nothing measurable when observability
+is off (see ``benchmarks/bench_obs_overhead.py``).
+
+Pool workers reconstruct a child context from the serialisable
+:meth:`Observability.worker_context` payload via
+:meth:`Observability.for_worker`, and hand their finished spans/metrics
+back with :meth:`Observability.export`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import DEFAULT_BUCKETS, NOOP_METRICS, MetricsRegistry
+from repro.obs.trace import NOOP_TRACER, Tracer
+
+__all__ = ["Observability", "NOOP_OBS", "build_obs", "current_obs",
+           "activate_obs", "counter", "gauge", "histogram", "span"]
+
+
+@dataclass
+class Observability:
+    """One run's observability instruments.
+
+    ``enabled`` is False only for the shared :data:`NOOP_OBS`; a real
+    instance may still carry a disabled tracer (metrics-only mode).
+    """
+
+    tracer: Tracer = NOOP_TRACER
+    metrics: MetricsRegistry = NOOP_METRICS
+    enabled: bool = True
+
+    # -- process-boundary plumbing ------------------------------------------
+
+    def worker_context(self, stage: str | None = None) -> dict | None:
+        """Serialisable payload a pool task carries to rebuild obs remotely.
+
+        ``None`` when disabled, so workers skip collection entirely.
+        """
+        if not self.enabled:
+            return None
+        return {
+            "trace": self.tracer.enabled,
+            "trace_id": self.tracer.trace_id,
+            "parent": self.tracer.current_span(),
+            "metrics": self.metrics.enabled,
+            "stage": stage,
+        }
+
+    @classmethod
+    def for_worker(cls, ctx: dict | None) -> "Observability":
+        """A fresh worker-side context rebuilt from :meth:`worker_context`."""
+        if not ctx:
+            return NOOP_OBS
+        tracer = (Tracer(trace_id=ctx.get("trace_id"),
+                         parent=ctx.get("parent"))
+                  if ctx.get("trace") else NOOP_TRACER)
+        metrics = MetricsRegistry() if ctx.get("metrics") else NOOP_METRICS
+        return cls(tracer=tracer, metrics=metrics)
+
+    def export(self) -> dict:
+        """Serialisable snapshot a worker returns with its result."""
+        return {"spans": self.tracer.events() if self.tracer.enabled else [],
+                "metrics": (self.metrics.as_dict()
+                            if self.metrics.enabled else {})}
+
+    def merge_export(self, snapshot: dict | None) -> None:
+        """Fold a worker's :meth:`export` snapshot into this context."""
+        if not snapshot:
+            return
+        if snapshot.get("spans"):
+            self.tracer.absorb(snapshot["spans"])
+        if snapshot.get("metrics"):
+            self.metrics.merge(snapshot["metrics"])
+
+
+#: Shared disabled context — the ContextVar default.
+NOOP_OBS = Observability(tracer=NOOP_TRACER, metrics=NOOP_METRICS,
+                         enabled=False)
+
+_ACTIVE: ContextVar = ContextVar("repro_obs", default=NOOP_OBS)
+
+
+def build_obs(trace: bool = False, metrics: bool = False) -> Observability:
+    """An :class:`Observability` with the requested instruments live.
+
+    Returns the shared :data:`NOOP_OBS` when both are off, keeping the
+    disabled path allocation-free.
+    """
+    if not (trace or metrics):
+        return NOOP_OBS
+    return Observability(
+        tracer=Tracer() if trace else NOOP_TRACER,
+        metrics=MetricsRegistry() if metrics else NOOP_METRICS)
+
+
+def current_obs() -> Observability:
+    """The active observability context (never ``None``)."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def activate_obs(obs: Observability):
+    """Make ``obs`` the :func:`current_obs` inside the block."""
+    token = _ACTIVE.set(obs)
+    try:
+        yield obs
+    finally:
+        _ACTIVE.reset(token)
+
+
+# -- hot-path accessors ------------------------------------------------------
+
+
+def counter(name: str):
+    """The active registry's counter ``name`` (no-op when disabled)."""
+    return _ACTIVE.get().metrics.counter(name)
+
+
+def gauge(name: str):
+    """The active registry's gauge ``name`` (no-op when disabled)."""
+    return _ACTIVE.get().metrics.gauge(name)
+
+
+def histogram(name: str, buckets=DEFAULT_BUCKETS):
+    """The active registry's histogram ``name`` (no-op when disabled)."""
+    return _ACTIVE.get().metrics.histogram(name, buckets)
+
+
+def span(name: str, **attrs):
+    """A span context manager on the active tracer (no-op when disabled)."""
+    return _ACTIVE.get().tracer.span(name, **attrs)

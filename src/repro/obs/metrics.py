@@ -1,0 +1,205 @@
+"""Counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` hands out named instruments on demand::
+
+    metrics.counter("quantile_cache.hits").inc()
+    metrics.gauge("sampler.worker_utilization").set(0.83)
+    metrics.histogram("sampler.shard_samples").observe(256)
+
+Instruments are memoised by name, so a hot call site pays one dict lookup
+plus one attribute bump.  Registries serialise with :meth:`as_dict` and
+fold worker snapshots back in with :meth:`merge` (counters and histograms
+add; gauges take the incoming value) — the same cross-process contract as
+:meth:`repro.runtime.profile.Profiler.merge`.
+
+The disabled path is a parallel no-op hierarchy: :data:`NOOP_METRICS`
+returns shared do-nothing instruments without touching any dict, so
+instrumentation guarded by it is effectively free.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "NOOP_METRICS", "DEFAULT_BUCKETS"]
+
+#: Default histogram bucket upper bounds (counts-style quantities).
+DEFAULT_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A named point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts of observations per upper bound.
+
+    ``buckets`` are the inclusive upper bounds of each bin; one implicit
+    overflow bin catches everything above the last bound.  Bounds are
+    fixed at creation so snapshots from different processes merge by
+    plain elementwise addition.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "total", "count")
+
+    def __init__(self, name: str, buckets=DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _Noop:
+    """Do-nothing stand-in for every instrument type."""
+
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NOOP_INSTRUMENT = _Noop()
+
+
+class MetricsRegistry:
+    """Named instrument registry with snapshot/merge support."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict = {}
+        self._gauges: dict = {}
+        self._histograms: dict = {}
+
+    # -- instruments ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, buckets)
+        return h
+
+    def __len__(self) -> int:
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms))
+
+    # -- snapshots -----------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """Serialisable snapshot (for manifests and worker hand-back)."""
+        return {
+            "counters": {n: c.value
+                         for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {"buckets": list(h.buckets), "counts": list(h.counts),
+                    "sum": h.total, "count": h.count}
+                for n, h in sorted(self._histograms.items())},
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold an :meth:`as_dict` snapshot (e.g. from a pool worker) in.
+
+        Counters and histograms accumulate; gauges adopt the incoming
+        value.  Histograms with mismatched bucket bounds are skipped
+        rather than corrupted (bounds are part of the instrument's
+        identity).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, rec in snapshot.get("histograms", {}).items():
+            h = self.histogram(name, rec.get("buckets", DEFAULT_BUCKETS))
+            if list(h.buckets) != [float(b) for b in rec["buckets"]]:
+                continue
+            for i, n in enumerate(rec["counts"]):
+                h.counts[i] += int(n)
+            h.total += float(rec["sum"])
+            h.count += int(rec["count"])
+
+    def render(self) -> str:
+        """Aligned text report of every instrument (``--profile`` output)."""
+        lines = ["metrics", "-------"]
+        rows = [(name, f"{c.value}") for name, c in
+                sorted(self._counters.items())]
+        rows += [(name, f"{g.value:g}") for name, g in
+                 sorted(self._gauges.items())]
+        rows += [(name, f"n={h.count} mean={h.mean:g}") for name, h in
+                 sorted(self._histograms.items())]
+        if not rows:
+            return "\n".join(lines + ["  (no metrics recorded)"])
+        width = max(len(name) for name, _ in rows)
+        lines += [f"  {name.ljust(width)}  {value}" for name, value in rows]
+        return "\n".join(lines)
+
+
+class _NoopMetrics(MetricsRegistry):
+    """Registry whose instruments are shared do-nothing singletons."""
+
+    enabled = False
+
+    def counter(self, name: str):
+        return _NOOP_INSTRUMENT
+
+    def gauge(self, name: str):
+        return _NOOP_INSTRUMENT
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS):
+        return _NOOP_INSTRUMENT
+
+
+#: Shared disabled registry — the default when no observability is active.
+NOOP_METRICS = _NoopMetrics()

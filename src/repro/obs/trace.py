@@ -1,0 +1,152 @@
+"""Hierarchical span tracing with Chrome trace-event export.
+
+:class:`Tracer` collects *complete* trace events (``ph: "X"``): each
+:meth:`Tracer.span` block becomes one event with a wall-clock timestamp,
+a monotonic duration, the process/thread ids and arbitrary attributes.
+Spans nest — the tracer keeps a per-tracer stack, so a span opened inside
+another records its parent's id and Perfetto renders the hierarchy from
+the timing containment.
+
+Cross-process traces: a parent tracer's ``(trace_id, current span id)``
+travel to a :class:`~concurrent.futures.ProcessPoolExecutor` worker inside
+its task payload; the worker runs a fresh ``Tracer(trace_id=...,
+parent=...)``, and its finished events come back with the shard result for
+:meth:`Tracer.absorb` — worker events keep their own ``pid``, so Perfetto
+shows one track per worker process.
+
+Timestamps use ``time.time()`` (shared across processes) in microseconds,
+the Chrome trace-event unit; durations use ``time.perf_counter()``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager, nullcontext
+
+__all__ = ["Tracer", "NOOP_TRACER", "write_chrome_trace"]
+
+_NULL_CM = nullcontext()
+
+
+class Tracer:
+    """Collects nested spans as Chrome trace-event dicts.
+
+    Parameters
+    ----------
+    trace_id:
+        Identifier shared by every span of one run; generated when absent,
+        inherited when the tracer continues a parent process's trace.
+    parent:
+        Span id adopted as the parent of this tracer's top-level spans
+        (set in pool workers to the dispatching span's id).
+    """
+
+    enabled = True
+
+    def __init__(self, trace_id: str | None = None,
+                 parent: str | None = None) -> None:
+        if trace_id is None:
+            trace_id = f"{os.getpid():x}-{time.time_ns():x}"
+        self.trace_id = str(trace_id)
+        self.base_parent = parent
+        self._events: list = []
+        self._stack: list = []
+        self._next = 0
+
+    # -- spans ---------------------------------------------------------------
+
+    def current_span(self) -> str | None:
+        """Id of the innermost open span (the would-be parent)."""
+        return self._stack[-1] if self._stack else self.base_parent
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Record the block as one complete event named ``name``.
+
+        ``attrs`` become the event's ``args`` and must be
+        JSON-serialisable (strings, numbers, booleans).
+        """
+        span_id = f"{os.getpid():x}.{self._next}"
+        self._next += 1
+        parent = self.current_span()
+        self._stack.append(span_id)
+        ts = time.time() * 1e6
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            dur = time.perf_counter() - start
+            self._stack.pop()
+            args = {"span_id": span_id, "trace_id": self.trace_id}
+            if parent is not None:
+                args["parent_id"] = parent
+            args.update(attrs)
+            self._events.append({
+                "name": name, "ph": "X", "ts": ts, "dur": dur * 1e6,
+                "pid": os.getpid(), "tid": threading.get_ident() & 0x7FFFFFFF,
+                "cat": "repro", "args": args,
+            })
+
+    # -- snapshots -----------------------------------------------------------
+
+    def events(self) -> list:
+        """The finished events (serialisable; worker hand-back payload)."""
+        return list(self._events)
+
+    def absorb(self, events) -> None:
+        """Fold a batch of events (e.g. from a pool worker) into this trace."""
+        self._events.extend(events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def chrome_trace(self) -> dict:
+        """The full trace as a Chrome trace-event JSON object.
+
+        Loads in Perfetto (https://ui.perfetto.dev) and legacy
+        ``chrome://tracing``: a ``traceEvents`` array of complete events
+        plus process-name metadata for every pid seen.
+        """
+        events = list(self._events)
+        pids = sorted({e["pid"] for e in events})
+        parent_pid = os.getpid()
+        for pid in pids:
+            role = "repro" if pid == parent_pid else "repro worker"
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": f"{role} (pid {pid})"},
+            })
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"trace_id": self.trace_id},
+        }
+
+
+class _NoopTracer(Tracer):
+    """Disabled tracer: spans are free, nothing is recorded."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(trace_id="noop")
+
+    def span(self, name: str, **attrs):
+        return _NULL_CM
+
+    def absorb(self, events) -> None:
+        pass
+
+
+#: Shared disabled tracer — the default when no observability is active.
+NOOP_TRACER = _NoopTracer()
+
+
+def write_chrome_trace(path: str, tracer: Tracer) -> None:
+    """Write ``tracer``'s trace as Chrome trace-event JSON at ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(tracer.chrome_trace(), fh)
+        fh.write("\n")

@@ -51,9 +51,21 @@ __all__ = [
 ]
 
 
-def build_runtime(jobs: int = 1, profile: bool = False) -> ReproRuntime:
-    """A ready-to-activate runtime with a sampler sized to ``jobs``."""
-    runtime = ReproRuntime(jobs=int(jobs), profile=bool(profile))
+def build_runtime(jobs: int = 1, profile: bool = False,
+                  trace: bool = False, metrics: bool = False) -> ReproRuntime:
+    """A ready-to-activate runtime with a sampler sized to ``jobs``.
+
+    ``trace`` turns on span collection (``--trace FILE``); ``metrics``
+    turns on the counter/gauge/histogram registry (``--metrics FILE``).
+    ``--profile`` implies the metrics registry so the cache and solver
+    counters can be rendered alongside the stage table.
+    """
+    from repro.obs.api import build_obs
+
+    runtime = ReproRuntime(
+        jobs=int(jobs), profile=bool(profile),
+        obs=build_obs(trace=bool(trace),
+                      metrics=bool(metrics or profile or trace)))
     runtime.sampler = ParallelSampler(runtime.jobs,
                                       profiler=runtime.profiler)
     return runtime

@@ -35,6 +35,9 @@ import json
 import os
 import tempfile
 
+from repro.obs.api import counter as _obs_counter
+from repro.obs.api import current_obs
+
 __all__ = ["QuantileCache", "technology_fingerprint",
            "ENV_CACHE_DIR", "ENV_CACHE_DISABLE"]
 
@@ -164,9 +167,11 @@ class QuantileCache:
         keys = list(keys)
         if not self.enabled:
             self.misses += len(keys)
+            _obs_counter("quantile_cache.misses").inc(len(keys))
             return [None] * len(keys)
         entries = self._load()
         out = []
+        hits = 0
         for key in keys:
             stored = entries.get(key)
             value = None
@@ -179,7 +184,10 @@ class QuantileCache:
                 self.misses += 1
             else:
                 self.hits += 1
+                hits += 1
             out.append(value)
+        _obs_counter("quantile_cache.hits").inc(hits)
+        _obs_counter("quantile_cache.misses").inc(len(keys) - hits)
         return out
 
     def put(self, key: str, value: float) -> None:
@@ -199,6 +207,15 @@ class QuantileCache:
             merged[key] = float(value).hex()
         self._entries = merged
         self._write()
+        metrics = current_obs().metrics
+        metrics.counter("quantile_cache.writes").inc(len(items))
+        if metrics.enabled:
+            try:
+                metrics.gauge("quantile_cache.file_bytes").set(
+                    os.path.getsize(self.path))
+                metrics.gauge("quantile_cache.entries").set(len(merged))
+            except OSError:
+                pass
 
     def clear(self) -> None:
         """Drop every entry (memory and disk)."""

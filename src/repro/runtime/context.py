@@ -20,6 +20,7 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 
+from repro.obs.api import NOOP_OBS, Observability, activate_obs
 from repro.runtime.profile import Profiler
 
 __all__ = ["ReproRuntime", "current_runtime", "activate_runtime",
@@ -43,12 +44,18 @@ class ReproRuntime:
         a serial runtime); typed loosely to keep this module import-light.
     profiler:
         Stage counters shared by every layer of the run.
+    obs:
+        The run's :class:`~repro.obs.api.Observability` (tracer +
+        metrics); defaults to the shared no-op context, so
+        instrumentation below stays free unless the CLI asked for
+        ``--trace`` / ``--metrics`` / ``--profile``.
     """
 
     jobs: int = 1
     profile: bool = False
     sampler: object = None
     profiler: Profiler = field(default_factory=Profiler)
+    obs: Observability = field(default_factory=lambda: NOOP_OBS)
 
     def close(self) -> None:
         if self.sampler is not None:
@@ -62,20 +69,33 @@ def current_runtime() -> ReproRuntime | None:
 
 @contextmanager
 def activate_runtime(runtime: ReproRuntime):
-    """Make ``runtime`` the :func:`current_runtime` inside the block."""
+    """Make ``runtime`` the :func:`current_runtime` inside the block.
+
+    The runtime's observability context is activated alongside it, so
+    :func:`repro.obs.api.counter` / :func:`~repro.obs.api.span` sites
+    resolve to the run's instruments.
+    """
     token = _ACTIVE.set(runtime)
     try:
-        yield runtime
+        with activate_obs(runtime.obs or NOOP_OBS):
+            yield runtime
     finally:
         _ACTIVE.reset(token)
 
 
 @contextmanager
 def profiled_stage(name: str, samples: int = 0):
-    """Record the block on the active runtime's profiler (no-op otherwise)."""
+    """Record the block on the active runtime's profiler (no-op otherwise).
+
+    When the runtime carries a live tracer the block also becomes a span
+    of the same name, so ``--profile`` aggregates and ``--trace``
+    timelines stay consistent.
+    """
     runtime = _ACTIVE.get()
     if runtime is None:
         yield
         return
-    with runtime.profiler.stage(name, samples):
+    obs = runtime.obs or NOOP_OBS
+    with runtime.profiler.stage(name, samples), \
+            obs.tracer.span(name, samples=samples):
         yield

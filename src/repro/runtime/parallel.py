@@ -1,10 +1,15 @@
-"""Sharded, process-parallel Monte-Carlo sampling.
+"""Sharded, process-parallel Monte-Carlo sampling and quantile solving.
 
 The paper's statistics are embarrassingly parallel — chips are iid draws —
 so both sampling engines shard perfectly.  :class:`ParallelSampler` splits
 a request for ``n`` chips into fixed-size shards, derives one independent
 random stream per shard with :meth:`numpy.random.SeedSequence.spawn`, and
 fans the shards out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+Deterministic sign-off solves shard just as well:
+:meth:`ParallelSampler.solve_quantiles` fans fixed-size chunks of
+``(vdd, q, spares)`` query points out to the same pool, each worker running
+:meth:`~repro.core.chip_delay.ChipDelayEngine.chip_quantile_batch` on its
+chunk.
 
 **Reproducibility contract**: the shard plan and every shard's stream
 depend only on ``(root_seed, shard_size, n)`` — never on the worker count —
@@ -12,10 +17,22 @@ so for a given root seed the concatenated output is *bit-identical* whether
 it was computed with ``jobs=1`` (fully in-process) or ``jobs=32``.  The
 sharded stream intentionally differs from the legacy single-``Generator``
 serial stream: it is a new, self-consistent stream keyed by the root seed.
+Quantile chunks likewise depend only on the query order and the chunk
+size, never on ``jobs``.
+
+**Observability**: when an :class:`~repro.obs.api.Observability` context is
+active, every shard dispatched to the pool carries the parent's
+``(trace_id, span id)``; the worker runs its own tracer/metrics, wraps the
+shard in a span, and serialises both back with the result (the same
+hand-back pattern as :meth:`Profiler.as_dict`).  The parent absorbs the
+span batches — Perfetto shows one track per worker pid — folds the metric
+snapshots in, and derives a ``sampler.worker_utilization`` gauge from the
+shard busy times.  With observability off, tasks carry no context and
+workers skip collection entirely.
 
 Workers memoise their :class:`~repro.core.chip_delay.ChipDelayEngine`
-instances per (card, architecture) so the Gauss-Hermite tabulations are
-paid once per process, not once per shard.
+instances per (card, architecture, quadrature) so the Gauss-Hermite
+tabulations are paid once per process, not once per shard.
 """
 
 from __future__ import annotations
@@ -29,13 +46,24 @@ import numpy as np
 from repro.core.chip_delay import ChipDelayEngine
 from repro.core.montecarlo import MonteCarloEngine
 from repro.errors import ConfigurationError
+from repro.obs.api import Observability, activate_obs, current_obs
 from repro.runtime.context import current_runtime
 
 __all__ = ["ParallelSampler", "plan_shards", "shard_seeds",
-           "DEFAULT_SHARD_SIZE"]
+           "DEFAULT_SHARD_SIZE", "DEFAULT_QUANTILE_CHUNK"]
 
 #: Default chips per shard; part of the reproducibility key.
 DEFAULT_SHARD_SIZE = 256
+
+#: Default query points per quantile-solve chunk.  Small enough that a
+#: fig4-style per-node sweep (~12 points) still fans out across workers;
+#: part of the solve partition (changing it regroups spline clusters and
+#: can move results at the solver's ~1e-12 tolerance floor — changing
+#: ``jobs`` never does).
+DEFAULT_QUANTILE_CHUNK = 8
+
+#: Shard-size histogram bucket bounds (samples per shard).
+_SHARD_BUCKETS = (16, 32, 64, 128, 256, 512, 1024, 4096)
 
 
 def plan_shards(n: int, shard_size: int = DEFAULT_SHARD_SIZE) -> list:
@@ -63,20 +91,54 @@ _WORKER_ENGINES: dict = {}
 
 
 def _chip_engine(tech, width: int, paths_per_lane: int,
-                 chain_length: int) -> ChipDelayEngine:
+                 chain_length: int, quads=None) -> ChipDelayEngine:
     """Per-process engine memo (quadrature tabulations are expensive)."""
-    key = (tech, width, paths_per_lane, chain_length)
+    key = (tech, width, paths_per_lane, chain_length, quads)
     engine = _WORKER_ENGINES.get(key)
     if engine is None:
+        kwargs = {}
+        if quads is not None:
+            kwargs = dict(quad_within=quads[0], quad_corr_vth=quads[1],
+                          quad_corr_mult=quads[2])
         engine = ChipDelayEngine(tech, width=width,
                                  paths_per_lane=paths_per_lane,
-                                 chain_length=chain_length)
+                                 chain_length=chain_length, **kwargs)
         _WORKER_ENGINES[key] = engine
     return engine
 
 
-def _system_delays_shard(task: dict) -> np.ndarray:
-    """One shard of per-gate Monte-Carlo chip delays (runs in a worker)."""
+def _task_attrs(task: dict) -> dict:
+    """JSON-safe span attributes describing one shard task."""
+    attrs = {"node": task["tech"].name, "shard": task.get("shard", 0),
+             "n": task["n"]}
+    if "vdd" in task:
+        attrs["vdd"] = task["vdd"]
+    return attrs
+
+
+def _run_shard(core, task: dict):
+    """Run one shard, honouring the task's serialised obs context.
+
+    With no context attached (observability off, or the shard runs
+    in-process where the parent's context is already live) this is a
+    plain call.  Otherwise the worker rebuilds a child
+    :class:`Observability`, spans the shard, and hands spans + metrics +
+    busy time back alongside the result.
+    """
+    ctx = task.get("obs")
+    if not ctx:
+        return core(task)
+    obs = Observability.for_worker(ctx)
+    name = (ctx.get("stage") or "sampler") + ".shard"
+    start = time.perf_counter()
+    with activate_obs(obs), obs.tracer.span(name, **_task_attrs(task)):
+        out = core(task)
+    return {"result": out, "obs": obs.export(),
+            "busy_s": time.perf_counter() - start}
+
+
+def _system_delays_core(task: dict) -> np.ndarray:
+    """One shard of per-gate Monte-Carlo chip delays."""
     rng = np.random.default_rng(task["seed"])
     engine = MonteCarloEngine(task["tech"], rng=rng)
     return engine.system_delays(
@@ -86,8 +148,8 @@ def _system_delays_shard(task: dict) -> np.ndarray:
         spares=task["spares"], batch_size=task["batch_size"])
 
 
-def _sample_chips_shard(task: dict) -> np.ndarray:
-    """One shard of analytic chip-delay samples (runs in a worker)."""
+def _sample_chips_core(task: dict) -> np.ndarray:
+    """One shard of analytic chip-delay samples."""
     rng = np.random.default_rng(task["seed"])
     engine = _chip_engine(task["tech"], task["width"],
                           task["paths_per_lane"], task["chain_length"])
@@ -95,11 +157,37 @@ def _sample_chips_shard(task: dict) -> np.ndarray:
                                spares=task["spares"])
 
 
+def _quantile_chunk_core(task: dict) -> np.ndarray:
+    """One chunk of deterministic ``(vdd, q, spares)`` quantile solves."""
+    engine = _chip_engine(task["tech"], task["width"],
+                          task["paths_per_lane"], task["chain_length"],
+                          quads=task.get("quads"))
+    return np.atleast_1d(engine.chip_quantile_batch(
+        np.asarray(task["vdds"], dtype=float),
+        np.asarray(task["qs"], dtype=float),
+        np.asarray(task["spares"], dtype=float)))
+
+
+def _system_delays_shard(task: dict):
+    """Pool entry point for :func:`_system_delays_core` (runs in a worker)."""
+    return _run_shard(_system_delays_core, task)
+
+
+def _sample_chips_shard(task: dict):
+    """Pool entry point for :func:`_sample_chips_core` (runs in a worker)."""
+    return _run_shard(_sample_chips_core, task)
+
+
+def _quantile_chunk_shard(task: dict):
+    """Pool entry point for :func:`_quantile_chunk_core` (runs in a worker)."""
+    return _run_shard(_quantile_chunk_core, task)
+
+
 # -- driver side ---------------------------------------------------------------
 
 
 class ParallelSampler:
-    """Shards iid chip sampling across a process pool.
+    """Shards iid chip sampling and batched solves across a process pool.
 
     Parameters
     ----------
@@ -159,20 +247,49 @@ class ParallelSampler:
             profiler.record(name, wall_s, samples)
 
     def _run(self, fn, tasks: list, stage: str, n_samples: int) -> np.ndarray:
+        obs = current_obs()
         start = time.perf_counter()
+        busy_s = 0.0
         if self.jobs == 1 or len(tasks) == 1:
-            parts = [fn(task) for task in tasks]
+            # In-process: the parent's obs context is already live, so
+            # shards span directly onto it (no hand-back round trip).
+            parts = []
+            for task in tasks:
+                with obs.tracer.span(stage + ".shard", **_task_attrs(task)):
+                    parts.append(fn(task))
         else:
-            parts = list(self._pool().map(fn, tasks))
+            if obs.enabled:
+                ctx = obs.worker_context(stage)
+                for task in tasks:
+                    task["obs"] = ctx
+            parts = []
+            for item in self._pool().map(fn, tasks):
+                if isinstance(item, dict) and "obs" in item:
+                    obs.merge_export(item["obs"])
+                    busy_s += item["busy_s"]
+                    item = item["result"]
+                parts.append(item)
         out = np.concatenate(parts) if len(parts) > 1 else parts[0]
-        self._record(stage, time.perf_counter() - start, n_samples)
+        elapsed = time.perf_counter() - start
+        self._record(stage, elapsed, n_samples)
+        metrics = obs.metrics
+        metrics.counter("sampler.shards").inc(len(tasks))
+        metrics.counter("sampler.samples").inc(n_samples)
+        if metrics.enabled:
+            hist = metrics.histogram("sampler.shard_samples",
+                                     buckets=_SHARD_BUCKETS)
+            for task in tasks:
+                hist.observe(task["n"])
+            if busy_s > 0.0 and elapsed > 0.0:
+                metrics.gauge("sampler.worker_utilization").set(
+                    min(1.0, busy_s / (self.jobs * elapsed)))
         return out
 
     def _tasks(self, n: int, root_seed, common: dict) -> list:
         counts = plan_shards(n, self.shard_size)
         seeds = shard_seeds(root_seed, len(counts))
-        return [dict(common, n=count, seed=seed)
-                for count, seed in zip(counts, seeds)]
+        return [dict(common, n=count, seed=seed, shard=i)
+                for i, (count, seed) in enumerate(zip(counts, seeds))]
 
     # -- public sampling API -------------------------------------------------
 
@@ -206,3 +323,43 @@ class ParallelSampler:
             chain_length=int(chain_length), spares=int(spares)))
         return self._run(_sample_chips_shard, tasks,
                          "sampler.sample_chips", n_samples)
+
+    # -- public solving API --------------------------------------------------
+
+    def solve_quantiles(self, tech, vdds, qs, spares, *, width: int = 128,
+                        paths_per_lane: int = 100, chain_length: int = 50,
+                        quads=None,
+                        chunk_size: int = DEFAULT_QUANTILE_CHUNK) -> np.ndarray:
+        """Deterministic chip-delay quantiles, chunk-sharded over the pool.
+
+        ``vdds``/``qs``/``spares`` are equal-length 1-D point arrays;
+        every ``chunk_size`` consecutive points become one worker task
+        running :meth:`ChipDelayEngine.chip_quantile_batch` (workers
+        memoise engines, so the Gauss-Hermite tabulations amortise across
+        chunks).  The partition depends only on the query order and
+        ``chunk_size``, never on ``jobs``, so results are reproducible
+        for a fixed chunking.  ``quads`` optionally pins the three
+        quadrature orders ``(within, corr_vth, corr_mult)``.
+        """
+        vdds = np.asarray(vdds, dtype=float).ravel()
+        qs = np.asarray(qs, dtype=float).ravel()
+        spares = np.asarray(spares, dtype=float).ravel()
+        if not (vdds.size == qs.size == spares.size):
+            raise ConfigurationError(
+                "solve_quantiles needs equal-length vdd/q/spares arrays")
+        if chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}")
+        common = dict(tech=tech, width=int(width),
+                      paths_per_lane=int(paths_per_lane),
+                      chain_length=int(chain_length),
+                      quads=tuple(int(q) for q in quads) if quads else None)
+        tasks = []
+        for i, start in enumerate(range(0, vdds.size, int(chunk_size))):
+            sl = slice(start, start + int(chunk_size))
+            tasks.append(dict(common, vdds=vdds[sl].tolist(),
+                              qs=qs[sl].tolist(),
+                              spares=spares[sl].tolist(),
+                              n=int(vdds[sl].size), shard=i))
+        return self._run(_quantile_chunk_shard, tasks,
+                         "sampler.solve_quantiles", int(vdds.size))

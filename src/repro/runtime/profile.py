@@ -10,6 +10,11 @@ Counters survive process boundaries: a worker serialises its profiler with
 :meth:`Profiler.as_dict` and the parent folds it back in with
 :meth:`Profiler.merge` — this is how ``--jobs N --profile`` reports stages
 executed inside pool workers.
+
+:mod:`repro.obs` extends this aggregate view with span tracing, a
+metrics registry and run manifests (and re-exports :class:`Profiler`);
+the same stage names appear as spans when ``--trace`` is on, and the
+manifest embeds :meth:`Profiler.as_dict` verbatim.
 """
 
 from __future__ import annotations
