@@ -1,0 +1,221 @@
+"""Benchmark: fault-free overhead of the resilience layer.
+
+The fault-tolerance machinery (retry dispatcher, fault lab, checksummed
+cache, solver guardrails) promises a near-free fault-free path: when no
+faults are injected and nothing fails, every hook is a ContextVar read, a
+dict lookup, a CRC32 over a short string, or one vectorized finiteness
+mask.  This benchmark quantifies that promise on a fig4-style sign-off
+sweep and writes ``BENCH_resilience.json`` at the repository root:
+
+* **sweep** — a fresh-engine ``chip_quantile_batch`` voltage sweep (disk
+  cache off, so the solver pays its true cost).
+* **hook counts** — the *measured* number of fault-plan lookups and
+  ledger fetches the sweep makes (counted by patching the accessors), and
+  the checksum count of a cache round-trip sized like the sweep.
+* **fault-free overhead** — measured hook counts times *measured*
+  per-call costs, plus the per-batch NaN guard, as a fraction of sweep
+  time.  Asserted ``< 2%``.
+
+Run directly::
+
+    python benchmarks/bench_resilience.py            # full
+    python benchmarks/bench_resilience.py --smoke    # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+import zlib
+from pathlib import Path
+
+# The cache must be off before repro is imported anywhere down the line.
+os.environ.setdefault("REPRO_CACHE_DISABLE", "1")
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import chip_delay                            # noqa: E402
+from repro.core.chip_delay import ChipDelayEngine            # noqa: E402
+from repro.devices.technology import get_technology          # noqa: E402
+from repro.resilience import faultlab                        # noqa: E402
+from repro.resilience.faultlab import active_plan            # noqa: E402
+from repro.resilience.ledger import current_ledger           # noqa: E402
+from repro.runtime.cache import QuantileCache, _entry_checksum  # noqa: E402
+
+NODE = "22nm"
+Q = 0.99
+SPARES = 0.0
+
+#: Fault-free budget for the resilience hooks, percent of sweep time.
+MAX_FAULT_FREE_OVERHEAD_PCT = 2.0
+
+
+def sweep_once(tech, vdds) -> float:
+    """One fig4-style sweep on a fresh engine; returns wall seconds."""
+    engine = ChipDelayEngine(tech)
+    t0 = time.perf_counter()
+    engine.chip_quantile_batch(vdds, Q, SPARES)
+    return time.perf_counter() - t0
+
+
+def count_hook_calls(tech, vdds) -> dict:
+    """How many resilience hooks one sweep performs (measured, not derived)."""
+    calls = {"active_plan": 0, "current_ledger": 0}
+
+    def tally_plan():
+        calls["active_plan"] += 1
+        return active_plan()
+
+    def tally_ledger():
+        calls["current_ledger"] += 1
+        return current_ledger()
+
+    saved = (chip_delay.active_plan, chip_delay.current_ledger)
+    chip_delay.active_plan = tally_plan
+    chip_delay.current_ledger = tally_ledger
+    try:
+        sweep_once(tech, vdds)
+    finally:
+        chip_delay.active_plan, chip_delay.current_ledger = saved
+    return calls
+
+
+def hook_call_cost(iterations: int) -> dict:
+    """Measured per-call cost (seconds) of the fault-free hooks."""
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        active_plan()
+    plan_s = (time.perf_counter() - t0) / iterations
+
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        current_ledger()
+    ledger_s = (time.perf_counter() - t0) / iterations
+
+    key = "22nm:deadbeefdeadbeef:w128:p100:c50:gh16-16-16:v0.5:q0.99:s0.0"
+    hexv = (1.5e-9).hex()
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        _entry_checksum(key, hexv)
+    checksum_s = (time.perf_counter() - t0) / iterations
+    return {"plan_s": plan_s, "ledger_s": ledger_s, "checksum_s": checksum_s}
+
+
+def nan_guard_cost(n_points: int, repeats: int = 200) -> float:
+    """Seconds one batch pays for the post-solve finiteness mask."""
+    uout = np.linspace(1e-9, 2e-9, n_points)
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        bad = ~np.isfinite(uout) | (uout <= 0.0)
+        bad.any()
+    return (time.perf_counter() - t0) / repeats
+
+
+def cache_roundtrip(n_entries: int) -> dict:
+    """Wall time of a checksummed put+get round sized like one sweep."""
+    with tempfile.TemporaryDirectory() as d:
+        path = os.path.join(d, "quantiles.json")
+        items = [(f"bench:key:{i}", 1e-9 * (1 + i)) for i in range(n_entries)]
+        cache = QuantileCache(path=path, enabled=True)
+        t0 = time.perf_counter()
+        cache.put_many(items)
+        put_s = time.perf_counter() - t0
+        fresh = QuantileCache(path=path, enabled=True)
+        t0 = time.perf_counter()
+        fresh.get_many([k for k, _ in items])
+        get_s = time.perf_counter() - t0
+    return {"put_s": put_s, "get_s": get_s}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: fewer sweep points and repeats")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_resilience.json")
+    args = parser.parse_args(argv)
+
+    n_points = 12 if args.smoke else 32
+    repeats = 3 if args.smoke else 5
+    micro_iters = 100_000 if args.smoke else 1_000_000
+
+    tech = get_technology(NODE)
+    vdds = np.linspace(tech.min_vdd, tech.nominal_vdd, n_points)
+    sweep_once(tech, vdds)           # warm-up: quadratures, numpy caches
+
+    t_sweep = min(sweep_once(tech, vdds) for _ in range(repeats))
+    calls = count_hook_calls(tech, vdds)
+    cost = hook_call_cost(micro_iters)
+    guard_s = nan_guard_cost(n_points)
+    # Per-entry checksums: one sweep caches ~n_points entries, each
+    # checksummed once on write and once on a later validated read.
+    checksum_calls = 2 * n_points
+    hook_s = (calls["active_plan"] * cost["plan_s"]
+              + calls["current_ledger"] * cost["ledger_s"]
+              + checksum_calls * cost["checksum_s"]
+              + guard_s)
+    overhead_pct = 100.0 * hook_s / t_sweep
+    roundtrip = cache_roundtrip(n_points)
+
+    print(f"sweep ({NODE}, {n_points} points): {1e3 * t_sweep:.1f} ms")
+    print(f"resilience hooks per sweep: {calls['active_plan']} plan lookups, "
+          f"{calls['current_ledger']} ledger fetches, "
+          f"{checksum_calls} entry checksums")
+    print(f"hook costs: plan {1e9 * cost['plan_s']:.0f} ns, "
+          f"ledger {1e9 * cost['ledger_s']:.0f} ns, "
+          f"checksum {1e9 * cost['checksum_s']:.0f} ns, "
+          f"NaN guard {1e6 * guard_s:.2f} us/batch")
+    print(f"fault-free overhead {overhead_pct:.4f}% "
+          f"(budget {MAX_FAULT_FREE_OVERHEAD_PCT}%)")
+    print(f"checksummed cache round-trip ({n_points} entries): "
+          f"put {1e3 * roundtrip['put_s']:.2f} ms, "
+          f"get {1e3 * roundtrip['get_s']:.2f} ms")
+
+    payload = {
+        "benchmark": "resilience_overhead",
+        "smoke": bool(args.smoke),
+        "config": {
+            "node": NODE,
+            "q": Q,
+            "spares": SPARES,
+            "points": n_points,
+            "repeats": repeats,
+            "micro_iterations": micro_iters,
+            "cache_disabled": True,
+            "sweep": "fig4-style (min_vdd..nominal_vdd)",
+        },
+        "sweep_s": t_sweep,
+        "hook_calls": dict(calls, entry_checksums=checksum_calls),
+        "hook_ns_per_call": {
+            "active_plan": 1e9 * cost["plan_s"],
+            "current_ledger": 1e9 * cost["ledger_s"],
+            "entry_checksum": 1e9 * cost["checksum_s"],
+        },
+        "nan_guard_us_per_batch": 1e6 * guard_s,
+        "cache_roundtrip_ms": {
+            "put": 1e3 * roundtrip["put_s"],
+            "get": 1e3 * roundtrip["get_s"],
+        },
+        "fault_free_overhead_pct": overhead_pct,
+        "max_fault_free_overhead_pct": MAX_FAULT_FREE_OVERHEAD_PCT,
+        "passed": overhead_pct < MAX_FAULT_FREE_OVERHEAD_PCT,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n",
+                           encoding="utf-8")
+    print(f"\nwrote {args.output}")
+
+    assert overhead_pct < MAX_FAULT_FREE_OVERHEAD_PCT, (
+        f"fault-free resilience overhead {overhead_pct:.3f}% exceeds "
+        f"the {MAX_FAULT_FREE_OVERHEAD_PCT}% budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

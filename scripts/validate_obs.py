@@ -3,14 +3,19 @@
 Checks a Chrome trace-event file and a run manifest against the schemas
 in :mod:`repro.obs.manifest`, plus structural invariants the schemas
 cannot express: the trace must contain at least one complete span, the
-manifest's cache ledger must reconcile, and with ``--expect-workers`` the
+manifest's cache ledger must reconcile, with ``--expect-workers`` the
 trace must contain spans recorded in at least two distinct processes
-(proof that pool workers handed their span batches back).
+(proof that pool workers handed their span batches back), and with
+``--expect-fault-events KIND`` (repeatable) the manifest's resilience
+ledger must contain at least one event of each named kind (proof that a
+chaos run actually exercised its recovery path).
 
 Usage::
 
     python scripts/validate_obs.py --trace trace.json --manifest m.json
     python scripts/validate_obs.py --trace t2.json --expect-workers
+    python scripts/validate_obs.py --manifest chaos.json \
+        --expect-fault-events pool_respawn
 """
 
 from __future__ import annotations
@@ -50,7 +55,7 @@ def check_trace(path: Path, expect_workers: bool) -> list:
     return errors
 
 
-def check_manifest(path: Path) -> list:
+def check_manifest(path: Path, expect_fault_events=()) -> list:
     doc = json.loads(path.read_text(encoding="utf-8"))
     errors = validate_schema(doc, MANIFEST_SCHEMA)
     cache = doc.get("cache", {})
@@ -63,10 +68,21 @@ def check_manifest(path: Path) -> list:
     stages = doc.get("stages", {})
     if not any(name.startswith("experiment.") for name in stages):
         errors.append(f"{path}: no experiment.* stage recorded")
+    resilience = doc.get("resilience", {})
+    counts = resilience.get("counts", {})
+    events = resilience.get("events", [])
+    if sorted(counts) != sorted({e.get("event") for e in events
+                                 if isinstance(e, dict)}):
+        errors.append(f"{path}: resilience counts do not reconcile with "
+                      f"the event list")
+    for kind in expect_fault_events or ():
+        if counts.get(kind, 0) < 1:
+            errors.append(f"{path}: expected >=1 {kind!r} resilience "
+                          f"event, ledger has {sorted(counts) or 'none'}")
     if not errors:
         print(f"ok: {path} — targets {doc['run']['targets']}, "
               f"cache {cache.get('hits')}h/{cache.get('misses')}m, "
-              f"{len(stages)} stages")
+              f"{len(stages)} stages, {len(events)} resilience event(s)")
     return errors
 
 
@@ -78,6 +94,10 @@ def main(argv=None) -> int:
                         help="run manifest JSON to validate")
     parser.add_argument("--expect-workers", action="store_true",
                         help="require spans from >=2 distinct pids")
+    parser.add_argument("--expect-fault-events", action="append",
+                        metavar="KIND", default=[],
+                        help="require >=1 resilience ledger event of KIND "
+                             "in the manifest (repeatable)")
     args = parser.parse_args(argv)
     if args.trace is None and args.manifest is None:
         parser.error("nothing to validate: pass --trace and/or --manifest")
@@ -86,7 +106,7 @@ def main(argv=None) -> int:
     if args.trace is not None:
         errors += check_trace(args.trace, args.expect_workers)
     if args.manifest is not None:
-        errors += check_manifest(args.manifest)
+        errors += check_manifest(args.manifest, args.expect_fault_events)
     for err in errors:
         print(f"error: {err}", file=sys.stderr)
     return 1 if errors else 0

@@ -25,8 +25,9 @@ from repro.core.chip_delay import ChipDelayEngine
 from repro.core.montecarlo import MonteCarloEngine
 from repro.core.results import DelayDistribution
 from repro.devices.technology import TechnologyNode, get_technology
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ShardExecutionError
 from repro.obs.api import counter as _obs_counter
+from repro.resilience.ledger import current_ledger
 from repro.runtime.cache import QuantileCache
 from repro.runtime.context import current_runtime, profiled_stage
 
@@ -167,13 +168,17 @@ class VariationAnalyzer:
     def _solve_batch(self, solve_keys) -> np.ndarray:
         """Solve uncached ``(vdd, spares, q)`` points in one batch.
 
-        When a parallel runtime with a multi-process pool is active and
-        the batch is big enough, the solve fans out across the pool via
+        When a parallel runtime is active and the batch is big enough,
+        the solve goes through
         :meth:`~repro.runtime.parallel.ParallelSampler.solve_quantiles`
-        (fixed-size chunks, each a worker-side
-        :meth:`~repro.core.chip_delay.ChipDelayEngine.chip_quantile_batch`);
-        otherwise it runs in-process.  Both paths polish every root to
-        the solver's ~1e-12 relative tolerance.
+        *regardless of the worker count*: the fixed-size chunk partition
+        is part of the solver's reproducibility key, so routing through
+        the sampler even at ``jobs=1`` keeps a serial baseline
+        bit-identical to a pooled (or chaos-recovered) run.  Without a
+        runtime the solve runs as one in-process batch.  Both paths
+        polish every root to the solver's ~1e-12 relative tolerance, and
+        a pool whose recovery ladder is exhausted falls back to the
+        in-process batch (the solve is deterministic either way).
         """
         vdds = np.array([k[0] for k in solve_keys])
         qs = np.array([k[2] for k in solve_keys])
@@ -181,14 +186,22 @@ class VariationAnalyzer:
         runtime = current_runtime()
         sampler = runtime.sampler if runtime is not None else None
         engine = self.engine
-        if (sampler is not None and sampler.jobs > 1
+        if (sampler is not None
                 and len(solve_keys) >= _MIN_PARALLEL_SOLVE):
-            return sampler.solve_quantiles(
-                self.tech, vdds, qs, sps, width=engine.width,
-                paths_per_lane=engine.paths_per_lane,
-                chain_length=engine.chain_length,
-                quads=(engine.quad_within, engine.quad_corr_vth,
-                       engine.quad_corr_mult))
+            try:
+                return sampler.solve_quantiles(
+                    self.tech, vdds, qs, sps, width=engine.width,
+                    paths_per_lane=engine.paths_per_lane,
+                    chain_length=engine.chain_length,
+                    quads=(engine.quad_within, engine.quad_corr_vth,
+                           engine.quad_corr_mult))
+            except ShardExecutionError as exc:
+                # The pool's recovery ladder is exhausted; the solve is
+                # deterministic either way, so finish it in-process.
+                _obs_counter("resilience.analyzer.pool_solve_failures").inc()
+                current_ledger().record("analyzer_pool_solve_failed",
+                                        shards=list(exc.shards),
+                                        points=len(solve_keys))
         return np.atleast_1d(engine.chip_quantile_batch(vdds, qs, sps))
 
     def chip_quantiles(self, vdd, spares: float = 0, q=None) -> np.ndarray:

@@ -59,9 +59,15 @@ from repro.core.moments import (
     gate_delay_moments,
     hermite_nodes,
 )
-from repro.errors import ConfigurationError, ConvergenceError
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    SolverNumericalError,
+)
 from repro.obs.api import counter as _obs_counter
 from repro.obs.api import histogram as _obs_histogram
+from repro.resilience.faultlab import active_plan
+from repro.resilience.ledger import current_ledger
 
 __all__ = [
     "ChipDelayEngine",
@@ -797,11 +803,91 @@ class ChipDelayEngine:
         uout = np.empty(len(ukeys))
         for start in range(0, len(ukeys), int(chunk_size)):
             sl = slice(start, start + int(chunk_size))
-            uout[sl] = self._solve_points(ukeys[sl], uq_arr[sl], usp_arr[sl])
+            try:
+                uout[sl] = self._solve_points(ukeys[sl], uq_arr[sl],
+                                              usp_arr[sl])
+            except (ConvergenceError, FloatingPointError) as exc:
+                # Mark the whole chunk for the rescue ladder rather than
+                # aborting a multi-chunk batch on one bad cluster.
+                uout[sl] = np.nan
+                current_ledger().record(
+                    "solver_chunk_failed", error=repr(exc),
+                    points=int(uout[sl].size))
+        self._inject_solver_nan(uout)
+        bad = ~np.isfinite(uout) | (uout <= 0.0)
+        if bad.any():
+            self._rescue_points(uout, np.flatnonzero(bad), ukeys, uq_arr,
+                                usp_arr)
         out = uout[scatter]
         if shape == ():
             return float(out[0])
         return out.reshape(shape)
+
+    @staticmethod
+    def _inject_solver_nan(uout: np.ndarray) -> None:
+        """Fault lab: poison the target-th unique solver point with NaN."""
+        plan = active_plan()
+        if plan is None or not uout.size:
+            return
+        for target in plan.pending("solver_nan"):
+            if plan.consume("solver_nan", target):
+                uout[target % uout.size] = np.nan
+
+    def _rescue_points(self, uout, bad_idx, ukeys, uq_arr, usp_arr) -> None:
+        """Recover non-finite batch roots point by point.
+
+        Fallback ladder per point: the scalar Brent reference solver
+        (bracketing is far more forgiving than the spline-seeded secant),
+        then a fixed-seed direct Monte-Carlo quantile estimate.  A point
+        that survives both raises :class:`SolverNumericalError` carrying
+        its ``(vdd, q, spares)`` coordinates.
+        """
+        ledger = current_ledger()
+        unrecovered = []
+        for i in bad_idx:
+            vdd, q, sp = float(ukeys[i]), float(uq_arr[i]), float(usp_arr[i])
+            value = np.nan
+            try:
+                value = self.chip_quantile(vdd, q, sp)
+            except (ConvergenceError, FloatingPointError):
+                pass
+            if np.isfinite(value) and value > 0.0:
+                _obs_counter("resilience.solver.fallback_scalar").inc()
+                ledger.record("solver_fallback_scalar", vdd=vdd, q=q,
+                              spares=sp)
+                uout[i] = value
+                continue
+            value = self._montecarlo_quantile(vdd, q, sp)
+            if np.isfinite(value) and value > 0.0:
+                _obs_counter("resilience.solver.fallback_montecarlo").inc()
+                ledger.record("solver_fallback_montecarlo", vdd=vdd, q=q,
+                              spares=sp)
+                uout[i] = value
+                continue
+            unrecovered.append((vdd, q, sp))
+        if unrecovered:
+            ledger.record("solver_unrecoverable", points=unrecovered)
+            raise SolverNumericalError(
+                f"chip-quantile solve unrecoverable at {len(unrecovered)} "
+                f"point(s): {unrecovered}", points=unrecovered)
+
+    def _montecarlo_quantile(self, vdd: float, q: float, spares: float,
+                             *, n_samples: int = 20000,
+                             seed: int = 0x5EED) -> float:
+        """Last-resort direct Monte-Carlo quantile (fixed seed).
+
+        Noisy (~1/sqrt(n) in the tail) next to the deterministic solvers,
+        but depends on nothing beyond sampling — usable even when every
+        CDF-based bracketing strategy has failed.  Fractional spares are
+        rounded to the nearest integer lane count.
+        """
+        try:
+            rng = np.random.default_rng(seed)
+            samples = self.sample_chips(vdd, int(n_samples), rng,
+                                        spares=int(round(spares)))
+            return float(np.quantile(samples, q))
+        except (ValueError, FloatingPointError):
+            return float("nan")
 
     def chip_quantile(self, vdd, q: float = 0.99, spares: float = 0) -> float:
         """The ``q`` quantile of the chip delay distribution, in seconds.

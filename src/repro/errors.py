@@ -44,3 +44,36 @@ class RoutingError(ReproError):
 class ConfigurationError(ReproError, ValueError):
     """An API was called with inconsistent parameters (e.g. more spares
     dropped than lanes instantiated)."""
+
+
+class ShardExecutionError(ReproError):
+    """One or more parallel shards failed even after the runtime's retry
+    budget was exhausted.  Carries the failed shard ids and the last
+    error observed per shard, so callers can report exactly which part
+    of a sweep could not be recovered."""
+
+    def __init__(self, message: str, *, shards=(), causes=()) -> None:
+        super().__init__(message)
+        self.shards = tuple(shards)
+        self.causes = tuple(causes)
+
+
+class SolverNumericalError(ReproError):
+    """The quantile solver produced a non-finite result that neither the
+    robust bracketing path nor the Monte-Carlo last resort could
+    recover.  Carries the offending ``(vdd, q, spares)`` coordinates."""
+
+    def __init__(self, message: str, *, points=()) -> None:
+        super().__init__(message)
+        self.points = tuple(points)
+
+
+class InjectedFaultError(ReproError):
+    """An artificial failure raised by the deterministic fault-injection
+    lab (:mod:`repro.resilience.faultlab`); only ever seen under
+    ``REPRO_FAULTS`` / ``--inject-faults``."""
+
+
+class FaultSpecError(ConfigurationError):
+    """A fault-injection spec string could not be parsed (unknown fault
+    kind, malformed target or count)."""

@@ -14,7 +14,13 @@ Supports the parallel runtime and observability layers:
   https://ui.perfetto.dev.
 * ``--metrics FILE`` — write a run manifest (root seed, card
   fingerprints, versions, cache state before/after, per-stage stats,
-  metrics snapshot) for bit-reproducibility provenance.
+  metrics snapshot, fault/recovery ledger) for bit-reproducibility
+  provenance.
+
+Resilience controls: ``--shard-timeout SECONDS`` and ``--max-retries N``
+tune the sampler's fault-tolerant dispatcher, and ``--inject-faults
+SPEC`` runs the deterministic fault lab (e.g. ``worker_crash:1`` — see
+:mod:`repro.resilience.faultlab` for the grammar).
 """
 
 from __future__ import annotations
@@ -24,10 +30,11 @@ import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ShardExecutionError
 from repro.experiments.registry import list_experiments, run_experiment
 from repro.obs.manifest import build_manifest, cache_file_state, write_manifest
 from repro.obs.trace import write_chrome_trace
+from repro.resilience import RetryPolicy, parse_faults
 from repro.runtime import build_runtime
 
 #: The registry's default sampling root seed (experiments are seeded,
@@ -108,7 +115,21 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics", metavar="FILE", default=None,
                         help="write a JSON run manifest (seed, card "
                              "fingerprints, cache state, stage stats, "
-                             "metrics snapshot)")
+                             "metrics snapshot, fault ledger)")
+    parser.add_argument("--shard-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="hung-worker progress deadline: if no shard "
+                             "completes for this long the pool is "
+                             "re-spawned and the work reassigned "
+                             "(default 300)")
+    parser.add_argument("--max-retries", type=int, default=None, metavar="N",
+                        help="retries per failed shard before the run "
+                             "aborts with a ShardExecutionError "
+                             "(default 2)")
+    parser.add_argument("--inject-faults", metavar="SPEC", default=None,
+                        help="deterministic fault injection, e.g. "
+                             "'worker_crash:1,cache_corrupt:0' "
+                             "(KIND:TARGET[:COUNT], comma-separated)")
     args = parser.parse_args(argv)
 
     if args.jobs < 1:
@@ -120,9 +141,22 @@ def main(argv=None) -> int:
             print(f"{exp.experiment_id:<8s} {exp.title}  [{exp.paper_ref}]")
         return 0
 
+    try:
+        retry_kwargs = {}
+        if args.shard_timeout is not None:
+            retry_kwargs["shard_timeout_s"] = args.shard_timeout
+        if args.max_retries is not None:
+            retry_kwargs["max_retries"] = args.max_retries
+        retry = RetryPolicy(**retry_kwargs) if retry_kwargs else None
+        faults = parse_faults(args.inject_faults)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
     runtime = build_runtime(jobs=args.jobs, profile=args.profile,
                             trace=bool(args.trace),
-                            metrics=bool(args.metrics))
+                            metrics=bool(args.metrics),
+                            retry=retry, faults=faults)
     cache_before = cache_file_state() if args.metrics else None
     run_start = time.perf_counter()
     try:
@@ -143,6 +177,9 @@ def main(argv=None) -> int:
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except ShardExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     finally:
         runtime.close()
     elapsed_wall_s = time.perf_counter() - run_start
@@ -152,6 +189,9 @@ def main(argv=None) -> int:
         if len(runtime.obs.metrics):
             print()
             print(runtime.obs.metrics.render())
+        if len(runtime.ledger):
+            print()
+            print(runtime.ledger.render())
     if args.trace:
         write_chrome_trace(args.trace, runtime.obs.tracer)
         print(f"[trace written to {args.trace} — open in "
@@ -162,7 +202,8 @@ def main(argv=None) -> int:
             root_seed=ROOT_SEED, profiler=runtime.profiler,
             metrics=runtime.obs.metrics, cache_before=cache_before,
             cache_after=cache_file_state(), elapsed_wall_s=elapsed_wall_s,
-            trace_file=args.trace)
+            trace_file=args.trace, resilience=runtime.ledger.as_dict(),
+            faults=args.inject_faults)
         write_manifest(args.metrics, manifest)
         print(f"[run manifest written to {args.metrics}]", file=sys.stderr)
     return 0

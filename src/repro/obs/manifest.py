@@ -63,13 +63,18 @@ def cache_file_state(path: str | None = None) -> dict:
 def build_manifest(*, targets, fast: bool, jobs: int, root_seed: int,
                    profiler, metrics, cache_before: dict,
                    cache_after: dict, elapsed_wall_s: float,
-                   trace_file: str | None = None) -> dict:
+                   trace_file: str | None = None,
+                   resilience: dict | None = None,
+                   faults: str | None = None) -> dict:
     """Assemble the provenance manifest for one finished run.
 
     ``profiler`` is a :class:`~repro.runtime.profile.Profiler` (or
     ``None``), ``metrics`` a
     :class:`~repro.obs.metrics.MetricsRegistry` (or ``None``); both are
-    snapshotted, not referenced.
+    snapshotted, not referenced.  ``resilience`` is the run's fault
+    ledger (:meth:`~repro.resilience.ledger.FaultLedger.as_dict`) and
+    ``faults`` the ``--inject-faults`` spec, if any — together they make
+    every recovery auditable from the artifact alone.
     """
     import numpy as np
 
@@ -87,6 +92,7 @@ def build_manifest(*, targets, fast: bool, jobs: int, root_seed: int,
             "fast": bool(fast),
             "jobs": int(jobs),
             "root_seed": int(root_seed),
+            "faults": str(faults) if faults else None,
         },
         "environment": {
             "package_version": __version__,
@@ -104,6 +110,8 @@ def build_manifest(*, targets, fast: bool, jobs: int, root_seed: int,
         },
         "stages": profiler.as_dict() if profiler is not None else {},
         "metrics": metric_snap,
+        "resilience": (resilience if resilience is not None
+                       else {"events": [], "counts": {}}),
         "trace_file": trace_file,
         "timing": {"elapsed_wall_s": float(elapsed_wall_s)},
     }
@@ -142,7 +150,7 @@ _STAGE_SCHEMA = {
 MANIFEST_SCHEMA = {
     "type": "object",
     "required": ["manifest_version", "kind", "run", "environment", "cards",
-                 "cache", "stages", "metrics", "timing"],
+                 "cache", "stages", "metrics", "resilience", "timing"],
     "properties": {
         "manifest_version": {"type": "number"},
         "kind": {"type": "string"},
@@ -170,6 +178,17 @@ MANIFEST_SCHEMA = {
         },
         "stages": {"type": "object", "additional": _STAGE_SCHEMA},
         "metrics": {"type": "object"},
+        "resilience": {
+            "type": "object",
+            "required": ["events", "counts"],
+            "properties": {
+                "events": {
+                    "type": "array",
+                    "items": {"type": "object", "required": ["event"]},
+                },
+                "counts": {"type": "object"},
+            },
+        },
         "timing": {"type": "object"},
     },
 }

@@ -1,0 +1,229 @@
+"""Deterministic fault-injection lab.
+
+The paper tolerates faulty lanes with spares; this module lets the
+*runtime* prove it tolerates faulty components — reproducibly.  A
+:class:`FaultPlan` is parsed from a spec string (CLI ``--inject-faults``
+or the ``REPRO_FAULTS`` environment variable) and fires each fault a
+bounded number of times at a named target, so a chaos scenario replays
+identically in tests and CI.
+
+Spec grammar (comma-separated entries)::
+
+    SPEC  := ENTRY ("," ENTRY)*
+    ENTRY := KIND ":" TARGET [":" COUNT]
+    KIND  := worker_crash | worker_hang | shard_error
+             | cache_corrupt | solver_nan
+    TARGET:= non-negative int        (shard / entry / point index)
+    COUNT := positive int | "inf"    (default 1 — one-shot)
+
+Examples: ``worker_crash:1`` (the worker running shard 1 dies once),
+``shard_error:0:inf`` (shard 0 fails on every attempt — retry
+exhaustion), ``cache_corrupt:0`` (the first cache entry is corrupted on
+the next load), ``solver_nan:2`` (the 3rd unique solver point is
+poisoned with NaN once).
+
+Fault kinds split into two delivery classes:
+
+* **worker faults** (``worker_crash``, ``worker_hang``, ``shard_error``)
+  are *consumed by the dispatching parent* and ride the task payload to
+  the pool worker, which fires them via :func:`fire_shard_faults` — so a
+  fault stays one-shot across retries and pool respawns.
+* **process-local faults** (``cache_corrupt``, ``solver_nan``) fire in
+  whichever process holds the active plan; a plan remembers the pid it
+  was created in and never fires from a forked child, so pool workers do
+  not double-consume the driver's plan.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from contextlib import contextmanager, nullcontext
+from contextvars import ContextVar
+
+from repro.errors import FaultSpecError, InjectedFaultError
+
+__all__ = ["FaultPlan", "parse_faults", "active_plan", "install_faults",
+           "fire_shard_faults", "FAULT_KINDS", "WORKER_FAULTS",
+           "ENV_FAULTS", "ENV_HANG_SECONDS"]
+
+#: Environment variable carrying a fault spec (same grammar as the CLI).
+ENV_FAULTS = "REPRO_FAULTS"
+
+#: How long an injected hang sleeps (seconds); the parent's watchdog is
+#: expected to terminate the worker long before this elapses.
+ENV_HANG_SECONDS = "REPRO_FAULT_HANG_S"
+
+#: Every fault kind the lab can inject.
+FAULT_KINDS = ("worker_crash", "worker_hang", "shard_error",
+               "cache_corrupt", "solver_nan")
+
+#: Kinds dispatched to pool workers via the task payload.
+WORKER_FAULTS = ("worker_crash", "worker_hang", "shard_error")
+
+#: Exit code of an injected worker crash (visible in pool diagnostics).
+CRASH_EXIT_CODE = 117
+
+
+class FaultPlan:
+    """A parsed, consumable set of injected faults.
+
+    ``remaining`` maps ``(kind, target)`` to how many more times that
+    fault may fire (``math.inf`` for unbounded).  Consumption mutates the
+    plan, making every fault one-shot by default.
+    """
+
+    def __init__(self, remaining: dict, spec: str) -> None:
+        self._remaining = dict(remaining)
+        self.spec = str(spec)
+        self._pid = os.getpid()
+
+    def is_local(self) -> bool:
+        """True in the process the plan was created in (not fork children)."""
+        return os.getpid() == self._pid
+
+    def pending(self, kind: str) -> list:
+        """Targets of ``kind`` with shots remaining (sorted, non-consuming)."""
+        if not self.is_local():
+            return []
+        return sorted(t for (k, t), n in self._remaining.items()
+                      if k == kind and n > 0)
+
+    def consume(self, kind: str, target: int) -> bool:
+        """Fire-check: take one shot of ``(kind, target)`` if any remain."""
+        if not self.is_local():
+            return False
+        key = (kind, int(target))
+        left = self._remaining.get(key, 0)
+        if left <= 0:
+            return False
+        self._remaining[key] = left - 1
+        return True
+
+    def shard_faults(self, shard: int):
+        """Worker-fault kinds firing on ``shard`` this attempt (consumed).
+
+        Called by the dispatcher when it builds a task payload; the
+        returned kinds travel with the task and fire inside the worker.
+        """
+        fired = [k for k in WORKER_FAULTS if self.consume(k, shard)]
+        return fired or None
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.spec!r})"
+
+
+def parse_faults(spec: str):
+    """Parse a fault spec string into a :class:`FaultPlan` (or ``None``).
+
+    Raises :class:`~repro.errors.FaultSpecError` on unknown kinds or
+    malformed entries — the CLI surfaces this as exit code 2, matching
+    the unknown-experiment convention.
+    """
+    if spec is None:
+        return None
+    spec = spec.strip()
+    if not spec:
+        return None
+    remaining: dict = {}
+    for entry in spec.split(","):
+        fields = [f.strip() for f in entry.strip().split(":")]
+        if len(fields) not in (2, 3) or not fields[0]:
+            raise FaultSpecError(
+                f"malformed fault entry {entry.strip()!r}; expected "
+                f"KIND:TARGET[:COUNT]")
+        kind = fields[0]
+        if kind not in FAULT_KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {kind!r}; known kinds: "
+                + ", ".join(FAULT_KINDS))
+        try:
+            target = int(fields[1])
+        except ValueError:
+            raise FaultSpecError(
+                f"fault target must be an integer, got {fields[1]!r}") \
+                from None
+        if target < 0:
+            raise FaultSpecError(
+                f"fault target must be >= 0, got {target}")
+        count: float = 1
+        if len(fields) == 3:
+            if fields[2].lower() in ("inf", "forever"):
+                count = math.inf
+            else:
+                try:
+                    count = int(fields[2])
+                except ValueError:
+                    raise FaultSpecError(
+                        f"fault count must be a positive integer or 'inf', "
+                        f"got {fields[2]!r}") from None
+                if count < 1:
+                    raise FaultSpecError(
+                        f"fault count must be >= 1, got {count}")
+        key = (kind, target)
+        remaining[key] = remaining.get(key, 0) + count
+    return FaultPlan(remaining, spec)
+
+
+_ACTIVE: ContextVar = ContextVar("repro_fault_plan", default=None)
+
+#: Per-process memo of the environment-derived plan: (spec, plan).
+_ENV_PLAN: list = [None, None]
+
+
+def active_plan():
+    """The installed :class:`FaultPlan`, or one parsed from ``REPRO_FAULTS``.
+
+    Returns ``None`` when no faults are configured — the overwhelmingly
+    common case, costing one ContextVar read and one dict lookup.
+    """
+    plan = _ACTIVE.get()
+    if plan is not None:
+        return plan
+    spec = os.environ.get(ENV_FAULTS, "")
+    if not spec.strip():
+        return None
+    cached = _ENV_PLAN[1]
+    if _ENV_PLAN[0] != spec or cached is None or not cached.is_local():
+        _ENV_PLAN[0] = spec
+        _ENV_PLAN[1] = parse_faults(spec)
+    return _ENV_PLAN[1]
+
+
+def install_faults(plan):
+    """Context manager making ``plan`` the :func:`active_plan` (None = no-op)."""
+    if plan is None:
+        return nullcontext(None)
+
+    @contextmanager
+    def _install():
+        token = _ACTIVE.set(plan)
+        try:
+            yield plan
+        finally:
+            _ACTIVE.reset(token)
+
+    return _install()
+
+
+def hang_seconds() -> float:
+    """How long an injected hang sleeps (``REPRO_FAULT_HANG_S``)."""
+    try:
+        return float(os.environ.get(ENV_HANG_SECONDS, "3600"))
+    except ValueError:
+        return 3600.0
+
+
+def fire_shard_faults(faults, shard) -> None:
+    """Worker-side: act on the fault kinds attached to a task payload."""
+    for kind in faults or ():
+        if kind == "worker_crash":
+            # A hard exit, not an exception: the pool sees a dead worker
+            # (BrokenProcessPool), exactly like a segfault or OOM kill.
+            os._exit(CRASH_EXIT_CODE)
+        elif kind == "worker_hang":
+            time.sleep(hang_seconds())
+        elif kind == "shard_error":
+            raise InjectedFaultError(
+                f"injected shard_error on shard {shard}")

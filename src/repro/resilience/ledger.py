@@ -1,0 +1,80 @@
+"""The fault/recovery ledger: a structured record of every resilience event.
+
+Counters (:mod:`repro.obs.metrics`) answer *how many* retries or cache
+quarantines a run paid; the :class:`FaultLedger` answers *what exactly
+happened*: each recovery action — shard retry, hung-worker timeout, pool
+respawn, cache quarantine, solver fallback — appends one ordered,
+JSON-safe event dict.  The active runtime carries one ledger
+(:class:`repro.runtime.context.ReproRuntime`), the run manifest embeds it
+verbatim (``--metrics FILE``), and chaos tests assert on it.
+
+Events deliberately carry no wall-clock data, so a fault-free manifest is
+byte-deterministic and a faulted one is deterministic for a fixed fault
+plan.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+__all__ = ["FaultLedger", "current_ledger", "activate_ledger"]
+
+
+class FaultLedger:
+    """Ordered record of fault and recovery events for one run."""
+
+    def __init__(self) -> None:
+        self.events: list = []
+
+    def record(self, event: str, **details) -> None:
+        """Append one event; ``details`` must be JSON-serialisable."""
+        self.events.append({"event": str(event), **details})
+
+    def counts(self) -> dict:
+        """Event-kind -> occurrence count (sorted by kind)."""
+        tally: dict = {}
+        for ev in self.events:
+            kind = ev["event"]
+            tally[kind] = tally.get(kind, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def as_dict(self) -> dict:
+        """Serialisable snapshot for the run manifest."""
+        return {"events": list(self.events), "counts": self.counts()}
+
+    def render(self) -> str:
+        """Aligned text report of the fault ledger (``--profile`` output)."""
+        lines = ["resilience events", "-----------------"]
+        if not self.events:
+            return "\n".join(lines + ["  (no faults or recoveries)"])
+        counts = self.counts()
+        width = max(len(kind) for kind in counts)
+        lines += [f"  {kind.ljust(width)}  {n}" for kind, n in counts.items()]
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+#: Fallback ledger for code running outside any activated runtime
+#: (e.g. a bare ParallelSampler in a script); never reaches a manifest.
+_GLOBAL_LEDGER = FaultLedger()
+
+_ACTIVE: ContextVar = ContextVar("repro_fault_ledger", default=None)
+
+
+def current_ledger() -> FaultLedger:
+    """The active ledger (never ``None``; falls back to a module global)."""
+    ledger = _ACTIVE.get()
+    return ledger if ledger is not None else _GLOBAL_LEDGER
+
+
+@contextmanager
+def activate_ledger(ledger: FaultLedger):
+    """Make ``ledger`` the :func:`current_ledger` inside the block."""
+    token = _ACTIVE.set(ledger)
+    try:
+        yield ledger
+    finally:
+        _ACTIVE.reset(token)

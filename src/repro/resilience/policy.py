@@ -1,0 +1,77 @@
+"""Retry/timeout policy for the fault-tolerant parallel runtime.
+
+A :class:`RetryPolicy` bundles every knob the shard dispatcher needs:
+bounded per-shard retries, the hung-worker progress deadline, and the
+exponential-backoff schedule.  Backoff jitter is *deterministic* — a hash
+of ``(shard, attempt)`` — so a chaos run replays identically for a fixed
+fault plan, in keeping with the runtime's bit-reproducibility contract
+(the delays only shape timing, never results).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RetryPolicy", "DEFAULT_SHARD_TIMEOUT_S", "DEFAULT_MAX_RETRIES"]
+
+#: Generous default progress deadline (seconds): no shard in the repo's
+#: workloads runs longer than a few seconds, so only a genuinely hung
+#: worker trips it.
+DEFAULT_SHARD_TIMEOUT_S = 300.0
+
+#: Default retry budget per shard (beyond the first attempt).
+DEFAULT_MAX_RETRIES = 2
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the shard dispatcher reacts to failures.
+
+    Parameters
+    ----------
+    max_retries:
+        Retries per shard after its first failed attempt; exhaustion
+        raises :class:`~repro.errors.ShardExecutionError`.
+    shard_timeout_s:
+        Progress deadline: if *no* in-flight shard completes within this
+        window the pool is declared hung, its workers are terminated, and
+        the unfinished shards are reassigned to a fresh pool.
+    backoff_base_s / backoff_cap_s:
+        Exponential-backoff schedule for retry waits: attempt ``k`` waits
+        ``min(cap, base * 2**(k-1))`` scaled by deterministic jitter in
+        ``[0.5, 1.0)``.
+    max_pool_respawns:
+        Pool re-spawns (after worker crashes or hangs) before the
+        dispatcher degrades to in-process serial execution of the
+        remaining shards — the recovery of last resort.
+    """
+
+    max_retries: int = DEFAULT_MAX_RETRIES
+    shard_timeout_s: float = DEFAULT_SHARD_TIMEOUT_S
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    max_pool_respawns: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.shard_timeout_s <= 0:
+            raise ConfigurationError(
+                f"shard_timeout_s must be > 0, got {self.shard_timeout_s}")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ConfigurationError("backoff delays must be >= 0")
+        if self.max_pool_respawns < 0:
+            raise ConfigurationError(
+                f"max_pool_respawns must be >= 0, got {self.max_pool_respawns}")
+
+    def backoff_s(self, shard: int, attempt: int) -> float:
+        """Deterministic jittered backoff before retry ``attempt`` (>= 1)."""
+        attempt = max(1, int(attempt))
+        base = min(self.backoff_cap_s,
+                   self.backoff_base_s * 2.0 ** (attempt - 1))
+        frac = zlib.crc32(f"{int(shard)}:{attempt}".encode()) / 2.0 ** 32
+        return base * (0.5 + 0.5 * frac)

@@ -52,20 +52,27 @@ __all__ = [
 
 
 def build_runtime(jobs: int = 1, profile: bool = False,
-                  trace: bool = False, metrics: bool = False) -> ReproRuntime:
+                  trace: bool = False, metrics: bool = False,
+                  retry=None, faults=None) -> ReproRuntime:
     """A ready-to-activate runtime with a sampler sized to ``jobs``.
 
     ``trace`` turns on span collection (``--trace FILE``); ``metrics``
     turns on the counter/gauge/histogram registry (``--metrics FILE``).
     ``--profile`` implies the metrics registry so the cache and solver
-    counters can be rendered alongside the stage table.
+    counters can be rendered alongside the stage table.  ``retry`` is an
+    optional :class:`~repro.resilience.policy.RetryPolicy` for the
+    sampler's fault-tolerant dispatcher, and ``faults`` an optional
+    :class:`~repro.resilience.faultlab.FaultPlan` installed while the
+    runtime is active (``--inject-faults``).
     """
     from repro.obs.api import build_obs
 
     runtime = ReproRuntime(
         jobs=int(jobs), profile=bool(profile),
         obs=build_obs(trace=bool(trace),
-                      metrics=bool(metrics or profile or trace)))
+                      metrics=bool(metrics or profile or trace)),
+        faults=faults)
     runtime.sampler = ParallelSampler(runtime.jobs,
-                                      profiler=runtime.profiler)
+                                      profiler=runtime.profiler,
+                                      retry=retry)
     return runtime

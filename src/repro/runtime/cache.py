@@ -22,9 +22,16 @@ number is never paid for twice, across processes and across runs:
   hit returns the *exact bytes* of the original solve, not a decimal
   round-trip approximation.
 
-Writes are atomic (temp file + ``os.replace``) and merge with the entries
-already on disk, so concurrent processes can only lose a duplicate solve,
-never corrupt the file.
+**Crash safety** (the resilience contract): every entry is stored as
+``[hex_value, crc32_checksum]`` under a format-version stamp; writes go
+through a temp file + ``fsync`` + ``os.replace`` so a killed run can never
+leave a truncated file; and concurrent multi-process writers are
+serialised with an advisory ``flock`` on a ``.lock`` sidecar.  On read, a
+bit-flipped entry fails its checksum and is *quarantined* — dropped,
+counted (``resilience.cache.quarantined``), recorded in the fault ledger,
+and transparently recomputed by the caller; an unparseable file is moved
+aside to ``<path>.quarantined`` (``resilience.cache.file_quarantined``)
+and the run continues with an empty cache.  Corruption is never fatal.
 """
 
 from __future__ import annotations
@@ -34,9 +41,18 @@ import hashlib
 import json
 import os
 import tempfile
+import zlib
+from contextlib import contextmanager
 
 from repro.obs.api import counter as _obs_counter
 from repro.obs.api import current_obs
+from repro.resilience.faultlab import active_plan
+from repro.resilience.ledger import current_ledger
+
+try:
+    import fcntl
+except ImportError:                      # non-POSIX: locks degrade to no-ops
+    fcntl = None
 
 __all__ = ["QuantileCache", "technology_fingerprint",
            "ENV_CACHE_DIR", "ENV_CACHE_DISABLE"]
@@ -47,7 +63,9 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 #: Environment variable disabling the persistent cache ("1"/"true"/...).
 ENV_CACHE_DISABLE = "REPRO_CACHE_DISABLE"
 
-_FILE_VERSION = 1
+#: Format version; v2 added per-entry checksums.  Files with any other
+#: stamp read as empty (recomputed, then overwritten in v2 form).
+_FILE_VERSION = 2
 
 _fingerprints: dict = {}
 
@@ -81,6 +99,38 @@ def technology_fingerprint(tech) -> str:
     return cached
 
 
+def _entry_checksum(key: str, hex_value: str) -> str:
+    """CRC32 over key and value, hex-encoded; keyed so swapped entries fail."""
+    return format(zlib.crc32(f"{key}={hex_value}".encode()) & 0xFFFFFFFF,
+                  "08x")
+
+
+@contextmanager
+def _advisory_lock(path: str):
+    """Exclusive advisory flock on ``path + '.lock'`` (no-op off POSIX).
+
+    Serialises the read-merge-write cycle of concurrent multi-process
+    runs; lock failures degrade to the old merge-on-write behaviour
+    rather than blocking the run.
+    """
+    if fcntl is None:
+        yield
+        return
+    try:
+        fd = os.open(path + ".lock", os.O_CREAT | os.O_RDWR, 0o644)
+    except OSError:
+        yield
+        return
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+    finally:
+        os.close(fd)
+
+
 class QuantileCache:
     """On-disk memo for deterministic chip-delay quantiles.
 
@@ -102,6 +152,7 @@ class QuantileCache:
         self.enabled = (not _cache_disabled()) if enabled is None else bool(enabled)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
         self._entries: dict | None = None   # lazy-loaded
 
     # -- keys ---------------------------------------------------------------
@@ -121,17 +172,84 @@ class QuantileCache:
 
     # -- persistence ----------------------------------------------------------
 
-    def _read_file(self) -> dict:
+    def _quarantine_file(self) -> None:
+        """Move an unparseable cache file aside; never fatal."""
+        target = self.path + ".quarantined"
+        try:
+            os.replace(self.path, target)
+        except OSError:
+            target = None
+        self.quarantined += 1
+        _obs_counter("resilience.cache.file_quarantined").inc()
+        current_ledger().record("cache_file_quarantined", path=self.path,
+                                moved_to=target)
+
+    @staticmethod
+    def _valid_entry(key, rec) -> bool:
+        """True when ``rec`` is a checksummed entry that verifies for ``key``."""
+        if not (isinstance(rec, (list, tuple)) and len(rec) == 2
+                and isinstance(rec[0], str) and isinstance(rec[1], str)):
+            return False
+        try:
+            float.fromhex(rec[0])
+        except (TypeError, ValueError):
+            return False
+        return _entry_checksum(key, rec[0]) == rec[1]
+
+    def _read_file(self, record: bool = True) -> dict:
+        """Validated entries from disk; corruption quarantines, never raises.
+
+        ``record=False`` suppresses quarantine counting for the re-read
+        inside :meth:`put_many` (the damage was already reported when the
+        entries were first loaded).
+        """
         try:
             with open(self.path, encoding="utf-8") as fh:
                 payload = json.load(fh)
-            if payload.get("version") != _FILE_VERSION:
-                return {}
-            entries = payload.get("entries", {})
-            return entries if isinstance(entries, dict) else {}
-        except (OSError, ValueError):
-            # Missing or corrupt cache files are never fatal.
+            if not isinstance(payload, dict):
+                raise ValueError("cache payload is not an object")
+        except OSError:
             return {}
+        except ValueError:
+            if record:
+                self._quarantine_file()
+            return {}
+        if payload.get("version") != _FILE_VERSION:
+            return {}
+        raw = payload.get("entries", {})
+        if not isinstance(raw, dict):
+            if record:
+                self._quarantine_file()
+            return {}
+        self._inject_corruption(raw)
+        entries = {}
+        bad = 0
+        for key, rec in raw.items():
+            if self._valid_entry(key, rec):
+                entries[key] = [rec[0], rec[1]]
+            else:
+                bad += 1
+        if bad and record:
+            self.quarantined += bad
+            _obs_counter("resilience.cache.quarantined").inc(bad)
+            current_ledger().record("cache_entry_quarantined",
+                                    path=self.path, entries=bad)
+        return entries
+
+    @staticmethod
+    def _inject_corruption(raw: dict) -> None:
+        """Fault lab: corrupt the target-th entry (sorted) before validation."""
+        plan = active_plan()
+        if plan is None or not raw:
+            return
+        targets = plan.pending("cache_corrupt")
+        if not targets:
+            return
+        keys = sorted(raw)
+        for target in targets:
+            if plan.consume("cache_corrupt", target):
+                raw[keys[target % len(keys)]] = ["<corrupted-by-faultlab>",
+                                                 "00000000"]
 
     def _load(self) -> dict:
         if self._entries is None:
@@ -140,16 +258,23 @@ class QuantileCache:
 
     def _write(self) -> None:
         directory = os.path.dirname(self.path) or "."
+        tmp = None
         try:
             os.makedirs(directory, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump({"version": _FILE_VERSION,
                            "entries": self._entries}, fh, indent=0)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, self.path)
         except OSError:
             # A read-only cache dir degrades to in-memory behaviour.
-            pass
+            if tmp is not None:
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
 
     # -- access ---------------------------------------------------------------
 
@@ -162,7 +287,9 @@ class QuantileCache:
 
         One lookup pass for a whole batch of query points — the disk file
         is read (at most) once regardless of the batch size, so partial
-        hits cost the same as a single :meth:`get`.
+        hits cost the same as a single :meth:`get`.  Unreadable or
+        corrupt entries were already quarantined at load time, so they
+        simply read as misses here.
         """
         keys = list(keys)
         if not self.enabled:
@@ -177,8 +304,8 @@ class QuantileCache:
             value = None
             if stored is not None:
                 try:
-                    value = float.fromhex(stored)
-                except (TypeError, ValueError):
+                    value = float.fromhex(stored[0])
+                except (TypeError, ValueError, IndexError):
                     value = None
             if value is None:
                 self.misses += 1
@@ -195,18 +322,25 @@ class QuantileCache:
         self.put_many(((key, value),))
 
     def put_many(self, items) -> None:
-        """Memoise many ``(key, value)`` pairs in one merged atomic write."""
+        """Memoise many ``(key, value)`` pairs in one merged atomic write.
+
+        The read-merge-write cycle runs under an advisory file lock, so
+        concurrent multi-process runs serialise their merges and can only
+        ever lose a duplicate solve, never an entry.
+        """
         items = list(items)
         if not self.enabled or not items:
             return
-        # Merge with whatever landed on disk since we loaded, so concurrent
-        # writers only ever lose a duplicate solve.
-        merged = self._read_file()
-        merged.update(self._load())
-        for key, value in items:
-            merged[key] = float(value).hex()
-        self._entries = merged
-        self._write()
+        with _advisory_lock(self.path):
+            # Merge with whatever landed on disk since we loaded (already
+            # reported corruption is not re-counted).
+            merged = self._read_file(record=False)
+            merged.update(self._load())
+            for key, value in items:
+                hex_value = float(value).hex()
+                merged[key] = [hex_value, _entry_checksum(key, hex_value)]
+            self._entries = merged
+            self._write()
         metrics = current_obs().metrics
         metrics.counter("quantile_cache.writes").inc(len(items))
         if metrics.enabled:
@@ -221,7 +355,8 @@ class QuantileCache:
         """Drop every entry (memory and disk)."""
         self._entries = {}
         if self.enabled:
-            self._write()
+            with _advisory_lock(self.path):
+                self._write()
 
     def __len__(self) -> int:
         return len(self._load())

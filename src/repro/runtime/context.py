@@ -21,6 +21,8 @@ from contextvars import ContextVar
 from dataclasses import dataclass, field
 
 from repro.obs.api import NOOP_OBS, Observability, activate_obs
+from repro.resilience.faultlab import install_faults
+from repro.resilience.ledger import FaultLedger, activate_ledger
 from repro.runtime.profile import Profiler
 
 __all__ = ["ReproRuntime", "current_runtime", "activate_runtime",
@@ -49,6 +51,13 @@ class ReproRuntime:
         metrics); defaults to the shared no-op context, so
         instrumentation below stays free unless the CLI asked for
         ``--trace`` / ``--metrics`` / ``--profile``.
+    ledger:
+        The run's :class:`~repro.resilience.ledger.FaultLedger` — every
+        fault and recovery event lands here and is embedded in the run
+        manifest.
+    faults:
+        Optional :class:`~repro.resilience.faultlab.FaultPlan` installed
+        for the duration of the run (``--inject-faults``).
     """
 
     jobs: int = 1
@@ -56,6 +65,8 @@ class ReproRuntime:
     sampler: object = None
     profiler: Profiler = field(default_factory=Profiler)
     obs: Observability = field(default_factory=lambda: NOOP_OBS)
+    ledger: FaultLedger = field(default_factory=FaultLedger)
+    faults: object = None
 
     def close(self) -> None:
         if self.sampler is not None:
@@ -71,13 +82,17 @@ def current_runtime() -> ReproRuntime | None:
 def activate_runtime(runtime: ReproRuntime):
     """Make ``runtime`` the :func:`current_runtime` inside the block.
 
-    The runtime's observability context is activated alongside it, so
+    The runtime's observability context, fault ledger and (optional)
+    fault plan are activated alongside it, so
     :func:`repro.obs.api.counter` / :func:`~repro.obs.api.span` sites
-    resolve to the run's instruments.
+    resolve to the run's instruments and every recovery event lands on
+    the run's ledger.
     """
     token = _ACTIVE.set(runtime)
     try:
-        with activate_obs(runtime.obs or NOOP_OBS):
+        with activate_obs(runtime.obs or NOOP_OBS), \
+                activate_ledger(runtime.ledger), \
+                install_faults(runtime.faults):
             yield runtime
     finally:
         _ACTIVE.reset(token)

@@ -30,6 +30,21 @@ snapshots in, and derives a ``sampler.worker_utilization`` gauge from the
 shard busy times.  With observability off, tasks carry no context and
 workers skip collection entirely.
 
+**Fault tolerance**: pool dispatch runs under a
+:class:`~repro.resilience.policy.RetryPolicy`.  Shards that raise are
+retried with exponential backoff (deterministic jitter); a progress
+deadline detects hung workers, whose pool is terminated and re-spawned
+with the unfinished shards *reassigned* to the fresh workers; a crashed
+worker (``BrokenProcessPool``) triggers the same respawn path; and when
+respawns are exhausted the dispatcher degrades to in-process serial
+execution of the remaining shards.  Because every shard is a pure
+function of its task dict (the stream is ``SeedSequence``-derived), a
+recovered run is **bit-identical** to a fault-free one regardless of
+which worker — or which process — ultimately executes each shard.  Retry
+exhaustion raises :class:`~repro.errors.ShardExecutionError` naming the
+failed shards.  Every recovery emits ``resilience.*`` counters and fault
+ledger events (:func:`repro.resilience.ledger.current_ledger`).
+
 Workers memoise their :class:`~repro.core.chip_delay.ChipDelayEngine`
 instances per (card, architecture, quadrature) so the Gauss-Hermite
 tabulations are paid once per process, not once per shard.
@@ -39,14 +54,18 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
 from repro.core.chip_delay import ChipDelayEngine
 from repro.core.montecarlo import MonteCarloEngine
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ShardExecutionError
 from repro.obs.api import Observability, activate_obs, current_obs
+from repro.resilience.faultlab import active_plan, fire_shard_faults
+from repro.resilience.ledger import current_ledger
+from repro.resilience.policy import RetryPolicy
 from repro.runtime.context import current_runtime
 
 __all__ = ["ParallelSampler", "plan_shards", "shard_seeds",
@@ -125,6 +144,9 @@ def _run_shard(core, task: dict):
     :class:`Observability`, spans the shard, and hands spans + metrics +
     busy time back alongside the result.
     """
+    faults = task.get("faults")
+    if faults:
+        fire_shard_faults(faults, task.get("shard"))
     ctx = task.get("obs")
     if not ctx:
         return core(task)
@@ -200,11 +222,15 @@ class ParallelSampler:
     profiler:
         Optional explicit :class:`~repro.runtime.profile.Profiler`; when
         absent, stages are recorded on the active runtime's profiler.
+    retry:
+        The :class:`~repro.resilience.policy.RetryPolicy` governing shard
+        retries, the hung-worker deadline and pool respawns; defaults to
+        the standard policy (generous timeout, 2 retries).
     """
 
     def __init__(self, jobs: int | None = None, *,
                  shard_size: int = DEFAULT_SHARD_SIZE,
-                 profiler=None) -> None:
+                 profiler=None, retry: RetryPolicy | None = None) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
         if jobs < 1:
@@ -215,6 +241,7 @@ class ParallelSampler:
         self.jobs = int(jobs)
         self.shard_size = int(shard_size)
         self.profiler = profiler
+        self.retry = RetryPolicy() if retry is None else retry
         self._executor: ProcessPoolExecutor | None = None
 
     # -- pool lifecycle ------------------------------------------------------
@@ -229,6 +256,27 @@ class ParallelSampler:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+
+    def _kill_pool(self) -> None:
+        """Terminate the pool hard — hung or crashed workers included.
+
+        ``shutdown`` alone cannot reclaim a worker stuck in an infinite
+        loop, so the watchdog terminates the worker processes directly
+        before discarding the executor.
+        """
+        executor = self._executor
+        self._executor = None
+        if executor is None:
+            return
+        for proc in list(getattr(executor, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
 
     def __enter__(self) -> "ParallelSampler":
         return self
@@ -258,17 +306,7 @@ class ParallelSampler:
                 with obs.tracer.span(stage + ".shard", **_task_attrs(task)):
                     parts.append(fn(task))
         else:
-            if obs.enabled:
-                ctx = obs.worker_context(stage)
-                for task in tasks:
-                    task["obs"] = ctx
-            parts = []
-            for item in self._pool().map(fn, tasks):
-                if isinstance(item, dict) and "obs" in item:
-                    obs.merge_export(item["obs"])
-                    busy_s += item["busy_s"]
-                    item = item["result"]
-                parts.append(item)
+            parts, busy_s = self._run_pool(fn, tasks, stage, obs)
         out = np.concatenate(parts) if len(parts) > 1 else parts[0]
         elapsed = time.perf_counter() - start
         self._record(stage, elapsed, n_samples)
@@ -284,6 +322,174 @@ class ParallelSampler:
                 metrics.gauge("sampler.worker_utilization").set(
                     min(1.0, busy_s / (self.jobs * elapsed)))
         return out
+
+    # -- fault-tolerant pool dispatch ----------------------------------------
+
+    def _shard_id(self, tasks: list, i: int):
+        return tasks[i].get("shard", i)
+
+    def _submit_round(self, fn, tasks: list, pending, ctx, plan) -> dict:
+        """Submit every pending shard to the pool; returns future -> index.
+
+        Tasks are copied per attempt so observability context and fault
+        payloads never leak across retries; the fault plan is consumed at
+        dispatch time (deterministic order), which is what keeps injected
+        faults one-shot across retries and pool respawns.
+        """
+        pool = self._pool()
+        futures: dict = {}
+        for i in sorted(pending):
+            task = dict(tasks[i])
+            if ctx:
+                task["obs"] = ctx
+            if plan is not None:
+                faults = plan.shard_faults(self._shard_id(tasks, i))
+                if faults:
+                    task["faults"] = faults
+            futures[pool.submit(fn, task)] = i
+        return futures
+
+    def _respawn(self, reason: str, stage: str, tasks: list, pending,
+                 respawns: int, obs, ledger) -> int:
+        """Kill the (crashed/hung) pool and stand up a fresh one."""
+        respawns += 1
+        reassigned = sorted(self._shard_id(tasks, i) for i in pending)
+        with obs.tracer.span("resilience.pool_respawn", stage=stage,
+                             reason=reason, reassigned=len(pending)):
+            self._kill_pool()
+        obs.metrics.counter("resilience.pool_respawns").inc()
+        obs.metrics.counter("resilience.reassignments").inc(len(pending))
+        ledger.record("pool_respawn", stage=stage, reason=reason,
+                      respawn=respawns, reassigned=reassigned)
+        time.sleep(min(self.retry.backoff_cap_s,
+                       self.retry.backoff_base_s * respawns))
+        return respawns
+
+    def _serial_fallback(self, fn, tasks: list, stage: str, pending,
+                         results: list, obs, ledger) -> None:
+        """Last resort: run the remaining shards in-process, serially.
+
+        The shards are pure functions of their task dicts, so this
+        preserves bit-identical results even when the pool is
+        unrecoverable; fault payloads never attach here (a crash
+        injection must not take down the driver).
+        """
+        shards = [self._shard_id(tasks, i) for i in sorted(pending)]
+        obs.metrics.counter("resilience.serial_fallbacks").inc()
+        ledger.record("serial_fallback", stage=stage, shards=shards)
+        with obs.tracer.span("resilience.serial_fallback", stage=stage,
+                             shards=len(shards)):
+            for i in sorted(pending):
+                task = {k: v for k, v in tasks[i].items()
+                        if k not in ("obs", "faults")}
+                with obs.tracer.span(stage + ".shard", **_task_attrs(task)):
+                    results[i] = fn(task)
+        pending.clear()
+
+    def _run_pool(self, fn, tasks: list, stage: str, obs) -> tuple:
+        """Dispatch shards across the pool with the full recovery ladder.
+
+        Retry-with-backoff for shard exceptions; a progress deadline
+        (``retry.shard_timeout_s``) as hung-worker watchdog; pool
+        termination + respawn with reassignment for crashes and hangs;
+        in-process serial execution once respawns are exhausted.  Returns
+        ``(parts, busy_s)`` with parts in shard order.
+        """
+        policy = self.retry
+        plan = active_plan()
+        ledger = current_ledger()
+        metrics = obs.metrics
+        ctx = obs.worker_context(stage) if obs.enabled else None
+        n = len(tasks)
+        results: list = [None] * n
+        busy_s = 0.0
+        attempts = [0] * n
+        exhausted: dict = {}             # index -> last error repr
+        pending = set(range(n))
+        respawns = 0
+        while pending:
+            if respawns > policy.max_pool_respawns:
+                self._serial_fallback(fn, tasks, stage, pending, results,
+                                      obs, ledger)
+                break
+            try:
+                futures = self._submit_round(fn, tasks, pending, ctx, plan)
+            except BrokenProcessPool:
+                respawns = self._respawn("broken_on_submit", stage, tasks,
+                                         pending, respawns, obs, ledger)
+                continue
+            hung = False
+            broken = False
+            retry_idx: list = []
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done,
+                                      timeout=policy.shard_timeout_s)
+                if not done:
+                    hung = True
+                    break
+                for fut in done:
+                    i = futures[fut]
+                    exc = fut.exception()
+                    if exc is None:
+                        item = fut.result()
+                        if isinstance(item, dict) and "obs" in item:
+                            obs.merge_export(item["obs"])
+                            busy_s += item["busy_s"]
+                            item = item["result"]
+                        results[i] = item
+                        pending.discard(i)
+                    elif isinstance(exc, BrokenProcessPool):
+                        broken = True
+                    else:
+                        attempts[i] += 1
+                        shard = self._shard_id(tasks, i)
+                        if attempts[i] > policy.max_retries:
+                            pending.discard(i)
+                            exhausted[i] = repr(exc)
+                            metrics.counter(
+                                "resilience.retries_exhausted").inc()
+                            ledger.record("shard_retries_exhausted",
+                                          stage=stage, shard=shard,
+                                          attempts=attempts[i],
+                                          error=repr(exc))
+                        else:
+                            retry_idx.append(i)
+                            metrics.counter("resilience.retries").inc()
+                            ledger.record("shard_retry", stage=stage,
+                                          shard=shard, attempt=attempts[i],
+                                          error=repr(exc))
+            if hung:
+                stuck = sorted(self._shard_id(tasks, futures[f])
+                               for f in not_done)
+                metrics.counter("resilience.shard_timeouts").inc(len(stuck))
+                ledger.record("hung_worker_timeout", stage=stage,
+                              timeout_s=policy.shard_timeout_s,
+                              shards=stuck)
+                respawns = self._respawn("hung_worker", stage, tasks,
+                                         pending, respawns, obs, ledger)
+                continue
+            if broken:
+                ledger.record("worker_crash_detected", stage=stage,
+                              pending=[self._shard_id(tasks, i)
+                                       for i in sorted(pending)])
+                respawns = self._respawn("worker_crash", stage, tasks,
+                                         pending, respawns, obs, ledger)
+                continue
+            if retry_idx:
+                time.sleep(max(
+                    policy.backoff_s(self._shard_id(tasks, i), attempts[i])
+                    for i in retry_idx))
+        if exhausted:
+            shards = [self._shard_id(tasks, i) for i in sorted(exhausted)]
+            causes = [exhausted[i] for i in sorted(exhausted)]
+            ledger.record("shards_failed", stage=stage, shards=shards)
+            raise ShardExecutionError(
+                f"{len(shards)} shard(s) of stage {stage!r} failed after "
+                f"{policy.max_retries} retries: shards {shards} "
+                f"(last errors: {causes})",
+                shards=shards, causes=causes)
+        return results, busy_s
 
     def _tasks(self, n: int, root_seed, common: dict) -> list:
         counts = plan_shards(n, self.shard_size)

@@ -408,7 +408,7 @@ def test_cli_trace_and_manifest_end_to_end(tmp_path, monkeypatch, capsys):
     names = {e["name"] for e in trace["traceEvents"]}
     assert {"cli.run", "experiment.fig4"} <= names
     assert manifest["run"] == {"targets": ["fig4"], "fast": True,
-                               "jobs": 1, "root_seed": 0}
+                               "jobs": 1, "root_seed": 0, "faults": None}
     assert manifest["cache"]["misses"] > 0
     assert manifest["cache"]["after"]["entries"] > 0
     assert manifest["metrics"]["counters"]["kernel_cache.misses"] > 0
