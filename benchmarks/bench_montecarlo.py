@@ -1,0 +1,193 @@
+"""Benchmark: fused Monte-Carlo kernels vs the naive reference engine.
+
+Times ``MonteCarloEngine.system_delays`` at the paper's fig-4 validation
+scale (width=128, paths_per_lane=100, chain_length=50) on every
+technology card, once through the fused zero-allocation kernel path and
+once through the reference path (``fused=False`` — identical draws, but
+the pre-kernel allocate-per-temporary evaluation through
+``TechnologyNode.fo4_delay``), plus the float32 dtype-policy variant.  A
+separate pass measures tracemalloc peak memory for both paths.  Results
+— per-node timings, speedups, peak-memory ratios and fused-vs-reference
+parity — are written to ``BENCH_mc.json`` at the repository root so the
+performance trajectory is tracked across PRs.
+
+The float64 fused path must be **bit-identical** to the reference path;
+the process exits non-zero on any parity drift (CI gates on this).
+
+Run directly::
+
+    python benchmarks/bench_montecarlo.py            # full (32 chips/node)
+    python benchmarks/bench_montecarlo.py --smoke    # CI-sized (8)
+
+The headline ``speedup`` / ``mem_ratio`` fields report the paper's
+flagship near-threshold node (22 nm).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+# The cache must be off before repro is imported anywhere down the line.
+os.environ.setdefault("REPRO_CACHE_DISABLE", "1")
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.montecarlo import MonteCarloEngine          # noqa: E402
+from repro.devices.technology import (                      # noqa: E402
+    available_technologies,
+    get_technology,
+)
+
+PRIMARY_NODE = "22nm"
+VDD = 0.6
+WIDTH = 128
+PATHS_PER_LANE = 100
+CHAIN_LENGTH = 50
+SEED = 0
+
+
+def _run(tech, *, n_chips: int, batch_size: int, fused: bool,
+         precision: str = "float64") -> tuple:
+    """One timed ``system_delays`` pass; returns (seconds, samples)."""
+    engine = MonteCarloEngine(tech, seed=SEED, precision=precision,
+                              fused=fused)
+    t0 = time.perf_counter()
+    out = engine.system_delays(VDD, width=WIDTH,
+                               paths_per_lane=PATHS_PER_LANE,
+                               chain_length=CHAIN_LENGTH, n_chips=n_chips,
+                               batch_size=batch_size)
+    return time.perf_counter() - t0, out
+
+
+def _peak_mem(tech, *, n_chips: int, batch_size: int, fused: bool) -> int:
+    """tracemalloc peak (bytes) of one ``system_delays`` pass."""
+    tracemalloc.start()
+    try:
+        _run(tech, n_chips=n_chips, batch_size=batch_size, fused=fused)
+        return tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+
+
+def bench_node(node: str, n_chips: int, batch_size: int,
+               repeats: int) -> dict:
+    tech = get_technology(node)
+    gate_evals = n_chips * WIDTH * PATHS_PER_LANE * CHAIN_LENGTH
+
+    fused_s, ref_s, f32_s = [], [], []
+    fused_out = ref_out = None
+    for _ in range(repeats):
+        t, ref_out = _run(tech, n_chips=n_chips, batch_size=batch_size,
+                          fused=False)
+        ref_s.append(t)
+        t, fused_out = _run(tech, n_chips=n_chips, batch_size=batch_size,
+                            fused=True)
+        fused_s.append(t)
+        t, _ = _run(tech, n_chips=n_chips, batch_size=batch_size,
+                    fused=True, precision="float32")
+        f32_s.append(t)
+
+    bit_identical = bool(np.array_equal(fused_out, ref_out))
+    parity = (0.0 if bit_identical else
+              float(np.max(np.abs(fused_out - ref_out) / ref_out)))
+
+    # Memory pass runs separately: tracemalloc's allocation hooks slow
+    # the hot loop, so peaks never contaminate the timings.
+    mem_chips = min(n_chips, batch_size)
+    peak_ref = _peak_mem(tech, n_chips=mem_chips, batch_size=batch_size,
+                         fused=False)
+    peak_fused = _peak_mem(tech, n_chips=mem_chips, batch_size=batch_size,
+                           fused=True)
+
+    t_ref, t_fused, t_f32 = min(ref_s), min(fused_s), min(f32_s)
+    return {
+        "n_chips": int(n_chips),
+        "batch_size": int(batch_size),
+        "gate_evals": int(gate_evals),
+        "reference_s": t_ref,
+        "fused_s": t_fused,
+        "fused_f32_s": t_f32,
+        "speedup": t_ref / t_fused,
+        "speedup_f32": t_ref / t_f32,
+        "throughput_evals_per_s": gate_evals / t_fused,
+        "peak_mem_reference_mb": peak_ref / 2 ** 20,
+        "peak_mem_fused_mb": peak_fused / 2 ** 20,
+        "mem_ratio": peak_ref / peak_fused,
+        "bit_identical": bit_identical,
+        "parity_rtol": parity,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: fewer chips, 1 repeat")
+    parser.add_argument("--chips", type=int, default=None,
+                        help="chips per node (default 32, smoke 8)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_mc.json")
+    args = parser.parse_args(argv)
+
+    n_chips = args.chips or (8 if args.smoke else 32)
+    batch_size = min(n_chips, 8 if args.smoke else 32)
+    repeats = 1 if args.smoke else 2
+
+    nodes = {}
+    drift = False
+    for node in available_technologies():
+        nodes[node] = bench_node(node, n_chips, batch_size, repeats)
+        r = nodes[node]
+        drift = drift or not r["bit_identical"]
+        print(f"{node:>5}: reference {1e3 * r['reference_s']:8.1f} ms   "
+              f"fused {1e3 * r['fused_s']:7.1f} ms   "
+              f"speedup {r['speedup']:5.2f}x (f32 {r['speedup_f32']:5.2f}x)  "
+              f"mem {r['peak_mem_reference_mb']:6.1f} -> "
+              f"{r['peak_mem_fused_mb']:6.1f} MB "
+              f"({r['mem_ratio']:.2f}x)   "
+              f"{'bit-identical' if r['bit_identical'] else 'PARITY DRIFT'}")
+
+    primary = nodes[PRIMARY_NODE]
+    payload = {
+        "benchmark": "montecarlo_kernels",
+        "smoke": bool(args.smoke),
+        "config": {
+            "vdd": VDD,
+            "width": WIDTH,
+            "paths_per_lane": PATHS_PER_LANE,
+            "chain_length": CHAIN_LENGTH,
+            "chips_per_node": n_chips,
+            "batch_size": batch_size,
+            "repeats": repeats,
+            "seed": SEED,
+            "cache_disabled": True,
+        },
+        "primary_node": PRIMARY_NODE,
+        "speedup": primary["speedup"],
+        "speedup_f32": primary["speedup_f32"],
+        "mem_ratio": primary["mem_ratio"],
+        "bit_identical": all(r["bit_identical"] for r in nodes.values()),
+        "nodes": nodes,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n",
+                           encoding="utf-8")
+    print(f"\nwrote {args.output} "
+          f"(primary {PRIMARY_NODE}: {primary['speedup']:.2f}x fused, "
+          f"{primary['mem_ratio']:.2f}x lower peak memory)")
+    if drift:
+        print("ERROR: fused/reference float64 parity drift detected",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

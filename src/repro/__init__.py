@@ -22,6 +22,7 @@ from repro.core import (
     ChipDelayEngine,
     DelayDistribution,
     MonteCarloEngine,
+    MonteCarloKernel,
     VariationAnalyzer,
     VariationSweep,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "VariationAnalyzer",
     "ChipDelayEngine",
     "MonteCarloEngine",
+    "MonteCarloKernel",
     "DelayDistribution",
     "VariationSweep",
     "TechnologyNode",

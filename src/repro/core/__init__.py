@@ -7,6 +7,9 @@
 * :mod:`repro.core.montecarlo` — the brute-force per-gate Monte-Carlo
   engine (the paper's method; used directly for the circuit-level figures
   and as cross-validation for the analytic engine).
+* :mod:`repro.core.kernels` — fused zero-allocation evaluation kernels
+  behind the Monte-Carlo engine (workspace reuse, float64/float32 dtype
+  policy).
 * :mod:`repro.core.analyzer` — :class:`VariationAnalyzer`, the high-level
   entry point tying a technology card to every paper-level question.
 * :mod:`repro.core.results` — typed result containers.
@@ -25,6 +28,7 @@ from repro.core.chip_delay import (
     chip_delay_quantile,
     chip_delay_cdf,
 )
+from repro.core.kernels import MonteCarloKernel
 from repro.core.montecarlo import MonteCarloEngine
 from repro.core.analyzer import VariationAnalyzer
 from repro.core.results import DelayDistribution, VariationSweep
@@ -41,6 +45,7 @@ __all__ = [
     "chip_delay_quantile",
     "chip_delay_cdf",
     "MonteCarloEngine",
+    "MonteCarloKernel",
     "VariationAnalyzer",
     "DelayDistribution",
     "VariationSweep",

@@ -100,9 +100,18 @@ class VariationAnalyzer:
         """Variation-free FO4 delay at ``vdd`` (seconds)."""
         return self.tech.fo4_unit(vdd)
 
-    def monte_carlo(self, seed: int | None = 0) -> MonteCarloEngine:
-        """A per-gate Monte-Carlo engine sharing this analyzer's card."""
-        return MonteCarloEngine(self.tech, seed=seed)
+    def monte_carlo(self, seed: int | None = 0,
+                    precision: str | None = None) -> MonteCarloEngine:
+        """A per-gate Monte-Carlo engine sharing this analyzer's card.
+
+        ``precision`` defaults to the active runtime's dtype policy
+        (``--mc-precision``), or float64 without one.
+        """
+        if precision is None:
+            runtime = current_runtime()
+            precision = (runtime.precision if runtime is not None
+                         else "float64")
+        return MonteCarloEngine(self.tech, seed=seed, precision=precision)
 
     # -- circuit level ---------------------------------------------------------
 

@@ -10,12 +10,26 @@ statistical model but costs O(chips x lanes x paths x gates); use it for
   gates — trivial), and
 * cross-validating the analytic :class:`~repro.core.chip_delay.ChipDelayEngine`
   at reduced architecture scale (see tests/test_cross_validation.py).
+
+Evaluation is delegated to a :class:`~repro.core.kernels.MonteCarloKernel`
+(fused in-place ufuncs over preallocated workspaces; ``precision=`` selects
+the float64/float32 dtype policy; ``fused=False`` keeps the naive
+allocate-per-temporary reference path for parity tests and benchmarks).
+
+Random-stream contract: :meth:`system_delays` and :meth:`lane_delays` give
+every chip (or lane sample) its own :class:`numpy.random.SeedSequence`
+child, spawned from one entropy draw off the engine stream per call.
+Results are therefore **invariant to** ``batch_size`` (and to the kernel's
+internal evaluation blocking) — batching is purely a memory knob.
+:meth:`chain_delays` keeps the legacy single-stream draw order so
+chain-level results for a given seed are unchanged by the kernel rewrite.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.kernels import MonteCarloKernel
 from repro.errors import ConfigurationError
 from repro.obs.api import counter as _obs_counter
 
@@ -32,11 +46,44 @@ class MonteCarloEngine:
     seed:
         Seed for the internal :class:`numpy.random.Generator`; pass an
         existing generator via ``rng`` to share a stream.
+    precision:
+        Dtype policy, ``"float64"`` (default) or ``"float32"`` — see
+        :mod:`repro.core.kernels`.
+    fused:
+        ``False`` selects the kernel's naive reference evaluation path
+        (identical draws and results in float64; far more temporaries).
+    kernel:
+        Share an existing :class:`~repro.core.kernels.MonteCarloKernel`
+        (and its workspaces) instead of building one; must be bound to
+        the same technology card.
     """
 
-    def __init__(self, tech, seed: int | None = 0, rng=None) -> None:
+    def __init__(self, tech, seed: int | None = 0, rng=None,
+                 precision: str = "float64", fused: bool = True,
+                 kernel: MonteCarloKernel | None = None) -> None:
         self.tech = tech
         self.rng = rng if rng is not None else np.random.default_rng(seed)
+        if kernel is None:
+            kernel = MonteCarloKernel(tech, precision=precision, fused=fused)
+        elif kernel.tech != tech:
+            raise ConfigurationError(
+                "kernel is bound to a different technology card")
+        self.kernel = kernel
+        self.precision = kernel.precision
+        self.fused = kernel.fused
+
+    # -- random streams ----------------------------------------------------
+
+    def _spawn_children(self, n: int):
+        """Per-sample SeedSequence children for one batched call.
+
+        One entropy draw from the engine stream seeds a call-level
+        :class:`~numpy.random.SeedSequence`; its children are handed to
+        the kernel one per chip/lane sample, which is what makes batched
+        results independent of ``batch_size``.
+        """
+        entropy = self.rng.integers(0, 2 ** 63, size=4).tolist()
+        return np.random.SeedSequence(entropy).spawn(n)
 
     # -- building blocks --------------------------------------------------
 
@@ -62,18 +109,8 @@ class MonteCarloEngine:
             raise ConfigurationError("chain_length must be >= 1")
         if n_samples < 1:
             raise ConfigurationError("n_samples must be >= 1")
-        var = self.tech.variation
-        gates = var.sample_gates(self.rng, (n_samples, chain_length))
-        if include_die:
-            die = var.sample_dies(self.rng, n_samples)
-            lane = var.sample_lanes(self.rng, n_samples)
-            dvth = gates.dvth + (die.dvth + lane.dvth)[:, None]
-            corr_mult = (1.0 + die.mult) * (1.0 + lane.mult)
-        else:
-            dvth = gates.dvth
-            corr_mult = 1.0
-        delays = self.tech.fo4_delay(float(vdd), dvth, gates.mult)
-        return delays.sum(axis=1) * corr_mult
+        return self.kernel.chain_batch(self.rng, float(vdd), n_samples,
+                                       chain_length, include_die=include_die)
 
     # -- architecture level ------------------------------------------------
 
@@ -82,63 +119,64 @@ class MonteCarloEngine:
                       batch_size: int = 64):
         """Full per-gate MC of the SIMD chip delay (seconds).
 
-        Memory-bounded by ``batch_size`` chips at a time.  The cost is
-        ``n_chips * (width+spares) * paths_per_lane * chain_length`` gate
-        evaluations — keep architecture sizes modest (this is the
-        validation path; production analysis uses
+        Memory-bounded by ``batch_size`` chips at a time (the fused
+        kernel additionally blocks internally; neither affects the
+        result).  The cost is ``n_chips * (width+spares) * paths_per_lane
+        * chain_length`` gate evaluations — keep architecture sizes
+        modest (this is the validation path; production analysis uses
         :class:`~repro.core.chip_delay.ChipDelayEngine`).
         """
+        if width < 1:
+            raise ConfigurationError("width must be >= 1")
+        if paths_per_lane < 1:
+            raise ConfigurationError("paths_per_lane must be >= 1")
+        if chain_length < 1:
+            raise ConfigurationError("chain_length must be >= 1")
+        if n_chips < 1:
+            raise ConfigurationError("n_chips must be >= 1")
         if spares < 0:
             raise ConfigurationError("spares must be >= 0")
         if batch_size < 1:
             raise ConfigurationError(
                 f"batch_size must be >= 1, got {batch_size}")
         n_lanes = width + spares
-        var = self.tech.variation
         vdd = float(vdd)
         _obs_counter("montecarlo.chips").inc(int(n_chips))
-        out = np.empty(n_chips, dtype=float)
+        children = self._spawn_children(n_chips)
+        out = np.empty(n_chips, dtype=self.kernel.dtype)
         done = 0
         while done < n_chips:
             batch = min(batch_size, n_chips - done)
-            die = var.sample_dies(self.rng, batch)
-            lane = var.sample_lanes(self.rng, (batch, n_lanes))
-            gates = var.sample_gates(
-                self.rng, (batch, n_lanes, paths_per_lane, chain_length))
-            dvth = (gates.dvth + die.dvth[:, None, None, None]
-                    + lane.dvth[:, :, None, None])
-            delays = self.tech.fo4_delay(vdd, dvth, gates.mult)
-            paths = delays.sum(axis=3)          # (batch, lanes, paths)
-            lanes = paths.max(axis=2) * (1.0 + lane.mult)
-            if spares == 0:
-                chip = lanes.max(axis=1)
-            else:
-                chip = np.partition(lanes, n_lanes - 1 - spares,
-                                    axis=1)[:, n_lanes - 1 - spares]
-            out[done:done + batch] = chip * (1.0 + die.mult)
+            rngs = [np.random.default_rng(child)
+                    for child in children[done:done + batch]]
+            self.kernel.system_batch(rngs, vdd, n_lanes, paths_per_lane,
+                                     chain_length, spares,
+                                     out[done:done + batch])
             done += batch
         return out
 
     def lane_delays(self, vdd, *, paths_per_lane: int, chain_length: int,
                     n_samples: int, batch_size: int = 512):
         """Full per-gate MC of single-lane delays (max of P paths), seconds."""
+        if paths_per_lane < 1:
+            raise ConfigurationError("paths_per_lane must be >= 1")
+        if chain_length < 1:
+            raise ConfigurationError("chain_length must be >= 1")
+        if n_samples < 1:
+            raise ConfigurationError("n_samples must be >= 1")
         if batch_size < 1:
             raise ConfigurationError(
                 f"batch_size must be >= 1, got {batch_size}")
-        var = self.tech.variation
         vdd = float(vdd)
         _obs_counter("montecarlo.lanes").inc(int(n_samples))
-        out = np.empty(n_samples, dtype=float)
+        children = self._spawn_children(n_samples)
+        out = np.empty(n_samples, dtype=self.kernel.dtype)
         done = 0
         while done < n_samples:
             batch = min(batch_size, n_samples - done)
-            die = var.sample_dies(self.rng, batch)
-            lane = var.sample_lanes(self.rng, batch)
-            gates = var.sample_gates(
-                self.rng, (batch, paths_per_lane, chain_length))
-            dvth = gates.dvth + (die.dvth + lane.dvth)[:, None, None]
-            delays = self.tech.fo4_delay(vdd, dvth, gates.mult)
-            lanes = delays.sum(axis=2).max(axis=1) * (1.0 + lane.mult)
-            out[done:done + batch] = lanes * (1.0 + die.mult)
+            rngs = [np.random.default_rng(child)
+                    for child in children[done:done + batch]]
+            self.kernel.lane_batch(rngs, vdd, paths_per_lane, chain_length,
+                                   out[done:done + batch])
             done += batch
         return out

@@ -33,14 +33,15 @@ from repro.units import THERMAL_VOLTAGE
 __all__ = ["TransregionalModel"]
 
 
-def _softplus(x):
+def _softplus(x, dtype=float):
     """Numerically stable ``ln(1 + exp(x))`` for array input.
 
     Written as ``max(x, 0) + log1p(exp(-|x|))`` rather than ``logaddexp``:
     identical to <1 ulp, but ~2x faster — this sits on the hot path of
-    every quadrature kernel build and Monte-Carlo batch.
+    every quadrature kernel build and Monte-Carlo batch.  ``dtype``
+    selects the evaluation precision (float64 default).
     """
-    x = np.asarray(x, dtype=float)
+    x = np.asarray(x, dtype=dtype)
     out = np.empty_like(x)
     np.abs(x, out=out)
     np.negative(out, out=out)
@@ -130,37 +131,39 @@ class TransregionalModel:
         """Zero-bias threshold of the weak (pull-up) branch (V)."""
         return self.vth0 + self.vth_split
 
-    def vth_effective(self, vdd, dvth=0.0):
+    def vth_effective(self, vdd, dvth=0.0, dtype=float):
         """Effective strong-branch threshold at ``vdd`` with shift ``dvth``.
 
         ``dvth`` is the per-device threshold-voltage deviation sampled from
         the variation model (RDF + LER + lane + die).
         """
-        vdd = np.asarray(vdd, dtype=float)
-        return self.vth0 - self.dibl * vdd + np.asarray(dvth, dtype=float)
+        vdd = np.asarray(vdd, dtype=dtype)
+        return self.vth0 - self.dibl * vdd + np.asarray(dvth, dtype=dtype)
 
-    def _overdrives(self, vdd, dvth=0.0):
+    def _overdrives(self, vdd, dvth=0.0, dtype=float):
         """Normalised overdrives (strong branch, weak branch)."""
         two_n_vt = 2.0 * self.n_slope * self.thermal_voltage
-        vdd = np.asarray(vdd, dtype=float)
-        base = vdd - self.vth_effective(vdd, dvth)
+        vdd = np.asarray(vdd, dtype=dtype)
+        base = vdd - self.vth_effective(vdd, dvth, dtype=dtype)
         return base / two_n_vt, (base - self.vth_split) / two_n_vt
 
     def overdrive(self, vdd, dvth=0.0):
         """Normalised strong-branch overdrive ``(Vdd - Vth_eff)/(2 n vT)``."""
         return self._overdrives(vdd, dvth)[0]
 
-    def drive(self, vdd, dvth=0.0):
+    def drive(self, vdd, dvth=0.0, dtype=float):
         """Dimensionless on-current (harmonic mean of the branch drives).
 
         Broadcasting follows numpy rules, so ``vdd`` may be a scalar and
         ``dvth`` a large Monte-Carlo sample array (or vice versa).
+        ``dtype`` selects the evaluation precision (float64 default; the
+        kernels' reference path passes float32 under that policy).
         """
-        x_n, x_p = self._overdrives(vdd, dvth)
-        d_n = _softplus(x_n) ** self.alpha
+        x_n, x_p = self._overdrives(vdd, dvth, dtype=dtype)
+        d_n = _softplus(x_n, dtype=dtype) ** self.alpha
         if self.vth_split == 0.0 and self.strength_p == 1.0:
             return d_n
-        d_p = self.strength_p * _softplus(x_p) ** self.alpha
+        d_p = self.strength_p * _softplus(x_p, dtype=dtype) ** self.alpha
         return 2.0 * d_n * d_p / (d_n + d_p)
 
     def log_drive(self, vdd, dvth=0.0):

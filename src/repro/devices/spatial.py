@@ -66,22 +66,27 @@ class SpatialField:
         return self.sigma ** 2 * self.correlation(distance)
 
     def sample(self, positions_mm, n_samples: int,
-               rng: np.random.Generator) -> np.ndarray:
+               rng: np.random.Generator, dtype=None) -> np.ndarray:
         """Draw field realisations at positions: shape (n_samples, N).
 
         Uses the Cholesky factor of the covariance (with a tiny jitter for
-        numerical positive-definiteness).
+        numerical positive-definiteness).  ``dtype`` casts the result
+        (draws and factorisation stay float64, matching the samplers'
+        dtype policy: same variates, rounded).
         """
         if n_samples < 1:
             raise ConfigurationError("n_samples must be >= 1")
         cov = self.covariance_matrix(positions_mm)
         n = cov.shape[0]
         if self.sigma == 0:
-            return np.zeros((n_samples, n))
+            return np.zeros((n_samples, n), dtype=dtype)
         jitter = 1e-12 * self.sigma ** 2
         chol = np.linalg.cholesky(cov + jitter * np.eye(n))
         normals = rng.standard_normal((n_samples, n))
-        return normals @ chol.T
+        out = normals @ chol.T
+        if dtype is not None and out.dtype != dtype:
+            out = out.astype(dtype)
+        return out
 
 
 def lane_correlation_matrix(field: SpatialField, floorplan) -> np.ndarray:

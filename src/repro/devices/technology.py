@@ -81,16 +81,24 @@ class TechnologyNode:
 
     # -- delay -------------------------------------------------------------
 
-    def fo4_delay(self, vdd, dvth=0.0, mult=0.0):
+    def fo4_delay(self, vdd, dvth=0.0, mult=0.0, dtype=None):
         """FO4 inverter delay in seconds.
 
         ``dvth`` (V) and ``mult`` (fraction) are variation draws; both
         broadcast against ``vdd`` so Monte-Carlo arrays evaluate in one
-        vectorised call.
+        vectorised call.  ``dtype`` selects the evaluation precision
+        (float64 default — the Monte-Carlo kernels' dtype policy).  A
+        scalar ``mult`` of exactly ``0.0`` skips the multiplier entirely
+        (``x * 1.0`` is an IEEE identity, and the scalar-to-array round
+        trip is measurable on per-point callers).
         """
-        vdd = np.asarray(vdd, dtype=float)
-        drive = self.mosfet.drive(vdd, dvth)
-        return self.fo4_scale * vdd / drive * (1.0 + np.asarray(mult, dtype=float))
+        dtype = float if dtype is None else dtype
+        vdd = np.asarray(vdd, dtype=dtype)
+        drive = self.mosfet.drive(vdd, dvth, dtype=dtype)
+        delay = self.fo4_scale * vdd / drive
+        if isinstance(mult, (int, float)) and mult == 0.0:
+            return delay
+        return delay * (1.0 + np.asarray(mult, dtype=dtype))
 
     def log_fo4_delay(self, vdd, dvth=0.0):
         """``ln`` of the nominal-multiplier FO4 delay (overflow safe)."""
@@ -103,9 +111,12 @@ class TechnologyNode:
 
         This is the unit the paper's Figures 3-5 use on their x axes:
         delays at a given supply are expressed as multiples of the FO4
-        delay *at that same supply*.
+        delay *at that same supply*.  Calls the drive model directly
+        instead of rebuilding the full :meth:`fo4_delay` argument
+        handling — this runs once per sweep point in every figure.
         """
-        return float(self.fo4_delay(float(vdd)))
+        vdd = float(vdd)
+        return float(self.fo4_scale * vdd / self.mosfet.drive(vdd))
 
     def delay_voltage_slope(self, vdd, dv: float = 1e-4) -> float:
         """``-d ln(FO4 delay) / dV`` (1/V): fractional speedup per volt.

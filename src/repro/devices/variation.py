@@ -83,6 +83,36 @@ def combine_sigmas(*sigmas: float) -> float:
     return float(np.sqrt(sum(float(s) ** 2 for s in sigmas)))
 
 
+def _cast(arr: np.ndarray, dtype) -> np.ndarray:
+    """Casting helper for the samplers' dtype policy (no-op by default)."""
+    if dtype is None or arr.dtype == dtype:
+        return arr
+    return arr.astype(dtype)
+
+
+def _fill_normal(rng: np.random.Generator, out, sigma: float, staging) -> None:
+    """Fill ``out`` with ``N(0, sigma)`` draws without allocating.
+
+    ``rng.standard_normal(out=...)`` then an in-place scale — bitwise the
+    same as ``rng.normal(0.0, sigma, shape)`` on the same stream.  Zero
+    sigma writes zeros without consuming the stream (matching the
+    ``sample_*`` convention).  Non-float64 ``out`` draws through the
+    float64 ``staging`` buffer so every precision sees the same variates.
+    """
+    if not sigma:
+        out[...] = 0.0
+        return
+    if out.dtype == np.float64:
+        rng.standard_normal(out=out)
+        np.multiply(out, sigma, out=out)
+        return
+    if staging is None or staging.shape != out.shape:
+        staging = np.empty(out.shape, dtype=np.float64)
+    rng.standard_normal(out=staging)
+    np.multiply(staging, sigma, out=staging)
+    out[...] = staging
+
+
 @dataclass(frozen=True)
 class GateSamples:
     """Per-gate variation draws: threshold shifts and multiplicative noise."""
@@ -137,13 +167,15 @@ class VariationModel:
     # -- sampling ----------------------------------------------------------
 
     def sample_gates(self, rng: np.random.Generator, shape,
-                     size_scale: float = 1.0) -> GateSamples:
+                     size_scale: float = 1.0, dtype=None) -> GateSamples:
         """Draw per-gate (within-die) variation for an array of gates.
 
         ``size_scale`` scales the *random* threshold sigma by
         ``1/sqrt(size_scale)`` — a gate built from devices ``size_scale``
         times larger than minimum averages its dopant fluctuations
-        (Pelgrom scaling).
+        (Pelgrom scaling).  ``dtype`` casts the returned draws (the
+        normals themselves are always generated in float64, so float32
+        callers see the same variates rounded — not a different stream).
         """
         if size_scale <= 0:
             raise ConfigurationError("size_scale must be positive")
@@ -151,17 +183,39 @@ class VariationModel:
         dvth = rng.normal(0.0, sigma_vth, size=shape) if sigma_vth else np.zeros(shape)
         mult = (rng.normal(0.0, self.sigma_mult_rand, size=shape)
                 if self.sigma_mult_rand else np.zeros(shape))
-        return GateSamples(dvth=dvth, mult=mult)
+        return GateSamples(dvth=_cast(dvth, dtype), mult=_cast(mult, dtype))
 
-    def sample_lanes(self, rng: np.random.Generator, shape) -> LaneSamples:
+    def fill_gates(self, rng: np.random.Generator, dvth_out, mult_out,
+                   size_scale: float = 1.0, staging=None) -> None:
+        """In-place :meth:`sample_gates`: fill preallocated arrays.
+
+        Writes the threshold draws into ``dvth_out`` and the
+        multiplicative draws into ``mult_out`` (drawn in that order, via
+        ``rng.standard_normal(out=...)`` fills scaled in place) without
+        allocating — the zero-copy hot path used by
+        :class:`~repro.core.kernels.MonteCarloKernel`.  float64 outputs
+        are bit-identical to :meth:`sample_gates` on the same stream.
+        For non-float64 outputs pass ``staging``, a float64 buffer of
+        the same shape: draws land there and are cast on assignment, so
+        every precision consumes identical variates.
+        """
+        if size_scale <= 0:
+            raise ConfigurationError("size_scale must be positive")
+        sigma_vth = self.sigma_vth_wid / np.sqrt(size_scale)
+        _fill_normal(rng, dvth_out, sigma_vth, staging)
+        _fill_normal(rng, mult_out, self.sigma_mult_rand, staging)
+
+    def sample_lanes(self, rng: np.random.Generator, shape,
+                     dtype=None) -> LaneSamples:
         """Draw the per-lane spatially-correlated variation."""
         dvth = (rng.normal(0.0, self.sigma_vth_lane, size=shape)
                 if self.sigma_vth_lane else np.zeros(shape))
         mult = (rng.normal(0.0, self.sigma_mult_lane, size=shape)
                 if self.sigma_mult_lane else np.zeros(shape))
-        return LaneSamples(dvth=dvth, mult=mult)
+        return LaneSamples(dvth=_cast(dvth, dtype), mult=_cast(mult, dtype))
 
-    def sample_dies(self, rng: np.random.Generator, n_dies: int) -> DieSamples:
+    def sample_dies(self, rng: np.random.Generator, n_dies: int,
+                    dtype=None) -> DieSamples:
         """Draw the correlated (die-to-die) variation for ``n_dies`` chips."""
         if n_dies <= 0:
             raise ConfigurationError("n_dies must be positive")
@@ -169,7 +223,7 @@ class VariationModel:
                 if self.sigma_vth_d2d else np.zeros(n_dies))
         mult = (rng.normal(0.0, self.sigma_mult_corr, size=n_dies)
                 if self.sigma_mult_corr else np.zeros(n_dies))
-        return DieSamples(dvth=dvth, mult=mult)
+        return DieSamples(dvth=_cast(dvth, dtype), mult=_cast(mult, dtype))
 
     # -- derived views -----------------------------------------------------
 

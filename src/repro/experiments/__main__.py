@@ -130,6 +130,11 @@ def main(argv=None) -> int:
                         help="deterministic fault injection, e.g. "
                              "'worker_crash:1,cache_corrupt:0' "
                              "(KIND:TARGET[:COUNT], comma-separated)")
+    parser.add_argument("--mc-precision", choices=("float64", "float32"),
+                        default="float64",
+                        help="Monte-Carlo kernel dtype policy: float64 "
+                             "(default, bit-exact reference) or float32 "
+                             "(~2x bandwidth for validation sweeps)")
     args = parser.parse_args(argv)
 
     if args.jobs < 1:
@@ -156,7 +161,8 @@ def main(argv=None) -> int:
     runtime = build_runtime(jobs=args.jobs, profile=args.profile,
                             trace=bool(args.trace),
                             metrics=bool(args.metrics),
-                            retry=retry, faults=faults)
+                            retry=retry, faults=faults,
+                            precision=args.mc_precision)
     cache_before = cache_file_state() if args.metrics else None
     run_start = time.perf_counter()
     try:

@@ -26,6 +26,7 @@ from repro.runtime.context import (
 )
 from repro.runtime.parallel import (
     DEFAULT_SHARD_SIZE,
+    DEFAULT_SHM_MIN_BYTES,
     ParallelSampler,
     plan_shards,
     shard_seeds,
@@ -46,6 +47,7 @@ __all__ = [
     "shard_seeds",
     "technology_fingerprint",
     "DEFAULT_SHARD_SIZE",
+    "DEFAULT_SHM_MIN_BYTES",
     "ENV_CACHE_DIR",
     "ENV_CACHE_DISABLE",
 ]
@@ -53,7 +55,8 @@ __all__ = [
 
 def build_runtime(jobs: int = 1, profile: bool = False,
                   trace: bool = False, metrics: bool = False,
-                  retry=None, faults=None) -> ReproRuntime:
+                  retry=None, faults=None,
+                  precision: str = "float64") -> ReproRuntime:
     """A ready-to-activate runtime with a sampler sized to ``jobs``.
 
     ``trace`` turns on span collection (``--trace FILE``); ``metrics``
@@ -63,7 +66,8 @@ def build_runtime(jobs: int = 1, profile: bool = False,
     optional :class:`~repro.resilience.policy.RetryPolicy` for the
     sampler's fault-tolerant dispatcher, and ``faults`` an optional
     :class:`~repro.resilience.faultlab.FaultPlan` installed while the
-    runtime is active (``--inject-faults``).
+    runtime is active (``--inject-faults``).  ``precision`` sets the
+    run's Monte-Carlo dtype policy (``--mc-precision``).
     """
     from repro.obs.api import build_obs
 
@@ -71,7 +75,7 @@ def build_runtime(jobs: int = 1, profile: bool = False,
         jobs=int(jobs), profile=bool(profile),
         obs=build_obs(trace=bool(trace),
                       metrics=bool(metrics or profile or trace)),
-        faults=faults)
+        faults=faults, precision=str(precision))
     runtime.sampler = ParallelSampler(runtime.jobs,
                                       profiler=runtime.profiler,
                                       retry=retry)

@@ -58,6 +58,11 @@ class ReproRuntime:
     faults:
         Optional :class:`~repro.resilience.faultlab.FaultPlan` installed
         for the duration of the run (``--inject-faults``).
+    precision:
+        Monte-Carlo dtype policy for the run (``"float64"`` default,
+        ``"float32"`` for bandwidth-bound validation sweeps); consumed
+        by :meth:`~repro.core.analyzer.VariationAnalyzer.monte_carlo`
+        and the sampler's MC shards — see :mod:`repro.core.kernels`.
     """
 
     jobs: int = 1
@@ -67,6 +72,7 @@ class ReproRuntime:
     obs: Observability = field(default_factory=lambda: NOOP_OBS)
     ledger: FaultLedger = field(default_factory=FaultLedger)
     faults: object = None
+    precision: str = "float64"
 
     def close(self) -> None:
         if self.sampler is not None:

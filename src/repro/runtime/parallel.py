@@ -30,6 +30,19 @@ snapshots in, and derives a ``sampler.worker_utilization`` gauge from the
 shard busy times.  With observability off, tasks carry no context and
 workers skip collection entirely.
 
+**Shared-memory transport**: pool results above ``shm_min_bytes`` skip the
+pickle round trip.  The parent preallocates one
+:class:`multiprocessing.shared_memory.SharedMemory` segment per dispatch,
+sized for the whole run, and every shard task carries its slice spec
+(segment name, byte offset, length, dtype); workers write their result
+arrays straight into the segment and return a tiny marker instead of the
+array.  The parent assembles the output from a single view of the segment
+and unlinks it in a ``finally`` — crash/hang recovery is unaffected
+because re-dispatched shards simply rewrite their slice, and the serial
+fallback strips the spec and hands arrays back directly (any shard that
+never reported through the segment is patched from its pickled result).
+Transported bytes are counted on the ``sampler.shm_bytes`` metric.
+
 **Fault tolerance**: pool dispatch runs under a
 :class:`~repro.resilience.policy.RetryPolicy`.  Shards that raise are
 retried with exponential backoff (deterministic jitter); a progress
@@ -56,10 +69,12 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
 from repro.core.chip_delay import ChipDelayEngine
+from repro.core.kernels import MonteCarloKernel
 from repro.core.montecarlo import MonteCarloEngine
 from repro.errors import ConfigurationError, ShardExecutionError
 from repro.obs.api import Observability, activate_obs, current_obs
@@ -69,10 +84,15 @@ from repro.resilience.policy import RetryPolicy
 from repro.runtime.context import current_runtime
 
 __all__ = ["ParallelSampler", "plan_shards", "shard_seeds",
-           "DEFAULT_SHARD_SIZE", "DEFAULT_QUANTILE_CHUNK"]
+           "DEFAULT_SHARD_SIZE", "DEFAULT_QUANTILE_CHUNK",
+           "DEFAULT_SHM_MIN_BYTES"]
 
 #: Default chips per shard; part of the reproducibility key.
 DEFAULT_SHARD_SIZE = 256
+
+#: Result payloads at least this large ride the shared-memory transport
+#: instead of pickle; smaller ones aren't worth a segment's syscalls.
+DEFAULT_SHM_MIN_BYTES = 1 << 16
 
 #: Default query points per quantile-solve chunk.  Small enough that a
 #: fig4-style per-node sweep (~12 points) still fans out across workers;
@@ -104,9 +124,68 @@ def shard_seeds(root_seed, n_shards: int) -> list:
     return np.random.SeedSequence(root_seed).spawn(n_shards)
 
 
+# -- shared-memory transport --------------------------------------------------
+
+
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker ownership.
+
+    Attaching registers the segment with the (shared)
+    :mod:`multiprocessing.resource_tracker` on Pythons without the
+    ``track=`` parameter (< 3.13); the tracker would then unlink the
+    parent-owned segment behind the parent's back, and concurrent
+    workers registering/unregistering the same name race in the tracker
+    process.  Suppress the registration instead (workers execute one
+    shard at a time, so the swap is safe).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _shm_write(spec: dict, arr: np.ndarray) -> dict:
+    """Write one shard's result into its segment slice; return the marker.
+
+    The numpy view over the segment buffer must be dropped before
+    ``close()`` (an exported buffer makes the mmap close raise
+    ``BufferError``).
+    """
+    shm = _attach_shm(spec["name"])
+    try:
+        view = np.ndarray((spec["n"],), dtype=np.dtype(spec["dtype"]),
+                          buffer=shm.buf, offset=spec["offset"])
+        view[:] = arr
+        del view
+    finally:
+        shm.close()
+    return {"__shm__": int(spec["n"])}
+
+
+def _is_shm_marker(item) -> bool:
+    return isinstance(item, dict) and "__shm__" in item
+
+
 # -- worker side --------------------------------------------------------------
 
 _WORKER_ENGINES: dict = {}
+_WORKER_KERNELS: dict = {}
+
+
+def _mc_kernel(tech, precision: str) -> MonteCarloKernel:
+    """Per-process Monte-Carlo kernel memo (workspaces amortise across shards)."""
+    key = (tech, precision)
+    kernel = _WORKER_KERNELS.get(key)
+    if kernel is None:
+        kernel = MonteCarloKernel(tech, precision=precision)
+        _WORKER_KERNELS[key] = kernel
+    return kernel
 
 
 def _chip_engine(tech, width: int, paths_per_lane: int,
@@ -148,13 +227,17 @@ def _run_shard(core, task: dict):
     if faults:
         fire_shard_faults(faults, task.get("shard"))
     ctx = task.get("obs")
+    shm_spec = task.get("shm")
     if not ctx:
-        return core(task)
+        out = core(task)
+        return _shm_write(shm_spec, out) if shm_spec else out
     obs = Observability.for_worker(ctx)
     name = (ctx.get("stage") or "sampler") + ".shard"
     start = time.perf_counter()
     with activate_obs(obs), obs.tracer.span(name, **_task_attrs(task)):
         out = core(task)
+        if shm_spec:
+            out = _shm_write(shm_spec, out)
     return {"result": out, "obs": obs.export(),
             "busy_s": time.perf_counter() - start}
 
@@ -162,7 +245,8 @@ def _run_shard(core, task: dict):
 def _system_delays_core(task: dict) -> np.ndarray:
     """One shard of per-gate Monte-Carlo chip delays."""
     rng = np.random.default_rng(task["seed"])
-    engine = MonteCarloEngine(task["tech"], rng=rng)
+    kernel = _mc_kernel(task["tech"], task.get("precision", "float64"))
+    engine = MonteCarloEngine(task["tech"], rng=rng, kernel=kernel)
     return engine.system_delays(
         task["vdd"], width=task["width"],
         paths_per_lane=task["paths_per_lane"],
@@ -226,11 +310,17 @@ class ParallelSampler:
         The :class:`~repro.resilience.policy.RetryPolicy` governing shard
         retries, the hung-worker deadline and pool respawns; defaults to
         the standard policy (generous timeout, 2 retries).
+    shm_min_bytes:
+        Minimum total result payload (bytes) for a pool dispatch to ride
+        the shared-memory transport instead of pickle; ``0`` forces
+        shared memory for every dispatch (tests), a huge value disables
+        it.  Pure transport — results are bit-identical either way.
     """
 
     def __init__(self, jobs: int | None = None, *,
                  shard_size: int = DEFAULT_SHARD_SIZE,
-                 profiler=None, retry: RetryPolicy | None = None) -> None:
+                 profiler=None, retry: RetryPolicy | None = None,
+                 shm_min_bytes: int = DEFAULT_SHM_MIN_BYTES) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
         if jobs < 1:
@@ -238,10 +328,14 @@ class ParallelSampler:
         if shard_size < 1:
             raise ConfigurationError(
                 f"shard_size must be >= 1, got {shard_size}")
+        if shm_min_bytes < 0:
+            raise ConfigurationError(
+                f"shm_min_bytes must be >= 0, got {shm_min_bytes}")
         self.jobs = int(jobs)
         self.shard_size = int(shard_size)
         self.profiler = profiler
         self.retry = RetryPolicy() if retry is None else retry
+        self.shm_min_bytes = int(shm_min_bytes)
         self._executor: ProcessPoolExecutor | None = None
 
     # -- pool lifecycle ------------------------------------------------------
@@ -294,7 +388,8 @@ class ParallelSampler:
         if profiler is not None:
             profiler.record(name, wall_s, samples)
 
-    def _run(self, fn, tasks: list, stage: str, n_samples: int) -> np.ndarray:
+    def _run(self, fn, tasks: list, stage: str, n_samples: int,
+             result_dtype=np.float64) -> np.ndarray:
         obs = current_obs()
         start = time.perf_counter()
         busy_s = 0.0
@@ -306,7 +401,8 @@ class ParallelSampler:
                 with obs.tracer.span(stage + ".shard", **_task_attrs(task)):
                     parts.append(fn(task))
         else:
-            parts, busy_s = self._run_pool(fn, tasks, stage, obs)
+            parts, busy_s = self._run_pool(fn, tasks, stage, obs,
+                                           result_dtype)
         out = np.concatenate(parts) if len(parts) > 1 else parts[0]
         elapsed = time.perf_counter() - start
         self._record(stage, elapsed, n_samples)
@@ -381,19 +477,88 @@ class ParallelSampler:
                              shards=len(shards)):
             for i in sorted(pending):
                 task = {k: v for k, v in tasks[i].items()
-                        if k not in ("obs", "faults")}
+                        if k not in ("obs", "faults", "shm")}
                 with obs.tracer.span(stage + ".shard", **_task_attrs(task)):
                     results[i] = fn(task)
         pending.clear()
 
-    def _run_pool(self, fn, tasks: list, stage: str, obs) -> tuple:
-        """Dispatch shards across the pool with the full recovery ladder.
+    def _open_shm(self, tasks: list, result_dtype, metrics):
+        """Create one result segment for the dispatch, if worth it.
+
+        Attaches each shard's slice spec to its task dict (workers write
+        straight into the segment; the serial fallback strips the spec).
+        Returns the segment or ``None`` (payload under the threshold, or
+        shared memory unavailable on this platform).
+        """
+        dtype = np.dtype(result_dtype)
+        total = sum(task["n"] for task in tasks)
+        nbytes = total * dtype.itemsize
+        if nbytes < self.shm_min_bytes:
+            return None
+        try:
+            segment = shared_memory.SharedMemory(create=True, size=nbytes)
+        except Exception:
+            return None
+        offset = 0
+        for task in tasks:
+            task["shm"] = {"name": segment.name, "offset": offset,
+                           "n": int(task["n"]), "dtype": dtype.str}
+            offset += int(task["n"]) * dtype.itemsize
+        metrics.counter("sampler.shm_bytes").inc(nbytes)
+        return segment
+
+    def _assemble_shm(self, segment, tasks: list, results: list,
+                      result_dtype) -> np.ndarray:
+        """Gather shard results from the segment into one output array.
+
+        One bulk copy of the whole segment, then any shard that did not
+        report through the transport (serial fallback, in-process retry)
+        is patched from its directly-returned array.
+        """
+        dtype = np.dtype(result_dtype)
+        total = sum(task["n"] for task in tasks)
+        out = np.empty(total, dtype=dtype)
+        view = np.ndarray((total,), dtype=dtype, buffer=segment.buf)
+        out[:] = view
+        del view
+        pos = 0
+        for task, item in zip(tasks, results):
+            if not _is_shm_marker(item):
+                out[pos:pos + int(task["n"])] = item
+            pos += int(task["n"])
+        return out
+
+    def _run_pool(self, fn, tasks: list, stage: str, obs,
+                  result_dtype=np.float64) -> tuple:
+        """Dispatch shards across the pool, with shared-memory results.
+
+        Payloads above ``shm_min_bytes`` go through one preallocated
+        :class:`~multiprocessing.shared_memory.SharedMemory` segment
+        (workers write slices keyed by shard, the parent assembles);
+        the segment is unlinked on every exit path — success, shard
+        failure, crash/hang recovery — so chaos runs never leak ``/dev/shm``
+        entries.  Returns ``(parts, busy_s)`` with parts in shard order.
+        """
+        segment = self._open_shm(tasks, result_dtype, obs.metrics)
+        if segment is None:
+            return self._dispatch(fn, tasks, stage, obs)
+        try:
+            results, busy_s = self._dispatch(fn, tasks, stage, obs)
+            out = self._assemble_shm(segment, tasks, results, result_dtype)
+            return [out], busy_s
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def _dispatch(self, fn, tasks: list, stage: str, obs) -> tuple:
+        """Run every shard through the pool with the full recovery ladder.
 
         Retry-with-backoff for shard exceptions; a progress deadline
         (``retry.shard_timeout_s``) as hung-worker watchdog; pool
         termination + respawn with reassignment for crashes and hangs;
         in-process serial execution once respawns are exhausted.  Returns
-        ``(parts, busy_s)`` with parts in shard order.
+        ``(parts, busy_s)`` with parts in shard order (parts are shm
+        markers for shards that reported through the transport).
         """
         policy = self.retry
         plan = active_plan()
@@ -501,19 +666,22 @@ class ParallelSampler:
 
     def system_delays(self, tech, vdd, *, width: int, paths_per_lane: int,
                       chain_length: int, n_chips: int, spares: int = 0,
-                      batch_size: int = 64, root_seed=0) -> np.ndarray:
+                      batch_size: int = 64, root_seed=0,
+                      precision: str = "float64") -> np.ndarray:
         """Sharded :meth:`MonteCarloEngine.system_delays` (seconds).
 
-        Bit-identical for a given ``(root_seed, shard_size, batch_size)``
-        regardless of ``jobs``.
+        Bit-identical for a given ``(root_seed, shard_size)`` regardless
+        of ``jobs`` (and of ``batch_size`` — the engine spawns per-chip
+        streams).  ``precision`` selects the kernels' dtype policy.
         """
         tasks = self._tasks(n_chips, root_seed, dict(
             tech=tech, vdd=float(vdd), width=int(width),
             paths_per_lane=int(paths_per_lane),
             chain_length=int(chain_length), spares=int(spares),
-            batch_size=int(batch_size)))
+            batch_size=int(batch_size), precision=str(precision)))
         return self._run(_system_delays_shard, tasks,
-                         "sampler.system_delays", n_chips)
+                         "sampler.system_delays", n_chips,
+                         result_dtype=np.dtype(precision))
 
     def sample_chips(self, tech, vdd, *, n_samples: int, width: int = 128,
                      paths_per_lane: int = 100, chain_length: int = 50,
