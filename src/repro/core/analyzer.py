@@ -174,7 +174,7 @@ class VariationAnalyzer:
         self._signoff_cache[key] = value
         return value
 
-    def _solve_batch(self, solve_keys) -> np.ndarray:
+    def _solve_batch(self, solve_keys, *, invariant: bool = False) -> np.ndarray:
         """Solve uncached ``(vdd, spares, q)`` points in one batch.
 
         When a parallel runtime is active and the batch is big enough,
@@ -203,7 +203,8 @@ class VariationAnalyzer:
                     paths_per_lane=engine.paths_per_lane,
                     chain_length=engine.chain_length,
                     quads=(engine.quad_within, engine.quad_corr_vth,
-                           engine.quad_corr_mult))
+                           engine.quad_corr_mult),
+                    cluster=not invariant)
             except ShardExecutionError as exc:
                 # The pool's recovery ladder is exhausted; the solve is
                 # deterministic either way, so finish it in-process.
@@ -211,9 +212,11 @@ class VariationAnalyzer:
                 current_ledger().record("analyzer_pool_solve_failed",
                                         shards=list(exc.shards),
                                         points=len(solve_keys))
-        return np.atleast_1d(engine.chip_quantile_batch(vdds, qs, sps))
+        return np.atleast_1d(engine.chip_quantile_batch(
+            vdds, qs, sps, cluster=not invariant))
 
-    def chip_quantiles(self, vdd, spares: float = 0, q=None) -> np.ndarray:
+    def chip_quantiles(self, vdd, spares: float = 0, q=None, *,
+                       invariant: bool = False) -> np.ndarray:
         """Batched deterministic chip-delay quantiles (seconds).
 
         ``vdd``, ``spares`` and ``q`` broadcast together; the result has
@@ -224,6 +227,13 @@ class VariationAnalyzer:
         :meth:`ChipDelayEngine.chip_quantile_batch` call, so partial hits
         only pay for the points that are genuinely new.  Values agree
         bit-for-bit with what :meth:`chip_quantile` caches.
+
+        ``invariant=True`` solves misses with the engine's
+        batch-composition-invariant mode (``cluster=False``): each root is
+        then a pure function of its own query point, so any grouping of
+        the same queries — across calls, clients, or chunk boundaries —
+        returns bit-identical values.  The serving dispatcher coalesces
+        unrelated clients' queries under this mode.
         """
         q_eff = self.signoff_quantile if q is None else q
         vdd_b, sp_b, q_b = np.broadcast_arrays(
@@ -251,7 +261,7 @@ class VariationAnalyzer:
                 with profiled_stage("analyzer.quantile_solve_batch",
                                     len(solve_keys)):
                     values = np.atleast_1d(
-                        self._solve_batch(solve_keys))
+                        self._solve_batch(solve_keys, invariant=invariant))
                 solved = dict(zip(solve_keys, (float(v) for v in values)))
                 self.quantile_cache.put_many(
                     (self._disk_key(k), v) for k, v in solved.items())

@@ -327,9 +327,10 @@ class _PointsEval:
     """
 
     __slots__ = ("width", "paths", "t1", "t0", "a4", "w_lo", "w_hi",
-                 "lane_w", "die_w", "qs", "sps")
+                 "lane_w", "die_w", "qs", "sps", "invariant")
 
-    def __init__(self, engine, level, mean, std, a6, qs, sps):
+    def __init__(self, engine, level, mean, std, a6, qs, sps, *,
+                 invariant: bool = False):
         inv_s = 1.0 / std                                    # (N, J, A)
         self.t1 = (inv_s[:, :, None, :, None]
                    / level.scale[None, None, :, None, :])
@@ -341,6 +342,7 @@ class _PointsEval:
         self.paths = engine.paths_per_lane
         self.qs = qs
         self.sps = sps
+        self.invariant = bool(invariant)
         # Saturation thresholds: outside [z_lo, z_hi] the max-of-P-paths CDF
         # Phi(z)^P is 0 or 1 to <1e-15 absolute, so only the (typically
         # 10-30 %) in-band elements pay the log-ndtr call.  Mapped to the
@@ -378,7 +380,18 @@ class _PointsEval:
         lf *= self.paths
         f_lane[mid] = np.exp(lf, out=lf)
         n, j, k, a, b = f_lane.shape
-        g_lane = f_lane.reshape(n * j * k, a * b) @ self.lane_w
+        flat = f_lane.reshape(n * j * k, a * b)
+        if self.invariant:
+            # BLAS matvec kernels pick different reduction orders for
+            # different row counts, so `flat @ lane_w` is not row-wise
+            # bit-stable — a point's root would depend on which other
+            # points share the evaluation.  einsum reduces each row with
+            # a fixed-order loop over the (constant) column count, making
+            # every root a pure function of its own point regardless of
+            # batch composition (the serving dispatcher's contract).
+            g_lane = np.einsum("rc,c->r", flat, self.lane_w)
+        else:
+            g_lane = flat @ self.lane_w
         np.clip(g_lane, 0.0, 1.0, out=g_lane)
         g_lane = g_lane.reshape(n, j * k)
         sp = self.sps[idx]
@@ -392,6 +405,8 @@ class _PointsEval:
             f_chip[zero] = g_lane[zero] ** self.width
             nz = ~zero
             f_chip[nz] = betainc(self.width, sp[nz, None] + 1.0, g_lane[nz])
+        if self.invariant:
+            return np.einsum("rc,c->r", f_chip, self.die_w)
         return f_chip @ self.die_w
 
     def objective(self, x, idx):
@@ -667,7 +682,7 @@ class ChipDelayEngine:
             d_last[ci] = d_new[cont]
         return root, done, x_cur, d_last, rounds
 
-    def _solve_points(self, keys, qs, sps):
+    def _solve_points(self, keys, qs, sps, *, cluster: bool = True):
         """Solve all ``(vdd-key, q, spares)`` points of one chunk at once.
 
         Anchor points (every ``_ANCHOR_STRIDE``-th member of a voltage
@@ -681,6 +696,13 @@ class ChipDelayEngine:
         within ~1e-4, finishing in two to three secant rounds.  Any point
         the secant model rejects falls back to bracketed Chandrupatla
         iteration.
+
+        ``cluster=False`` treats every point as its own anchor (no spline
+        seeding).  That trades a few extra secant rounds on dense sweeps
+        for *batch-composition invariance*: each root then depends only on
+        its own ``(vdd, q, spares)`` point, never on which other points
+        happen to share the chunk, so any grouping of the same queries
+        returns bit-identical values.
         """
         kernels = [self._kernel_cache[k] for k in keys]
         n = len(kernels)
@@ -690,14 +712,18 @@ class ChipDelayEngine:
         fine = _PointsEval(self, self._fine,
                            np.stack([k.mean for k in kernels]),
                            np.stack([k.std for k in kernels]),
-                           np.stack([k.a6 for k in kernels]), qs, sps)
+                           np.stack([k.a6 for k in kernels]), qs, sps,
+                           invariant=not cluster)
         coarse = _PointsEval(self, self._coarse,
                              np.stack([k.coarse_mean for k in kernels]),
                              np.stack([k.coarse_std for k in kernels]),
                              np.stack([k.coarse_a6 for k in kernels]),
-                             qs, sps)
+                             qs, sps, invariant=not cluster)
 
-        anchors, jobs = _clusters(vdds, qs, sps)
+        if cluster:
+            anchors, jobs = _clusters(vdds, qs, sps)
+        else:
+            anchors, jobs = all_idx, []
         _obs_counter("solver.anchor_points").inc(anchors.size)
         _obs_counter("solver.spline_seeded").inc(n - anchors.size)
 
@@ -759,7 +785,8 @@ class ChipDelayEngine:
         return root
 
     def chip_quantile_batch(self, vdd, q=0.99, spares=0.0, *,
-                            chunk_size: int = 64) -> np.ndarray:
+                            chunk_size: int = 64,
+                            cluster: bool = True) -> np.ndarray:
         """Quantiles of the chip delay for a batch of query points.
 
         ``vdd``, ``q`` and ``spares`` broadcast together; the result has
@@ -767,6 +794,11 @@ class ChipDelayEngine:
         ``()``).  All distinct supply points are kernelised in a single
         vectorized pass and all roots are polished simultaneously; results
         match the scalar :meth:`chip_quantile` to ~1e-12 relative.
+
+        ``cluster=False`` disables the sweep spline seeding so each root
+        is a pure function of its own point — bit-identical no matter how
+        the queries are batched or chunked (the serving dispatcher relies
+        on this to coalesce queries from unrelated clients).
         """
         vdd_b, q_b, sp_b = np.broadcast_arrays(
             np.asarray(vdd, dtype=float), np.asarray(q, dtype=float),
@@ -805,7 +837,7 @@ class ChipDelayEngine:
             sl = slice(start, start + int(chunk_size))
             try:
                 uout[sl] = self._solve_points(ukeys[sl], uq_arr[sl],
-                                              usp_arr[sl])
+                                              usp_arr[sl], cluster=cluster)
             except (ConvergenceError, FloatingPointError) as exc:
                 # Mark the whole chunk for the rescue ladder rather than
                 # aborting a multi-chunk batch on one bad cluster.

@@ -99,7 +99,8 @@ def main(argv=None) -> int:
         description="Regenerate the paper's figures and tables.")
     parser.add_argument("target",
                         help="experiment id (fig1..fig12, table1..table4), "
-                             "'list', or 'all'")
+                             "'list', 'all', or 'serve' (long-lived "
+                             "sign-off query server)")
     parser.add_argument("--fast", action="store_true",
                         help="reduced sample counts (quick look)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -130,6 +131,30 @@ def main(argv=None) -> int:
                         help="deterministic fault injection, e.g. "
                              "'worker_crash:1,cache_corrupt:0' "
                              "(KIND:TARGET[:COUNT], comma-separated)")
+    serve_group = parser.add_argument_group(
+        "serve", "options for the 'serve' target "
+                 "(python -m repro.experiments serve --port 8437)")
+    serve_group.add_argument("--host", default="127.0.0.1",
+                             help="bind address (default 127.0.0.1)")
+    serve_group.add_argument("--port", type=int, default=8437,
+                             help="bind port; 0 picks a free port and "
+                                  "announces it on stdout (default 8437)")
+    serve_group.add_argument("--max-batch", type=int, default=32, metavar="N",
+                             help="flush a coalescing bucket at N points "
+                                  "(default 32)")
+    serve_group.add_argument("--batch-window-ms", type=float, default=2.0,
+                             metavar="MS",
+                             help="max time a query waits to coalesce with "
+                                  "others before its batch is dispatched "
+                                  "(default 2.0)")
+    serve_group.add_argument("--max-queue", type=int, default=1024,
+                             metavar="N",
+                             help="pending-point bound before requests are "
+                                  "rejected with HTTP 429 (default 1024)")
+    serve_group.add_argument("--deadline-ms", type=float, default=None,
+                             metavar="MS",
+                             help="per-request deadline (HTTP 408 on "
+                                  "expiry); defaults to the shard timeout")
     parser.add_argument("--mc-precision", choices=("float64", "float32"),
                         default="float64",
                         help="Monte-Carlo kernel dtype policy: float64 "
@@ -170,7 +195,19 @@ def main(argv=None) -> int:
                    if args.target == "all" else [args.target])
         with runtime.obs.tracer.span("cli.run", target=args.target,
                                      jobs=args.jobs, fast=args.fast):
-            if args.target == "all" and runtime.jobs > 1:
+            if args.target == "serve":
+                from repro.serve import ServeConfig, run_server
+
+                config = ServeConfig(
+                    host=args.host, port=args.port,
+                    max_batch=args.max_batch,
+                    batch_window_ms=args.batch_window_ms,
+                    max_queue=args.max_queue,
+                    deadline_ms=args.deadline_ms)
+                summary = run_server(config, runtime)
+                print(f"[serve] handled {summary['requests']} requests, "
+                      f"coalesce ratio {summary['coalesce_ratio']:.2f}")
+            elif args.target == "all" and runtime.jobs > 1:
                 _run_all_parallel(targets, args.fast, runtime)
             else:
                 for target in targets:

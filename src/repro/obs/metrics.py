@@ -82,6 +82,30 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, p: float) -> float:
+        """Estimate the ``p``-th percentile (``p`` a fraction in [0, 1]).
+
+        Linear interpolation inside the winning bucket, taking the
+        previous bound (or 0) as its lower edge; observations in the
+        overflow bin report the last finite bound.  Returns 0.0 with no
+        observations.  The estimate is as coarse as the bucket grid —
+        fine for serving dashboards, not for microbenchmarks.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"percentile fraction must be in [0, 1], got {p}")
+        if not self.count:
+            return 0.0
+        rank = p * self.count
+        running = 0
+        for i, upper in enumerate(self.buckets):
+            prev = running
+            running += self.counts[i]
+            if running >= rank and self.counts[i]:
+                lower = self.buckets[i - 1] if i else 0.0
+                frac = (rank - prev) / self.counts[i]
+                return lower + frac * (upper - lower)
+        return self.buckets[-1] if self.buckets else 0.0
+
 
 class _Noop:
     """Do-nothing stand-in for every instrument type."""

@@ -69,14 +69,18 @@ def build_runtime(jobs: int = 1, profile: bool = False,
     runtime is active (``--inject-faults``).  ``precision`` sets the
     run's Monte-Carlo dtype policy (``--mc-precision``).
     """
+    from repro.errors import ConfigurationError
     from repro.obs.api import build_obs
 
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     runtime = ReproRuntime(
-        jobs=int(jobs), profile=bool(profile),
+        jobs=jobs, profile=bool(profile),
         obs=build_obs(trace=bool(trace),
                       metrics=bool(metrics or profile or trace)),
         faults=faults, precision=str(precision))
-    runtime.sampler = ParallelSampler(runtime.jobs,
+    runtime.sampler = ParallelSampler(jobs,
                                       profiler=runtime.profiler,
                                       retry=retry)
     return runtime

@@ -333,9 +333,13 @@ class QuantileCache:
             return
         with _advisory_lock(self.path):
             # Merge with whatever landed on disk since we loaded (already
-            # reported corruption is not re-counted).
-            merged = self._read_file(record=False)
-            merged.update(self._load())
+            # reported corruption is not re-counted).  Precedence matters
+            # under concurrency: the fresh on-disk read wins over this
+            # instance's stale in-memory copy for every key we are not
+            # writing ourselves — a concurrent writer's newer entry must
+            # never be shadowed by a value we loaded before it ran.
+            merged = dict(self._load())
+            merged.update(self._read_file(record=False))
             for key, value in items:
                 hex_value = float(value).hex()
                 merged[key] = [hex_value, _entry_checksum(key, hex_value)]

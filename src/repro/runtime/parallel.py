@@ -271,7 +271,8 @@ def _quantile_chunk_core(task: dict) -> np.ndarray:
     return np.atleast_1d(engine.chip_quantile_batch(
         np.asarray(task["vdds"], dtype=float),
         np.asarray(task["qs"], dtype=float),
-        np.asarray(task["spares"], dtype=float)))
+        np.asarray(task["spares"], dtype=float),
+        cluster=task.get("cluster", True)))
 
 
 def _system_delays_shard(task: dict):
@@ -493,7 +494,10 @@ class ParallelSampler:
         dtype = np.dtype(result_dtype)
         total = sum(task["n"] for task in tasks)
         nbytes = total * dtype.itemsize
-        if nbytes < self.shm_min_bytes:
+        # Zero-byte payloads must ride the pickle path: SharedMemory
+        # rejects size=0, so shm_min_bytes=0 plus an empty dispatch would
+        # otherwise raise ValueError before the first shard runs.
+        if nbytes == 0 or nbytes < self.shm_min_bytes:
             return None
         try:
             segment = shared_memory.SharedMemory(create=True, size=nbytes)
@@ -703,7 +707,8 @@ class ParallelSampler:
     def solve_quantiles(self, tech, vdds, qs, spares, *, width: int = 128,
                         paths_per_lane: int = 100, chain_length: int = 50,
                         quads=None,
-                        chunk_size: int = DEFAULT_QUANTILE_CHUNK) -> np.ndarray:
+                        chunk_size: int = DEFAULT_QUANTILE_CHUNK,
+                        cluster: bool = True) -> np.ndarray:
         """Deterministic chip-delay quantiles, chunk-sharded over the pool.
 
         ``vdds``/``qs``/``spares`` are equal-length 1-D point arrays;
@@ -714,6 +719,8 @@ class ParallelSampler:
         ``chunk_size``, never on ``jobs``, so results are reproducible
         for a fixed chunking.  ``quads`` optionally pins the three
         quadrature orders ``(within, corr_vth, corr_mult)``.
+        ``cluster=False`` forwards the engine's batch-composition-invariant
+        per-point solve, making results independent of the chunking too.
         """
         vdds = np.asarray(vdds, dtype=float).ravel()
         qs = np.asarray(qs, dtype=float).ravel()
@@ -727,7 +734,8 @@ class ParallelSampler:
         common = dict(tech=tech, width=int(width),
                       paths_per_lane=int(paths_per_lane),
                       chain_length=int(chain_length),
-                      quads=tuple(int(q) for q in quads) if quads else None)
+                      quads=tuple(int(q) for q in quads) if quads else None,
+                      cluster=bool(cluster))
         tasks = []
         for i, start in enumerate(range(0, vdds.size, int(chunk_size))):
             sl = slice(start, start + int(chunk_size))

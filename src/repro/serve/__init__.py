@@ -1,0 +1,49 @@
+"""Sign-off-as-a-service: keep the solver hot, coalesce queries across clients.
+
+The batched quantile solver only pays off when many queries share one
+call; this package recovers that batching for *interactive* use.  A
+long-lived :class:`SignoffServer` (stdlib asyncio, JSON over HTTP) keeps
+technology cards, engine kernel LRUs and the on-disk
+:class:`~repro.runtime.cache.QuantileCache` warm, and a
+:class:`~repro.serve.dispatcher.MicroBatchDispatcher` coalesces
+concurrent clients' ``(vdd, spares, q)`` points into single
+bit-identical batch solves — with single-flight stampede protection,
+bounded-queue backpressure (429) and per-request deadlines (408).
+
+Start one from the CLI::
+
+    python -m repro.experiments serve --port 8437 --jobs 4
+
+and query it with ``curl`` or :class:`ServeClient`.
+"""
+
+from __future__ import annotations
+
+from repro.serve.client import ServeClient, ServeRequestError
+from repro.serve.dispatcher import MicroBatchDispatcher
+from repro.serve.protocol import (
+    BadRequestError,
+    DeadlineError,
+    EngineKey,
+    OverloadedError,
+    PayloadTooLarge,
+    ServeError,
+    SolverError,
+)
+from repro.serve.server import ServeConfig, SignoffServer, run_server
+
+__all__ = [
+    "ServeClient",
+    "ServeRequestError",
+    "ServeConfig",
+    "SignoffServer",
+    "MicroBatchDispatcher",
+    "run_server",
+    "EngineKey",
+    "ServeError",
+    "BadRequestError",
+    "DeadlineError",
+    "OverloadedError",
+    "PayloadTooLarge",
+    "SolverError",
+]

@@ -1,0 +1,50 @@
+"""Bare server entry point: ``python -m repro.serve [--port N] ...``.
+
+A thin alias for ``python -m repro.experiments serve`` for deployments
+that only need the server (no experiment registry import, no manifest
+plumbing).  Flags mirror the CLI target's serve group.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ConfigurationError
+from repro.runtime import build_runtime
+from repro.serve.server import ServeConfig, run_server
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve sign-off quantile queries over JSON/HTTP.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8437)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for large batch solves")
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--batch-window-ms", type=float, default=2.0)
+    parser.add_argument("--max-queue", type=int, default=1024)
+    parser.add_argument("--deadline-ms", type=float, default=None)
+    args = parser.parse_args(argv)
+    try:
+        config = ServeConfig(
+            host=args.host, port=args.port, max_batch=args.max_batch,
+            batch_window_ms=args.batch_window_ms, max_queue=args.max_queue,
+            deadline_ms=args.deadline_ms)
+        runtime = build_runtime(jobs=args.jobs, metrics=True)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        summary = run_server(config, runtime)
+    finally:
+        runtime.close()
+    print(f"[serve] handled {summary['requests']} requests, "
+          f"coalesce ratio {summary['coalesce_ratio']:.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

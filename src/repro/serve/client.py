@@ -1,0 +1,128 @@
+"""Blocking Python client for the sign-off server (stdlib only).
+
+:class:`ServeClient` wraps :class:`http.client.HTTPConnection` with
+keep-alive, one transparent reconnect on a stale pooled connection, and
+structured errors: any non-200 response raises
+:class:`ServeRequestError` carrying the HTTP status and the server's
+machine-readable error code (``overloaded``, ``deadline_exceeded``,
+``bad_request``, ...).
+
+>>> with ServeClient("127.0.0.1", 8437) as c:            # doctest: +SKIP
+...     c.chip_quantile("22nm", vdd=0.55)
+...     c.chip_quantile_batch("22nm", vdd=[0.5, 0.6], q=0.99)
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+__all__ = ["ServeClient", "ServeRequestError"]
+
+
+class ServeRequestError(Exception):
+    """A non-200 response: carries HTTP ``status`` and protocol ``code``."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"[{status}/{code}] {message}")
+        self.status = int(status)
+        self.code = str(code)
+        self.message = str(message)
+
+
+class ServeClient:
+    """One keep-alive connection to a :class:`~repro.serve.SignoffServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8437, *,
+                 timeout: float = 120.0) -> None:
+        self.host = str(host)
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- transport -----------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def _request(self, method: str, path: str, payload=None) -> dict:
+        body = json.dumps(payload).encode() if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # A keep-alive connection the server closed between
+                # requests surfaces here; retry once on a fresh socket.
+                self.close()
+                if attempt:
+                    raise
+        try:
+            parsed = json.loads(data.decode() or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            parsed = None
+        if response.status != 200:
+            if isinstance(parsed, dict):
+                raise ServeRequestError(response.status,
+                                        parsed.get("error", "unknown"),
+                                        parsed.get("message", ""))
+            raise ServeRequestError(response.status, "unknown",
+                                    data[:200].decode("latin-1"))
+        if not isinstance(parsed, dict):
+            raise ServeRequestError(200, "bad_payload",
+                                    "server returned non-object JSON")
+        return parsed
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- queries -------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/v1/metrics")
+
+    def chip_quantile(self, node: str, vdd: float, q: float = 0.99,
+                      spares: float = 0.0, **arch) -> float:
+        """One sign-off quantile (seconds); ``arch`` forwards width etc."""
+        payload = dict(node=node, vdd=vdd, q=q, spares=spares, **arch)
+        return float(self._request(
+            "POST", "/v1/chip_quantile", payload)["value"])
+
+    def chip_quantile_batch(self, node: str, vdd, q=0.99, spares=0.0,
+                            **arch) -> list:
+        """Broadcastable point arrays -> list of quantiles (seconds)."""
+        payload = dict(node=node, vdd=vdd, q=q, spares=spares, **arch)
+        return [float(v) for v in self._request(
+            "POST", "/v1/chip_quantile_batch", payload)["values"]]
+
+    def query(self, node: str, vdd, q=0.99, spares=0.0, **arch) -> dict:
+        """Raw batch response: ``values`` plus ``values_hex`` for
+        byte-for-byte comparisons against a local solve."""
+        payload = dict(node=node, vdd=vdd, q=q, spares=spares, **arch)
+        return self._request("POST", "/v1/query", payload)
+
+    def signoff_sweep(self, node: str, vdd, q: float = 0.99,
+                      spares: float = 0.0, **arch) -> dict:
+        """Full sweep response: values, fo4chipd, performance_drop, baseline."""
+        payload = dict(node=node, vdd=vdd, q=q, spares=spares, **arch)
+        return self._request("POST", "/v1/signoff_sweep", payload)

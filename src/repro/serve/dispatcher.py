@@ -1,0 +1,271 @@
+"""Micro-batching dispatcher: coalesce concurrent queries into batch solves.
+
+Scalar sign-off solves cost ~5-10 ms each while the batched solver
+amortises kernel construction and polishes all roots simultaneously
+(4-7x per ``BENCH_quantile.json``) — but only if many points share one
+call.  :class:`MicroBatchDispatcher` recovers that batching across
+*clients*: every in-flight ``(vdd, spares, q)`` point lands in a
+per-:class:`~repro.serve.protocol.EngineKey` bucket that is flushed into
+one ``chip_quantile_batch`` call when it reaches ``max_batch`` points or
+when the oldest point has waited ``window_s`` (whichever first).
+
+Correctness guarantees, in order of subtlety:
+
+- **Bit-identical coalescing.**  Batches are solved with the engine's
+  ``cluster=False`` mode (``invariant=True`` at the analyzer), under
+  which every root is a pure function of its own query point.  Grouping
+  queries from unrelated clients therefore returns exactly the bits a
+  direct per-point call would — coalescing is an invisible optimisation,
+  not an approximation.
+- **Single-flight.**  A point already being solved is joined, never
+  re-enqueued: N clients racing on a cold key trigger one solve
+  (``serve.singleflight_joins`` counts the stampede that didn't happen).
+- **Backpressure.**  At most ``max_queue`` unsolved points may be
+  pending; beyond that new points are rejected with
+  :class:`~repro.serve.protocol.OverloadedError` (HTTP 429) instead of
+  growing an unbounded queue.
+- **Deadlines.**  :meth:`resolve` bounds its wait with the request
+  deadline; expiry raises :class:`~repro.serve.protocol.DeadlineError`
+  (HTTP 408).  Waits are :func:`asyncio.shield`-ed so one client's
+  timeout never cancels a solve other clients are still waiting on.
+- **Retries.**  Batch solves reuse the runtime's
+  :class:`~repro.resilience.policy.RetryPolicy`: transient failures are
+  retried up to ``max_retries`` times with the policy's deterministic
+  jittered backoff before the whole bucket fails with
+  :class:`~repro.serve.protocol.SolverError`.
+
+The solve itself runs on a single dedicated thread (the engine LRUs are
+not thread-safe) with the server's runtime activated, so pool fan-out,
+fault recovery and cache layers all behave exactly as in CLI runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.resilience.policy import RetryPolicy
+from repro.serve.protocol import (
+    DeadlineError,
+    OverloadedError,
+    ServeError,
+    SolverError,
+)
+
+__all__ = ["MicroBatchDispatcher", "BATCH_SIZE_BUCKETS", "MEMO_LIMIT"]
+
+#: Bucket bounds for the ``serve.batch_size`` histogram.
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+#: In-dispatcher memo entries (point values, ~100 B each) before eviction.
+MEMO_LIMIT = 65536
+
+
+class MicroBatchDispatcher:
+    """Coalesces point queries into batched solves on the event loop.
+
+    Parameters
+    ----------
+    solve_fn:
+        Blocking ``(EngineKey, [(vdd, spares, q), ...]) -> [float, ...]``
+        executed on the dispatcher's solver thread.  Must be
+        batch-composition invariant (see module docstring).
+    metrics:
+        The server's :class:`~repro.obs.metrics.MetricsRegistry`.
+    max_batch:
+        Flush a bucket as soon as it holds this many points.
+    window_s:
+        Flush a bucket this long after its first point arrived even if
+        under ``max_batch`` (the latency cost of coalescing).
+    max_queue:
+        Pending-point bound; beyond it :meth:`resolve` rejects with 429.
+    policy:
+        :class:`~repro.resilience.policy.RetryPolicy` for solve retries.
+    """
+
+    def __init__(self, solve_fn, metrics, *, max_batch: int = 32,
+                 window_s: float = 0.002, max_queue: int = 1024,
+                 policy: RetryPolicy | None = None) -> None:
+        self._solve_fn = solve_fn
+        self._metrics = metrics
+        self.max_batch = int(max_batch)
+        self.window_s = float(window_s)
+        self.max_queue = int(max_queue)
+        self.policy = policy or RetryPolicy()
+        self._pending: dict = {}      # EngineKey -> [(point, future), ...]
+        self._timers: dict = {}       # EngineKey -> TimerHandle
+        self._inflight: dict = {}     # (EngineKey, point) -> future
+        self._memo: OrderedDict = OrderedDict()
+        self._queued = 0
+        self._batch_seq = 0
+        self._points_batched = 0
+        self._batches = 0
+        self._tasks: set = set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-solve")
+        self._closed = False
+
+    # -- public API ----------------------------------------------------------
+
+    async def resolve(self, key, points, *, timeout: float) -> list:
+        """Values for ``points`` (in order), coalescing with other callers.
+
+        Raises :class:`OverloadedError` when the queue bound would be
+        exceeded and :class:`DeadlineError` when ``timeout`` (seconds)
+        expires first; an expired caller never cancels the underlying
+        solve, so late joiners still complete.
+        """
+        futures = [self._lookup(key, point) for point in points]
+        try:
+            return await asyncio.wait_for(
+                asyncio.gather(*(asyncio.shield(f) for f in futures)),
+                timeout)
+        except asyncio.TimeoutError:
+            self._metrics.counter("serve.deadline_misses").inc()
+            raise DeadlineError(
+                f"deadline of {timeout:g}s expired with "
+                f"{sum(not f.done() for f in futures)} of {len(futures)} "
+                f"points unsolved") from None
+
+    def flush(self) -> None:
+        """Dispatch every pending bucket now (shutdown / tests)."""
+        for key in list(self._pending):
+            self._flush(key)
+
+    async def drain(self) -> None:
+        """Flush and wait for all in-flight batch tasks to finish."""
+        self.flush()
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    async def aclose(self) -> None:
+        """Drain outstanding work, then release the solver thread."""
+        self._closed = True
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+        await self.drain()
+        self._executor.shutdown(wait=True)
+
+    @property
+    def coalesce_ratio(self) -> float:
+        """Mean points per dispatched batch (1.0 = no coalescing)."""
+        return self._points_batched / self._batches if self._batches else 0.0
+
+    @property
+    def queued(self) -> int:
+        return self._queued
+
+    # -- enqueue side (event-loop thread only) -------------------------------
+
+    def _lookup(self, key, point) -> asyncio.Future:
+        """Future for one point: memo hit, in-flight join, or enqueue."""
+        loop = asyncio.get_running_loop()
+        k = (key, point)
+        value = self._memo.get(k)
+        if value is not None:
+            self._memo.move_to_end(k)
+            self._metrics.counter("serve.memo_hits").inc()
+            fut = loop.create_future()
+            fut.set_result(value)
+            return fut
+        fut = self._inflight.get(k)
+        if fut is not None:
+            self._metrics.counter("serve.singleflight_joins").inc()
+            return fut
+        if self._queued >= self.max_queue:
+            self._metrics.counter("serve.rejected").inc()
+            raise OverloadedError(
+                f"{self._queued} points queued (limit {self.max_queue})")
+        fut = loop.create_future()
+        # Consume the exception even if every waiter timed out, so failed
+        # batches never surface as "exception was never retrieved" noise.
+        fut.add_done_callback(lambda f: f.cancelled() or f.exception())
+        self._inflight[k] = fut
+        self._queued += 1
+        self._metrics.gauge("serve.queue_depth").set(self._queued)
+        bucket = self._pending.setdefault(key, [])
+        bucket.append((point, fut))
+        if len(bucket) >= self.max_batch:
+            self._flush(key)
+        elif len(bucket) == 1 and not self._closed:
+            self._timers[key] = loop.call_later(
+                self.window_s, self._flush, key)
+        return fut
+
+    def _flush(self, key) -> None:
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        bucket = self._pending.pop(key, None)
+        if not bucket:
+            return
+        self._batches += 1
+        self._points_batched += len(bucket)
+        self._metrics.counter("serve.batches").inc()
+        self._metrics.histogram(
+            "serve.batch_size", buckets=BATCH_SIZE_BUCKETS).observe(
+                len(bucket))
+        self._metrics.gauge("serve.coalesce_ratio").set(self.coalesce_ratio)
+        task = asyncio.get_running_loop().create_task(
+            self._run_batch(key, bucket))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    # -- solve side ----------------------------------------------------------
+
+    async def _run_batch(self, key, bucket) -> None:
+        points = [point for point, _ in bucket]
+        try:
+            values = await self._solve_with_retry(key, points)
+            if len(values) != len(points):
+                raise SolverError(
+                    f"solver returned {len(values)} values for "
+                    f"{len(points)} points")
+        except ServeError as exc:
+            self._fail_bucket(key, bucket, exc)
+            return
+        except Exception as exc:   # noqa: BLE001 - boundary to clients
+            self._fail_bucket(
+                key, bucket, SolverError(f"batch solve failed: {exc!r}"))
+            return
+        for (point, fut), value in zip(bucket, values):
+            self._settle(key, point)
+            k = (key, point)
+            self._memo[k] = value
+            self._memo.move_to_end(k)
+            while len(self._memo) > MEMO_LIMIT:
+                self._memo.popitem(last=False)
+            if not fut.done():
+                fut.set_result(value)
+
+    async def _solve_with_retry(self, key, points) -> list:
+        seq = self._batch_seq
+        self._batch_seq += 1
+        loop = asyncio.get_running_loop()
+        last: Exception | None = None
+        for attempt in range(self.policy.max_retries + 1):
+            if attempt:
+                self._metrics.counter("serve.solver_retries").inc()
+                await asyncio.sleep(self.policy.backoff_s(seq, attempt))
+            try:
+                return await loop.run_in_executor(
+                    self._executor, self._solve_fn, key, points)
+            except Exception as exc:   # noqa: BLE001 - retried below
+                last = exc
+        self._metrics.counter("serve.solver_failures").inc()
+        raise SolverError(
+            f"batch of {len(points)} points failed after "
+            f"{self.policy.max_retries + 1} attempts: {last!r}")
+
+    def _fail_bucket(self, key, bucket, exc: ServeError) -> None:
+        for point, fut in bucket:
+            self._settle(key, point)
+            if not fut.done():
+                fut.set_exception(exc)
+
+    def _settle(self, key, point) -> None:
+        self._inflight.pop((key, point), None)
+        self._queued -= 1
+        self._metrics.gauge("serve.queue_depth").set(self._queued)

@@ -1,0 +1,235 @@
+"""Wire protocol for the sign-off server: JSON over minimal HTTP/1.1.
+
+The server speaks just enough HTTP for ``curl``, :class:`~http.client`
+and any stock load balancer: request line + headers + ``Content-Length``
+body, keep-alive connections, JSON request and response bodies.  Framing
+lives here (:func:`read_request` / :func:`json_response`) together with
+request validation (:func:`parse_query`) and the structured error
+hierarchy every handler maps onto an HTTP status:
+
+========================  ======  ==================================
+error                     status  meaning
+========================  ======  ==================================
+:class:`BadRequestError`  400     malformed body / invalid points
+:class:`DeadlineError`    408     per-request deadline expired
+:class:`PayloadTooLarge`  413     body above :data:`MAX_BODY_BYTES`
+:class:`OverloadedError`  429     dispatcher queue full (backpressure)
+:class:`SolverError`      500     solve failed after retries
+========================  ======  ==================================
+
+Every error response body is ``{"error": <code>, "message": <text>}``
+so clients can branch on a stable machine-readable code rather than
+scraping messages.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import NamedTuple
+
+__all__ = [
+    "MAX_BODY_BYTES", "MAX_POINTS", "EngineKey", "ServeError",
+    "BadRequestError", "DeadlineError", "PayloadTooLarge",
+    "OverloadedError", "SolverError", "parse_query", "read_request",
+    "json_response", "error_response",
+]
+
+#: Hard cap on a request body; a full-size batch of 4096 points is ~200 KiB.
+MAX_BODY_BYTES = 1 << 20
+
+#: Hard cap on query points per request (after broadcasting).
+MAX_POINTS = 4096
+
+#: Architecture defaults mirror the paper (128 lanes x 100 paths x 50 FO4).
+_ARCH_DEFAULTS = {"width": 128, "paths_per_lane": 100, "chain_length": 50}
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 408: "Request Timeout",
+            413: "Payload Too Large", 429: "Too Many Requests",
+            500: "Internal Server Error"}
+
+
+class EngineKey(NamedTuple):
+    """One served engine identity: a node plus its architecture shape.
+
+    Queries coalesce only within an :class:`EngineKey` — points for
+    different nodes or architectures can never share a batch solve.
+    """
+
+    node: str
+    width: int
+    paths_per_lane: int
+    chain_length: int
+
+
+class ServeError(Exception):
+    """Base for protocol-level failures; carries HTTP status + stable code."""
+
+    status = 500
+    code = "internal"
+
+    def payload(self) -> dict:
+        return {"error": self.code, "message": str(self)}
+
+
+class BadRequestError(ServeError):
+    status = 400
+    code = "bad_request"
+
+
+class DeadlineError(ServeError):
+    status = 408
+    code = "deadline_exceeded"
+
+
+class PayloadTooLarge(ServeError):
+    status = 413
+    code = "payload_too_large"
+
+
+class OverloadedError(ServeError):
+    status = 429
+    code = "overloaded"
+
+
+class SolverError(ServeError):
+    status = 500
+    code = "solver_failed"
+
+
+def _as_float_list(body: dict, field: str, default, n: int | None):
+    """One broadcastable numeric field -> list of finite floats.
+
+    Scalars broadcast against the longest field; lists must agree on
+    length.  Returns ``(values, n)`` with ``n`` the running broadcast
+    length (``None`` while only scalars have been seen).
+    """
+    raw = body.get(field, default)
+    if raw is None:
+        raise BadRequestError(f"missing required field {field!r}")
+    if isinstance(raw, bool):
+        raise BadRequestError(f"{field} must be numeric, got a bool")
+    if isinstance(raw, (int, float)):
+        return [float(raw)], n
+    if isinstance(raw, (list, tuple)):
+        if not raw:
+            raise BadRequestError(f"{field} must not be an empty list")
+        if len(raw) > MAX_POINTS:
+            raise BadRequestError(
+                f"{field} has {len(raw)} points, limit {MAX_POINTS}")
+        vals = []
+        for v in raw:
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                raise BadRequestError(f"{field} must contain only numbers")
+            vals.append(float(v))
+        if n is not None and n != 1 and len(vals) not in (1, n):
+            raise BadRequestError(
+                f"{field} has length {len(vals)}, expected {n}")
+        return vals, max(n or 1, len(vals))
+    raise BadRequestError(f"{field} must be a number or list of numbers")
+
+
+def parse_query(body: dict, *, available_nodes) -> tuple:
+    """Validate one query body into ``(EngineKey, points)``.
+
+    ``points`` is a list of ``(vdd, spares, q)`` tuples rounded exactly
+    like :meth:`~repro.core.analyzer.VariationAnalyzer._point_key`, so
+    equal queries from different clients coalesce to one solve and one
+    memo entry.  Broadcasting follows numpy: scalar fields stretch to the
+    longest list field.
+    """
+    if not isinstance(body, dict):
+        raise BadRequestError("request body must be a JSON object")
+    node = body.get("node")
+    if not isinstance(node, str):
+        raise BadRequestError("missing required string field 'node'")
+    if node not in available_nodes:
+        raise BadRequestError(
+            f"unknown node {node!r}; available: {sorted(available_nodes)}")
+    arch = {}
+    for field, default in _ARCH_DEFAULTS.items():
+        raw = body.get(field, default)
+        if isinstance(raw, bool) or not isinstance(raw, int) or raw < 1:
+            raise BadRequestError(f"{field} must be a positive integer")
+        arch[field] = raw
+    key = EngineKey(node, arch["width"], arch["paths_per_lane"],
+                    arch["chain_length"])
+
+    n = None
+    vdds, n = _as_float_list(body, "vdd", None, n)
+    qs, n = _as_float_list(body, "q", 0.99, n)
+    sps, n = _as_float_list(body, "spares", 0.0, n)
+    n = n or 1
+    if n > MAX_POINTS:
+        raise BadRequestError(f"{n} query points, limit {MAX_POINTS}")
+
+    def bcast(vals):
+        return vals * n if len(vals) == 1 else vals
+
+    points = []
+    for v, q, s in zip(bcast(vdds), bcast(qs), bcast(sps)):
+        if not (v == v and 0.0 < v < 10.0):   # NaN fails v == v
+            raise BadRequestError(f"vdd must be in (0, 10) volts, got {v}")
+        if not 0.0 < q < 1.0:
+            raise BadRequestError(f"q must be in (0, 1), got {q}")
+        if not 0.0 <= s < 1e9:
+            raise BadRequestError(f"spares must be >= 0, got {s}")
+        points.append((round(v, 9), round(s, 9), round(q, 12)))
+    return key, points
+
+
+async def read_request(reader: asyncio.StreamReader):
+    """Read one HTTP request; ``None`` on a cleanly closed connection.
+
+    Returns ``(method, path, headers, body_bytes)`` with header names
+    lower-cased.  Raises :class:`BadRequestError` on malformed framing
+    and :class:`PayloadTooLarge` on oversized bodies.
+    """
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not line:
+        return None
+    parts = line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise BadRequestError("malformed request line")
+    method, path = parts[0].upper(), parts[1]
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise BadRequestError("malformed header line")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise BadRequestError("invalid Content-Length") from None
+    if length < 0:
+        raise BadRequestError("invalid Content-Length")
+    if length > MAX_BODY_BYTES:
+        raise PayloadTooLarge(
+            f"body of {length} bytes exceeds limit {MAX_BODY_BYTES}")
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body
+
+
+def json_response(status: int, payload: dict, *,
+                  keep_alive: bool = True) -> bytes:
+    """Serialise one JSON response with correct framing headers."""
+    body = json.dumps(payload).encode()
+    reason = _REASONS.get(status, "Unknown")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n")
+    return head.encode("latin-1") + body
+
+
+def error_response(exc: ServeError, *, keep_alive: bool = True) -> bytes:
+    return json_response(exc.status, exc.payload(), keep_alive=keep_alive)

@@ -1,0 +1,367 @@
+"""Sign-off-as-a-service: the asyncio HTTP front end.
+
+:class:`SignoffServer` keeps everything expensive warm across requests —
+technology cards, per-architecture :class:`~repro.core.analyzer.
+VariationAnalyzer` instances (and with them the engine kernel LRUs), one
+shared on-disk :class:`~repro.runtime.cache.QuantileCache`, and the
+runtime's worker pool — and answers sign-off queries over JSON/HTTP:
+
+=========================== ====== =====================================
+route                       method semantics
+=========================== ====== =====================================
+``/healthz``                GET    liveness + uptime
+``/v1/metrics``             GET    metrics snapshot (latency gauges set)
+``/v1/chip_quantile``       POST   one point -> scalar quantile
+``/v1/chip_quantile_batch`` POST   broadcastable arrays -> value list
+``/v1/query``               POST   alias of ``chip_quantile_batch``
+``/v1/signoff_sweep``       POST   sweep + nominal baseline, FO4 + drops
+=========================== ====== =====================================
+
+Every solve funnels through the :class:`~repro.serve.dispatcher.
+MicroBatchDispatcher`, so concurrent clients share batch solves and a
+single-flight memo (see that module for the guarantees).  Responses
+carry ``values`` (floats, which JSON round-trips bit-exactly) plus
+``values_hex`` (``float.hex()``) for byte-for-byte comparisons.
+
+:func:`run_server` is the blocking entry point the CLI target wraps: it
+serves until SIGINT/SIGTERM, then drains in-flight batches and returns a
+summary dict for the run manifest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.analyzer import VariationAnalyzer
+from repro.devices.technology import available_technologies
+from repro.errors import ConfigurationError
+from repro.obs.api import build_obs
+from repro.runtime import QuantileCache, build_runtime
+from repro.runtime.context import activate_runtime
+from repro.serve.dispatcher import MicroBatchDispatcher
+from repro.serve.protocol import (
+    BadRequestError,
+    ServeError,
+    error_response,
+    json_response,
+    parse_query,
+    read_request,
+)
+
+__all__ = ["ServeConfig", "SignoffServer", "run_server",
+           "LATENCY_BUCKETS_MS"]
+
+#: ``serve.latency_ms`` histogram bounds (sub-ms cache hits to slow solves).
+LATENCY_BUCKETS_MS = (1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500,
+                      5000, 10000)
+
+
+@dataclass
+class ServeConfig:
+    """Knobs for one server instance (all validated at construction).
+
+    ``port=0`` lets the OS pick a free port (announced on stdout by
+    :func:`run_server` and available as ``SignoffServer.port``).
+    ``deadline_ms=None`` defaults each request's deadline to the retry
+    policy's ``shard_timeout_s``.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8437
+    max_batch: int = 32
+    batch_window_ms: float = 2.0
+    max_queue: int = 1024
+    deadline_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= int(self.port) <= 65535:
+            raise ConfigurationError(f"port must be in [0, 65535], got {self.port}")
+        if int(self.max_batch) < 1:
+            raise ConfigurationError(
+                f"max_batch must be >= 1, got {self.max_batch}")
+        if float(self.batch_window_ms) < 0:
+            raise ConfigurationError(
+                f"batch_window_ms must be >= 0, got {self.batch_window_ms}")
+        if int(self.max_queue) < 1:
+            raise ConfigurationError(
+                f"max_queue must be >= 1, got {self.max_queue}")
+        if self.deadline_ms is not None and float(self.deadline_ms) <= 0:
+            raise ConfigurationError(
+                f"deadline_ms must be > 0, got {self.deadline_ms}")
+
+
+class SignoffServer:
+    """One serving instance bound to a runtime (see module docstring)."""
+
+    def __init__(self, config: ServeConfig,
+                 runtime=None) -> None:
+        self.config = config
+        self._owns_runtime = runtime is None
+        if runtime is None:
+            runtime = build_runtime(jobs=1, metrics=True)
+        if not runtime.obs.metrics.enabled:
+            # The dispatcher's coalescing stats double as its accounting;
+            # serving without a live registry is never worth the saving.
+            runtime.obs = build_obs(trace=runtime.obs.tracer.enabled,
+                                    metrics=True)
+        self._runtime = runtime
+        self.metrics = runtime.obs.metrics
+        retry = getattr(runtime.sampler, "retry", None) or None
+        self._deadline_s = (
+            float(config.deadline_ms) / 1000.0
+            if config.deadline_ms is not None
+            else float((retry.shard_timeout_s if retry is not None
+                        else 300.0)))
+        self.dispatcher = MicroBatchDispatcher(
+            self._solve, self.metrics,
+            max_batch=config.max_batch,
+            window_s=float(config.batch_window_ms) / 1000.0,
+            max_queue=config.max_queue,
+            policy=retry)
+        self._nodes = frozenset(available_technologies())
+        self._cache = QuantileCache()
+        self._analyzers: dict = {}
+        self._server: asyncio.base_events.Server | None = None
+        self._conn_tasks: set = set()
+        self._started = time.monotonic()
+        self.requests = 0
+
+    # -- engine plumbing -----------------------------------------------------
+
+    def _analyzer(self, key) -> VariationAnalyzer:
+        """The served analyzer for one engine identity (loop thread only)."""
+        analyzer = self._analyzers.get(key)
+        if analyzer is None:
+            analyzer = VariationAnalyzer(
+                key.node, width=key.width,
+                paths_per_lane=key.paths_per_lane,
+                chain_length=key.chain_length,
+                quantile_cache=self._cache)
+            self._analyzers[key] = analyzer
+        return analyzer
+
+    def _solve(self, key, points) -> list:
+        """Blocking batch solve; runs on the dispatcher's solver thread.
+
+        ``run_in_executor`` does not propagate contextvars, so the
+        server's runtime is re-activated here — the solve sees the same
+        pool, fault plan and observability as a CLI run would.
+        """
+        analyzer = self._analyzers[key]
+        vdds = np.array([p[0] for p in points])
+        sps = np.array([p[1] for p in points])
+        qs = np.array([p[2] for p in points])
+        with activate_runtime(self._runtime):
+            out = analyzer.chip_quantiles(vdds, sps, qs, invariant=True)
+        return [float(v) for v in np.atleast_1d(out)]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port)
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the OS's pick)."""
+        if self._server is None:
+            return int(self.config.port)
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain solves, final gauges."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.dispatcher.aclose()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks),
+                                 return_exceptions=True)
+        self._set_summary_gauges()
+        if self._owns_runtime:
+            self._runtime.close()
+
+    def _set_summary_gauges(self) -> None:
+        hist = self.metrics.histogram("serve.latency_ms",
+                                      buckets=LATENCY_BUCKETS_MS)
+        self.metrics.gauge("serve.latency_p50_ms").set(hist.percentile(0.50))
+        self.metrics.gauge("serve.latency_p99_ms").set(hist.percentile(0.99))
+        self.metrics.gauge("serve.coalesce_ratio").set(
+            self.dispatcher.coalesce_ratio)
+        self.metrics.gauge("serve.uptime_s").set(
+            time.monotonic() - self._started)
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ServeError as exc:
+                    writer.write(error_response(exc, keep_alive=False))
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                method, path, headers, body = request
+                close = headers.get("connection", "").lower() == "close"
+                response = await self._dispatch(method, path, body)
+                if close:
+                    response = response.replace(
+                        b"Connection: keep-alive", b"Connection: close", 1)
+                writer.write(response)
+                await writer.drain()
+                if close:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> bytes:
+        import json
+
+        self.requests += 1
+        self.metrics.counter("serve.requests").inc()
+        t0 = time.monotonic()
+        with self._runtime.obs.tracer.span("serve.request", path=path):
+            try:
+                if path == "/healthz":
+                    if method != "GET":
+                        return json_response(405, {"error": "method_not_allowed",
+                                                   "message": "use GET"})
+                    payload = {"ok": True,
+                               "uptime_s": time.monotonic() - self._started,
+                               "queued": self.dispatcher.queued}
+                    return json_response(200, payload)
+                if path == "/v1/metrics":
+                    if method != "GET":
+                        return json_response(405, {"error": "method_not_allowed",
+                                                   "message": "use GET"})
+                    self._set_summary_gauges()
+                    return json_response(200, self.metrics.as_dict())
+                if path in ("/v1/chip_quantile", "/v1/chip_quantile_batch",
+                            "/v1/query", "/v1/signoff_sweep"):
+                    if method != "POST":
+                        return json_response(405, {"error": "method_not_allowed",
+                                                   "message": "use POST"})
+                    try:
+                        parsed = json.loads(body.decode() or "null")
+                    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                        raise BadRequestError(
+                            f"body is not valid JSON: {exc}") from None
+                    if path == "/v1/signoff_sweep":
+                        payload = await self._signoff_sweep(parsed)
+                    else:
+                        payload = await self._query(
+                            parsed, scalar=path == "/v1/chip_quantile")
+                    return json_response(200, payload)
+                return json_response(404, {"error": "not_found",
+                                           "message": f"no route {path!r}"})
+            except ServeError as exc:
+                self.metrics.counter("serve.errors").inc()
+                return error_response(exc)
+            except Exception as exc:   # noqa: BLE001 - boundary to clients
+                self.metrics.counter("serve.errors").inc()
+                return json_response(500, {"error": "internal",
+                                           "message": repr(exc)})
+            finally:
+                self.metrics.histogram(
+                    "serve.latency_ms",
+                    buckets=LATENCY_BUCKETS_MS).observe(
+                        (time.monotonic() - t0) * 1000.0)
+
+    # -- query handlers ------------------------------------------------------
+
+    async def _query(self, body, *, scalar: bool) -> dict:
+        key, points = parse_query(body, available_nodes=self._nodes)
+        if scalar and len(points) != 1:
+            raise BadRequestError(
+                "chip_quantile takes exactly one point; use "
+                "chip_quantile_batch for arrays")
+        self._analyzer(key)
+        self.metrics.counter("serve.points").inc(len(points))
+        values = await self.dispatcher.resolve(
+            key, points, timeout=self._deadline_s)
+        payload = {"node": key.node, "n": len(points),
+                   "values": values,
+                   "values_hex": [float(v).hex() for v in values]}
+        if scalar:
+            payload["value"] = values[0]
+        return payload
+
+    async def _signoff_sweep(self, body) -> dict:
+        """Sweep + nominal baseline: quantiles, FO4 units, perf drops.
+
+        The nominal full-voltage spare-less point is appended to the
+        solve so the paper's ``fo4chipd`` drop metric comes back in one
+        round trip (and the baseline point lands in every cache layer).
+        """
+        key, points = parse_query(body, available_nodes=self._nodes)
+        analyzer = self._analyzer(key)
+        q = points[0][2]
+        baseline = (round(float(analyzer.nominal_vdd), 9), 0.0, q)
+        self.metrics.counter("serve.points").inc(len(points) + 1)
+        values = await self.dispatcher.resolve(
+            key, points + [baseline], timeout=self._deadline_s)
+        base_fo4 = values[-1] / analyzer.fo4_unit(baseline[0])
+        sweep = values[:-1]
+        fo4 = [v / analyzer.fo4_unit(p[0]) for v, p in zip(sweep, points)]
+        return {"node": key.node, "n": len(points),
+                "values": sweep,
+                "values_hex": [float(v).hex() for v in sweep],
+                "fo4chipd": fo4,
+                "performance_drop": [f / base_fo4 - 1.0 for f in fo4],
+                "baseline": {"vdd": baseline[0], "q": q,
+                             "value": values[-1], "fo4chipd": base_fo4}}
+
+
+async def _serve_until_signalled(config: ServeConfig, runtime) -> dict:
+    server = SignoffServer(config, runtime)
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed = []
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass   # non-main thread or platform without signal support
+    port = server.port  # before stop() — closed sockets have no name
+    print(f"[serve] listening on {config.host}:{port}", flush=True)
+    try:
+        await stop.wait()
+    finally:
+        for sig in installed:
+            loop.remove_signal_handler(sig)
+        await server.stop()
+    return {"requests": server.requests,
+            "coalesce_ratio": server.dispatcher.coalesce_ratio,
+            "port": port}
+
+
+def run_server(config: ServeConfig, runtime=None) -> dict:
+    """Serve until SIGINT/SIGTERM; returns a summary for the manifest.
+
+    Must run on the main thread (signal handlers).  The caller owns
+    ``runtime`` — its metrics registry holds the final ``serve.*``
+    instruments when this returns, ready for the manifest writer.
+    """
+    return asyncio.run(_serve_until_signalled(config, runtime))

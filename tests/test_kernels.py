@@ -10,6 +10,7 @@ from repro.core.montecarlo import MonteCarloEngine
 from repro.devices.technology import available_technologies, get_technology
 from repro.errors import ConfigurationError
 from repro.obs.api import activate_obs, build_obs
+from repro.obs.metrics import NOOP_METRICS
 from repro.resilience import FaultLedger, activate_ledger, install_faults, \
     parse_faults
 from repro.runtime import ParallelSampler
@@ -242,3 +243,16 @@ def test_shm_threshold_disables_transport(tech90):
                                    **SMALL_ARCH)
     assert obs.metrics.counter("sampler.shm_bytes").value == 0
     assert out.shape == (64,)
+
+
+def test_shm_zero_byte_payload_falls_back_to_pickle():
+    """shm_min_bytes=0 with an empty shard must not create a 0-byte segment.
+
+    ``SharedMemory(create=True, size=0)`` raises ValueError; the guard
+    routes empty dispatches through the pickle transport instead.
+    """
+    with ParallelSampler(2, shm_min_bytes=0) as sampler:
+        tasks = [{"n": 0}]
+        segment = sampler._open_shm(tasks, np.float64, NOOP_METRICS)
+        assert segment is None
+        assert "shm" not in tasks[0]

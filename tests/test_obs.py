@@ -475,3 +475,22 @@ def test_build_runtime_wires_obs_modes():
     rt = build_runtime(trace=True)
     assert rt.obs.tracer.enabled and rt.obs.metrics.enabled
     rt.close()
+
+
+def test_histogram_percentile_interpolates_within_buckets():
+    h = MetricsRegistry().histogram("lat", buckets=(10, 20, 40))
+    for v in (5, 5, 15, 15, 15, 15, 25, 25, 25, 35):
+        h.observe(v)
+    # rank 5 of 10 lands at the end of the 4-observation (10, 20] bucket
+    assert h.percentile(0.5) == pytest.approx(17.5)
+    assert h.percentile(0.0) == 0.0
+    assert h.percentile(1.0) == pytest.approx(40.0)
+    with pytest.raises(ValueError):
+        h.percentile(1.5)
+
+
+def test_histogram_percentile_edge_cases():
+    h = MetricsRegistry().histogram("empty", buckets=(1, 2))
+    assert h.percentile(0.5) == 0.0          # no observations
+    h.observe(100)                           # overflow bin only
+    assert h.percentile(0.5) == 2.0          # clamps to last finite bound

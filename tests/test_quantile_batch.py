@@ -168,3 +168,57 @@ def test_cache_get_many_disabled(tmp_path):
     cache.put_many([("a", 1.0)])
     assert cache.get_many(["a", "b"]) == [None, None]
     assert cache.misses == 2
+
+
+# -- batch-composition invariance (cluster=False) ------------------------------
+
+
+def _fresh_engine(tech90):
+    return ChipDelayEngine(tech90, width=16, paths_per_lane=10,
+                           chain_length=20)
+
+
+def test_invariant_mode_bit_identical_across_groupings(tech90):
+    """cluster=False roots depend only on their own point, never the batch.
+
+    This is the serving dispatcher's contract: coalescing queries from
+    unrelated clients must return exactly the bits a direct per-point
+    call produces, so any grouping, permutation or chunking of the same
+    points is bit-identical.
+    """
+    vdds = np.array([0.5, 0.55, 0.6, 0.7, 0.45])
+    batch = _fresh_engine(tech90).chip_quantile_batch(vdds, 0.99, 0.0,
+                                                      cluster=False)
+    singles = np.array([
+        _fresh_engine(tech90).chip_quantile_batch(v, 0.99, 0.0,
+                                                  cluster=False)
+        for v in vdds])
+    np.testing.assert_array_equal(singles, batch)
+    permuted = _fresh_engine(tech90).chip_quantile_batch(
+        vdds[::-1], 0.99, 0.0, cluster=False)[::-1]
+    np.testing.assert_array_equal(permuted, batch)
+    chunked = _fresh_engine(tech90).chip_quantile_batch(
+        vdds, 0.99, 0.0, cluster=False, chunk_size=2)
+    np.testing.assert_array_equal(chunked, batch)
+
+
+def test_invariant_mode_close_to_clustered(tech90):
+    """Both modes solve the same equation to ~1e-12 relative."""
+    vdds = np.linspace(0.5, 0.8, 10)
+    a = _fresh_engine(tech90).chip_quantile_batch(vdds, 0.99, 0.0)
+    b = _fresh_engine(tech90).chip_quantile_batch(vdds, 0.99, 0.0,
+                                                  cluster=False)
+    np.testing.assert_allclose(a, b, rtol=1e-11)
+
+
+def test_analyzer_invariant_solves_match_engine(tmp_path, tech90):
+    """analyzer.chip_quantiles(invariant=True) returns the engine's bits."""
+    analyzer = VariationAnalyzer(
+        tech90, width=16, paths_per_lane=10, chain_length=20,
+        quantile_cache=QuantileCache(path=str(tmp_path / "q.json"),
+                                     enabled=True))
+    vdds = np.array([0.5, 0.6, 0.7])
+    got = analyzer.chip_quantiles(vdds, 0, 0.99, invariant=True)
+    expected = _fresh_engine(tech90).chip_quantile_batch(
+        vdds, 0.99, 0.0, cluster=False)
+    np.testing.assert_array_equal(got, expected)

@@ -92,3 +92,8 @@ def test_cli_parallel_jobs_smoke(capsys):
     out = capsys.readouterr().out
     assert "fig3" in out and "completed in" in out
     assert "sampler.sample_chips" in out
+
+
+def test_cli_rejects_negative_jobs(capsys):
+    assert cli_main(["fig9", "--jobs", "-3"]) == 2
+    assert "--jobs" in capsys.readouterr().err

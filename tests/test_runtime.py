@@ -269,3 +269,49 @@ def test_second_fig4_run_faster_via_cache(monkeypatch, tmp_path):
     assert warm_s < 0.5 * cold_s, (
         f"persistent cache gave no speedup: cold={cold_s:.3f}s "
         f"warm={warm_s:.3f}s")
+
+
+# -- cache merge precedence under concurrency ----------------------------------
+
+
+def test_put_many_fresh_disk_wins_over_stale_memory(tmp_path):
+    """A concurrent writer's newer entry must survive another's put_many.
+
+    Instance ``a`` loads the file, instance ``b`` overwrites a key on
+    disk; when ``a`` later writes an unrelated key, its stale in-memory
+    copy of the first key must not shadow ``b``'s fresh on-disk value.
+    """
+    path = str(tmp_path / "q.json")
+    a = QuantileCache(path=path, enabled=True)
+    b = QuantileCache(path=path, enabled=True)
+    a.put("k1", 1.0)                   # a now holds k1=1.0 in memory
+    b.put("k1", 2.0)                   # b supersedes it on disk
+    a.put_many([("k2", 3.0)])          # must not resurrect k1=1.0
+    fresh = QuantileCache(path=path, enabled=True)
+    assert fresh.get("k1") == 2.0
+    assert fresh.get("k2") == 3.0
+    # a's own view converged to the merged state as well
+    assert a.get("k1") == 2.0
+
+
+def test_put_many_own_items_win_over_disk(tmp_path):
+    """Keys the caller is writing take precedence over both sources."""
+    path = str(tmp_path / "q.json")
+    a = QuantileCache(path=path, enabled=True)
+    b = QuantileCache(path=path, enabled=True)
+    a.put("k", 1.0)
+    b.put("k", 2.0)
+    a.put_many([("k", 9.0)])
+    assert QuantileCache(path=path, enabled=True).get("k") == 9.0
+
+
+def test_build_runtime_validates_jobs():
+    with pytest.raises(ConfigurationError):
+        build_runtime(jobs=0)
+    with pytest.raises(ConfigurationError):
+        build_runtime(jobs=-3)
+    runtime = build_runtime(jobs=1)
+    try:
+        assert runtime.jobs == 1
+    finally:
+        runtime.close()

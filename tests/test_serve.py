@@ -1,0 +1,478 @@
+"""Sign-off server: protocol, coalescing dispatcher, chaos, bit-identity."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.chip_delay import ChipDelayEngine
+from repro.devices.technology import get_technology
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import RetryPolicy, parse_faults
+from repro.runtime import build_runtime
+from repro.serve import (
+    BadRequestError,
+    EngineKey,
+    MicroBatchDispatcher,
+    OverloadedError,
+    ServeClient,
+    ServeConfig,
+    ServeRequestError,
+    SignoffServer,
+)
+from repro.serve.protocol import parse_query
+
+#: Tiny architecture so every solve stays fast.
+ARCH = dict(width=4, paths_per_lane=5, chain_length=10)
+KEY = EngineKey("22nm", 4, 5, 10)
+NODES = frozenset({"90nm", "45nm", "32nm", "22nm"})
+
+
+def direct_values(vdds, qs=0.99, spares=0.0):
+    """The reference bits: a fresh engine's invariant batch solve."""
+    engine = ChipDelayEngine(get_technology("22nm"), **ARCH)
+    out = engine.chip_quantile_batch(
+        np.asarray(vdds, dtype=float), qs, spares, cluster=False)
+    return [float(v) for v in np.atleast_1d(out)]
+
+
+class ServerHarness:
+    """Run a SignoffServer on a private event loop in a thread."""
+
+    def __init__(self, config: ServeConfig, runtime=None) -> None:
+        self.server = SignoffServer(config, runtime)
+        self._loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self._serve())
+        self._loop.close()
+
+    async def _serve(self) -> None:
+        self._stop = asyncio.Event()
+        await self.server.start()
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.stop()
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(20), "server failed to start"
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(20)
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def client(self, **kwargs) -> ServeClient:
+        return ServeClient("127.0.0.1", self.port, **kwargs)
+
+
+@pytest.fixture
+def fresh_cache(tmp_path, monkeypatch):
+    """Per-test cache dir: serve memo entries never leak across tests."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serve-cache"))
+
+
+# -- protocol validation -------------------------------------------------------
+
+
+def test_parse_query_broadcasts_and_rounds():
+    key, points = parse_query(
+        {"node": "22nm", "vdd": [0.5, 0.6], "q": 0.9, "spares": 1.0,
+         **ARCH}, available_nodes=NODES)
+    assert key == KEY
+    assert points == [(0.5, 1.0, 0.9), (0.6, 1.0, 0.9)]
+    # scalar-only query broadcasts to one point with defaults
+    _, pts = parse_query({"node": "22nm", "vdd": 0.55},
+                         available_nodes=NODES)
+    assert pts == [(0.55, 0.0, 0.99)]
+    # a length-1 list broadcasts against a longer one
+    _, pts = parse_query({"node": "22nm", "vdd": [0.5], "q": [0.9, 0.99]},
+                         available_nodes=NODES)
+    assert pts == [(0.5, 0.0, 0.9), (0.5, 0.0, 0.99)]
+
+
+@pytest.mark.parametrize("body", [
+    "not an object",
+    {},                                           # missing node
+    {"node": "3nm", "vdd": 0.5},                  # unknown node
+    {"node": "22nm"},                             # missing vdd
+    {"node": "22nm", "vdd": []},                  # empty list
+    {"node": "22nm", "vdd": "0.5"},               # non-numeric
+    {"node": "22nm", "vdd": True},                # bool is not a number
+    {"node": "22nm", "vdd": [0.5, "x"]},          # mixed list
+    {"node": "22nm", "vdd": [0.5, 0.6], "q": [0.9, 0.95, 0.99]},  # length clash
+    {"node": "22nm", "vdd": 0.0},                 # vdd out of range
+    {"node": "22nm", "vdd": float("nan")},        # non-finite vdd
+    {"node": "22nm", "vdd": 0.5, "q": 1.0},       # q out of range
+    {"node": "22nm", "vdd": 0.5, "spares": -1},   # negative spares
+    {"node": "22nm", "vdd": 0.5, "width": 0},     # bad architecture
+])
+def test_parse_query_rejects(body):
+    with pytest.raises(BadRequestError):
+        parse_query(body, available_nodes=NODES)
+
+
+def test_serve_config_validates():
+    with pytest.raises(ConfigurationError):
+        ServeConfig(port=-5)
+    with pytest.raises(ConfigurationError):
+        ServeConfig(max_batch=0)
+    with pytest.raises(ConfigurationError):
+        ServeConfig(batch_window_ms=-1.0)
+    with pytest.raises(ConfigurationError):
+        ServeConfig(max_queue=0)
+    with pytest.raises(ConfigurationError):
+        ServeConfig(deadline_ms=0.0)
+
+
+# -- dispatcher unit tests (fake solver) ---------------------------------------
+
+
+def _run_async(coro):
+    return asyncio.run(coro)
+
+
+def test_dispatcher_coalesces_and_single_flights():
+    calls = []
+
+    def solve(key, points):
+        calls.append(list(points))
+        return [p[0] * 2.0 for p in points]
+
+    async def scenario():
+        metrics = MetricsRegistry()
+        d = MicroBatchDispatcher(solve, metrics, max_batch=8,
+                                 window_s=0.05, max_queue=64)
+        p1, p2 = (0.5, 0.0, 0.99), (0.6, 0.0, 0.99)
+        # 3 clients race on p1, one brings p2: one batch, one solve call
+        results = await asyncio.gather(
+            d.resolve(KEY, [p1], timeout=10),
+            d.resolve(KEY, [p1], timeout=10),
+            d.resolve(KEY, [p1, p2], timeout=10),
+        )
+        # memo hit afterwards: no new solve
+        again = await d.resolve(KEY, [p1, p2], timeout=10)
+        await d.aclose()
+        return results, again, metrics
+
+    results, again, metrics = _run_async(scenario())
+    assert results == [[1.0], [1.0], [1.0, 1.2]]
+    assert again == [1.0, 1.2]
+    assert len(calls) == 1 and sorted(calls[0]) == sorted(
+        [(0.5, 0.0, 0.99), (0.6, 0.0, 0.99)])
+    snap = metrics.as_dict()
+    assert snap["counters"]["serve.singleflight_joins"] == 2
+    assert snap["counters"]["serve.memo_hits"] == 2
+    assert snap["counters"]["serve.batches"] == 1
+    assert max(i for i, c in enumerate(
+        snap["histograms"]["serve.batch_size"]["counts"]) if c) >= 1
+
+
+def test_dispatcher_backpressure_rejects_and_recovers():
+    def solve(key, points):
+        return [1.0 for _ in points]
+
+    async def scenario():
+        metrics = MetricsRegistry()
+        d = MicroBatchDispatcher(solve, metrics, max_batch=8,
+                                 window_s=0.01, max_queue=2)
+        points = [(0.5 + 0.01 * i, 0.0, 0.99) for i in range(4)]
+        with pytest.raises(OverloadedError):
+            await d.resolve(KEY, points, timeout=10)
+        # the queue drains and the dispatcher keeps serving
+        ok = await d.resolve(KEY, [points[0]], timeout=10)
+        await d.aclose()
+        return ok, metrics
+
+    ok, metrics = _run_async(scenario())
+    assert ok == [1.0]
+    assert metrics.as_dict()["counters"]["serve.rejected"] == 1
+
+
+def test_dispatcher_deadline_does_not_wedge_the_queue():
+    import time as _time
+
+    def solve(key, points):
+        _time.sleep(0.2)
+        return [p[0] for p in points]
+
+    async def scenario():
+        metrics = MetricsRegistry()
+        d = MicroBatchDispatcher(solve, metrics, max_batch=4,
+                                 window_s=0.001, max_queue=64)
+        from repro.serve import DeadlineError
+        p = (0.5, 0.0, 0.99)
+        with pytest.raises(DeadlineError):
+            await d.resolve(KEY, [p], timeout=0.02)
+        # the shielded solve still completes; a later caller gets the memo
+        value = await d.resolve(KEY, [p], timeout=10)
+        assert d.queued == 0
+        await d.aclose()
+        return value, metrics
+
+    value, metrics = _run_async(scenario())
+    assert value == [0.5]
+    assert metrics.as_dict()["counters"]["serve.deadline_misses"] == 1
+
+
+def test_dispatcher_retries_transient_failures():
+    attempts = []
+
+    def solve(key, points):
+        attempts.append(1)
+        if len(attempts) == 1:
+            raise RuntimeError("transient")
+        return [7.0 for _ in points]
+
+    async def scenario():
+        metrics = MetricsRegistry()
+        policy = RetryPolicy(max_retries=2, backoff_base_s=0.001)
+        d = MicroBatchDispatcher(solve, metrics, max_batch=4,
+                                 window_s=0.001, policy=policy)
+        value = await d.resolve(KEY, [(0.5, 0.0, 0.99)], timeout=10)
+        await d.aclose()
+        return value, metrics
+
+    value, metrics = _run_async(scenario())
+    assert value == [7.0]
+    assert len(attempts) == 2
+    assert metrics.as_dict()["counters"]["serve.solver_retries"] == 1
+
+
+def test_dispatcher_exhausted_retries_fail_the_bucket():
+    from repro.serve import SolverError
+
+    def solve(key, points):
+        raise RuntimeError("permanent")
+
+    async def scenario():
+        metrics = MetricsRegistry()
+        policy = RetryPolicy(max_retries=1, backoff_base_s=0.001)
+        d = MicroBatchDispatcher(solve, metrics, max_batch=4,
+                                 window_s=0.001, policy=policy)
+        with pytest.raises(SolverError):
+            await d.resolve(KEY, [(0.5, 0.0, 0.99)], timeout=10)
+        # failures are not memoised: the queue is clean afterwards
+        assert d.queued == 0
+        await d.aclose()
+        return metrics
+
+    metrics = _run_async(scenario())
+    assert metrics.as_dict()["counters"]["serve.solver_failures"] == 1
+
+
+# -- HTTP round trips ----------------------------------------------------------
+
+
+def test_server_roundtrip_bit_identical(fresh_cache):
+    vdds = [0.5, 0.55, 0.6]
+    expected = direct_values(vdds)
+    with ServerHarness(ServeConfig(port=0, max_batch=8,
+                                   batch_window_ms=2.0)) as h:
+        with h.client() as c:
+            single = c.chip_quantile("22nm", vdd=0.55, **ARCH)
+            batch = c.chip_quantile_batch("22nm", vdd=vdds, **ARCH)
+            raw = c._request("POST", "/v1/chip_quantile_batch",
+                             dict(node="22nm", vdd=vdds, **ARCH))
+            health = c.health()
+    assert batch == expected
+    assert single == expected[1]
+    assert raw["values_hex"] == [v.hex() for v in expected]
+    assert health["ok"] is True
+
+
+def test_server_signoff_sweep_matches_analyzer_math(fresh_cache):
+    vdds = [0.5, 0.6]
+    with ServerHarness(ServeConfig(port=0)) as h:
+        with h.client() as c:
+            sweep = c.signoff_sweep("22nm", vdd=vdds, **ARCH)
+    tech = get_technology("22nm")
+    expected = direct_values(vdds + [tech.nominal_vdd])
+    assert sweep["values"] == expected[:2]
+    base_fo4 = expected[2] / tech.fo4_unit(tech.nominal_vdd)
+    fo4 = [v / tech.fo4_unit(x) for v, x in zip(expected[:2], vdds)]
+    assert sweep["fo4chipd"] == pytest.approx(fo4, rel=0, abs=0)
+    assert sweep["performance_drop"] == [f / base_fo4 - 1.0 for f in fo4]
+    assert sweep["baseline"]["value"] == expected[2]
+
+
+def test_server_concurrent_clients_coalesce(fresh_cache):
+    vdds = [round(0.45 + 0.005 * i, 9) for i in range(16)]
+    expected = dict(zip(vdds, direct_values(vdds)))
+    with ServerHarness(ServeConfig(port=0, max_batch=16,
+                                   batch_window_ms=100.0)) as h:
+        def one(v):
+            with h.client() as c:
+                return c.chip_quantile("22nm", vdd=v, **ARCH)
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            got = list(pool.map(one, vdds))
+        snap = h.server.metrics.as_dict()
+    assert got == [expected[v] for v in vdds]
+    counts = snap["histograms"]["serve.batch_size"]["counts"]
+    assert sum(counts[1:]) >= 1, f"no coalescing happened: {counts}"
+    assert snap["gauges"]["serve.coalesce_ratio"] > 1.0
+
+
+def test_server_http_error_codes(fresh_cache):
+    with ServerHarness(ServeConfig(port=0)) as h:
+        with h.client() as c:
+            with pytest.raises(ServeRequestError) as exc:
+                c._request("POST", "/v1/nope", {"node": "22nm", "vdd": 0.5})
+            assert exc.value.status == 404
+            with pytest.raises(ServeRequestError) as exc:
+                c._request("GET", "/v1/chip_quantile")
+            assert exc.value.status == 405
+            with pytest.raises(ServeRequestError) as exc:
+                c._request("POST", "/v1/chip_quantile",
+                           {"node": "22nm", "vdd": [0.5, 0.6]})
+            assert exc.value.status == 400 and exc.value.code == "bad_request"
+            # malformed JSON body straight through the connection
+            import http.client
+            conn = http.client.HTTPConnection("127.0.0.1", h.port, timeout=30)
+            conn.request("POST", "/v1/query", body=b"{not json",
+                         headers={"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            payload = json.loads(resp.read())
+            assert resp.status == 400
+            assert payload["error"] == "bad_request"
+            conn.close()
+            # the server is still healthy after every rejection
+            assert c.health()["ok"] is True
+
+
+def test_server_deadline_then_recovery(fresh_cache):
+    config = ServeConfig(port=0, batch_window_ms=300.0, deadline_ms=30.0)
+    with ServerHarness(config) as h:
+        with h.client() as c:
+            with pytest.raises(ServeRequestError) as exc:
+                c.chip_quantile("22nm", vdd=0.52, **ARCH)
+            assert exc.value.status == 408
+            assert exc.value.code == "deadline_exceeded"
+            # the batch window eventually flushes and the solve completes;
+            # the same query then hits the dispatcher memo well inside the
+            # deadline — the queue never wedged.
+            deadline_value = None
+            for _ in range(100):
+                try:
+                    deadline_value = c.chip_quantile("22nm", vdd=0.52, **ARCH)
+                    break
+                except ServeRequestError as err:
+                    assert err.status == 408
+            assert deadline_value == direct_values([0.52])[0]
+            assert c.health()["queued"] == 0
+
+
+def test_server_backpressure_429(fresh_cache):
+    config = ServeConfig(port=0, max_queue=1, batch_window_ms=200.0)
+    with ServerHarness(config) as h:
+        with h.client() as c:
+            with pytest.raises(ServeRequestError) as exc:
+                c.chip_quantile_batch("22nm", vdd=[0.5, 0.55, 0.6], **ARCH)
+            assert exc.value.status == 429
+            assert exc.value.code == "overloaded"
+
+
+# -- chaos ---------------------------------------------------------------------
+
+
+def test_serve_chaos_solver_nan_bit_identical(fresh_cache):
+    """A poisoned solver point is rescued and parity survives the chaos.
+
+    The first (single-point) request pins the poisoned index: the rescue
+    ladder's scalar Brent fallback answers it, and every *other* point —
+    served while the fault fires mid-flight — must still match the
+    invariant batch bits exactly.
+    """
+    runtime = build_runtime(jobs=1, metrics=True,
+                            faults=parse_faults("solver_nan:0"))
+    poisoned_vdd = 0.5
+    burst = [round(0.52 + 0.005 * i, 9) for i in range(8)]
+    try:
+        with ServerHarness(ServeConfig(port=0, max_batch=8,
+                                       batch_window_ms=20.0),
+                           runtime) as h:
+            with h.client() as c:
+                rescued = c.chip_quantile("22nm", vdd=poisoned_vdd, **ARCH)
+
+                def one(v):
+                    with h.client() as cc:
+                        return cc.chip_quantile("22nm", vdd=v, **ARCH)
+                with ThreadPoolExecutor(max_workers=8) as pool:
+                    got = list(pool.map(one, burst))
+                assert c.health()["ok"] is True and c.health()["queued"] == 0
+    finally:
+        runtime.close()
+    engine = ChipDelayEngine(get_technology("22nm"), **ARCH)
+    assert rescued == engine.chip_quantile(poisoned_vdd, 0.99, 0.0)
+    assert got == direct_values(burst)
+    snap = runtime.obs.metrics.as_dict()
+    assert snap["counters"]["resilience.solver.fallback_scalar"] == 1
+
+
+def test_serve_chaos_worker_crash_bit_identical(fresh_cache):
+    """A worker crash mid-batch recovers via pool respawn with exact bits.
+
+    16 concurrent cold points coalesce into one dispatcher batch, which
+    crosses the analyzer's parallel-solve threshold and fans out over a
+    2-worker pool; ``worker_crash:0`` kills the first shard's worker.
+    The respawned pool must deliver the same bits as a direct solve and
+    leave the queue empty.
+    """
+    runtime = build_runtime(jobs=2, metrics=True,
+                            faults=parse_faults("worker_crash:0"))
+    vdds = [round(0.45 + 0.01 * i, 9) for i in range(16)]
+    points = [(v, 0.0, 0.99) for v in vdds]
+
+    async def scenario():
+        server = SignoffServer(ServeConfig(port=0, max_batch=16,
+                                           batch_window_ms=500.0),
+                               runtime)
+        server._analyzer(KEY)
+        tasks = [asyncio.ensure_future(
+            server.dispatcher.resolve(KEY, [p], timeout=120))
+            for p in points]
+        values = [(await t)[0] for t in tasks]
+        assert server.dispatcher.queued == 0
+        await server.dispatcher.aclose()
+        return values
+
+    try:
+        values = _run_async(scenario())
+    finally:
+        runtime.close()
+    assert values == direct_values(vdds)
+    snap = runtime.obs.metrics.as_dict()
+    assert snap["counters"].get("resilience.pool_respawns", 0) >= 1
+    assert snap["counters"]["serve.batches"] == 1
+    # buckets (1, 2, 4, 8, 16, ...): one batch of exactly 16 points
+    assert snap["histograms"]["serve.batch_size"]["counts"][4] == 1
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def test_serve_cli_validates_flags():
+    from repro.experiments.__main__ import main as cli_main
+    assert cli_main(["serve", "--port", "70000"]) == 2
+    assert cli_main(["serve", "--max-batch", "0"]) == 2
+    assert cli_main(["serve", "--jobs", "0"]) == 2
+
+
+def test_serve_module_cli_validates_flags():
+    from repro.serve.__main__ import main as serve_main
+    assert serve_main(["--max-queue", "0"]) == 2
