@@ -1,0 +1,252 @@
+"""Benchmark: kernel execution backends vs the serial numpy baseline.
+
+Times ``MonteCarloEngine.system_delays`` at the paper's fig-4 validation
+scale (width=128, paths_per_lane=100, chain_length=50) on the flagship
+near-threshold node (22 nm), once per available backend:
+
+* ``numpy``    — serial fused baseline (the reference for every gate).
+* ``threaded`` — independent kernel blocks fanned across a shared thread
+  pool; **must** stay bit-identical to the baseline in both precisions.
+* ``numba`` / ``cupy`` — optional accelerators, benchmarked only when
+  importable; parity is rtol-gated (different reduction orders).
+
+A compose pass re-runs the workload through ``ParallelSampler`` with
+``jobs=2`` + the threaded backend and checks it is bit-identical to the
+``jobs=1`` numpy run at the same ``(root_seed, shard_size)`` — threads
+inside each worker must not perturb the process-sharded draws.
+
+Results go to ``BENCH_backend.json`` at the repository root.  The >= 3x
+threaded speedup target is recorded always but *enforced* (non-zero
+exit) only on boxes with >= 8 cores: thread-level speedup is physically
+unobservable on the 1-2 core CI runners, while parity and compose gates
+are machine-independent and always enforced.
+
+Run directly::
+
+    python benchmarks/bench_backends.py            # full (32 chips)
+    python benchmarks/bench_backends.py --smoke    # CI-sized (8)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+import warnings
+from pathlib import Path
+
+# The cache must be off before repro is imported anywhere down the line.
+os.environ.setdefault("REPRO_CACHE_DISABLE", "1")
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.backends import backend_manifest, get_backend  # noqa: E402
+from repro.core.montecarlo import MonteCarloEngine             # noqa: E402
+from repro.devices.technology import get_technology            # noqa: E402
+from repro.errors import BackendUnavailableError               # noqa: E402
+from repro.runtime.parallel import ParallelSampler             # noqa: E402
+
+PRIMARY_NODE = "22nm"
+VDD = 0.6
+WIDTH = 128
+PATHS_PER_LANE = 100
+CHAIN_LENGTH = 50
+SEED = 0
+
+SPEEDUP_TARGET = 3.0
+SPEEDUP_MIN_CORES = 8
+OPTIONAL_RTOL = 1e-9
+
+
+def _run(tech, backend, *, n_chips: int, batch_size: int,
+         precision: str = "float64") -> tuple:
+    """One timed ``system_delays`` pass; returns (seconds, samples)."""
+    engine = MonteCarloEngine(tech, seed=SEED, precision=precision,
+                              backend=backend)
+    t0 = time.perf_counter()
+    out = engine.system_delays(VDD, width=WIDTH,
+                               paths_per_lane=PATHS_PER_LANE,
+                               chain_length=CHAIN_LENGTH, n_chips=n_chips,
+                               batch_size=batch_size)
+    return time.perf_counter() - t0, out
+
+
+def _optional_backend(name: str):
+    """The backend instance, or ``None`` when its dependency is absent."""
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            return get_backend(name)
+    except BackendUnavailableError:
+        return None
+
+
+def bench_backend(tech, backend, baseline: dict, *, n_chips: int,
+                  batch_size: int, repeats: int) -> dict:
+    """Time one backend in both precisions and grade parity vs numpy."""
+    secs, f32_secs = [], []
+    out = None
+    for _ in range(repeats):
+        t, out = _run(tech, backend, n_chips=n_chips, batch_size=batch_size)
+        secs.append(t)
+        t, _ = _run(tech, backend, n_chips=n_chips, batch_size=batch_size,
+                    precision="float32")
+        f32_secs.append(t)
+
+    ref = baseline["out"]
+    bit_identical = bool(np.array_equal(out, ref))
+    rel = float(np.max(np.abs(out - ref) / ref)) if not bit_identical else 0.0
+    t_best = min(secs)
+    return {
+        "seconds": t_best,
+        "seconds_f32": min(f32_secs),
+        "speedup": baseline["seconds"] / t_best,
+        "bit_identical": bit_identical,
+        "parity_rtol": rel,
+    }
+
+
+def compose_check(n_chips: int) -> bool:
+    """jobs=2 + threaded backend must match jobs=1 + numpy bit-for-bit."""
+    tech = get_technology(PRIMARY_NODE)
+    kwargs = dict(width=WIDTH, paths_per_lane=PATHS_PER_LANE,
+                  chain_length=CHAIN_LENGTH, n_chips=n_chips, root_seed=SEED)
+    serial = ParallelSampler(1, shard_size=4).system_delays(
+        tech, VDD, backend="numpy", **kwargs)
+    sharded = ParallelSampler(2, shard_size=4).system_delays(
+        tech, VDD, backend="threaded", **kwargs)
+    return bool(np.array_equal(serial, sharded))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: fewer chips, 1 repeat")
+    parser.add_argument("--chips", type=int, default=None,
+                        help="chips (default 32, smoke 8)")
+    parser.add_argument("--threads", type=int, default=None,
+                        help="threads for the threaded backend "
+                             "(default: cpu count)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_backend.json")
+    args = parser.parse_args(argv)
+
+    n_chips = args.chips or (8 if args.smoke else 32)
+    batch_size = min(n_chips, 8 if args.smoke else 32)
+    repeats = 1 if args.smoke else 2
+    cores = os.cpu_count() or 1
+    tech = get_technology(PRIMARY_NODE)
+
+    # Serial fused numpy baseline — every other backend is graded off it.
+    base_secs = []
+    base_out = None
+    for _ in range(repeats):
+        t, base_out = _run(tech, "numpy", n_chips=n_chips,
+                           batch_size=batch_size)
+        base_secs.append(t)
+    baseline = {"seconds": min(base_secs), "out": base_out}
+    print(f"numpy   : {1e3 * baseline['seconds']:8.1f} ms   (baseline)")
+
+    backends = {"numpy": {
+        "seconds": baseline["seconds"],
+        "speedup": 1.0,
+        "bit_identical": True,
+        "parity_rtol": 0.0,
+    }}
+
+    threaded = get_backend("threaded", threads=args.threads)
+    backends["threaded"] = bench_backend(
+        tech, threaded, baseline, n_chips=n_chips, batch_size=batch_size,
+        repeats=repeats)
+    backends["threaded"]["threads"] = threaded.threads
+
+    for name in ("numba", "cupy"):
+        instance = _optional_backend(name)
+        if instance is None:
+            backends[name] = {"available": False}
+            print(f"{name:<8}: unavailable (dependency not installed)")
+            continue
+        r = bench_backend(tech, instance, baseline, n_chips=n_chips,
+                          batch_size=batch_size, repeats=repeats)
+        r["available"] = True
+        backends[name] = r
+
+    parity_failed = not backends["threaded"]["bit_identical"]
+    for name in ("numba", "cupy"):
+        r = backends[name]
+        if r.get("available") and not r["bit_identical"]:
+            if r["parity_rtol"] > OPTIONAL_RTOL:
+                parity_failed = True
+
+    for name, r in backends.items():
+        if name == "numpy" or not r.get("seconds"):
+            continue
+        grade = ("bit-identical" if r["bit_identical"] else
+                 f"rtol {r['parity_rtol']:.2e}")
+        print(f"{name:<8}: {1e3 * r['seconds']:8.1f} ms   "
+              f"speedup {r['speedup']:5.2f}x   {grade}")
+
+    compose_ok = compose_check(n_chips)
+    print(f"compose : jobs=2 threaded vs jobs=1 numpy -> "
+          f"{'bit-identical' if compose_ok else 'MISMATCH'}")
+
+    gate_enforced = cores >= SPEEDUP_MIN_CORES
+    gate_met = backends["threaded"]["speedup"] >= SPEEDUP_TARGET
+    payload = {
+        "benchmark": "kernel_backends",
+        "smoke": bool(args.smoke),
+        "config": {
+            "node": PRIMARY_NODE,
+            "vdd": VDD,
+            "width": WIDTH,
+            "paths_per_lane": PATHS_PER_LANE,
+            "chain_length": CHAIN_LENGTH,
+            "n_chips": n_chips,
+            "batch_size": batch_size,
+            "repeats": repeats,
+            "seed": SEED,
+            "cache_disabled": True,
+        },
+        "cores": cores,
+        "threads": threaded.threads,
+        "speedup": backends["threaded"]["speedup"],
+        "bit_identical": backends["threaded"]["bit_identical"],
+        "compose_jobs2_bit_identical": compose_ok,
+        "speedup_gate": {
+            "target": SPEEDUP_TARGET,
+            "min_cores": SPEEDUP_MIN_CORES,
+            "enforced": gate_enforced,
+            "met": gate_met,
+        },
+        "manifest": backend_manifest("threaded", threads=args.threads),
+        "backends": backends,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n",
+                           encoding="utf-8")
+    print(f"\nwrote {args.output} "
+          f"(threaded {backends['threaded']['speedup']:.2f}x on "
+          f"{cores} core{'s' if cores != 1 else ''})")
+
+    if parity_failed:
+        print("ERROR: backend parity gate failed", file=sys.stderr)
+        return 1
+    if not compose_ok:
+        print("ERROR: threaded backend perturbs process-sharded draws",
+              file=sys.stderr)
+        return 1
+    if gate_enforced and not gate_met:
+        print(f"ERROR: threaded speedup "
+              f"{backends['threaded']['speedup']:.2f}x below "
+              f"{SPEEDUP_TARGET:.1f}x target on {cores} cores",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

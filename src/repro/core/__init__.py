@@ -10,6 +10,8 @@
 * :mod:`repro.core.kernels` — fused zero-allocation evaluation kernels
   behind the Monte-Carlo engine (workspace reuse, float64/float32 dtype
   policy).
+* :mod:`repro.core.backends` — pluggable kernel execution backends
+  (serial numpy, bit-identical threaded blocks, optional numba/cupy).
 * :mod:`repro.core.analyzer` — :class:`VariationAnalyzer`, the high-level
   entry point tying a technology card to every paper-level question.
 * :mod:`repro.core.results` — typed result containers.
@@ -28,7 +30,15 @@ from repro.core.chip_delay import (
     chip_delay_quantile,
     chip_delay_cdf,
 )
-from repro.core.kernels import MonteCarloKernel
+from repro.core.backends import (
+    BACKENDS,
+    KernelBackend,
+    available_backends,
+    backend_manifest,
+    get_backend,
+    resolve_backend,
+)
+from repro.core.kernels import MonteCarloKernel, WorkspaceArena
 from repro.core.montecarlo import MonteCarloEngine
 from repro.core.analyzer import VariationAnalyzer
 from repro.core.results import DelayDistribution, VariationSweep
@@ -46,6 +56,13 @@ __all__ = [
     "chip_delay_cdf",
     "MonteCarloEngine",
     "MonteCarloKernel",
+    "WorkspaceArena",
+    "BACKENDS",
+    "KernelBackend",
+    "available_backends",
+    "backend_manifest",
+    "get_backend",
+    "resolve_backend",
     "VariationAnalyzer",
     "DelayDistribution",
     "VariationSweep",

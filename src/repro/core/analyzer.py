@@ -101,17 +101,26 @@ class VariationAnalyzer:
         return self.tech.fo4_unit(vdd)
 
     def monte_carlo(self, seed: int | None = 0,
-                    precision: str | None = None) -> MonteCarloEngine:
+                    precision: str | None = None,
+                    backend: str | None = None,
+                    block_elems: int | None = None) -> MonteCarloEngine:
         """A per-gate Monte-Carlo engine sharing this analyzer's card.
 
-        ``precision`` defaults to the active runtime's dtype policy
-        (``--mc-precision``), or float64 without one.
+        ``precision``, ``backend`` and ``block_elems`` default to the
+        active runtime's policies (``--mc-precision`` / ``--backend`` /
+        ``--block-elems``), or float64 on the serial numpy backend
+        without one.
         """
+        runtime = current_runtime()
         if precision is None:
-            runtime = current_runtime()
             precision = (runtime.precision if runtime is not None
                          else "float64")
-        return MonteCarloEngine(self.tech, seed=seed, precision=precision)
+        if backend is None:
+            backend = runtime.backend if runtime is not None else "numpy"
+        if block_elems is None and runtime is not None:
+            block_elems = runtime.block_elems
+        return MonteCarloEngine(self.tech, seed=seed, precision=precision,
+                                backend=backend, block_elems=block_elems)
 
     # -- circuit level ---------------------------------------------------------
 

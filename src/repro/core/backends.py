@@ -1,0 +1,455 @@
+"""Pluggable execution backends for the fused Monte-Carlo kernels.
+
+:class:`~repro.core.kernels.MonteCarloKernel` evaluates batches in
+independent internal blocks (``block_elems``-sized chip slabs) whose
+boundaries — and, thanks to per-chip :class:`numpy.random.SeedSequence`
+streams, whose *outputs* — never depend on how the blocks are executed.
+That makes the block loop a clean seam for an execution policy, which
+this module supplies:
+
+``numpy`` (default)
+    The serial in-process loop: every block runs on the calling thread
+    against the kernel's main workspace arena.  Bit-exact reference.
+``threaded``
+    :class:`ThreadedBlocksBackend` — dispatches blocks across a shared
+    :class:`~concurrent.futures.ThreadPoolExecutor`.  Each worker thread
+    evaluates into its *own* grow-only workspace arena and writes its
+    result into a disjoint ``out=`` slice, so no synchronisation is
+    needed beyond the pool itself.  Numpy ufuncs and ``Generator`` fills
+    release the GIL on large arrays, so blocks genuinely overlap.
+    **Bit-identical to the serial path by construction**: block spans
+    are computed identically and each chip consumes only its own stream.
+    Composes multiplicatively with
+    :class:`~repro.runtime.parallel.ParallelSampler` process sharding —
+    threads inside one shard sidestep pickling entirely.
+``numba``
+    Optional-import :class:`NumbaBackend` — a ``prange``-parallel fused
+    scalar loop over (row, gate) compiled with ``numba.njit``.  The
+    scalar accumulation order differs from numpy's pairwise ``np.sum``,
+    so parity is rtol-gated, not bit-exact.
+``cupy``
+    Optional-import :class:`CupyBackend` — stages each block's draw
+    buffers H2D into grow-only *device* workspaces, replays the fused
+    ufunc chain on the GPU and copies the per-path sums back D2H.
+    rtol-gated (device reduction order differs).
+
+Optional backends degrade to ``numpy`` with a :class:`RuntimeWarning`
+when their import is missing (:func:`resolve_backend`), so a config or
+CLI that names them never hard-fails on a box without the accelerator.
+
+Instances from :func:`get_backend` are process-wide singletons per
+``(name, threads)``, so every kernel selecting ``backend="threaded"``
+shares one executor.  Backends hold no per-batch state — the per-thread
+arenas live on the *kernel* (see
+:meth:`~repro.core.kernels.MonteCarloKernel.arena`) so workspace
+accounting and :meth:`release_workspaces` stay kernel-scoped.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.errors import BackendUnavailableError, ConfigurationError
+from repro.obs.api import current_obs
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "KernelBackend",
+    "NumpyBackend",
+    "ThreadedBlocksBackend",
+    "NumbaBackend",
+    "CupyBackend",
+    "get_backend",
+    "resolve_backend",
+    "available_backends",
+    "backend_manifest",
+]
+
+#: Registered backend names, in selection-table order.
+BACKENDS = ("numpy", "threaded", "numba", "cupy")
+
+#: The serial reference backend every other one is parity-gated against.
+DEFAULT_BACKEND = "numpy"
+
+
+class KernelBackend:
+    """Execution policy for a kernel's independent evaluation blocks.
+
+    Subclasses override :meth:`run_blocks` (how the block loop executes)
+    and/or :meth:`path_sums` (an accelerated replacement for the fused
+    per-path delay-sum chain).  ``bit_parity`` declares whether float64
+    results are bit-identical to the ``numpy`` backend — the benchmark
+    and tests gate on it.
+    """
+
+    name = "base"
+    #: float64 results match the serial numpy path bit for bit.
+    bit_parity = True
+
+    def run_blocks(self, kernel, fn, spans) -> None:
+        """Execute ``fn(arena, start, stop)`` for every span, serially."""
+        arena = kernel.arena()
+        for start, stop in spans:
+            fn(arena, start, stop)
+
+    def path_sums(self, kernel, vdd: float, dvth, mult, out) -> bool:
+        """Accelerated ``sum_over_gates(fo4_delay(...))``; ``False`` = not handled.
+
+        A backend returning ``True`` must have written the per-path delay
+        sums into ``out`` (shape ``dvth.shape[:-1]``) and may treat
+        ``dvth``/``mult`` as consumed scratch, exactly like the numpy
+        fused chain.
+        """
+        return False
+
+    @property
+    def workspace_nbytes(self) -> int:
+        """Bytes of backend-owned workspaces (device buffers etc.)."""
+        return 0
+
+    def release_workspaces(self) -> None:
+        """Drop backend-owned workspaces (no-op for host backends)."""
+
+    def describe(self) -> dict:
+        """JSON-safe identity for manifests and benchmarks."""
+        return {"name": self.name, "bit_parity": bool(self.bit_parity)}
+
+
+class NumpyBackend(KernelBackend):
+    """The serial in-process block loop (the PR-5 behaviour, bit-exact)."""
+
+    name = "numpy"
+
+
+class ThreadedBlocksBackend(KernelBackend):
+    """Fan independent kernel blocks out over a shared thread pool.
+
+    Parameters
+    ----------
+    threads:
+        Pool width; defaults to ``os.cpu_count()``.  ``threads=1``
+        short-circuits to the serial loop (useful for A/B timing).
+
+    Every task asks the kernel for the *calling thread's* workspace
+    arena, so concurrent blocks never share evaluation buffers; output
+    slices are disjoint by span construction.  Emits
+    ``kernels.backend_blocks`` / ``kernels.backend_threads`` /
+    ``kernels.thread_utilization`` on the active metrics registry.
+    """
+
+    name = "threaded"
+
+    def __init__(self, threads: int | None = None) -> None:
+        if threads is None:
+            threads = os.cpu_count() or 1
+        if int(threads) < 1:
+            raise ConfigurationError(
+                f"threads must be >= 1, got {threads}")
+        self.threads = int(threads)
+        self._executor: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.threads,
+                    thread_name_prefix="repro-kernel")
+            return self._executor
+
+    def close(self) -> None:
+        """Shut the pool down (tests; normally lives for the process)."""
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+
+    def run_blocks(self, kernel, fn, spans) -> None:
+        if self.threads == 1 or len(spans) <= 1:
+            KernelBackend.run_blocks(self, kernel, fn, spans)
+            return
+        metrics = current_obs().metrics
+        timed = metrics.enabled
+        busy = [0.0] * len(spans) if timed else None
+        t0 = time.perf_counter() if timed else 0.0
+
+        def task(item):
+            idx, (start, stop) = item
+            if timed:
+                b0 = time.perf_counter()
+                fn(kernel.arena(), start, stop)
+                busy[idx] = time.perf_counter() - b0
+            else:
+                fn(kernel.arena(), start, stop)
+
+        # list() drains the iterator so worker exceptions propagate here
+        # (and land on the sampler's retry ladder, like any shard error).
+        list(self._pool().map(task, enumerate(spans)))
+        if timed:
+            elapsed = time.perf_counter() - t0
+            metrics.counter("kernels.backend_blocks").inc(len(spans))
+            metrics.gauge("kernels.backend_threads").set(float(self.threads))
+            if elapsed > 0.0:
+                metrics.gauge("kernels.thread_utilization").set(
+                    min(1.0, sum(busy) / (self.threads * elapsed)))
+
+    def describe(self) -> dict:
+        out = KernelBackend.describe(self)
+        out["threads"] = self.threads
+        return out
+
+
+class NumbaBackend(KernelBackend):
+    """``numba.njit(parallel=True)`` fused scalar loop over (path, gate).
+
+    The compiled loop accumulates each path's delay as a scalar running
+    sum, which differs from numpy's pairwise ``np.sum`` in association —
+    parity against the numpy backend is therefore rtol-gated (~1e-12 in
+    float64), never bit-exact.  Blocks themselves run serially; the
+    parallelism is the ``prange`` over paths inside each block.
+    """
+
+    name = "numba"
+    bit_parity = False
+
+    def __init__(self) -> None:
+        try:
+            import numba
+        except ImportError as exc:
+            raise BackendUnavailableError(
+                f"numba is not installed: {exc}") from exc
+        self._numba = numba
+        self._compiled = None
+
+    def _fn(self):
+        if self._compiled is None:
+            numba = self._numba
+
+            @numba.njit(parallel=True, cache=False)
+            def _sums(dvth, mult, vdd, vth_eff, two_n_vt, alpha, vth_split,
+                      strength_p, scale, balanced, out):
+                for r in numba.prange(dvth.shape[0]):
+                    acc = 0.0
+                    for g in range(dvth.shape[1]):
+                        a = vdd - (dvth[r, g] + vth_eff)
+                        xs = a / two_n_vt
+                        sps = np.log1p(np.exp(-abs(xs))) + max(xs, 0.0)
+                        d_n = sps ** alpha
+                        if balanced:
+                            drive = d_n
+                        else:
+                            xw = (a - vth_split) / two_n_vt
+                            spw = np.log1p(np.exp(-abs(xw))) + max(xw, 0.0)
+                            d_p = strength_p * spw ** alpha
+                            drive = 2.0 * d_n * d_p / (d_n + d_p)
+                        acc += (scale / drive) * (1.0 + mult[r, g])
+                    out[r] = acc
+
+            self._compiled = _sums
+        return self._compiled
+
+    def path_sums(self, kernel, vdd: float, dvth, mult, out) -> bool:
+        mos = kernel.tech.mosfet
+        gates = int(dvth.shape[-1])
+        rows = int(dvth.size // gates) if gates else 0
+        d2 = np.ascontiguousarray(
+            dvth.reshape(rows, gates), dtype=np.float64)
+        m2 = np.ascontiguousarray(
+            mult.reshape(rows, gates), dtype=np.float64)
+        sums = np.empty(rows, dtype=np.float64)
+        self._fn()(
+            d2, m2, float(vdd), float(mos.vth0 - mos.dibl * vdd),
+            float(2.0 * mos.n_slope * mos.thermal_voltage),
+            float(mos.alpha), float(mos.vth_split), float(mos.strength_p),
+            float(kernel.tech.fo4_scale * vdd),
+            mos.vth_split == 0.0 and mos.strength_p == 1.0, sums)
+        out[...] = sums.reshape(out.shape).astype(out.dtype, copy=False)
+        return True
+
+
+class CupyBackend(KernelBackend):
+    """GPU evaluation: staged H2D draws, device ufunc chain, D2H sums.
+
+    Draws stay on the host (per-chip ``SeedSequence`` streams are the
+    reproducibility contract); each block's ``dvth``/``mult`` slabs are
+    staged into grow-only device workspaces, the fused chain replays on
+    the device, and only the per-path sums (``1/chain_length`` of the
+    data) come back.  Device reduction order differs from numpy's
+    pairwise sum, so parity is rtol-gated.
+    """
+
+    name = "cupy"
+    bit_parity = False
+
+    def __init__(self) -> None:
+        try:
+            import cupy
+            if cupy.cuda.runtime.getDeviceCount() < 1:
+                raise BackendUnavailableError("no CUDA device visible")
+        except BackendUnavailableError:
+            raise
+        except Exception as exc:   # ImportError or CUDA runtime failure
+            raise BackendUnavailableError(
+                f"cupy/CUDA unavailable: {exc}") from exc
+        self._cp = cupy
+        self._dev: dict = {}
+
+    # -- device workspaces (grow-only, mirroring WorkspaceArena) ------------
+
+    def _dws(self, name: str, shape, dtype):
+        cp = self._cp
+        dtype = np.dtype(dtype)
+        need = 1
+        for dim in shape:
+            need *= int(dim)
+        buf = self._dev.get(name)
+        if buf is None or buf.size < need or buf.dtype != dtype:
+            buf = cp.empty(need, dtype=dtype)
+            self._dev[name] = buf
+        return buf[:need].reshape(shape)
+
+    @property
+    def workspace_nbytes(self) -> int:
+        return sum(int(buf.nbytes) for buf in self._dev.values())
+
+    def release_workspaces(self) -> None:
+        self._dev.clear()
+
+    def path_sums(self, kernel, vdd: float, dvth, mult, out) -> bool:
+        cp = self._cp
+        mos = kernel.tech.mosfet
+        dt = dvth.dtype.type
+        two_n_vt = 2.0 * mos.n_slope * mos.thermal_voltage
+        balanced = mos.vth_split == 0.0 and mos.strength_p == 1.0
+        a = self._dws("dvth", dvth.shape, dvth.dtype)
+        m = self._dws("mult", mult.shape, mult.dtype)
+        a.set(np.ascontiguousarray(dvth))          # staged H2D
+        m.set(np.ascontiguousarray(mult))
+        cp.add(a, dt(mos.vth0 - mos.dibl * vdd), out=a)
+        cp.subtract(dt(vdd), a, out=a)
+        sp = self._dws("sp", a.shape, a.dtype)
+        if not balanced:
+            xp = self._dws("xp", a.shape, a.dtype)
+            cp.subtract(a, dt(mos.vth_split), out=xp)
+            cp.divide(xp, dt(two_n_vt), out=xp)
+        cp.divide(a, dt(two_n_vt), out=a)
+        self._softplus_into(a, sp)
+        cp.power(sp, dt(mos.alpha), out=sp)
+        if not balanced:
+            self._softplus_into(xp, a)
+            cp.power(a, dt(mos.alpha), out=a)
+            cp.multiply(a, dt(mos.strength_p), out=a)
+            cp.add(sp, a, out=xp)
+            cp.multiply(sp, dt(2.0), out=sp)
+            cp.multiply(sp, a, out=sp)
+            cp.divide(sp, xp, out=sp)
+        cp.divide(dt(kernel.tech.fo4_scale * vdd), sp, out=sp)
+        cp.add(m, dt(1.0), out=m)
+        cp.multiply(sp, m, out=sp)
+        out[...] = cp.asnumpy(sp.sum(axis=-1))     # D2H: sums only
+        return True
+
+    def _softplus_into(self, x, out) -> None:
+        cp = self._cp
+        cp.abs(x, out=out)
+        cp.negative(out, out=out)
+        cp.exp(out, out=out)
+        cp.log1p(out, out=out)
+        cp.maximum(x, 0.0, out=x)
+        cp.add(out, x, out=out)
+
+
+_REGISTRY = {
+    "numpy": NumpyBackend,
+    "threaded": ThreadedBlocksBackend,
+    "numba": NumbaBackend,
+    "cupy": CupyBackend,
+}
+
+_INSTANCES: dict = {}
+_INSTANCES_LOCK = threading.Lock()
+
+
+def get_backend(name: str, *, threads: int | None = None) -> KernelBackend:
+    """The process-wide backend instance for ``(name, threads)``.
+
+    Raises :class:`~repro.errors.ConfigurationError` for unknown names
+    and :class:`~repro.errors.BackendUnavailableError` when the
+    backend's optional dependency is missing (use
+    :func:`resolve_backend` for the warn-and-degrade behaviour).
+    ``threads`` only applies to ``"threaded"``.
+    """
+    name = str(name)
+    if name not in _REGISTRY:
+        raise ConfigurationError(
+            f"backend must be one of {BACKENDS}, got {name!r}")
+    key = (name, threads if name == "threaded" else None)
+    with _INSTANCES_LOCK:
+        inst = _INSTANCES.get(key)
+        if inst is None:
+            cls = _REGISTRY[name]
+            inst = cls(threads=threads) if name == "threaded" else cls()
+            _INSTANCES[key] = inst
+        return inst
+
+
+def resolve_backend(spec, *, threads: int | None = None) -> KernelBackend:
+    """``spec`` (name or instance) -> a usable backend, degrading safely.
+
+    A :class:`KernelBackend` instance passes through untouched.  A name
+    whose optional dependency is missing falls back to ``numpy`` with a
+    :class:`RuntimeWarning` — configs naming ``numba``/``cupy`` keep
+    solving on boxes without the accelerator.  Unknown names raise
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    if isinstance(spec, KernelBackend):
+        return spec
+    name = str(spec)
+    try:
+        return get_backend(name, threads=threads)
+    except BackendUnavailableError as exc:
+        warnings.warn(
+            f"kernel backend {name!r} is unavailable ({exc}); "
+            f"falling back to {DEFAULT_BACKEND!r}",
+            RuntimeWarning, stacklevel=3)
+        return get_backend(DEFAULT_BACKEND)
+
+
+def available_backends() -> tuple:
+    """Backend names whose dependencies import on this box, in order."""
+    out = []
+    for name in BACKENDS:
+        try:
+            get_backend(name)
+        except BackendUnavailableError:
+            continue
+        out.append(name)
+    return tuple(out)
+
+
+def backend_manifest(requested, *, threads: int | None = None) -> dict:
+    """The ``backends.*`` run-manifest section for one requested backend.
+
+    Resolution warnings are suppressed here — the runtime that actually
+    built a kernel already warned once.
+    """
+    if isinstance(requested, KernelBackend):
+        requested = requested.name
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        active = resolve_backend(str(requested), threads=threads)
+    section = active.describe()
+    return {
+        "requested": str(requested),
+        "active": section.pop("name"),
+        "fallback": active.name != str(requested),
+        "available": list(available_backends()),
+        **section,
+    }

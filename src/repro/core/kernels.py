@@ -9,9 +9,10 @@ powers, drive, delay), every one a fresh ``mmap`` that the allocator
 must page-in and the GC must tear down again.  :class:`MonteCarloKernel`
 replaces that storm with
 
-* **preallocated per-kernel workspaces** — a handful of flat buffers,
-  grown once and reused for every batch, with the whole evaluation
-  expressed as in-place ufunc calls (``out=`` everywhere, including the
+* **preallocated workspace arenas** — a handful of flat buffers per
+  evaluation context (:class:`WorkspaceArena`), grown once and reused
+  for every batch, with the whole evaluation expressed as in-place
+  ufunc calls (``out=`` everywhere, including the
   ``rng.standard_normal(out=ws)`` draw fills via
   :meth:`~repro.devices.variation.VariationModel.fill_gates`);
 * an explicit **dtype policy** (``precision="float64" | "float32"``):
@@ -25,29 +26,44 @@ replaces that storm with
   its own :class:`numpy.random.SeedSequence` child, which makes results
   invariant to ``batch_size`` — batching becomes a pure memory knob —
   and lets the fused path evaluate in cache-sized internal blocks
-  without changing a single bit of the output.
+  without changing a single bit of the output;
+* a **pluggable execution backend** (:mod:`repro.core.backends`):
+  because the internal blocks are independent and batch-invariant, the
+  block loop is an execution-policy seam.  ``backend="threaded"``
+  dispatches blocks across a shared thread pool with one workspace
+  arena *per worker thread* writing into disjoint ``out=`` slices —
+  bit-identical to serial by construction; optional ``numba``/``cupy``
+  backends accelerate the per-path delay-sum chain itself (rtol-gated
+  parity) and degrade to ``numpy`` with a warning when not installed.
 
 The float64 fused path is **bit-identical** to the reference path
 (``fused=False``), which preserves the naive allocate-per-temporary
 evaluation through :meth:`TechnologyNode.fo4_delay` for parity tests
-and benchmarking (``benchmarks/bench_montecarlo.py``).  Bit-identity
-holds because every fused in-place ufunc replays the exact operation
-sequence of the reference chain — only the destinations change.
+and benchmarking (``benchmarks/bench_montecarlo.py``; per-backend
+parity lives in ``benchmarks/bench_backends.py``).  Bit-identity holds
+because every fused in-place ufunc replays the exact operation sequence
+of the reference chain — only the destinations change.
 
 Observability: kernels emit ``kernels.batches`` / ``kernels.blocks`` /
-``kernels.gate_evals`` counters and a ``kernels.workspace_bytes`` gauge
-on the active metrics registry (no-ops when observability is off).
+``kernels.gate_evals`` counters, a ``kernels.workspace_bytes`` gauge
+(every arena *including float32 staging buffers*), and a
+``kernels.backend.<name>`` marker gauge on the active metrics registry
+(no-ops when observability is off).
 """
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
+from repro.core.backends import DEFAULT_BACKEND, resolve_backend
 from repro.errors import ConfigurationError
 from repro.obs.api import counter as _obs_counter
 from repro.obs.api import gauge as _obs_gauge
 
-__all__ = ["MonteCarloKernel", "PRECISIONS", "DEFAULT_BLOCK_ELEMS"]
+__all__ = ["MonteCarloKernel", "WorkspaceArena", "PRECISIONS",
+           "DEFAULT_BLOCK_ELEMS"]
 
 #: Supported dtype-policy names.
 PRECISIONS = ("float64", "float32")
@@ -79,6 +95,51 @@ def _softplus_into(x, out):
     np.add(out, x, out=out)
 
 
+class WorkspaceArena:
+    """Named grow-only buffer pool for one evaluation context.
+
+    A kernel owns one arena per thread that evaluates blocks through it
+    (exactly one — the caller's — under the serial backends).  Buffers
+    are flat, keyed by name, and only ever grow; :meth:`ws` returns a
+    correctly-shaped view.  ``nbytes`` counts *every* buffer, including
+    the float64 ``staging`` buffer the float32 dtype policy draws
+    through — staging is real resident memory and is accounted like any
+    other workspace.
+    """
+
+    __slots__ = ("_dtype", "_buffers")
+
+    def __init__(self, dtype) -> None:
+        self._dtype = np.dtype(dtype)
+        self._buffers: dict = {}
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by this arena's buffers."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def breakdown(self) -> dict:
+        """``{buffer name: bytes}`` for accounting tests and gauges."""
+        return {name: int(buf.nbytes)
+                for name, buf in self._buffers.items()}
+
+    def release(self) -> None:
+        """Drop every buffer (they regrow on the next batch)."""
+        self._buffers.clear()
+
+    def ws(self, name: str, shape, dtype=None):
+        """A reusable buffer view of ``shape`` (grow-only, per name)."""
+        dtype = self._dtype if dtype is None else np.dtype(dtype)
+        need = 1
+        for dim in shape:
+            need *= int(dim)
+        buf = self._buffers.get(name)
+        if buf is None or buf.size < need or buf.dtype != dtype:
+            buf = np.empty(need, dtype=dtype)
+            self._buffers[name] = buf
+        return buf[:need].reshape(shape)
+
+
 class MonteCarloKernel:
     """Fused evaluation layer for the per-gate Monte-Carlo hot path.
 
@@ -97,18 +158,30 @@ class MonteCarloKernel:
         as the benchmark baseline.
     block_elems:
         Per-workspace element budget for the fused path's internal
-        blocking (see :data:`DEFAULT_BLOCK_ELEMS`).
+        blocking (see :data:`DEFAULT_BLOCK_ELEMS`); ``None`` selects
+        the default.
+    backend:
+        Execution policy for the independent internal blocks — a name
+        from :data:`~repro.core.backends.BACKENDS` or a
+        :class:`~repro.core.backends.KernelBackend` instance.  Missing
+        optional backends degrade to ``"numpy"`` with a warning.
 
-    A kernel owns its workspaces and is **not** thread-safe; share one
-    per process (pool workers memoise kernels per card/precision), not
-    across concurrent callers.
+    Under the serial backends a kernel is **not** thread-safe; share
+    one per process (pool workers memoise kernels per card / precision
+    / backend), not across concurrent callers.  The ``threaded``
+    backend parallelises *inside* a batch call — concurrent worker
+    threads each evaluate against their own :class:`WorkspaceArena` —
+    but concurrent *batch* calls on one kernel remain unsupported.
     """
 
     def __init__(self, tech, precision: str = "float64", fused: bool = True,
-                 block_elems: int = DEFAULT_BLOCK_ELEMS) -> None:
+                 block_elems: int | None = DEFAULT_BLOCK_ELEMS,
+                 backend=DEFAULT_BACKEND) -> None:
         if precision not in PRECISIONS:
             raise ConfigurationError(
                 f"precision must be one of {PRECISIONS}, got {precision!r}")
+        if block_elems is None:
+            block_elems = DEFAULT_BLOCK_ELEMS
         if block_elems < 1:
             raise ConfigurationError(
                 f"block_elems must be >= 1, got {block_elems}")
@@ -117,7 +190,10 @@ class MonteCarloKernel:
         self.fused = bool(fused)
         self.block_elems = int(block_elems)
         self._dtype = np.dtype(precision)
-        self._buffers: dict = {}
+        self._backend = resolve_backend(backend)
+        self.backend = self._backend.name
+        self._arenas: dict = {}
+        self._arena_lock = threading.Lock()
 
     # -- workspaces ----------------------------------------------------------
 
@@ -126,32 +202,62 @@ class MonteCarloKernel:
         """The evaluation dtype selected by the precision policy."""
         return self._dtype
 
+    def arena(self) -> WorkspaceArena:
+        """The calling thread's workspace arena (created on first use).
+
+        Serial backends only ever touch the caller's arena; the
+        ``threaded`` backend calls this from each pool worker, giving
+        every thread private evaluation buffers with zero locking on
+        the hot path.
+        """
+        key = threading.get_ident()
+        arena = self._arenas.get(key)
+        if arena is None:
+            with self._arena_lock:
+                arena = self._arenas.setdefault(
+                    key, WorkspaceArena(self._dtype))
+        return arena
+
     @property
     def workspace_nbytes(self) -> int:
-        """Total bytes currently held by the preallocated workspaces."""
-        return sum(buf.nbytes for buf in self._buffers.values())
+        """Total bytes held by every arena (all threads, staging
+        included) plus any backend-owned device workspaces."""
+        with self._arena_lock:
+            arenas = list(self._arenas.values())
+        return (sum(arena.nbytes for arena in arenas)
+                + int(self._backend.workspace_nbytes))
+
+    def workspace_breakdown(self) -> dict:
+        """``{buffer name: total bytes}`` aggregated across arenas.
+
+        The float32 policy's float64 ``staging`` buffer appears as its
+        own entry, so the accounting asserted by the tests covers it
+        explicitly; ``sum(values)`` equals the host part of
+        :attr:`workspace_nbytes`.
+        """
+        with self._arena_lock:
+            arenas = list(self._arenas.values())
+        total: dict = {}
+        for arena in arenas:
+            for name, nbytes in arena.breakdown().items():
+                total[name] = total.get(name, 0) + nbytes
+        return total
 
     def release_workspaces(self) -> None:
-        """Drop every workspace buffer (they regrow on the next batch)."""
-        self._buffers.clear()
+        """Drop every workspace buffer — all thread arenas and any
+        backend device buffers (they regrow on the next batch)."""
+        with self._arena_lock:
+            arenas = list(self._arenas.values())
+            self._arenas.clear()
+        for arena in arenas:
+            arena.release()
+        self._backend.release_workspaces()
 
-    def _ws(self, name: str, shape, dtype=None):
-        """A reusable buffer view of ``shape`` (grow-only, per name)."""
-        dtype = self._dtype if dtype is None else np.dtype(dtype)
-        need = 1
-        for dim in shape:
-            need *= int(dim)
-        buf = self._buffers.get(name)
-        if buf is None or buf.size < need or buf.dtype != dtype:
-            buf = np.empty(need, dtype=dtype)
-            self._buffers[name] = buf
-        return buf[:need].reshape(shape)
-
-    def _alloc(self, name: str, shape, dtype=None):
+    def _alloc(self, arena: WorkspaceArena, name: str, shape, dtype=None):
         """Workspace view (fused) or a fresh allocation (reference)."""
         dtype = self._dtype if dtype is None else np.dtype(dtype)
         if self.fused:
-            return self._ws(name, shape, dtype)
+            return arena.ws(name, shape, dtype)
         return np.empty(shape, dtype=dtype)
 
     # -- drawing -------------------------------------------------------------
@@ -162,12 +268,12 @@ class MonteCarloKernel:
             return arr
         return arr.astype(self._dtype)
 
-    def _staging_for(self, shape):
+    def _staging_for(self, arena: WorkspaceArena, shape):
         """float64 staging row for float32 fills (``None`` for float64)."""
         if self._dtype == np.float64:
             return None
         if self.fused:
-            return self._ws("staging", shape, np.float64)
+            return arena.ws("staging", shape, np.float64)
         return np.empty(shape, dtype=np.float64)
 
     def _draw_correlated(self, rng, lane_shape):
@@ -189,7 +295,8 @@ class MonteCarloKernel:
 
     # -- fused evaluation core -----------------------------------------------
 
-    def _fused_path_sums(self, vdd: float, dvth, mult, out) -> None:
+    def _fused_path_sums(self, arena: WorkspaceArena, vdd: float,
+                         dvth, mult, out) -> None:
         """``sum_over_gates(fo4_delay(vdd, dvth, mult))`` along the last axis.
 
         Consumes ``dvth`` and ``mult`` (both become scratch); writes the
@@ -198,8 +305,12 @@ class MonteCarloKernel:
         ``tech.fo4_delay(vdd, dvth, mult).sum(axis=-1)`` in float64: the
         in-place ufunc sequence replays the reference chain operation
         for operation, and the ``np.sum(..., out=...)`` keeps numpy's
-        pairwise reduction order.
+        pairwise reduction order.  An accelerator backend may take the
+        whole chain instead (:meth:`KernelBackend.path_sums`) — those
+        paths are rtol-gated, not bit-exact.
         """
+        if self._backend.path_sums(self, float(vdd), dvth, mult, out):
+            return
         mos = self.tech.mosfet
         dt = self._dtype.type
         two_n_vt = 2.0 * mos.n_slope * mos.thermal_voltage
@@ -208,9 +319,9 @@ class MonteCarloKernel:
         a = dvth
         np.add(a, dt(mos.vth0 - mos.dibl * vdd), out=a)     # Vth_eff
         np.subtract(dt(vdd), a, out=a)                      # Vdd - Vth_eff
-        sp = self._ws("sp", a.shape)
+        sp = arena.ws("sp", a.shape, self._dtype)
         if not balanced:
-            xp = self._ws("xp", a.shape)
+            xp = arena.ws("xp", a.shape, self._dtype)
             np.subtract(a, dt(mos.vth_split), out=xp)
             np.divide(xp, dt(two_n_vt), out=xp)             # weak overdrive
         np.divide(a, dt(two_n_vt), out=a)                   # strong overdrive
@@ -234,7 +345,7 @@ class MonteCarloKernel:
         dtype = None if self._dtype == np.float64 else self._dtype
         return self.tech.fo4_delay(vdd, dvth, mult, dtype=dtype).sum(axis=-1)
 
-    # -- batch entry points --------------------------------------------------
+    # -- internal blocking ---------------------------------------------------
 
     def _block_rows(self, total_rows: int, row_elems: int) -> int:
         """Chips per internal evaluation block (fused path only)."""
@@ -242,6 +353,19 @@ class MonteCarloKernel:
             return int(total_rows)
         return max(1, min(int(total_rows),
                           self.block_elems // max(1, int(row_elems))))
+
+    def _spans(self, total_rows: int, row_elems: int) -> list:
+        """Deterministic ``(start, stop)`` block spans for one batch.
+
+        Depends only on ``(total_rows, row_elems, block_elems, fused)``
+        — never on the backend — which is what makes the threaded
+        dispatch bit-identical to the serial loop.
+        """
+        block = self._block_rows(total_rows, row_elems)
+        return [(start, min(start + block, int(total_rows)))
+                for start in range(0, int(total_rows), block)]
+
+    # -- batch entry points --------------------------------------------------
 
     def system_batch(self, rngs, vdd: float, n_lanes: int,
                      paths_per_lane: int, chain_length: int, spares: int,
@@ -252,49 +376,59 @@ class MonteCarloKernel:
         draw order: die pair, lane vectors, gate threshold fill, gate
         multiplier fill — so the output depends only on each chip's
         :class:`~numpy.random.SeedSequence` child, never on batch or
-        block boundaries.
+        block boundaries (or on which backend thread evaluates the
+        block).
         """
-        var = self.tech.variation
+        vdd = float(vdd)
         total = len(rngs)
         row_elems = n_lanes * paths_per_lane * chain_length
-        block = self._block_rows(total, row_elems)
-        done = 0
-        while done < total:
-            nb = min(block, total - done)
-            shape = (nb, n_lanes, paths_per_lane, chain_length)
-            a = self._alloc("dvth", shape)
-            m = self._alloc("mult", shape)
-            staging = self._staging_for(shape[1:])
-            die_dvth = np.empty(nb)
-            die_mult = np.empty(nb)
-            lane_dvth = np.empty((nb, n_lanes))
-            lane_mult = np.empty((nb, n_lanes))
-            for i, rng in enumerate(rngs[done:done + nb]):
-                (die_dvth[i], die_mult[i],
-                 lane_dvth[i], lane_mult[i]) = self._draw_correlated(
-                    rng, (n_lanes,))
-                var.fill_gates(rng, a[i], m[i], staging=staging)
-            if self.fused:
-                np.add(a, self._cast(die_dvth)[:, None, None, None], out=a)
-                np.add(a, self._cast(lane_dvth)[:, :, None, None], out=a)
-                sums = self._ws("paths", shape[:3])
-                self._fused_path_sums(vdd, a, m, sums)
-                lanes = self._ws("lanes", shape[:2])
-                np.max(sums, axis=-1, out=lanes)
-                np.multiply(lanes, 1.0 + self._cast(lane_mult), out=lanes)
-            else:
-                a = (a + self._cast(die_dvth)[:, None, None, None]
-                     + self._cast(lane_dvth)[:, :, None, None])
-                sums = self._reference_path_sums(vdd, a, m)
-                lanes = sums.max(axis=2) * (1.0 + self._cast(lane_mult))
-            if spares == 0:
-                chip = lanes.max(axis=1)
-            else:
-                kth = n_lanes - 1 - spares
-                chip = np.partition(lanes, kth, axis=1)[:, kth]
-            out[done:done + nb] = chip * (1.0 + die_mult)
-            done += nb
-            self._record(nb, nb * row_elems)
+        spans = self._spans(total, row_elems)
+
+        def block(arena, start, stop):
+            self._system_block(arena, rngs[start:stop], vdd, n_lanes,
+                               paths_per_lane, chain_length, spares,
+                               out[start:stop])
+
+        self._backend.run_blocks(self, block, spans)
+        self._record(total, total * row_elems, len(spans))
+
+    def _system_block(self, arena, rngs, vdd, n_lanes, paths_per_lane,
+                      chain_length, spares, out) -> None:
+        """One internal block of :meth:`system_batch` (thread-confined)."""
+        var = self.tech.variation
+        nb = len(rngs)
+        shape = (nb, n_lanes, paths_per_lane, chain_length)
+        a = self._alloc(arena, "dvth", shape)
+        m = self._alloc(arena, "mult", shape)
+        staging = self._staging_for(arena, shape[1:])
+        die_dvth = np.empty(nb)
+        die_mult = np.empty(nb)
+        lane_dvth = np.empty((nb, n_lanes))
+        lane_mult = np.empty((nb, n_lanes))
+        for i, rng in enumerate(rngs):
+            (die_dvth[i], die_mult[i],
+             lane_dvth[i], lane_mult[i]) = self._draw_correlated(
+                rng, (n_lanes,))
+            var.fill_gates(rng, a[i], m[i], staging=staging)
+        if self.fused:
+            np.add(a, self._cast(die_dvth)[:, None, None, None], out=a)
+            np.add(a, self._cast(lane_dvth)[:, :, None, None], out=a)
+            sums = arena.ws("paths", shape[:3], self._dtype)
+            self._fused_path_sums(arena, vdd, a, m, sums)
+            lanes = arena.ws("lanes", shape[:2], self._dtype)
+            np.max(sums, axis=-1, out=lanes)
+            np.multiply(lanes, 1.0 + self._cast(lane_mult), out=lanes)
+        else:
+            a = (a + self._cast(die_dvth)[:, None, None, None]
+                 + self._cast(lane_dvth)[:, :, None, None])
+            sums = self._reference_path_sums(vdd, a, m)
+            lanes = sums.max(axis=2) * (1.0 + self._cast(lane_mult))
+        if spares == 0:
+            chip = lanes.max(axis=1)
+        else:
+            kth = n_lanes - 1 - spares
+            chip = np.partition(lanes, kth, axis=1)[:, kth]
+        out[:] = chip * (1.0 + die_mult)
 
     def lane_batch(self, rngs, vdd: float, paths_per_lane: int,
                    chain_length: int, out) -> None:
@@ -304,37 +438,45 @@ class MonteCarloKernel:
         scalar lane-level draw per sample (a standalone lane sits in one
         spatial-correlation region).
         """
-        var = self.tech.variation
+        vdd = float(vdd)
         total = len(rngs)
         row_elems = paths_per_lane * chain_length
-        block = self._block_rows(total, row_elems)
-        done = 0
-        while done < total:
-            nb = min(block, total - done)
-            shape = (nb, paths_per_lane, chain_length)
-            a = self._alloc("dvth", shape)
-            m = self._alloc("mult", shape)
-            staging = self._staging_for(shape[1:])
-            die_dvth = np.empty(nb)
-            die_mult = np.empty(nb)
-            lane_dvth = np.empty(nb)
-            lane_mult = np.empty(nb)
-            for i, rng in enumerate(rngs[done:done + nb]):
-                (die_dvth[i], die_mult[i],
-                 lane_dvth[i], lane_mult[i]) = self._draw_correlated(rng, None)
-                var.fill_gates(rng, a[i], m[i], staging=staging)
-            corr = die_dvth + lane_dvth
-            if self.fused:
-                np.add(a, self._cast(corr)[:, None, None], out=a)
-                sums = self._ws("paths", shape[:2])
-                self._fused_path_sums(vdd, a, m, sums)
-            else:
-                a = a + self._cast(corr)[:, None, None]
-                sums = self._reference_path_sums(vdd, a, m)
-            lane = sums.max(axis=1) * (1.0 + self._cast(lane_mult))
-            out[done:done + nb] = lane * (1.0 + die_mult)
-            done += nb
-            self._record(nb, nb * row_elems)
+        spans = self._spans(total, row_elems)
+
+        def block(arena, start, stop):
+            self._lane_block(arena, rngs[start:stop], vdd, paths_per_lane,
+                             chain_length, out[start:stop])
+
+        self._backend.run_blocks(self, block, spans)
+        self._record(total, total * row_elems, len(spans))
+
+    def _lane_block(self, arena, rngs, vdd, paths_per_lane, chain_length,
+                    out) -> None:
+        """One internal block of :meth:`lane_batch` (thread-confined)."""
+        var = self.tech.variation
+        nb = len(rngs)
+        shape = (nb, paths_per_lane, chain_length)
+        a = self._alloc(arena, "dvth", shape)
+        m = self._alloc(arena, "mult", shape)
+        staging = self._staging_for(arena, shape[1:])
+        die_dvth = np.empty(nb)
+        die_mult = np.empty(nb)
+        lane_dvth = np.empty(nb)
+        lane_mult = np.empty(nb)
+        for i, rng in enumerate(rngs):
+            (die_dvth[i], die_mult[i],
+             lane_dvth[i], lane_mult[i]) = self._draw_correlated(rng, None)
+            var.fill_gates(rng, a[i], m[i], staging=staging)
+        corr = die_dvth + lane_dvth
+        if self.fused:
+            np.add(a, self._cast(corr)[:, None, None], out=a)
+            sums = arena.ws("paths", shape[:2], self._dtype)
+            self._fused_path_sums(arena, vdd, a, m, sums)
+        else:
+            a = a + self._cast(corr)[:, None, None]
+            sums = self._reference_path_sums(vdd, a, m)
+        lane = sums.max(axis=1) * (1.0 + self._cast(lane_mult))
+        out[:] = lane * (1.0 + die_mult)
 
     def chain_batch(self, rng, vdd: float, n_samples: int, chain_length: int,
                     include_die: bool = True):
@@ -343,13 +485,18 @@ class MonteCarloKernel:
         Keeps the legacy single-stream draw order (all gate thresholds,
         all gate multipliers, then die and lane draws from the *same*
         generator), so chain results for a given seed are unchanged by
-        the kernel rewrite.
+        the kernel rewrite.  Draws are single-stream and therefore
+        serial; the fused *evaluation* still blocks over rows (the
+        per-row delay sums are independent), so the threaded backend
+        parallelises this path too without moving a bit.
         """
         var = self.tech.variation
+        vdd = float(vdd)
         shape = (n_samples, chain_length)
-        a = self._alloc("dvth", shape)
-        m = self._alloc("mult", shape)
-        var.fill_gates(rng, a, m, staging=self._staging_for(shape))
+        arena = self.arena()
+        a = self._alloc(arena, "dvth", shape)
+        m = self._alloc(arena, "mult", shape)
+        var.fill_gates(rng, a, m, staging=self._staging_for(arena, shape))
         if include_die:
             die = var.sample_dies(rng, n_samples)
             lane = var.sample_lanes(rng, n_samples)
@@ -359,21 +506,35 @@ class MonteCarloKernel:
             if include_die:
                 np.add(a, self._cast(corr)[:, None], out=a)
             out = np.empty(n_samples, dtype=self._dtype)
-            self._fused_path_sums(vdd, a, m, out)
+            spans = self._spans(n_samples, chain_length)
+
+            def block(blk_arena, start, stop):
+                self._fused_path_sums(blk_arena, vdd, a[start:stop],
+                                      m[start:stop], out[start:stop])
+
+            self._backend.run_blocks(self, block, spans)
             if include_die:
                 np.multiply(out, self._cast(corr_mult), out=out)
         else:
+            spans = [(0, n_samples)]
             if include_die:
                 a = a + self._cast(corr)[:, None]
             out = self._reference_path_sums(vdd, a, m)
             if include_die:
                 out = out * self._cast(corr_mult)
-        self._record(n_samples, n_samples * chain_length)
+        self._record(n_samples, n_samples * chain_length, len(spans))
         return out
 
     # -- observability -------------------------------------------------------
 
-    def _record(self, rows: int, gate_evals: int) -> None:
-        _obs_counter("kernels.blocks").inc()
+    def _record(self, rows: int, gate_evals: int, blocks: int) -> None:
+        """One batch's counters, recorded on the *calling* thread.
+
+        Aggregated per batch (not per block) so worker threads never
+        race on the registry; the workspace gauge reflects every arena.
+        """
+        _obs_counter("kernels.batches").inc()
+        _obs_counter("kernels.blocks").inc(int(blocks))
         _obs_counter("kernels.gate_evals").inc(int(gate_evals))
         _obs_gauge("kernels.workspace_bytes").set(self.workspace_nbytes)
+        _obs_gauge(f"kernels.backend.{self.backend}").set(1.0)

@@ -30,6 +30,7 @@ import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 
+from repro.core.backends import BACKENDS, backend_manifest
 from repro.errors import ConfigurationError, ShardExecutionError
 from repro.experiments.registry import list_experiments, run_experiment
 from repro.obs.manifest import build_manifest, cache_file_state, write_manifest
@@ -160,6 +161,16 @@ def main(argv=None) -> int:
                         help="Monte-Carlo kernel dtype policy: float64 "
                              "(default, bit-exact reference) or float32 "
                              "(~2x bandwidth for validation sweeps)")
+    parser.add_argument("--backend", choices=BACKENDS, default="numpy",
+                        help="Monte-Carlo kernel execution backend: numpy "
+                             "(default, serial), threaded (blocks across a "
+                             "thread pool, bit-identical), numba or cupy "
+                             "(optional accelerators; fall back to numpy "
+                             "with a warning when not installed)")
+    parser.add_argument("--block-elems", type=int, default=None, metavar="N",
+                        help="kernel internal block budget in elements "
+                             "(>= 1; default 1e6) — the tuning knob for "
+                             "how much work each backend block carries")
     args = parser.parse_args(argv)
 
     if args.jobs < 1:
@@ -179,15 +190,16 @@ def main(argv=None) -> int:
             retry_kwargs["max_retries"] = args.max_retries
         retry = RetryPolicy(**retry_kwargs) if retry_kwargs else None
         faults = parse_faults(args.inject_faults)
+        runtime = build_runtime(jobs=args.jobs, profile=args.profile,
+                                trace=bool(args.trace),
+                                metrics=bool(args.metrics),
+                                retry=retry, faults=faults,
+                                precision=args.mc_precision,
+                                backend=args.backend,
+                                block_elems=args.block_elems)
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-
-    runtime = build_runtime(jobs=args.jobs, profile=args.profile,
-                            trace=bool(args.trace),
-                            metrics=bool(args.metrics),
-                            retry=retry, faults=faults,
-                            precision=args.mc_precision)
     cache_before = cache_file_state() if args.metrics else None
     run_start = time.perf_counter()
     try:
@@ -203,7 +215,9 @@ def main(argv=None) -> int:
                     max_batch=args.max_batch,
                     batch_window_ms=args.batch_window_ms,
                     max_queue=args.max_queue,
-                    deadline_ms=args.deadline_ms)
+                    deadline_ms=args.deadline_ms,
+                    backend=args.backend,
+                    block_elems=args.block_elems)
                 summary = run_server(config, runtime)
                 print(f"[serve] handled {summary['requests']} requests, "
                       f"coalesce ratio {summary['coalesce_ratio']:.2f}")
@@ -246,7 +260,8 @@ def main(argv=None) -> int:
             metrics=runtime.obs.metrics, cache_before=cache_before,
             cache_after=cache_file_state(), elapsed_wall_s=elapsed_wall_s,
             trace_file=args.trace, resilience=runtime.ledger.as_dict(),
-            faults=args.inject_faults)
+            faults=args.inject_faults,
+            backends=backend_manifest(args.backend))
         write_manifest(args.metrics, manifest)
         print(f"[run manifest written to {args.metrics}]", file=sys.stderr)
     return 0

@@ -65,7 +65,8 @@ def build_manifest(*, targets, fast: bool, jobs: int, root_seed: int,
                    cache_after: dict, elapsed_wall_s: float,
                    trace_file: str | None = None,
                    resilience: dict | None = None,
-                   faults: str | None = None) -> dict:
+                   faults: str | None = None,
+                   backends: dict | None = None) -> dict:
     """Assemble the provenance manifest for one finished run.
 
     ``profiler`` is a :class:`~repro.runtime.profile.Profiler` (or
@@ -74,14 +75,21 @@ def build_manifest(*, targets, fast: bool, jobs: int, root_seed: int,
     snapshotted, not referenced.  ``resilience`` is the run's fault
     ledger (:meth:`~repro.resilience.ledger.FaultLedger.as_dict`) and
     ``faults`` the ``--inject-faults`` spec, if any — together they make
-    every recovery auditable from the artifact alone.
+    every recovery auditable from the artifact alone.  ``backends`` is
+    the kernel-backend section from
+    :func:`repro.core.backends.backend_manifest` (what was requested,
+    what actually ran, whether a fallback fired); ``None`` records the
+    default numpy backend.
     """
     import numpy as np
 
     from repro._version import __version__
+    from repro.core.backends import backend_manifest
     from repro.devices.technology import available_technologies, get_technology
     from repro.runtime.cache import technology_fingerprint
 
+    if backends is None:
+        backends = backend_manifest("numpy")
     metric_snap = metrics.as_dict() if metrics is not None else {}
     counters = metric_snap.get("counters", {})
     return {
@@ -108,6 +116,7 @@ def build_manifest(*, targets, fast: bool, jobs: int, root_seed: int,
             "hits": int(counters.get("quantile_cache.hits", 0)),
             "misses": int(counters.get("quantile_cache.misses", 0)),
         },
+        "backends": backends,
         "stages": profiler.as_dict() if profiler is not None else {},
         "metrics": metric_snap,
         "resilience": (resilience if resilience is not None
@@ -150,7 +159,8 @@ _STAGE_SCHEMA = {
 MANIFEST_SCHEMA = {
     "type": "object",
     "required": ["manifest_version", "kind", "run", "environment", "cards",
-                 "cache", "stages", "metrics", "resilience", "timing"],
+                 "cache", "backends", "stages", "metrics", "resilience",
+                 "timing"],
     "properties": {
         "manifest_version": {"type": "number"},
         "kind": {"type": "string"},
@@ -170,6 +180,18 @@ MANIFEST_SCHEMA = {
                          "python_version"],
         },
         "cards": {"type": "object"},
+        "backends": {
+            "type": "object",
+            "required": ["requested", "active", "fallback", "available",
+                         "bit_parity"],
+            "properties": {
+                "requested": {"type": "string"},
+                "active": {"type": "string"},
+                "fallback": {"type": "boolean"},
+                "available": {"type": "array", "items": {"type": "string"}},
+                "bit_parity": {"type": "boolean"},
+            },
+        },
         "cache": {
             "type": "object",
             "required": ["before", "after", "hits", "misses"],

@@ -84,6 +84,7 @@ from repro.resilience.policy import RetryPolicy
 from repro.runtime.context import current_runtime
 
 __all__ = ["ParallelSampler", "plan_shards", "shard_seeds",
+           "release_worker_workspaces",
            "DEFAULT_SHARD_SIZE", "DEFAULT_QUANTILE_CHUNK",
            "DEFAULT_SHM_MIN_BYTES"]
 
@@ -178,14 +179,36 @@ _WORKER_ENGINES: dict = {}
 _WORKER_KERNELS: dict = {}
 
 
-def _mc_kernel(tech, precision: str) -> MonteCarloKernel:
+def _mc_kernel(tech, precision: str, backend: str = "numpy",
+               block_elems: int | None = None) -> MonteCarloKernel:
     """Per-process Monte-Carlo kernel memo (workspaces amortise across shards)."""
-    key = (tech, precision)
+    key = (tech, precision, backend, block_elems)
     kernel = _WORKER_KERNELS.get(key)
     if kernel is None:
-        kernel = MonteCarloKernel(tech, precision=precision)
+        kernel = MonteCarloKernel(tech, precision=precision,
+                                  backend=backend, block_elems=block_elems)
         _WORKER_KERNELS[key] = kernel
     return kernel
+
+
+def release_worker_workspaces() -> int:
+    """Drop every memoised kernel's workspaces in this process.
+
+    The kernels stay memoised (their compiled/backed state is cheap);
+    only the grow-only evaluation buffers are released, and they regrow
+    on the next shard.  Long-lived servers call this when the request
+    queue drains idle, and the sampler's serial fallback calls it after
+    each in-process shard, so one oversized request does not pin its
+    peak workspace footprint forever.  Returns the number of bytes
+    freed and zeroes the ``kernels.workspace_bytes`` gauge.
+    """
+    freed = 0
+    for kernel in _WORKER_KERNELS.values():
+        freed += kernel.workspace_nbytes
+        kernel.release_workspaces()
+    if freed:
+        current_obs().metrics.gauge("kernels.workspace_bytes").set(0.0)
+    return freed
 
 
 def _chip_engine(tech, width: int, paths_per_lane: int,
@@ -245,7 +268,9 @@ def _run_shard(core, task: dict):
 def _system_delays_core(task: dict) -> np.ndarray:
     """One shard of per-gate Monte-Carlo chip delays."""
     rng = np.random.default_rng(task["seed"])
-    kernel = _mc_kernel(task["tech"], task.get("precision", "float64"))
+    kernel = _mc_kernel(task["tech"], task.get("precision", "float64"),
+                        task.get("backend", "numpy"),
+                        task.get("block_elems"))
     engine = MonteCarloEngine(task["tech"], rng=rng, kernel=kernel)
     return engine.system_delays(
         task["vdd"], width=task["width"],
@@ -481,6 +506,10 @@ class ParallelSampler:
                         if k not in ("obs", "faults", "shm")}
                 with obs.tracer.span(stage + ".shard", **_task_attrs(task)):
                     results[i] = fn(task)
+                # The fallback runs in the driver process, whose memoised
+                # kernels would otherwise pin shard-sized workspaces for
+                # the rest of the run — release after every shard.
+                release_worker_workspaces()
         pending.clear()
 
     def _open_shm(self, tasks: list, result_dtype, metrics):
@@ -671,18 +700,28 @@ class ParallelSampler:
     def system_delays(self, tech, vdd, *, width: int, paths_per_lane: int,
                       chain_length: int, n_chips: int, spares: int = 0,
                       batch_size: int = 64, root_seed=0,
-                      precision: str = "float64") -> np.ndarray:
+                      precision: str = "float64",
+                      backend: str = "numpy",
+                      block_elems: int | None = None) -> np.ndarray:
         """Sharded :meth:`MonteCarloEngine.system_delays` (seconds).
 
         Bit-identical for a given ``(root_seed, shard_size)`` regardless
         of ``jobs`` (and of ``batch_size`` — the engine spawns per-chip
-        streams).  ``precision`` selects the kernels' dtype policy.
+        streams).  ``precision`` selects the kernels' dtype policy;
+        ``backend`` their execution backend (the ``threaded`` backend
+        keeps bit-identity and composes with process sharding — threads
+        inside each worker, shards across workers) and ``block_elems``
+        their internal block budget.  Backend names travel in the task
+        dicts and resolve *inside* each worker, so a missing optional
+        backend degrades per-process with a warning.
         """
         tasks = self._tasks(n_chips, root_seed, dict(
             tech=tech, vdd=float(vdd), width=int(width),
             paths_per_lane=int(paths_per_lane),
             chain_length=int(chain_length), spares=int(spares),
-            batch_size=int(batch_size), precision=str(precision)))
+            batch_size=int(batch_size), precision=str(precision),
+            backend=str(backend),
+            block_elems=None if block_elems is None else int(block_elems)))
         return self._run(_system_delays_shard, tasks,
                          "sampler.system_delays", n_chips,
                          result_dtype=np.dtype(precision))

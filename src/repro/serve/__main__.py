@@ -10,6 +10,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.core.backends import BACKENDS
 from repro.errors import ConfigurationError
 from repro.runtime import build_runtime
 from repro.serve.server import ServeConfig, run_server
@@ -27,13 +28,20 @@ def main(argv=None) -> int:
     parser.add_argument("--batch-window-ms", type=float, default=2.0)
     parser.add_argument("--max-queue", type=int, default=1024)
     parser.add_argument("--deadline-ms", type=float, default=None)
+    parser.add_argument("--backend", choices=BACKENDS, default="numpy",
+                        help="Monte-Carlo kernel execution backend")
+    parser.add_argument("--block-elems", type=int, default=None, metavar="N",
+                        help="kernel internal block budget (elements, >= 1)")
     args = parser.parse_args(argv)
     try:
         config = ServeConfig(
             host=args.host, port=args.port, max_batch=args.max_batch,
             batch_window_ms=args.batch_window_ms, max_queue=args.max_queue,
-            deadline_ms=args.deadline_ms)
-        runtime = build_runtime(jobs=args.jobs, metrics=True)
+            deadline_ms=args.deadline_ms, backend=args.backend,
+            block_elems=args.block_elems)
+        runtime = build_runtime(jobs=args.jobs, metrics=True,
+                                backend=args.backend,
+                                block_elems=args.block_elems)
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

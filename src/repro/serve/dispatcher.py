@@ -82,13 +82,22 @@ class MicroBatchDispatcher:
         Pending-point bound; beyond it :meth:`resolve` rejects with 429.
     policy:
         :class:`~repro.resilience.policy.RetryPolicy` for solve retries.
+    on_idle:
+        Optional zero-argument callback fired (on the event loop) each
+        time a batch settles and no points remain queued — the hook a
+        long-lived server uses to release kernel workspaces between
+        request bursts instead of pinning its peak footprint forever.
+        Exceptions from the callback are swallowed (idle housekeeping
+        must never fail a request).
     """
 
     def __init__(self, solve_fn, metrics, *, max_batch: int = 32,
                  window_s: float = 0.002, max_queue: int = 1024,
-                 policy: RetryPolicy | None = None) -> None:
+                 policy: RetryPolicy | None = None,
+                 on_idle=None) -> None:
         self._solve_fn = solve_fn
         self._metrics = metrics
+        self._on_idle = on_idle
         self.max_batch = int(max_batch)
         self.window_s = float(window_s)
         self.max_queue = int(max_queue)
@@ -225,10 +234,12 @@ class MicroBatchDispatcher:
                     f"{len(points)} points")
         except ServeError as exc:
             self._fail_bucket(key, bucket, exc)
+            self._maybe_idle()
             return
         except Exception as exc:   # noqa: BLE001 - boundary to clients
             self._fail_bucket(
                 key, bucket, SolverError(f"batch solve failed: {exc!r}"))
+            self._maybe_idle()
             return
         for (point, fut), value in zip(bucket, values):
             self._settle(key, point)
@@ -239,6 +250,15 @@ class MicroBatchDispatcher:
                 self._memo.popitem(last=False)
             if not fut.done():
                 fut.set_result(value)
+        self._maybe_idle()
+
+    def _maybe_idle(self) -> None:
+        """Fire ``on_idle`` once the queue has fully drained."""
+        if self._queued == 0 and self._on_idle is not None:
+            try:
+                self._on_idle()
+            except Exception:   # noqa: BLE001 - housekeeping only
+                pass
 
     async def _solve_with_retry(self, key, points) -> list:
         seq = self._batch_seq

@@ -42,7 +42,11 @@ from repro.core.analyzer import VariationAnalyzer
 from repro.devices.technology import available_technologies
 from repro.errors import ConfigurationError
 from repro.obs.api import build_obs
-from repro.runtime import QuantileCache, build_runtime
+from repro.runtime import (
+    QuantileCache,
+    build_runtime,
+    release_worker_workspaces,
+)
 from repro.runtime.context import activate_runtime
 from repro.serve.dispatcher import MicroBatchDispatcher
 from repro.serve.protocol import (
@@ -69,7 +73,10 @@ class ServeConfig:
     ``port=0`` lets the OS pick a free port (announced on stdout by
     :func:`run_server` and available as ``SignoffServer.port``).
     ``deadline_ms=None`` defaults each request's deadline to the retry
-    policy's ``shard_timeout_s``.
+    policy's ``shard_timeout_s``.  ``backend``/``block_elems`` select
+    the Monte-Carlo kernel execution backend and block budget for any
+    runtime the server builds itself (a caller-supplied runtime keeps
+    its own policies).
     """
 
     host: str = "127.0.0.1"
@@ -78,8 +85,11 @@ class ServeConfig:
     batch_window_ms: float = 2.0
     max_queue: int = 1024
     deadline_ms: float | None = None
+    backend: str = "numpy"
+    block_elems: int | None = None
 
     def __post_init__(self) -> None:
+        from repro.core.backends import BACKENDS
         if not 0 <= int(self.port) <= 65535:
             raise ConfigurationError(f"port must be in [0, 65535], got {self.port}")
         if int(self.max_batch) < 1:
@@ -94,6 +104,12 @@ class ServeConfig:
         if self.deadline_ms is not None and float(self.deadline_ms) <= 0:
             raise ConfigurationError(
                 f"deadline_ms must be > 0, got {self.deadline_ms}")
+        if str(self.backend) not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        if self.block_elems is not None and int(self.block_elems) < 1:
+            raise ConfigurationError(
+                f"block_elems must be >= 1, got {self.block_elems}")
 
 
 class SignoffServer:
@@ -104,7 +120,9 @@ class SignoffServer:
         self.config = config
         self._owns_runtime = runtime is None
         if runtime is None:
-            runtime = build_runtime(jobs=1, metrics=True)
+            runtime = build_runtime(jobs=1, metrics=True,
+                                    backend=config.backend,
+                                    block_elems=config.block_elems)
         if not runtime.obs.metrics.enabled:
             # The dispatcher's coalescing stats double as its accounting;
             # serving without a live registry is never worth the saving.
@@ -123,7 +141,8 @@ class SignoffServer:
             max_batch=config.max_batch,
             window_s=float(config.batch_window_ms) / 1000.0,
             max_queue=config.max_queue,
-            policy=retry)
+            policy=retry,
+            on_idle=self._on_idle)
         self._nodes = frozenset(available_technologies())
         self._cache = QuantileCache()
         self._analyzers: dict = {}
@@ -145,6 +164,22 @@ class SignoffServer:
                 quantile_cache=self._cache)
             self._analyzers[key] = analyzer
         return analyzer
+
+    def _on_idle(self) -> None:
+        """Release kernel workspaces when the request queue drains.
+
+        A long-lived server's memoised kernels would otherwise keep
+        their grow-only workspaces at the high-water mark of the largest
+        request ever served.  Runs on the event loop between bursts, so
+        there is no solve in flight to race with; the buffers regrow on
+        the next batch.  The gauge is set on the server's registry
+        directly (no obs context is active on the loop thread).
+        """
+        freed = release_worker_workspaces()
+        if freed:
+            self.metrics.counter("serve.idle_releases").inc()
+            self.metrics.counter("serve.idle_released_bytes").inc(freed)
+            self.metrics.gauge("kernels.workspace_bytes").set(0.0)
 
     def _solve(self, key, points) -> list:
         """Blocking batch solve; runs on the dispatcher's solver thread.

@@ -204,6 +204,45 @@ def test_dispatcher_backpressure_rejects_and_recovers():
     assert metrics.as_dict()["counters"]["serve.rejected"] == 1
 
 
+def test_dispatcher_on_idle_fires_when_queue_drains():
+    idles = []
+
+    def solve(key, points):
+        return [p[0] for p in points]
+
+    async def scenario():
+        metrics = MetricsRegistry()
+        d = MicroBatchDispatcher(solve, metrics, max_batch=8,
+                                 window_s=0.005, max_queue=64,
+                                 on_idle=lambda: idles.append(d.queued))
+        await d.resolve(KEY, [(0.5, 0.0, 0.99)], timeout=10)
+        await d.resolve(KEY, [(0.6, 0.0, 0.99)], timeout=10)
+        await d.aclose()
+
+    _run_async(scenario())
+    # Fired once per drained batch, always with an empty queue.
+    assert len(idles) == 2
+    assert all(q == 0 for q in idles)
+
+
+def test_dispatcher_on_idle_exception_does_not_fail_requests():
+    def solve(key, points):
+        return [p[0] for p in points]
+
+    def bad_idle():
+        raise RuntimeError("housekeeping blew up")
+
+    async def scenario():
+        d = MicroBatchDispatcher(solve, MetricsRegistry(), max_batch=8,
+                                 window_s=0.005, max_queue=64,
+                                 on_idle=bad_idle)
+        value = await d.resolve(KEY, [(0.5, 0.0, 0.99)], timeout=10)
+        await d.aclose()
+        return value
+
+    assert _run_async(scenario()) == [0.5]
+
+
 def test_dispatcher_deadline_does_not_wedge_the_queue():
     import time as _time
 
