@@ -16,6 +16,12 @@ root:
   calls the sweep makes (counted with a tallying registry) times the
   *measured* per-call cost of the disabled accessors, as a fraction of
   sweep time.  Asserted ``< 2%``.
+* **serve telemetry** — end-to-end serving throughput with full
+  telemetry (tracing + rolling metrics + flight recorder) against a
+  server with telemetry off (no-op observability, flight disabled):
+  fresh in-process servers per variant, identical unique-point request
+  grids, interleaved repeats taking the best run.  The enabled
+  overhead is asserted ``< 2%`` in full (non-smoke) runs.
 
 Run directly::
 
@@ -26,9 +32,11 @@ Run directly::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -45,13 +53,23 @@ from repro.devices.technology import get_technology          # noqa: E402
 from repro.obs import api                                    # noqa: E402
 from repro.obs.api import activate_obs, build_obs            # noqa: E402
 from repro.obs.metrics import MetricsRegistry                # noqa: E402
+from repro.runtime import build_runtime                      # noqa: E402
+from repro.serve import ServeConfig, SignoffServer           # noqa: E402
+from repro.serve.client import ServeClient                   # noqa: E402
 
 NODE = "22nm"
 Q = 0.99
 SPARES = 0.0
 
+#: Small serving architecture: solves stay fast, so the per-request
+#: telemetry work is a meaningful fraction of the measured wall time.
+SERVE_ARCH = dict(width=4, paths_per_lane=5, chain_length=10)
+
 #: Disabled-path budget for the instrumentation, percent of sweep time.
 MAX_DISABLED_OVERHEAD_PCT = 2.0
+
+#: Enabled-telemetry budget for the serving path, percent of throughput.
+MAX_SERVE_OVERHEAD_PCT = 2.0
 
 
 class _TallyingMetrics(MetricsRegistry):
@@ -110,6 +128,64 @@ def disabled_call_cost(iterations: int) -> dict:
     return {"counter_s": counter_s, "span_s": span_s}
 
 
+class _ServerThread:
+    """A SignoffServer on a private event loop in a daemon thread."""
+
+    def __init__(self, config: ServeConfig, runtime) -> None:
+        self.server = SignoffServer(config, runtime)
+        self._loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._stop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self._serve())
+        self._loop.close()
+
+    async def _serve(self) -> None:
+        self._stop = asyncio.Event()
+        await self.server.start()
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.stop()
+
+    def __enter__(self):
+        self._thread.start()
+        if not self._ready.wait(20):
+            raise RuntimeError("benchmark server failed to start")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(20)
+
+
+def serve_run(telemetry: bool, vdds) -> float:
+    """Wall seconds to serve one unique-point grid, one request each.
+
+    ``telemetry=True`` runs the full stack — tracer, live metrics
+    registry with rolling windows, flight recorder; ``telemetry=False``
+    is the no-op observability path with the flight ring disabled.  A
+    fresh server (and so a cold coalescing memo) per call keeps the two
+    variants' work identical; a warm-up request outside the timed grid
+    pays the engine construction up front.
+    """
+    runtime = build_runtime(jobs=1, trace=telemetry, metrics=telemetry)
+    config = ServeConfig(port=0,
+                         flight_capacity=512 if telemetry else 0)
+    try:
+        with _ServerThread(config, runtime) as h:
+            with ServeClient("127.0.0.1", h.server.port) as client:
+                client.chip_quantile(NODE, vdd=0.9, **SERVE_ARCH)
+                t0 = time.perf_counter()
+                for v in vdds:
+                    client.chip_quantile(NODE, vdd=float(v), **SERVE_ARCH)
+                return time.perf_counter() - t0
+    finally:
+        runtime.close()
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -151,6 +227,20 @@ def main(argv=None) -> int:
           f"-> disabled-mode overhead {disabled_pct:.4f}% "
           f"(budget {MAX_DISABLED_OVERHEAD_PCT}%)")
 
+    n_serve = 16 if args.smoke else 40
+    serve_repeats = 2 if args.smoke else 5
+    serve_vdds = np.linspace(0.5, 0.9, n_serve)
+    serve_off, serve_on = [], []
+    for _ in range(serve_repeats):
+        serve_off.append(serve_run(False, serve_vdds))
+        serve_on.append(serve_run(True, serve_vdds))
+    s_off, s_on = min(serve_off), min(serve_on)
+    serve_pct = 100.0 * (s_on - s_off) / s_off
+    print(f"serve ({n_serve} requests, best of {serve_repeats}): "
+          f"telemetry off {1e3 * s_off:.1f} ms ({n_serve / s_off:.0f} rps)"
+          f"   on {1e3 * s_on:.1f} ms ({n_serve / s_on:.0f} rps)   "
+          f"overhead {serve_pct:+.2f}% (budget {MAX_SERVE_OVERHEAD_PCT}%)")
+
     payload = {
         "benchmark": "obs_overhead",
         "smoke": bool(args.smoke),
@@ -174,6 +264,18 @@ def main(argv=None) -> int:
         },
         "disabled_overhead_pct": disabled_pct,
         "max_disabled_overhead_pct": MAX_DISABLED_OVERHEAD_PCT,
+        "serve": {
+            "arch": SERVE_ARCH,
+            "requests": n_serve,
+            "repeats": serve_repeats,
+            "telemetry_off_s": s_off,
+            "telemetry_on_s": s_on,
+            "rps_off": n_serve / s_off,
+            "rps_on": n_serve / s_on,
+            "enabled_overhead_pct": serve_pct,
+            "max_overhead_pct": MAX_SERVE_OVERHEAD_PCT,
+            "passed": serve_pct < MAX_SERVE_OVERHEAD_PCT,
+        },
         "passed": disabled_pct < MAX_DISABLED_OVERHEAD_PCT,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n",
@@ -183,6 +285,13 @@ def main(argv=None) -> int:
     assert disabled_pct < MAX_DISABLED_OVERHEAD_PCT, (
         f"disabled-mode observability overhead {disabled_pct:.3f}% exceeds "
         f"the {MAX_DISABLED_OVERHEAD_PCT}% budget")
+    if not args.smoke:
+        # The serve comparison is two live servers, so it carries real
+        # scheduling noise; the budget is only enforced on full runs
+        # (more repeats, larger grid), never on CI smoke.
+        assert serve_pct < MAX_SERVE_OVERHEAD_PCT, (
+            f"telemetry-enabled serve overhead {serve_pct:.3f}% exceeds "
+            f"the {MAX_SERVE_OVERHEAD_PCT}% budget")
     return 0
 
 

@@ -72,8 +72,11 @@ class ServerProc:
         env["PYTHONPATH"] = str(REPO_ROOT / "src")
         env["REPRO_CACHE_DIR"] = cache_dir
         env.pop("REPRO_CACHE_DISABLE", None)
+        # Telemetry fully on: the parity gate below must hold with the
+        # tracer and the flight recorder live, not just on a dark server.
         cmd = [sys.executable, "-m", "repro.experiments", "serve",
-               "--port", "0", "--metrics", manifest_path, *extra_args]
+               "--port", "0", "--metrics", manifest_path,
+               "--trace", manifest_path + ".trace.json", *extra_args]
         self.proc = subprocess.Popen(
             cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
             text=True, env=env, cwd=str(REPO_ROOT))
@@ -263,6 +266,7 @@ def main(argv=None) -> int:
             "unique_points": len(grid),
             "serial_args": SERIAL_ARGS,
             "coalesced_args": COALESCED_ARGS,
+            "telemetry": "trace + flight recorder enabled on both phases",
         },
         "speedup": speedup,
         "parity_exact": True,

@@ -1,0 +1,154 @@
+"""Serve telemetry smoke test (CI gate): scrape every observability surface.
+
+Boots the real serving CLI (``python -m repro.serve``) as a subprocess
+with tracing, metrics and the flight recorder enabled, drives a small
+mixed workload through :class:`repro.serve.ServeClient` (single-point
+lookups, a multi-point sweep under a client-minted trace id, and one
+rejected request so the error path is exercised), then captures the
+four artifacts CI validates and archives:
+
+* ``--openmetrics FILE`` — a live ``GET /metrics`` scrape,
+* ``--flight FILE`` — the ``GET /v1/debug/flight`` ring snapshot,
+* ``--trace FILE`` — the Chrome trace written at shutdown,
+* ``--manifest FILE`` — the serve manifest written at shutdown.
+
+The script checks the responses inline (trace ids echoed, values
+positive and bit-identical across repeats); the structural validation
+belongs to ``validate_obs.py``::
+
+    python scripts/serve_telemetry_smoke.py \
+        --openmetrics metrics.txt --flight flight.json \
+        --trace serve-trace.json --manifest serve-manifest.json
+    python scripts/validate_obs.py --openmetrics metrics.txt \
+        --flight flight.json --trace serve-trace.json \
+        --manifest serve-manifest.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.trace import Tracer                           # noqa: E402
+from repro.serve import ServeClient, ServeRequestError       # noqa: E402
+
+ARCH = dict(width=4, paths_per_lane=5, chain_length=10)
+TRACE_ID = "telemetry-smoke"
+
+
+def drive_traffic(port: int) -> list:
+    """A small mixed workload; returns a list of error strings."""
+    errors = []
+    tracer = Tracer(trace_id=TRACE_ID)
+    with ServeClient("127.0.0.1", port, tracer=tracer) as client:
+        first = client.chip_quantile("22nm", vdd=0.55, **ARCH)
+        again = client.chip_quantile("22nm", vdd=0.55, **ARCH)
+        if not first > 0:
+            errors.append(f"non-positive quantile {first}")
+        if first != again:
+            errors.append(f"repeat lookup not bit-identical: "
+                          f"{first} != {again}")
+        sweep = client.query(
+            "22nm", vdd=[0.5, 0.6, 0.7, 0.8], **ARCH)
+        if sweep.get("trace_id") != TRACE_ID:
+            errors.append(f"client trace id not echoed: "
+                          f"{sweep.get('trace_id')!r}")
+        if len(sweep.get("values", [])) != 4:
+            errors.append(f"sweep returned {sweep.get('values')!r}")
+        try:
+            client.query("no-such-node", vdd=0.5, **ARCH)
+            errors.append("bad node was accepted")
+        except ServeRequestError:
+            pass
+    if not errors:
+        print(f"ok: workload served, trace id {TRACE_ID!r} echoed, "
+              f"repeat lookups bit-identical")
+    return errors
+
+
+def scrape(port: int, openmetrics_path: Path, flight_path: Path) -> list:
+    errors = []
+    with ServeClient("127.0.0.1", port) as client:
+        text = client.openmetrics()
+        flight = client.flight()
+    openmetrics_path.write_text(text, encoding="utf-8")
+    flight_path.write_text(json.dumps(flight, indent=2, sort_keys=True)
+                           + "\n", encoding="utf-8")
+    if "serve_requests_total" not in text:
+        errors.append("/metrics scrape lacks serve_requests_total")
+    if not flight.get("events"):
+        errors.append("/v1/debug/flight returned no events")
+    if not errors:
+        print(f"ok: scraped {openmetrics_path} "
+              f"({len(text.splitlines())} lines) and {flight_path} "
+              f"({len(flight['events'])} flight events)")
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--openmetrics", type=Path,
+                        default=Path("serve-metrics.txt"))
+    parser.add_argument("--flight", type=Path,
+                        default=Path("serve-flight.json"))
+    parser.add_argument("--trace", type=Path,
+                        default=Path("serve-trace.json"))
+    parser.add_argument("--manifest", type=Path,
+                        default=Path("serve-manifest.json"))
+    args = parser.parse_args(argv)
+    for path in (args.openmetrics, args.flight, args.trace, args.manifest):
+        path.parent.mkdir(parents=True, exist_ok=True)
+
+    errors = []
+    with tempfile.TemporaryDirectory() as cache_dir:
+        env = dict(os.environ,
+                   PYTHONPATH=str(REPO_ROOT / "src"),
+                   REPRO_CACHE_DIR=cache_dir)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve", "--port", "0",
+             "--trace", str(args.trace), "--metrics", str(args.manifest),
+             "--window-s", "30", "--flight-capacity", "256"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env, cwd=str(REPO_ROOT))
+        try:
+            line = proc.stdout.readline()
+            if "listening on" not in line:
+                proc.kill()
+                _, stderr = proc.communicate()
+                print(f"error: server failed to start: {line!r}\n{stderr}",
+                      file=sys.stderr)
+                return 1
+            port = int(line.rsplit(":", 1)[1])
+            print(f"ok: serve CLI up on port {port}")
+            errors += drive_traffic(port)
+            errors += scrape(port, args.openmetrics, args.flight)
+            proc.send_signal(signal.SIGTERM)
+            _, stderr = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        if proc.returncode != 0:
+            errors.append(f"server exited {proc.returncode}:\n{stderr}")
+
+    for path, label in ((args.trace, "trace"), (args.manifest, "manifest")):
+        if not path.exists():
+            errors.append(f"shutdown did not write the {label} ({path})")
+    if not errors:
+        print(f"ok: clean shutdown wrote {args.trace} and {args.manifest}")
+    for err in errors:
+        print(f"error: {err}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

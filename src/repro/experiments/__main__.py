@@ -156,6 +156,22 @@ def main(argv=None) -> int:
                              metavar="MS",
                              help="per-request deadline (HTTP 408 on "
                                   "expiry); defaults to the shard timeout")
+    serve_group.add_argument("--window-s", type=float, default=60.0,
+                             metavar="S",
+                             help="rolling window behind the live gauges "
+                                  "(p50/p99/QPS/error rate; default 60)")
+    serve_group.add_argument("--slo-availability", type=float, default=0.999,
+                             metavar="FRAC",
+                             help="availability SLO target in (0, 1) for "
+                                  "the burn-rate gauges (default 0.999)")
+    serve_group.add_argument("--slo-latency-ms", type=float, default=250.0,
+                             metavar="MS",
+                             help="latency SLO target for the burn-rate "
+                                  "gauges (default 250)")
+    serve_group.add_argument("--flight-capacity", type=int, default=512,
+                             metavar="N",
+                             help="flight-recorder ring size; 0 disables "
+                                  "(default 512)")
     parser.add_argument("--mc-precision", choices=("float64", "float32"),
                         default="float64",
                         help="Monte-Carlo kernel dtype policy: float64 "
@@ -201,6 +217,7 @@ def main(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     cache_before = cache_file_state() if args.metrics else None
+    flight_snapshot = None
     run_start = time.perf_counter()
     try:
         targets = ([e.experiment_id for e in list_experiments()]
@@ -217,8 +234,13 @@ def main(argv=None) -> int:
                     max_queue=args.max_queue,
                     deadline_ms=args.deadline_ms,
                     backend=args.backend,
-                    block_elems=args.block_elems)
+                    block_elems=args.block_elems,
+                    window_s=args.window_s,
+                    slo_availability=args.slo_availability,
+                    slo_latency_ms=args.slo_latency_ms,
+                    flight_capacity=args.flight_capacity)
                 summary = run_server(config, runtime)
+                flight_snapshot = summary.get("flight")
                 print(f"[serve] handled {summary['requests']} requests, "
                       f"coalesce ratio {summary['coalesce_ratio']:.2f}")
             elif args.target == "all" and runtime.jobs > 1:
@@ -261,7 +283,8 @@ def main(argv=None) -> int:
             cache_after=cache_file_state(), elapsed_wall_s=elapsed_wall_s,
             trace_file=args.trace, resilience=runtime.ledger.as_dict(),
             faults=args.inject_faults,
-            backends=backend_manifest(args.backend))
+            backends=backend_manifest(args.backend),
+            flight=flight_snapshot)
         write_manifest(args.metrics, manifest)
         print(f"[run manifest written to {args.metrics}]", file=sys.stderr)
     return 0

@@ -44,6 +44,7 @@ from repro.obs.api import (
     histogram,
     span,
 )
+from repro.obs.flight import FLIGHT_SCHEMA, NOOP_FLIGHT, FlightRecorder
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
     TRACE_SCHEMA,
@@ -59,6 +60,14 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    WindowedCounter,
+    WindowedHistogram,
+)
+from repro.obs.openmetrics import (
+    OPENMETRICS_CONTENT_TYPE,
+    check_openmetrics,
+    parse_openmetrics,
+    render_openmetrics,
 )
 from repro.obs.trace import NOOP_TRACER, Tracer, write_chrome_trace
 
@@ -82,6 +91,9 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "WindowedHistogram",
+    "WindowedCounter",
+    "FlightRecorder",
     "Profiler",
     "StageStats",
     "activate_obs",
@@ -97,9 +109,15 @@ __all__ = [
     "cache_file_state",
     "strip_timing",
     "validate_schema",
+    "render_openmetrics",
+    "parse_openmetrics",
+    "check_openmetrics",
+    "OPENMETRICS_CONTENT_TYPE",
     "MANIFEST_SCHEMA",
     "TRACE_SCHEMA",
+    "FLIGHT_SCHEMA",
     "NOOP_OBS",
     "NOOP_METRICS",
     "NOOP_TRACER",
+    "NOOP_FLIGHT",
 ]

@@ -58,7 +58,11 @@ class Observability:
             return None
         return {
             "trace": self.tracer.enabled,
-            "trace_id": self.tracer.trace_id,
+            # current_trace_id (not trace_id): when dispatched from
+            # inside a span that adopted a remote context — a serve
+            # request — workers join the request's trace, not the
+            # server's own.
+            "trace_id": self.tracer.current_trace_id(),
             "parent": self.tracer.current_span(),
             "metrics": self.metrics.enabled,
             "stage": stage,

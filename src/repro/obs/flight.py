@@ -1,0 +1,118 @@
+"""Flight recorder: a bounded ring of structured hot-path events.
+
+Long-running servers need an answer to "what just happened?" that does
+not require re-running with tracing on.  :class:`FlightRecorder` keeps
+the last ``capacity`` structured events (admit, coalesce, flush, solve,
+retry, deadline_miss, fault, backpressure_reject, ...) in memory at a
+fixed cost: recording is a lock plus a deque append, old events fall off
+the front, and a drop counter records how much history was lost.
+
+Snapshots are dumped by the server via ``GET /v1/debug/flight``, printed
+on ``SIGUSR2``, and attached to the shutdown manifest.  Event payloads
+must be JSON-serialisable and deterministic apart from the ``t_s``
+timestamp and ``wall_s`` durations, which
+:func:`repro.obs.manifest.strip_timing` removes — so two identical
+request sequences produce byte-identical stripped snapshots, which is
+what the chaos regression tests assert.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = ["FlightRecorder", "NOOP_FLIGHT", "FLIGHT_SCHEMA", "EVENT_KINDS"]
+
+#: Event kinds emitted on the serve hot path.
+EVENT_KINDS = ("admit", "coalesce", "flush", "solve", "retry",
+               "deadline_miss", "fault", "backpressure_reject")
+
+#: Mini JSON-schema (see :func:`repro.obs.manifest.validate_schema`) for
+#: a flight-recorder snapshot.
+FLIGHT_SCHEMA = {
+    "type": "object",
+    "required": ["kind", "capacity", "total", "dropped", "events"],
+    "properties": {
+        "kind": {"type": "string"},
+        "capacity": {"type": "number"},
+        "total": {"type": "number"},
+        "dropped": {"type": "number"},
+        "events": {
+            "type": "array",
+            "items": {"type": "object", "required": ["seq", "kind"]},
+        },
+    },
+}
+
+
+class FlightRecorder:
+    """Bounded ring buffer of structured events with a drop counter.
+
+    ``clock`` (seconds, monotonic by default) stamps each event's
+    ``t_s`` field; inject a fake for deterministic tests.  Thread-safe:
+    the event loop, the dispatcher's solver thread and signal handlers
+    all record into the same ring.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 512, *,
+                 clock=time.monotonic) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._events: deque = deque(maxlen=self.capacity)
+        self._clock = clock
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    def record(self, kind: str, **fields) -> None:
+        """Append one event; evicts the oldest when the ring is full."""
+        t = self._clock()
+        with self._lock:
+            event = {"seq": self._seq, "t_s": t, "kind": kind}
+            event.update(fields)
+            self._seq += 1
+            self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def total(self) -> int:
+        """Events ever recorded (retained + dropped)."""
+        return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring."""
+        return self._seq - len(self._events)
+
+    def snapshot(self) -> dict:
+        """Serialisable dump of the ring, oldest event first."""
+        with self._lock:
+            return {
+                "kind": "repro-flight-recorder",
+                "capacity": self.capacity,
+                "total": self._seq,
+                "dropped": self._seq - len(self._events),
+                "events": [dict(e) for e in self._events],
+            }
+
+
+class _NoopFlightRecorder(FlightRecorder):
+    """Disabled recorder: records nothing, snapshots empty."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+        self.capacity = 0
+
+    def record(self, kind: str, **fields) -> None:
+        pass
+
+
+#: Shared disabled recorder (``flight_capacity=0`` in the serve config).
+NOOP_FLIGHT = _NoopFlightRecorder()

@@ -24,6 +24,8 @@ import json
 import os
 import platform
 
+from repro.obs.flight import FLIGHT_SCHEMA as _FLIGHT_SCHEMA_REF
+
 __all__ = ["MANIFEST_SCHEMA", "TRACE_SCHEMA", "TIMING_KEYS",
            "build_manifest", "write_manifest", "cache_file_state",
            "strip_timing", "validate_schema"]
@@ -31,9 +33,10 @@ __all__ = ["MANIFEST_SCHEMA", "TRACE_SCHEMA", "TIMING_KEYS",
 MANIFEST_VERSION = 1
 
 #: Key names (exact) holding wall-clock data; stripped when comparing
-#: manifests for determinism.
+#: manifests for determinism.  ``t_s`` is the flight recorder's event
+#: timestamp.
 TIMING_KEYS = frozenset({
-    "wall_s", "elapsed_wall_s", "timing", "worker_utilization",
+    "wall_s", "elapsed_wall_s", "timing", "worker_utilization", "t_s",
 })
 
 
@@ -66,7 +69,8 @@ def build_manifest(*, targets, fast: bool, jobs: int, root_seed: int,
                    trace_file: str | None = None,
                    resilience: dict | None = None,
                    faults: str | None = None,
-                   backends: dict | None = None) -> dict:
+                   backends: dict | None = None,
+                   flight: dict | None = None) -> dict:
     """Assemble the provenance manifest for one finished run.
 
     ``profiler`` is a :class:`~repro.runtime.profile.Profiler` (or
@@ -79,7 +83,9 @@ def build_manifest(*, targets, fast: bool, jobs: int, root_seed: int,
     the kernel-backend section from
     :func:`repro.core.backends.backend_manifest` (what was requested,
     what actually ran, whether a fallback fired); ``None`` records the
-    default numpy backend.
+    default numpy backend.  ``flight`` is the serving flight-recorder
+    snapshot (:meth:`repro.obs.flight.FlightRecorder.snapshot`), attached
+    only for serve runs so one-shot experiment manifests stay unchanged.
     """
     import numpy as np
 
@@ -92,7 +98,7 @@ def build_manifest(*, targets, fast: bool, jobs: int, root_seed: int,
         backends = backend_manifest("numpy")
     metric_snap = metrics.as_dict() if metrics is not None else {}
     counters = metric_snap.get("counters", {})
-    return {
+    manifest = {
         "manifest_version": MANIFEST_VERSION,
         "kind": "repro-run-manifest",
         "run": {
@@ -124,6 +130,9 @@ def build_manifest(*, targets, fast: bool, jobs: int, root_seed: int,
         "trace_file": trace_file,
         "timing": {"elapsed_wall_s": float(elapsed_wall_s)},
     }
+    if flight is not None:
+        manifest["flight"] = flight
+    return manifest
 
 
 def write_manifest(path: str, manifest: dict) -> None:
@@ -212,6 +221,7 @@ MANIFEST_SCHEMA = {
             },
         },
         "timing": {"type": "object"},
+        "flight": _FLIGHT_SCHEMA_REF,
     },
 }
 

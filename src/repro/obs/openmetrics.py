@@ -1,0 +1,172 @@
+"""OpenMetrics / Prometheus text exposition for a metrics snapshot.
+
+:func:`render_openmetrics` turns a :meth:`MetricsRegistry.as_dict`
+snapshot into the OpenMetrics text format scraped by Prometheus:
+counters become ``<name>_total`` samples, gauges plain samples, and
+histograms the standard cumulative ``_bucket{le="..."}`` series — always
+ending in an explicit ``le="+Inf"`` bucket equal to ``_count``, so
+overflow observations are first-class rather than silently folded into
+the last finite bin.  Instrument names are sanitised to the metric-name
+charset (``serve.latency_ms`` → ``serve_latency_ms``).
+
+:func:`parse_openmetrics` is the matching mini-parser used by the test
+suite and ``scripts/validate_obs.py`` to check scrapes without a real
+Prometheus: it groups samples per family and enforces the structural
+invariants (``# EOF`` terminator, cumulative non-decreasing buckets,
+``+Inf`` == count, counter samples carrying the ``_total`` suffix).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["render_openmetrics", "parse_openmetrics", "check_openmetrics",
+           "OPENMETRICS_CONTENT_TYPE"]
+
+#: Content-Type announced by the ``GET /metrics`` endpoint.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8")
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$")
+_LABEL_RE = re.compile(r'(?P<k>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<v>[^"]*)"')
+
+
+def sanitize_name(name: str) -> str:
+    """Map an instrument name onto the OpenMetrics name charset."""
+    out = _NAME_BAD.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _fmt(value) -> str:
+    """Render a sample value / bucket bound without trailing noise."""
+    f = float(value)
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def render_openmetrics(snapshot: dict, *, extra_gauges=None) -> str:
+    """Render an ``as_dict`` metrics snapshot as OpenMetrics text.
+
+    ``extra_gauges`` is an optional ``{name: value}`` mapping appended
+    to the gauge families (for values computed at scrape time).
+    """
+    lines = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        om = sanitize_name(name)
+        lines.append(f"# TYPE {om} counter")
+        lines.append(f"{om}_total {_fmt(value)}")
+    gauges = dict(snapshot.get("gauges", {}))
+    if extra_gauges:
+        gauges.update(extra_gauges)
+    for name, value in sorted(gauges.items()):
+        om = sanitize_name(name)
+        lines.append(f"# TYPE {om} gauge")
+        lines.append(f"{om} {_fmt(value)}")
+    for name, rec in sorted(snapshot.get("histograms", {}).items()):
+        om = sanitize_name(name)
+        lines.append(f"# TYPE {om} histogram")
+        cumulative = 0
+        for bound, n in zip(rec["buckets"], rec["counts"]):
+            cumulative += n
+            lines.append(f'{om}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+        lines.append(f'{om}_bucket{{le="+Inf"}} {rec["count"]}')
+        lines.append(f"{om}_sum {_fmt(rec['sum'])}")
+        lines.append(f"{om}_count {rec['count']}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def parse_openmetrics(text: str) -> dict:
+    """Parse OpenMetrics text into ``{family: {"type", "samples"}}``.
+
+    ``samples`` is a list of ``(name, labels_dict, value)`` tuples in
+    exposition order.  Samples are attributed to the most specific
+    declared family whose name prefixes theirs (so ``x_total``,
+    ``x_bucket``, ``x_sum`` and ``x_count`` group under family ``x``).
+    Raises :class:`ValueError` on malformed lines or a missing ``# EOF``.
+    """
+    families: dict = {}
+    saw_eof = False
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if saw_eof:
+            raise ValueError(f"line {lineno}: content after # EOF")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE line")
+            families[parts[2]] = {"type": parts[3], "samples": []}
+            continue
+        if line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        name = m.group("name")
+        labels = {lm.group("k"): lm.group("v")
+                  for lm in _LABEL_RE.finditer(m.group("labels") or "")}
+        value = float(m.group("value"))
+        family = None
+        for fam in families:
+            if name == fam or name.startswith(fam + "_"):
+                if family is None or len(fam) > len(family):
+                    family = fam
+        if family is None:
+            raise ValueError(f"line {lineno}: sample {name!r} has no family")
+        families[family]["samples"].append((name, labels, value))
+    if not saw_eof:
+        raise ValueError("missing # EOF terminator")
+    return families
+
+
+def check_openmetrics(text: str) -> list:
+    """Validate an exposition; returns a list of problem strings."""
+    problems = []
+    try:
+        families = parse_openmetrics(text)
+    except ValueError as exc:
+        return [str(exc)]
+    for fam, rec in families.items():
+        kind = rec["type"]
+        samples = rec["samples"]
+        if not samples:
+            problems.append(f"{fam}: family declared but no samples")
+            continue
+        if kind == "counter":
+            for name, _, value in samples:
+                if not name.endswith("_total"):
+                    problems.append(f"{fam}: counter sample {name!r} "
+                                    "missing _total suffix")
+                if value < 0:
+                    problems.append(f"{fam}: negative counter {value}")
+        elif kind == "histogram":
+            buckets = [(labels.get("le"), value)
+                       for name, labels, value in samples
+                       if name.endswith("_bucket")]
+            counts = [value for name, _, value in samples
+                      if name.endswith("_count")]
+            if not buckets:
+                problems.append(f"{fam}: histogram without buckets")
+                continue
+            if buckets[-1][0] != "+Inf":
+                problems.append(f"{fam}: last bucket is {buckets[-1][0]!r}, "
+                                "expected +Inf")
+            values = [v for _, v in buckets]
+            if any(b > a for b, a in zip(values, values[1:])):
+                problems.append(f"{fam}: bucket counts not cumulative")
+            if counts and buckets and buckets[-1][1] != counts[0]:
+                problems.append(f"{fam}: +Inf bucket {buckets[-1][1]} != "
+                                f"count {counts[0]}")
+    return problems

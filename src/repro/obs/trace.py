@@ -3,9 +3,21 @@
 :class:`Tracer` collects *complete* trace events (``ph: "X"``): each
 :meth:`Tracer.span` block becomes one event with a wall-clock timestamp,
 a monotonic duration, the process/thread ids and arbitrary attributes.
-Spans nest — the tracer keeps a per-tracer stack, so a span opened inside
-another records its parent's id and Perfetto renders the hierarchy from
-the timing containment.
+Spans nest — the tracer keeps a per-context stack (a
+:class:`contextvars.ContextVar`, so concurrent threads *and* concurrent
+asyncio tasks each see their own ancestry), and a span opened inside
+another records its parent's id.
+
+Distributed traces: a span may be opened under an explicit ``ctx=(
+trace_id, parent_span_id)`` handed over a process or network boundary —
+the span and everything nested inside it (including
+:meth:`Observability.worker_context` payloads built there) then carry
+the *remote* trace id instead of this tracer's own.  This is how one
+serving request stays a single connected trace from the client's minted
+id through the server, the batching dispatcher and the pool workers.
+Fan-in points (a batch solve serving many coalesced requests) record
+``links`` — the list of joined request spans — via :meth:`Tracer.span`'s
+``links`` argument or :meth:`Tracer.add_span`.
 
 Cross-process traces: a parent tracer's ``(trace_id, current span id)``
 travel to a :class:`~concurrent.futures.ProcessPoolExecutor` worker inside
@@ -20,15 +32,23 @@ the Chrome trace-event unit; durations use ``time.perf_counter()``.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import threading
 import time
 from contextlib import contextmanager, nullcontext
+from contextvars import ContextVar
 
 __all__ = ["Tracer", "NOOP_TRACER", "write_chrome_trace"]
 
 _NULL_CM = nullcontext()
+
+#: Per-process tracer sequence number, part of every span id.  Two live
+#: tracers in one process (a serve client and its in-process test server,
+#: two servers, ...) must never mint colliding span ids — a collision
+#: corrupts parent chains when their events land in the same trace.
+_TRACER_SEQ = itertools.count()
 
 
 class Tracer:
@@ -53,52 +73,119 @@ class Tracer:
         self.trace_id = str(trace_id)
         self.base_parent = parent
         self._events: list = []
-        self._stack: list = []
-        self._next = 0
+        self._lock = threading.Lock()
+        self._ids = itertools.count()
+        self._id_prefix = f"{os.getpid():x}.{next(_TRACER_SEQ):x}"
+        # Ancestry frames (span_id, trace_id), innermost last.  A
+        # ContextVar — not an instance list — so spans opened from the
+        # dispatcher's solver thread, pool workers or concurrent asyncio
+        # request tasks never corrupt each other's parentage.
+        self._frames: ContextVar = ContextVar(
+            f"repro_trace_frames_{id(self):x}", default=())
 
-    # -- spans ---------------------------------------------------------------
+    # -- ids and ancestry ----------------------------------------------------
+
+    def new_span_id(self) -> str:
+        """Allocate a span id (for spans recorded via :meth:`add_span`)."""
+        return f"{self._id_prefix}.{next(self._ids)}"
 
     def current_span(self) -> str | None:
         """Id of the innermost open span (the would-be parent)."""
-        return self._stack[-1] if self._stack else self.base_parent
+        frames = self._frames.get()
+        return frames[-1][0] if frames else self.base_parent
+
+    def current_trace_id(self) -> str:
+        """Trace id governing the current context.
+
+        The tracer's own id unless an open span adopted a remote context
+        (``span(..., ctx=...)``), in which case the remote trace id is
+        inherited by everything nested under it.
+        """
+        frames = self._frames.get()
+        return frames[-1][1] if frames else self.trace_id
+
+    # -- spans ---------------------------------------------------------------
 
     @contextmanager
-    def span(self, name: str, **attrs):
+    def span(self, name: str, *, ctx: tuple | None = None,
+             links=None, **attrs):
         """Record the block as one complete event named ``name``.
 
         ``attrs`` become the event's ``args`` and must be
-        JSON-serialisable (strings, numbers, booleans).
+        JSON-serialisable (strings, numbers, booleans).  ``ctx`` is an
+        optional ``(trace_id, parent_span_id)`` pair from a remote
+        caller (request header, batch dispatch): the span joins *that*
+        trace instead of continuing the local ancestry.  ``links`` is an
+        optional list of ``{"trace_id", "span_id"}`` dicts naming spans
+        this one fans in from.
         """
-        span_id = f"{os.getpid():x}.{self._next}"
-        self._next += 1
-        parent = self.current_span()
-        self._stack.append(span_id)
+        span_id = self.new_span_id()
+        frames = self._frames.get()
+        if ctx is not None:
+            trace_id = str(ctx[0]) if ctx[0] else self.trace_id
+            parent = ctx[1]
+        else:
+            trace_id = frames[-1][1] if frames else self.trace_id
+            parent = frames[-1][0] if frames else self.base_parent
+        token = self._frames.set(frames + ((span_id, trace_id),))
         ts = time.time() * 1e6
         start = time.perf_counter()
         try:
             yield
         finally:
             dur = time.perf_counter() - start
-            self._stack.pop()
-            args = {"span_id": span_id, "trace_id": self.trace_id}
-            if parent is not None:
-                args["parent_id"] = parent
-            args.update(attrs)
-            self._events.append({
-                "name": name, "ph": "X", "ts": ts, "dur": dur * 1e6,
-                "pid": os.getpid(), "tid": threading.get_ident() & 0x7FFFFFFF,
-                "cat": "repro", "args": args,
-            })
+            self._frames.reset(token)
+            self._append(name, ts, dur * 1e6, span_id, trace_id,
+                         parent, links, attrs)
+
+    def add_span(self, name: str, *, ts: float | None = None,
+                 dur_s: float = 0.0, ctx: tuple | None = None,
+                 links=None, span_id: str | None = None, **attrs) -> str:
+        """Record a complete span without touching the ancestry stack.
+
+        For spans whose lifetime straddles awaits or threads (a batch
+        solve measured on the event loop): allocate an id up front with
+        :meth:`new_span_id` so children can parent under it, then record
+        the finished event here.  ``ts`` is the wall-clock start in
+        microseconds (defaults to now), ``dur_s`` the duration in
+        seconds.  Returns the span id.
+        """
+        if span_id is None:
+            span_id = self.new_span_id()
+        trace_id = (str(ctx[0]) if ctx is not None and ctx[0]
+                    else self.trace_id)
+        parent = ctx[1] if ctx is not None else None
+        self._append(name, ts if ts is not None else time.time() * 1e6,
+                     dur_s * 1e6, span_id, trace_id, parent, links, attrs)
+        return span_id
+
+    def _append(self, name, ts, dur_us, span_id, trace_id, parent,
+                links, attrs) -> None:
+        args = {"span_id": span_id, "trace_id": trace_id}
+        if parent is not None:
+            args["parent_id"] = parent
+        if links:
+            args["links"] = list(links)
+        args.update(attrs)
+        event = {
+            "name": name, "ph": "X", "ts": ts, "dur": dur_us,
+            "pid": os.getpid(), "tid": threading.get_ident() & 0x7FFFFFFF,
+            "cat": "repro", "args": args,
+        }
+        with self._lock:
+            self._events.append(event)
 
     # -- snapshots -----------------------------------------------------------
 
     def events(self) -> list:
         """The finished events (serialisable; worker hand-back payload)."""
-        return list(self._events)
+        with self._lock:
+            return list(self._events)
 
     def absorb(self, events) -> None:
         """Fold a batch of events (e.g. from a pool worker) into this trace."""
-        self._events.extend(events)
+        with self._lock:
+            self._events.extend(events)
 
     def __len__(self) -> int:
         return len(self._events)
@@ -110,7 +197,7 @@ class Tracer:
         ``chrome://tracing``: a ``traceEvents`` array of complete events
         plus process-name metadata for every pid seen.
         """
-        events = list(self._events)
+        events = self.events()
         pids = sorted({e["pid"] for e in events})
         parent_pid = os.getpid()
         for pid in pids:
@@ -134,8 +221,11 @@ class _NoopTracer(Tracer):
     def __init__(self) -> None:
         super().__init__(trace_id="noop")
 
-    def span(self, name: str, **attrs):
+    def span(self, name: str, *, ctx=None, links=None, **attrs):
         return _NULL_CM
+
+    def add_span(self, name: str, **kwargs) -> str:
+        return "noop"
 
     def absorb(self, events) -> None:
         pass

@@ -22,6 +22,7 @@ from __future__ import annotations
 from repro.serve.client import ServeClient, ServeRequestError
 from repro.serve.dispatcher import MicroBatchDispatcher
 from repro.serve.protocol import (
+    TRACE_HEADER,
     BadRequestError,
     DeadlineError,
     EngineKey,
@@ -29,6 +30,7 @@ from repro.serve.protocol import (
     PayloadTooLarge,
     ServeError,
     SolverError,
+    parse_trace_header,
 )
 from repro.serve.server import ServeConfig, SignoffServer, run_server
 
@@ -40,6 +42,8 @@ __all__ = [
     "MicroBatchDispatcher",
     "run_server",
     "EngineKey",
+    "TRACE_HEADER",
+    "parse_trace_header",
     "ServeError",
     "BadRequestError",
     "DeadlineError",

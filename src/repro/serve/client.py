@@ -7,6 +7,15 @@ structured errors: any non-200 response raises
 machine-readable error code (``overloaded``, ``deadline_exceeded``,
 ``bad_request``, ...).
 
+Every request ships an ``X-Repro-Trace`` header.  By default the client
+mints a fresh trace id per request (kept on :attr:`last_trace_id` and
+echoed in the server's JSON payload, so a log line on either side
+correlates the two).  Hand the constructor a live
+:class:`~repro.obs.trace.Tracer` and each request instead runs inside a
+``client.request`` span whose ``(trace_id, span_id)`` ride the header —
+the server, dispatcher batch, solve and pool-worker spans all join that
+trace, giving one connected end-to-end view per call.
+
 >>> with ServeClient("127.0.0.1", 8437) as c:            # doctest: +SKIP
 ...     c.chip_quantile("22nm", vdd=0.55)
 ...     c.chip_quantile_batch("22nm", vdd=[0.5, 0.6], q=0.99)
@@ -15,7 +24,10 @@ machine-readable error code (``overloaded``, ``deadline_exceeded``,
 from __future__ import annotations
 
 import http.client
+import itertools
 import json
+import os
+import time
 
 __all__ = ["ServeClient", "ServeRequestError"]
 
@@ -34,11 +46,14 @@ class ServeClient:
     """One keep-alive connection to a :class:`~repro.serve.SignoffServer`."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8437, *,
-                 timeout: float = 120.0) -> None:
+                 timeout: float = 120.0, tracer=None) -> None:
         self.host = str(host)
         self.port = int(port)
         self.timeout = float(timeout)
+        self.tracer = tracer
+        self.last_trace_id: str | None = None
         self._conn: http.client.HTTPConnection | None = None
+        self._seq = itertools.count()
 
     # -- transport -----------------------------------------------------------
 
@@ -48,32 +63,51 @@ class ServeClient:
                 self.host, self.port, timeout=self.timeout)
         return self._conn
 
-    def _request(self, method: str, path: str, payload=None) -> dict:
-        body = json.dumps(payload).encode() if payload is not None else None
-        headers = {"Content-Type": "application/json"} if body else {}
+    def _mint_trace_id(self) -> str:
+        return (f"c{os.getpid():x}-{time.time_ns():x}"
+                f"-{next(self._seq):x}")
+
+    def _roundtrip(self, method: str, path: str, body, headers):
+        """One HTTP exchange -> ``(status, data bytes)``."""
         for attempt in (0, 1):
             conn = self._connection()
             try:
                 conn.request(method, path, body=body, headers=headers)
                 response = conn.getresponse()
-                data = response.read()
-                break
+                return response.status, response.read()
             except (http.client.HTTPException, ConnectionError, OSError):
                 # A keep-alive connection the server closed between
                 # requests surfaces here; retry once on a fresh socket.
                 self.close()
                 if attempt:
                     raise
+
+    def _request(self, method: str, path: str, payload=None) -> dict:
+        body = json.dumps(payload).encode() if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        if self.tracer is not None and getattr(self.tracer, "enabled",
+                                               False):
+            with self.tracer.span("client.request", path=path):
+                trace_id = self.tracer.current_trace_id()
+                span_id = self.tracer.current_span()
+                headers["X-Repro-Trace"] = f"{trace_id}/{span_id}"
+                self.last_trace_id = trace_id
+                status, data = self._roundtrip(method, path, body, headers)
+        else:
+            trace_id = self._mint_trace_id()
+            headers["X-Repro-Trace"] = trace_id
+            self.last_trace_id = trace_id
+            status, data = self._roundtrip(method, path, body, headers)
         try:
             parsed = json.loads(data.decode() or "null")
         except (json.JSONDecodeError, UnicodeDecodeError):
             parsed = None
-        if response.status != 200:
+        if status != 200:
             if isinstance(parsed, dict):
-                raise ServeRequestError(response.status,
+                raise ServeRequestError(status,
                                         parsed.get("error", "unknown"),
                                         parsed.get("message", ""))
-            raise ServeRequestError(response.status, "unknown",
+            raise ServeRequestError(status, "unknown",
                                     data[:200].decode("latin-1"))
         if not isinstance(parsed, dict):
             raise ServeRequestError(200, "bad_payload",
@@ -100,6 +134,18 @@ class ServeClient:
 
     def metrics(self) -> dict:
         return self._request("GET", "/v1/metrics")
+
+    def openmetrics(self) -> str:
+        """The ``GET /metrics`` OpenMetrics exposition as text."""
+        status, data = self._roundtrip("GET", "/metrics", None, {})
+        if status != 200:
+            raise ServeRequestError(status, "unknown",
+                                    data[:200].decode("latin-1"))
+        return data.decode("utf-8")
+
+    def flight(self) -> dict:
+        """The server's flight-recorder snapshot (``/v1/debug/flight``)."""
+        return self._request("GET", "/v1/debug/flight")
 
     def chip_quantile(self, node: str, vdd: float, q: float = 0.99,
                       spares: float = 0.0, **arch) -> float:

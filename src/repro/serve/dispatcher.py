@@ -37,14 +37,30 @@ Correctness guarantees, in order of subtlety:
 The solve itself runs on a single dedicated thread (the engine LRUs are
 not thread-safe) with the server's runtime activated, so pool fan-out,
 fault recovery and cache layers all behave exactly as in CLI runs.
+
+Telemetry: when built with a live tracer the dispatcher records one
+``serve.batch`` span per flushed bucket, parented under the *first*
+coalesced request's span and carrying ``links`` to every request span it
+fans in from — the join point that keeps a coalesced batch part of each
+client's distributed trace.  The batch's ``(trace_id, batch_span_id)``
+context is handed to ``solve_fn`` so the solve span (and from there the
+pool workers) continue the same trace.  A
+:class:`~repro.obs.flight.FlightRecorder`, when attached, receives
+structured ``coalesce`` / ``flush`` / ``solve`` / ``retry`` / ``fault``
+/ ``deadline_miss`` / ``backpressure_reject`` events on the same paths.
 """
 
 from __future__ import annotations
 
 import asyncio
+import inspect
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.obs.flight import NOOP_FLIGHT
+from repro.obs.metrics import WindowedCounter
+from repro.obs.trace import NOOP_TRACER
 from repro.resilience.policy import RetryPolicy
 from repro.serve.protocol import (
     DeadlineError,
@@ -70,7 +86,10 @@ class MicroBatchDispatcher:
     solve_fn:
         Blocking ``(EngineKey, [(vdd, spares, q), ...]) -> [float, ...]``
         executed on the dispatcher's solver thread.  Must be
-        batch-composition invariant (see module docstring).
+        batch-composition invariant (see module docstring).  May accept
+        a third ``ctx`` argument — the batch's ``(trace_id,
+        batch_span_id)`` — to continue the distributed trace into the
+        solve; two-argument solvers keep working unchanged.
     metrics:
         The server's :class:`~repro.obs.metrics.MetricsRegistry`.
     max_batch:
@@ -89,19 +108,40 @@ class MicroBatchDispatcher:
         request bursts instead of pinning its peak footprint forever.
         Exceptions from the callback are swallowed (idle housekeeping
         must never fail a request).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` for batch spans
+        (defaults to the shared no-op).
+    flight:
+        Optional :class:`~repro.obs.flight.FlightRecorder` for hot-path
+        events (defaults to the shared no-op).
+    rolling_window_s:
+        Width of the rolling window behind ``rolling_coalesce_ratio``
+        (and the ``serve.coalesce_ratio`` gauge).
     """
 
     def __init__(self, solve_fn, metrics, *, max_batch: int = 32,
                  window_s: float = 0.002, max_queue: int = 1024,
                  policy: RetryPolicy | None = None,
-                 on_idle=None) -> None:
+                 on_idle=None, tracer=None, flight=None,
+                 rolling_window_s: float = 60.0) -> None:
         self._solve_fn = solve_fn
         self._metrics = metrics
         self._on_idle = on_idle
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
+        self._flight = flight if flight is not None else NOOP_FLIGHT
+        try:
+            n_params = len(inspect.signature(solve_fn).parameters)
+        except (TypeError, ValueError):
+            n_params = 2
+        self._solve_takes_ctx = n_params >= 3
         self.max_batch = int(max_batch)
         self.window_s = float(window_s)
         self.max_queue = int(max_queue)
         self.policy = policy or RetryPolicy()
+        self._win_batches = WindowedCounter("serve.batches",
+                                            window_s=rolling_window_s)
+        self._win_points = WindowedCounter("serve.points_batched",
+                                           window_s=rolling_window_s)
         self._pending: dict = {}      # EngineKey -> [(point, future), ...]
         self._timers: dict = {}       # EngineKey -> TimerHandle
         self._inflight: dict = {}     # (EngineKey, point) -> future
@@ -117,24 +157,31 @@ class MicroBatchDispatcher:
 
     # -- public API ----------------------------------------------------------
 
-    async def resolve(self, key, points, *, timeout: float) -> list:
+    async def resolve(self, key, points, *, timeout: float,
+                      trace_ctx=None) -> list:
         """Values for ``points`` (in order), coalescing with other callers.
 
-        Raises :class:`OverloadedError` when the queue bound would be
-        exceeded and :class:`DeadlineError` when ``timeout`` (seconds)
-        expires first; an expired caller never cancels the underlying
-        solve, so late joiners still complete.
+        ``trace_ctx`` is the requesting span's ``(trace_id, span_id)``;
+        batches fanning this request in link back to it.  Raises
+        :class:`OverloadedError` when the queue bound would be exceeded
+        and :class:`DeadlineError` when ``timeout`` (seconds) expires
+        first; an expired caller never cancels the underlying solve, so
+        late joiners still complete.
         """
-        futures = [self._lookup(key, point) for point in points]
+        futures = [self._lookup(key, point, trace_ctx) for point in points]
         try:
             return await asyncio.wait_for(
                 asyncio.gather(*(asyncio.shield(f) for f in futures)),
                 timeout)
         except asyncio.TimeoutError:
             self._metrics.counter("serve.deadline_misses").inc()
+            unsolved = sum(not f.done() for f in futures)
+            self._flight.record("deadline_miss", node=key.node,
+                                n=len(futures), unsolved=unsolved,
+                                timeout_s=float(timeout))
             raise DeadlineError(
                 f"deadline of {timeout:g}s expired with "
-                f"{sum(not f.done() for f in futures)} of {len(futures)} "
+                f"{unsolved} of {len(futures)} "
                 f"points unsolved") from None
 
     def flush(self) -> None:
@@ -163,12 +210,18 @@ class MicroBatchDispatcher:
         return self._points_batched / self._batches if self._batches else 0.0
 
     @property
+    def rolling_coalesce_ratio(self) -> float:
+        """Mean points per batch over the rolling window (0 when idle)."""
+        batches = self._win_batches.total()
+        return self._win_points.total() / batches if batches else 0.0
+
+    @property
     def queued(self) -> int:
         return self._queued
 
     # -- enqueue side (event-loop thread only) -------------------------------
 
-    def _lookup(self, key, point) -> asyncio.Future:
+    def _lookup(self, key, point, trace_ctx=None) -> asyncio.Future:
         """Future for one point: memo hit, in-flight join, or enqueue."""
         loop = asyncio.get_running_loop()
         k = (key, point)
@@ -176,15 +229,20 @@ class MicroBatchDispatcher:
         if value is not None:
             self._memo.move_to_end(k)
             self._metrics.counter("serve.memo_hits").inc()
+            self._flight.record("coalesce", node=key.node, source="memo")
             fut = loop.create_future()
             fut.set_result(value)
             return fut
         fut = self._inflight.get(k)
         if fut is not None:
             self._metrics.counter("serve.singleflight_joins").inc()
+            self._flight.record("coalesce", node=key.node,
+                                source="inflight")
             return fut
         if self._queued >= self.max_queue:
             self._metrics.counter("serve.rejected").inc()
+            self._flight.record("backpressure_reject", node=key.node,
+                                queued=self._queued, limit=self.max_queue)
             raise OverloadedError(
                 f"{self._queued} points queued (limit {self.max_queue})")
         fut = loop.create_future()
@@ -195,7 +253,7 @@ class MicroBatchDispatcher:
         self._queued += 1
         self._metrics.gauge("serve.queue_depth").set(self._queued)
         bucket = self._pending.setdefault(key, [])
-        bucket.append((point, fut))
+        bucket.append((point, fut, trace_ctx))
         if len(bucket) >= self.max_batch:
             self._flush(key)
         elif len(bucket) == 1 and not self._closed:
@@ -212,11 +270,17 @@ class MicroBatchDispatcher:
             return
         self._batches += 1
         self._points_batched += len(bucket)
+        self._win_batches.inc()
+        self._win_points.inc(len(bucket))
         self._metrics.counter("serve.batches").inc()
         self._metrics.histogram(
             "serve.batch_size", buckets=BATCH_SIZE_BUCKETS).observe(
                 len(bucket))
-        self._metrics.gauge("serve.coalesce_ratio").set(self.coalesce_ratio)
+        # The rolling (not lifetime-cumulative) ratio, so the gauge
+        # tracks what coalescing is doing for current traffic.
+        self._metrics.gauge("serve.coalesce_ratio").set(
+            self.rolling_coalesce_ratio)
+        self._flight.record("flush", node=key.node, n=len(bucket))
         task = asyncio.get_running_loop().create_task(
             self._run_batch(key, bucket))
         self._tasks.add(task)
@@ -225,23 +289,49 @@ class MicroBatchDispatcher:
     # -- solve side ----------------------------------------------------------
 
     async def _run_batch(self, key, bucket) -> None:
-        points = [point for point, _ in bucket]
+        points = [point for point, _, _ in bucket]
+        # One fan-in link per distinct request span: a multi-point request
+        # contributes the same ctx once per point, so dedupe in order.
+        ctxs = list(dict.fromkeys(
+            c for _, _, c in bucket if c is not None))
+        # The batch span fans in every coalesced request: parented under
+        # the first request's span (so its trace stays connected), with
+        # links naming all of them.  Its id is minted up front so the
+        # solve — and, through it, the pool workers — can parent under
+        # it while the span itself is only recorded once the batch
+        # settles.
+        batch_span = self._tracer.new_span_id()
+        solve_ctx = (ctxs[0][0] if ctxs else None, batch_span)
+        ts = time.time() * 1e6
+        t0 = time.perf_counter()
+        ok = True
         try:
-            values = await self._solve_with_retry(key, points)
+            values = await self._solve_with_retry(key, points, solve_ctx)
             if len(values) != len(points):
                 raise SolverError(
                     f"solver returned {len(values)} values for "
                     f"{len(points)} points")
         except ServeError as exc:
+            ok = False
+            self._record_batch_span(key, bucket, ctxs, batch_span, ts, t0,
+                                    ok=False)
             self._fail_bucket(key, bucket, exc)
             self._maybe_idle()
             return
         except Exception as exc:   # noqa: BLE001 - boundary to clients
+            ok = False
+            self._record_batch_span(key, bucket, ctxs, batch_span, ts, t0,
+                                    ok=False)
             self._fail_bucket(
                 key, bucket, SolverError(f"batch solve failed: {exc!r}"))
             self._maybe_idle()
             return
-        for (point, fut), value in zip(bucket, values):
+        finally:
+            self._flight.record("solve", node=key.node, n=len(points),
+                                ok=ok, wall_s=time.perf_counter() - t0)
+        self._record_batch_span(key, bucket, ctxs, batch_span, ts, t0,
+                                ok=True)
+        for (point, fut, _), value in zip(bucket, values):
             self._settle(key, point)
             k = (key, point)
             self._memo[k] = value
@@ -252,6 +342,16 @@ class MicroBatchDispatcher:
                 fut.set_result(value)
         self._maybe_idle()
 
+    def _record_batch_span(self, key, bucket, ctxs, batch_span, ts, t0,
+                           *, ok: bool) -> None:
+        if not self._tracer.enabled:
+            return
+        self._tracer.add_span(
+            "serve.batch", ts=ts, dur_s=time.perf_counter() - t0,
+            ctx=(ctxs[0] if ctxs else None), span_id=batch_span,
+            links=[{"trace_id": c[0], "span_id": c[1]} for c in ctxs],
+            node=key.node, n=len(bucket), ok=ok)
+
     def _maybe_idle(self) -> None:
         """Fire ``on_idle`` once the queue has fully drained."""
         if self._queued == 0 and self._on_idle is not None:
@@ -260,7 +360,7 @@ class MicroBatchDispatcher:
             except Exception:   # noqa: BLE001 - housekeeping only
                 pass
 
-    async def _solve_with_retry(self, key, points) -> list:
+    async def _solve_with_retry(self, key, points, ctx=None) -> list:
         seq = self._batch_seq
         self._batch_seq += 1
         loop = asyncio.get_running_loop()
@@ -268,19 +368,28 @@ class MicroBatchDispatcher:
         for attempt in range(self.policy.max_retries + 1):
             if attempt:
                 self._metrics.counter("serve.solver_retries").inc()
+                self._flight.record("retry", node=key.node, n=len(points),
+                                    attempt=attempt,
+                                    error=type(last).__name__)
                 await asyncio.sleep(self.policy.backoff_s(seq, attempt))
             try:
+                if self._solve_takes_ctx:
+                    return await loop.run_in_executor(
+                        self._executor, self._solve_fn, key, points, ctx)
                 return await loop.run_in_executor(
                     self._executor, self._solve_fn, key, points)
             except Exception as exc:   # noqa: BLE001 - retried below
                 last = exc
         self._metrics.counter("serve.solver_failures").inc()
+        self._flight.record("fault", node=key.node, n=len(points),
+                            attempts=self.policy.max_retries + 1,
+                            error=type(last).__name__)
         raise SolverError(
             f"batch of {len(points)} points failed after "
             f"{self.policy.max_retries + 1} attempts: {last!r}")
 
     def _fail_bucket(self, key, bucket, exc: ServeError) -> None:
-        for point, fut in bucket:
+        for point, fut, _ in bucket:
             self._settle(key, point)
             if not fut.done():
                 fut.set_exception(exc)

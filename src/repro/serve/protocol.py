@@ -20,20 +20,33 @@ error                     status  meaning
 Every error response body is ``{"error": <code>, "message": <text>}``
 so clients can branch on a stable machine-readable code rather than
 scraping messages.
+
+Distributed-trace propagation rides one request header,
+``X-Repro-Trace: <trace_id>[/<parent_span_id>]``, parsed by
+:func:`parse_trace_header`.  Ids are restricted to a conservative
+charset and length so arbitrary client input never lands raw in traces
+or logs; anything malformed is ignored rather than rejected — tracing
+must never fail a request.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import re
 from typing import NamedTuple
 
 __all__ = [
-    "MAX_BODY_BYTES", "MAX_POINTS", "EngineKey", "ServeError",
-    "BadRequestError", "DeadlineError", "PayloadTooLarge",
-    "OverloadedError", "SolverError", "parse_query", "read_request",
-    "json_response", "error_response",
+    "MAX_BODY_BYTES", "MAX_POINTS", "TRACE_HEADER", "EngineKey",
+    "ServeError", "BadRequestError", "DeadlineError", "PayloadTooLarge",
+    "OverloadedError", "SolverError", "parse_query", "parse_trace_header",
+    "read_request", "json_response", "text_response", "error_response",
 ]
+
+#: Request header carrying ``trace_id[/parent_span_id]``.
+TRACE_HEADER = "X-Repro-Trace"
+
+_TRACE_TOKEN = re.compile(r"^[A-Za-z0-9._\-]{1,128}$")
 
 #: Hard cap on a request body; a full-size batch of 4096 points is ~200 KiB.
 MAX_BODY_BYTES = 1 << 20
@@ -179,6 +192,23 @@ def parse_query(body: dict, *, available_nodes) -> tuple:
     return key, points
 
 
+def parse_trace_header(value: str | None):
+    """``X-Repro-Trace`` header value -> ``(trace_id, parent_span_id)``.
+
+    ``parent_span_id`` is ``None`` when the client sent only a trace id.
+    Returns ``None`` (ignore, don't fail) for missing or malformed
+    values.
+    """
+    if not value:
+        return None
+    trace_id, _, parent = value.partition("/")
+    if not _TRACE_TOKEN.match(trace_id):
+        return None
+    if parent and not _TRACE_TOKEN.match(parent):
+        parent = ""
+    return trace_id, parent or None
+
+
 async def read_request(reader: asyncio.StreamReader):
     """Read one HTTP request; ``None`` on a cleanly closed connection.
 
@@ -225,6 +255,19 @@ def json_response(status: int, payload: dict, *,
     reason = _REASONS.get(status, "Unknown")
     head = (f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n")
+    return head.encode("latin-1") + body
+
+
+def text_response(status: int, text: str, content_type: str, *,
+                  keep_alive: bool = True) -> bytes:
+    """Serialise one plain-text response (the OpenMetrics scrape path)."""
+    body = text.encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n")

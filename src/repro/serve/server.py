@@ -10,12 +10,22 @@ runtime's worker pool — and answers sign-off queries over JSON/HTTP:
 route                       method semantics
 =========================== ====== =====================================
 ``/healthz``                GET    liveness + uptime
+``/metrics``                GET    OpenMetrics text (Prometheus scrape)
 ``/v1/metrics``             GET    metrics snapshot (latency gauges set)
+``/v1/debug/flight``        GET    flight-recorder ring dump
 ``/v1/chip_quantile``       POST   one point -> scalar quantile
 ``/v1/chip_quantile_batch`` POST   broadcastable arrays -> value list
 ``/v1/query``               POST   alias of ``chip_quantile_batch``
 ``/v1/signoff_sweep``       POST   sweep + nominal baseline, FO4 + drops
 =========================== ====== =====================================
+
+Telemetry: requests carrying an ``X-Repro-Trace: trace_id[/span_id]``
+header are answered inside a ``serve.request`` span joined to the
+client's trace (the trace id is echoed in the JSON payload for
+correlation), latency/QPS/error-rate gauges are computed over a rolling
+~60 s window rather than process lifetime, and a flight recorder keeps
+the last few hundred hot-path events for ``/v1/debug/flight``, the
+SIGUSR2 dump and the shutdown manifest.
 
 Every solve funnels through the :class:`~repro.serve.dispatcher.
 MicroBatchDispatcher`, so concurrent clients share batch solves and a
@@ -32,7 +42,9 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import json as _json
 import signal
+import sys
 import time
 from dataclasses import dataclass
 
@@ -42,6 +54,9 @@ from repro.core.analyzer import VariationAnalyzer
 from repro.devices.technology import available_technologies
 from repro.errors import ConfigurationError
 from repro.obs.api import build_obs
+from repro.obs.flight import NOOP_FLIGHT, FlightRecorder
+from repro.obs.metrics import WindowedCounter, WindowedHistogram
+from repro.obs.openmetrics import OPENMETRICS_CONTENT_TYPE, render_openmetrics
 from repro.runtime import (
     QuantileCache,
     build_runtime,
@@ -55,7 +70,9 @@ from repro.serve.protocol import (
     error_response,
     json_response,
     parse_query,
+    parse_trace_header,
     read_request,
+    text_response,
 )
 
 __all__ = ["ServeConfig", "SignoffServer", "run_server",
@@ -77,6 +94,13 @@ class ServeConfig:
     the Monte-Carlo kernel execution backend and block budget for any
     runtime the server builds itself (a caller-supplied runtime keeps
     its own policies).
+
+    Telemetry knobs: ``window_s`` sizes the rolling window behind the
+    live latency/QPS/error-rate gauges; ``slo_availability`` and
+    ``slo_latency_ms`` are the SLO targets the burn-rate gauges measure
+    against (error budget = ``1 - slo_availability``, shared by the
+    latency budget); ``flight_capacity`` bounds the flight-recorder
+    ring (0 disables it entirely).
     """
 
     host: str = "127.0.0.1"
@@ -87,6 +111,10 @@ class ServeConfig:
     deadline_ms: float | None = None
     backend: str = "numpy"
     block_elems: int | None = None
+    window_s: float = 60.0
+    slo_availability: float = 0.999
+    slo_latency_ms: float = 250.0
+    flight_capacity: int = 512
 
     def __post_init__(self) -> None:
         from repro.core.backends import BACKENDS
@@ -110,6 +138,19 @@ class ServeConfig:
         if self.block_elems is not None and int(self.block_elems) < 1:
             raise ConfigurationError(
                 f"block_elems must be >= 1, got {self.block_elems}")
+        if float(self.window_s) <= 0:
+            raise ConfigurationError(
+                f"window_s must be > 0, got {self.window_s}")
+        if not 0.0 < float(self.slo_availability) < 1.0:
+            raise ConfigurationError(
+                "slo_availability must be in (0, 1), got "
+                f"{self.slo_availability}")
+        if float(self.slo_latency_ms) <= 0:
+            raise ConfigurationError(
+                f"slo_latency_ms must be > 0, got {self.slo_latency_ms}")
+        if int(self.flight_capacity) < 0:
+            raise ConfigurationError(
+                f"flight_capacity must be >= 0, got {self.flight_capacity}")
 
 
 class SignoffServer:
@@ -130,6 +171,15 @@ class SignoffServer:
                                     metrics=True)
         self._runtime = runtime
         self.metrics = runtime.obs.metrics
+        self.flight = (FlightRecorder(config.flight_capacity)
+                       if config.flight_capacity else NOOP_FLIGHT)
+        self._win_latency = WindowedHistogram(
+            "serve.latency_ms", LATENCY_BUCKETS_MS,
+            window_s=config.window_s)
+        self._win_requests = WindowedCounter("serve.requests",
+                                             window_s=config.window_s)
+        self._win_errors = WindowedCounter("serve.errors",
+                                           window_s=config.window_s)
         retry = getattr(runtime.sampler, "retry", None) or None
         self._deadline_s = (
             float(config.deadline_ms) / 1000.0
@@ -142,7 +192,10 @@ class SignoffServer:
             window_s=float(config.batch_window_ms) / 1000.0,
             max_queue=config.max_queue,
             policy=retry,
-            on_idle=self._on_idle)
+            on_idle=self._on_idle,
+            tracer=runtime.obs.tracer,
+            flight=self.flight,
+            rolling_window_s=config.window_s)
         self._nodes = frozenset(available_technologies())
         self._cache = QuantileCache()
         self._analyzers: dict = {}
@@ -181,19 +234,25 @@ class SignoffServer:
             self.metrics.counter("serve.idle_released_bytes").inc(freed)
             self.metrics.gauge("kernels.workspace_bytes").set(0.0)
 
-    def _solve(self, key, points) -> list:
+    def _solve(self, key, points, ctx=None) -> list:
         """Blocking batch solve; runs on the dispatcher's solver thread.
 
         ``run_in_executor`` does not propagate contextvars, so the
         server's runtime is re-activated here — the solve sees the same
-        pool, fault plan and observability as a CLI run would.
+        pool, fault plan and observability as a CLI run would.  ``ctx``
+        is the dispatcher's ``(trace_id, batch_span_id)``: the solve
+        span joins the request's trace, and the worker-context payloads
+        built inside it carry that trace into the pool workers.
         """
         analyzer = self._analyzers[key]
         vdds = np.array([p[0] for p in points])
         sps = np.array([p[1] for p in points])
         qs = np.array([p[2] for p in points])
         with activate_runtime(self._runtime):
-            out = analyzer.chip_quantiles(vdds, sps, qs, invariant=True)
+            with self._runtime.obs.tracer.span(
+                    "serve.solve", ctx=ctx, node=key.node,
+                    points=len(points)):
+                out = analyzer.chip_quantiles(vdds, sps, qs, invariant=True)
         return [float(v) for v in np.atleast_1d(out)]
 
     # -- lifecycle -----------------------------------------------------------
@@ -225,14 +284,36 @@ class SignoffServer:
             self._runtime.close()
 
     def _set_summary_gauges(self) -> None:
-        hist = self.metrics.histogram("serve.latency_ms",
-                                      buckets=LATENCY_BUCKETS_MS)
-        self.metrics.gauge("serve.latency_p50_ms").set(hist.percentile(0.50))
-        self.metrics.gauge("serve.latency_p99_ms").set(hist.percentile(0.99))
-        self.metrics.gauge("serve.coalesce_ratio").set(
-            self.dispatcher.coalesce_ratio)
-        self.metrics.gauge("serve.uptime_s").set(
-            time.monotonic() - self._started)
+        """Refresh the live gauges from the rolling window.
+
+        The latency percentiles, QPS, error rate and SLO burn rates all
+        reflect the last ``window_s`` seconds — a traffic shift moves
+        them within one sub-window even on a server that has been up for
+        weeks (the cumulative ``serve.latency_ms`` histogram remains in
+        the registry for manifests).  Burn rate is consumption of the
+        error budget ``1 - slo_availability``: 1.0 means errors (or
+        requests slower than ``slo_latency_ms``) are arriving exactly
+        fast enough to exhaust the budget, >1 means faster.
+        """
+        gauge = self.metrics.gauge
+        win = self._win_latency
+        gauge("serve.latency_p50_ms").set(win.percentile(0.50))
+        gauge("serve.latency_p99_ms").set(win.percentile(0.99))
+        gauge("serve.coalesce_ratio").set(
+            self.dispatcher.rolling_coalesce_ratio)
+        gauge("serve.qps").set(self._win_requests.rate())
+        requests = self._win_requests.total()
+        errors = self._win_errors.total()
+        error_rate = errors / requests if requests else 0.0
+        gauge("serve.error_rate").set(error_rate)
+        budget = 1.0 - self.config.slo_availability
+        gauge("serve.slo_availability_target").set(
+            self.config.slo_availability)
+        gauge("serve.slo_availability_burn_rate").set(error_rate / budget)
+        gauge("serve.slo_latency_target_ms").set(self.config.slo_latency_ms)
+        gauge("serve.slo_latency_burn_rate").set(
+            win.fraction_over(self.config.slo_latency_ms) / budget)
+        gauge("serve.uptime_s").set(time.monotonic() - self._started)
 
     # -- connection handling -------------------------------------------------
 
@@ -252,7 +333,7 @@ class SignoffServer:
                     return
                 method, path, headers, body = request
                 close = headers.get("connection", "").lower() == "close"
-                response = await self._dispatch(method, path, body)
+                response = await self._dispatch(method, path, headers, body)
                 if close:
                     response = response.replace(
                         b"Connection: keep-alive", b"Connection: close", 1)
@@ -269,13 +350,16 @@ class SignoffServer:
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
 
-    async def _dispatch(self, method: str, path: str, body: bytes) -> bytes:
-        import json
-
+    async def _dispatch(self, method: str, path: str, headers: dict,
+                        body: bytes) -> bytes:
         self.requests += 1
         self.metrics.counter("serve.requests").inc()
+        self._win_requests.inc()
+        tctx = parse_trace_header(headers.get("x-repro-trace"))
+        self.flight.record("admit", path=path, method=method)
         t0 = time.monotonic()
-        with self._runtime.obs.tracer.span("serve.request", path=path):
+        with self._runtime.obs.tracer.span("serve.request", ctx=tctx,
+                                           path=path):
             try:
                 if path == "/healthz":
                     if method != "GET":
@@ -291,14 +375,27 @@ class SignoffServer:
                                                    "message": "use GET"})
                     self._set_summary_gauges()
                     return json_response(200, self.metrics.as_dict())
+                if path == "/metrics":
+                    if method != "GET":
+                        return json_response(405, {"error": "method_not_allowed",
+                                                   "message": "use GET"})
+                    self._set_summary_gauges()
+                    return text_response(
+                        200, render_openmetrics(self.metrics.as_dict()),
+                        OPENMETRICS_CONTENT_TYPE)
+                if path == "/v1/debug/flight":
+                    if method != "GET":
+                        return json_response(405, {"error": "method_not_allowed",
+                                                   "message": "use GET"})
+                    return json_response(200, self.flight.snapshot())
                 if path in ("/v1/chip_quantile", "/v1/chip_quantile_batch",
                             "/v1/query", "/v1/signoff_sweep"):
                     if method != "POST":
                         return json_response(405, {"error": "method_not_allowed",
                                                    "message": "use POST"})
                     try:
-                        parsed = json.loads(body.decode() or "null")
-                    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                        parsed = _json.loads(body.decode() or "null")
+                    except (UnicodeDecodeError, _json.JSONDecodeError) as exc:
                         raise BadRequestError(
                             f"body is not valid JSON: {exc}") from None
                     if path == "/v1/signoff_sweep":
@@ -306,23 +403,38 @@ class SignoffServer:
                     else:
                         payload = await self._query(
                             parsed, scalar=path == "/v1/chip_quantile")
+                    if tctx is not None:
+                        payload["trace_id"] = tctx[0]
                     return json_response(200, payload)
                 return json_response(404, {"error": "not_found",
                                            "message": f"no route {path!r}"})
             except ServeError as exc:
                 self.metrics.counter("serve.errors").inc()
+                if exc.status >= 500:
+                    self._win_errors.inc()
                 return error_response(exc)
             except Exception as exc:   # noqa: BLE001 - boundary to clients
                 self.metrics.counter("serve.errors").inc()
+                self._win_errors.inc()
+                self.flight.record("fault", path=path,
+                                   error=type(exc).__name__)
                 return json_response(500, {"error": "internal",
                                            "message": repr(exc)})
             finally:
+                latency_ms = (time.monotonic() - t0) * 1000.0
                 self.metrics.histogram(
                     "serve.latency_ms",
-                    buckets=LATENCY_BUCKETS_MS).observe(
-                        (time.monotonic() - t0) * 1000.0)
+                    buckets=LATENCY_BUCKETS_MS).observe(latency_ms)
+                self._win_latency.observe(latency_ms)
 
     # -- query handlers ------------------------------------------------------
+
+    def _trace_ctx(self):
+        """The enclosing request span's ``(trace_id, span_id)``, if live."""
+        tracer = self._runtime.obs.tracer
+        if not tracer.enabled:
+            return None
+        return tracer.current_trace_id(), tracer.current_span()
 
     async def _query(self, body, *, scalar: bool) -> dict:
         key, points = parse_query(body, available_nodes=self._nodes)
@@ -333,7 +445,8 @@ class SignoffServer:
         self._analyzer(key)
         self.metrics.counter("serve.points").inc(len(points))
         values = await self.dispatcher.resolve(
-            key, points, timeout=self._deadline_s)
+            key, points, timeout=self._deadline_s,
+            trace_ctx=self._trace_ctx())
         payload = {"node": key.node, "n": len(points),
                    "values": values,
                    "values_hex": [float(v).hex() for v in values]}
@@ -354,7 +467,8 @@ class SignoffServer:
         baseline = (round(float(analyzer.nominal_vdd), 9), 0.0, q)
         self.metrics.counter("serve.points").inc(len(points) + 1)
         values = await self.dispatcher.resolve(
-            key, points + [baseline], timeout=self._deadline_s)
+            key, points + [baseline], timeout=self._deadline_s,
+            trace_ctx=self._trace_ctx())
         base_fo4 = values[-1] / analyzer.fo4_unit(baseline[0])
         sweep = values[:-1]
         fo4 = [v / analyzer.fo4_unit(p[0]) for v, p in zip(sweep, points)]
@@ -365,6 +479,14 @@ class SignoffServer:
                 "performance_drop": [f / base_fo4 - 1.0 for f in fo4],
                 "baseline": {"vdd": baseline[0], "q": q,
                              "value": values[-1], "fo4chipd": base_fo4}}
+
+
+def _dump_flight(server: SignoffServer) -> None:
+    """Print the flight-recorder ring to stderr (the SIGUSR2 handler)."""
+    snap = server.flight.snapshot()
+    print(f"[serve] flight-recorder dump: {len(snap['events'])} events, "
+          f"{snap['dropped']} dropped", file=sys.stderr, flush=True)
+    print(_json.dumps(snap, sort_keys=True), file=sys.stderr, flush=True)
 
 
 async def _serve_until_signalled(config: ServeConfig, runtime) -> dict:
@@ -379,6 +501,12 @@ async def _serve_until_signalled(config: ServeConfig, runtime) -> dict:
             installed.append(sig)
         except (NotImplementedError, RuntimeError, ValueError):
             pass   # non-main thread or platform without signal support
+    if hasattr(signal, "SIGUSR2"):
+        try:
+            loop.add_signal_handler(signal.SIGUSR2, _dump_flight, server)
+            installed.append(signal.SIGUSR2)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
     port = server.port  # before stop() — closed sockets have no name
     print(f"[serve] listening on {config.host}:{port}", flush=True)
     try:
@@ -389,7 +517,9 @@ async def _serve_until_signalled(config: ServeConfig, runtime) -> dict:
         await server.stop()
     return {"requests": server.requests,
             "coalesce_ratio": server.dispatcher.coalesce_ratio,
-            "port": port}
+            "port": port,
+            "flight": (server.flight.snapshot()
+                       if server.flight.enabled else None)}
 
 
 def run_server(config: ServeConfig, runtime=None) -> dict:

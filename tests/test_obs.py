@@ -2,6 +2,7 @@
 
 import json
 import os
+import threading
 
 import numpy as np
 import pytest
@@ -27,7 +28,22 @@ from repro.obs.manifest import (
     strip_timing,
     validate_schema,
 )
-from repro.obs.metrics import NOOP_METRICS, MetricsRegistry
+from repro.obs.flight import (
+    FLIGHT_SCHEMA,
+    NOOP_FLIGHT,
+    FlightRecorder,
+)
+from repro.obs.metrics import (
+    NOOP_METRICS,
+    MetricsRegistry,
+    WindowedCounter,
+    WindowedHistogram,
+)
+from repro.obs.openmetrics import (
+    check_openmetrics,
+    parse_openmetrics,
+    render_openmetrics,
+)
 from repro.obs.trace import NOOP_TRACER, Tracer
 from repro.runtime import Profiler, build_runtime
 from repro.runtime.parallel import ParallelSampler
@@ -493,4 +509,310 @@ def test_histogram_percentile_edge_cases():
     h = MetricsRegistry().histogram("empty", buckets=(1, 2))
     assert h.percentile(0.5) == 0.0          # no observations
     h.observe(100)                           # overflow bin only
-    assert h.percentile(0.5) == 2.0          # clamps to last finite bound
+    # The overflow bin interpolates toward the observed max instead of
+    # clamping to the last finite bound (the old tail under-report).
+    assert h.percentile(1.0) == pytest.approx(100.0)
+    assert 2.0 < h.percentile(0.5) < 100.0
+    assert h.overflow == 1
+    snap = MetricsRegistry()
+    snap.merge({"histograms": {
+        "empty": {"buckets": [1.0, 2.0], "counts": [0, 0, 1],
+                  "sum": 100.0, "count": 1, "max": 100.0}}})
+    assert snap.histogram("empty", (1, 2)).percentile(1.0) == \
+        pytest.approx(100.0)
+
+
+# -- thread safety -------------------------------------------------------------
+
+
+def test_instruments_thread_safe_under_hammer():
+    """Concurrent inc/observe from many threads never lose updates."""
+    m = MetricsRegistry()
+    n_threads, n_iters = 8, 2000
+    barrier = threading.Barrier(n_threads)
+
+    def hammer(tid):
+        barrier.wait()
+        for i in range(n_iters):
+            m.counter("hammer.c").inc()
+            m.gauge("hammer.g").set(tid)
+            m.histogram("hammer.h", buckets=(10, 100)).observe(i % 200)
+
+    threads = [threading.Thread(target=hammer, args=(t,))
+               for t in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    snap = m.as_dict()
+    total = n_threads * n_iters
+    assert snap["counters"]["hammer.c"] == total
+    h = snap["histograms"]["hammer.h"]
+    assert h["count"] == total
+    assert sum(h["counts"]) == total
+    assert snap["gauges"]["hammer.g"] in range(n_threads)
+
+
+def test_windowed_hammer_is_thread_safe():
+    win = WindowedHistogram("w", buckets=(10, 100), window_s=3600.0)
+    wc = WindowedCounter("wc", window_s=3600.0)
+    n_threads, n_iters = 8, 1000
+
+    def hammer():
+        for i in range(n_iters):
+            win.observe(i % 200)
+            wc.inc()
+
+    threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert win.count == n_threads * n_iters
+    assert wc.total() == n_threads * n_iters
+
+
+# -- rolling windows -----------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+def test_windowed_histogram_forgets_old_traffic():
+    clock = FakeClock()
+    win = WindowedHistogram("lat", buckets=(10, 100), window_s=60.0,
+                            sub_windows=6, clock=clock)
+    # a burst of slow traffic now...
+    for _ in range(100):
+        win.observe(90.0)
+    assert win.percentile(0.99) == pytest.approx(90.0, rel=0.2)
+    assert win.count == 100
+    # ...then fast traffic after the slow burst ages out of the window:
+    # the rolling p99 collapses where a cumulative histogram would not.
+    cumulative = MetricsRegistry().histogram("lat", buckets=(10, 100))
+    for _ in range(100):
+        cumulative.observe(90.0)
+    clock.t = 120.0
+    for _ in range(100):
+        win.observe(5.0)
+        cumulative.observe(5.0)
+    assert win.count == 100                       # old burst expired
+    assert win.percentile(0.99) <= 10.0
+    assert cumulative.percentile(0.99) > 50.0     # cumulative still polluted
+    snap = win.snapshot()
+    assert snap["count"] == 100 and snap["window_s"] == 60.0
+    assert win.rate() == pytest.approx(100 / 60.0)
+    assert win.fraction_over(10.0) == 0.0
+
+
+def test_windowed_histogram_partial_expiry_and_fraction_over():
+    clock = FakeClock()
+    win = WindowedHistogram("lat", buckets=(10, 100), window_s=60.0,
+                            sub_windows=6, clock=clock)
+    win.observe(5.0)
+    clock.t = 30.0                                # 3 sub-windows later
+    win.observe(500.0)
+    assert win.count == 2
+    assert win.fraction_over(100.0) == pytest.approx(0.5)
+    clock.t = 65.0                                # first slot expired
+    assert win.count == 1
+    assert win.fraction_over(100.0) == pytest.approx(1.0)
+    # overflow tail interpolates to the windowed max, not the last bound
+    assert win.percentile(1.0) == pytest.approx(500.0)
+
+
+def test_windowed_counter_rolls_and_rates():
+    clock = FakeClock()
+    wc = WindowedCounter("req", window_s=60.0, sub_windows=6, clock=clock)
+    wc.inc(30)
+    assert wc.total() == 30
+    assert wc.rate() == pytest.approx(0.5)
+    clock.t = 30.0
+    wc.inc(12)
+    assert wc.total() == 42
+    clock.t = 70.0                                # first tally expired
+    assert wc.total() == 12
+    clock.t = 200.0                               # everything expired
+    assert wc.total() == 0 and wc.rate() == 0.0
+
+
+def test_windowed_validates_construction():
+    with pytest.raises(ValueError):
+        WindowedHistogram("w", window_s=0.0)
+    with pytest.raises(ValueError):
+        WindowedHistogram("w", sub_windows=0)
+    with pytest.raises(ValueError):
+        WindowedCounter("w", window_s=-1.0)
+
+
+# -- OpenMetrics exposition ----------------------------------------------------
+
+
+def test_openmetrics_render_parse_round_trip():
+    m = MetricsRegistry()
+    m.counter("serve.requests").inc(7)
+    m.gauge("serve.qps").set(2.5)
+    h = m.histogram("serve.latency_ms", buckets=(1, 10, 100))
+    for v in (0.5, 5, 50, 5000):                 # one overflow observation
+        h.observe(v)
+    text = render_openmetrics(m.as_dict())
+    assert check_openmetrics(text) == []
+    fams = parse_openmetrics(text)
+    assert fams["serve_requests"]["type"] == "counter"
+    assert fams["serve_requests"]["samples"] == [
+        ("serve_requests_total", {}, 7.0)]
+    assert fams["serve_qps"]["samples"] == [("serve_qps", {}, 2.5)]
+    lat = fams["serve_latency_ms"]
+    assert lat["type"] == "histogram"
+    buckets = {labels["le"]: v for name, labels, v in lat["samples"]
+               if name.endswith("_bucket")}
+    # cumulative buckets with the overflow observation in +Inf only
+    assert buckets == {"1": 1.0, "10": 2.0, "100": 3.0, "+Inf": 4.0}
+    count = [v for name, _, v in lat["samples"] if name.endswith("_count")]
+    assert count == [4.0]
+
+
+def test_openmetrics_parser_rejects_malformed():
+    with pytest.raises(ValueError):
+        parse_openmetrics("serve_qps 1.0\n")          # no family, no EOF
+    with pytest.raises(ValueError):
+        parse_openmetrics("# TYPE x gauge\nx 1\n")    # missing EOF
+    with pytest.raises(ValueError):
+        parse_openmetrics("# TYPE x gauge\nx 1\n# EOF\nx 2\n")
+    assert check_openmetrics("garbage !!\n# EOF\n")   # problems reported
+    # a non-cumulative bucket series is flagged
+    bad = ("# TYPE h histogram\n"
+           'h_bucket{le="1"} 5\nh_bucket{le="+Inf"} 3\n'
+           "h_sum 1\nh_count 3\n# EOF\n")
+    assert any("cumulative" in p for p in check_openmetrics(bad))
+
+
+# -- flight recorder -----------------------------------------------------------
+
+
+def test_flight_recorder_ring_drops_and_schema():
+    clock = FakeClock(5.0)
+    fr = FlightRecorder(capacity=4, clock=clock)
+    for i in range(10):
+        fr.record("admit", path=f"/v1/x{i}")
+    snap = fr.snapshot()
+    assert validate_schema(snap, FLIGHT_SCHEMA) == []
+    assert snap["capacity"] == 4
+    assert snap["total"] == 10
+    assert snap["dropped"] == 6
+    assert len(snap["events"]) == 4
+    seqs = [e["seq"] for e in snap["events"]]
+    assert seqs == [6, 7, 8, 9]                  # oldest first, monotonic
+    assert all(e["t_s"] == 5.0 for e in snap["events"])
+    assert fr.total == 10 and fr.dropped == 6 and len(fr) == 4
+    json.dumps(snap)
+
+
+def test_flight_snapshot_deterministic_after_strip_timing():
+    def run(offset):
+        fr = FlightRecorder(capacity=8, clock=FakeClock(offset))
+        fr.record("admit", path="/v1/query", method="POST")
+        fr.record("flush", node="22nm", n=3)
+        fr.record("solve", node="22nm", n=3, ok=True, wall_s=0.01 * offset)
+        return fr.snapshot()
+
+    a, b = run(1.0), run(99.0)
+    assert a != b                                 # timing differs...
+    assert strip_timing(a) == strip_timing(b)     # ...but the story matches
+
+
+def test_noop_flight_records_nothing():
+    assert not NOOP_FLIGHT.enabled
+    NOOP_FLIGHT.record("admit", path="/x")
+    snap = NOOP_FLIGHT.snapshot()
+    assert snap["total"] == 0 and snap["events"] == []
+    assert snap["capacity"] == 0
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+
+
+def test_manifest_attaches_flight_snapshot():
+    fr = FlightRecorder(capacity=4, clock=FakeClock())
+    fr.record("admit", path="/v1/query")
+    state = {"path": "/tmp/q.json", "entries": 0, "bytes": 0}
+    m = build_manifest(
+        targets=["serve"], fast=False, jobs=1, root_seed=0,
+        profiler=Profiler(), metrics=MetricsRegistry(),
+        cache_before=state, cache_after=state, elapsed_wall_s=0.1,
+        flight=fr.snapshot())
+    assert validate_schema(m, MANIFEST_SCHEMA) == []
+    assert m["flight"]["events"][0]["kind"] == "admit"
+    assert "t_s" not in strip_timing(m)["flight"]["events"][0]
+    # manifests without a flight section stay valid (and omit the key)
+    assert "flight" not in _tiny_manifest()
+
+
+# -- distributed trace context -------------------------------------------------
+
+
+def test_tracer_ctx_override_links_and_add_span():
+    t = Tracer(trace_id="server-own")
+    with t.span("serve.request", ctx=("client-trace", "c.1"), path="/x"):
+        assert t.current_trace_id() == "client-trace"
+        inner_parent = t.current_span()
+        with t.span("serve.solve"):
+            pass
+    batch_id = t.new_span_id()
+    t.add_span("serve.batch", ctx=("client-trace", "c.1"),
+               span_id=batch_id, dur_s=0.5,
+               links=[{"trace_id": "client-trace", "span_id": "c.1"}], n=3)
+    solve, request, batch = t.events()
+    assert request["args"]["trace_id"] == "client-trace"
+    assert request["args"]["parent_id"] == "c.1"
+    assert solve["args"]["trace_id"] == "client-trace"
+    assert solve["args"]["parent_id"] == inner_parent
+    assert batch["args"]["span_id"] == batch_id
+    assert batch["args"]["links"] == [
+        {"trace_id": "client-trace", "span_id": "c.1"}]
+    assert batch["dur"] == pytest.approx(0.5e6)   # Chrome traces use µs
+    # outside any span the tracer reverts to its own identity
+    assert t.current_trace_id() == "server-own"
+
+
+def test_tracer_isolates_span_stacks_across_threads():
+    """Ancestry is per-thread: a solver-thread span never parents under
+    a request span that happens to be open on the event loop."""
+    t = Tracer(trace_id="t1")
+    ready, release = threading.Event(), threading.Event()
+    thread_parent = []
+
+    def worker():
+        with t.span("solver.side"):
+            thread_parent.append(t.current_span())
+            ready.set()
+            release.wait(5)
+
+    with t.span("loop.side"):
+        loop_span = t.current_span()
+        th = threading.Thread(target=worker)
+        th.start()
+        assert ready.wait(5)
+        # the loop thread still sees its own span, not the worker's
+        assert t.current_span() == loop_span
+        release.set()
+        th.join(5)
+    solver = next(e for e in t.events() if e["name"] == "solver.side")
+    assert "parent_id" not in solver["args"] or \
+        solver["args"]["parent_id"] != loop_span
+
+
+def test_worker_context_joins_adopted_trace():
+    """Dispatched inside a remote-ctx span, workers join *that* trace."""
+    obs = build_obs(trace=True, metrics=True)
+    with obs.tracer.span("serve.solve", ctx=("client-trace", "c.9")):
+        ctx = obs.worker_context("solver")
+    assert ctx["trace_id"] == "client-trace"
+    worker = Observability.for_worker(ctx)
+    with worker.tracer.span("shard"):
+        pass
+    assert worker.tracer.events()[0]["args"]["trace_id"] == "client-trace"

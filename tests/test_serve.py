@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
+import signal
+import subprocess
+import sys
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -13,7 +18,11 @@ import pytest
 from repro.core.chip_delay import ChipDelayEngine
 from repro.devices.technology import get_technology
 from repro.errors import ConfigurationError
+from repro.obs.flight import FlightRecorder
+from repro.obs.manifest import strip_timing
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.openmetrics import check_openmetrics, parse_openmetrics
+from repro.obs.trace import Tracer
 from repro.resilience import RetryPolicy, parse_faults
 from repro.runtime import build_runtime
 from repro.serve import (
@@ -138,6 +147,14 @@ def test_serve_config_validates():
         ServeConfig(max_queue=0)
     with pytest.raises(ConfigurationError):
         ServeConfig(deadline_ms=0.0)
+    with pytest.raises(ConfigurationError):
+        ServeConfig(window_s=0.0)
+    with pytest.raises(ConfigurationError):
+        ServeConfig(slo_availability=1.0)
+    with pytest.raises(ConfigurationError):
+        ServeConfig(slo_latency_ms=0.0)
+    with pytest.raises(ConfigurationError):
+        ServeConfig(flight_capacity=-1)
 
 
 # -- dispatcher unit tests (fake solver) ---------------------------------------
@@ -515,3 +532,305 @@ def test_serve_cli_validates_flags():
 def test_serve_module_cli_validates_flags():
     from repro.serve.__main__ import main as serve_main
     assert serve_main(["--max-queue", "0"]) == 2
+    assert serve_main(["--slo-availability", "1.5"]) == 2
+    assert serve_main(["--window-s", "0"]) == 2
+    assert serve_main(["--flight-capacity", "-1"]) == 2
+
+
+# -- telemetry: tracing, rolling metrics, flight recorder ----------------------
+
+
+def test_dispatcher_passes_ctx_and_records_flight_events():
+    """A 3-arg solver receives the batch trace context; the flight ring
+    sees the flush/solve/coalesce events; the batch span links fan-ins."""
+    seen_ctx = []
+
+    def solve(key, points, ctx):
+        seen_ctx.append(ctx)
+        return [p[0] for p in points]
+
+    tracer = Tracer(trace_id="server")
+    flight = FlightRecorder(capacity=32)
+
+    async def scenario():
+        d = MicroBatchDispatcher(solve, MetricsRegistry(), max_batch=8,
+                                 window_s=0.01, tracer=tracer,
+                                 flight=flight)
+        p = (0.5, 0.0, 0.99)
+        await d.resolve(KEY, [p], timeout=10,
+                        trace_ctx=("client-trace", "c.1"))
+        await d.resolve(KEY, [p], timeout=10,
+                        trace_ctx=("client-trace", "c.2"))   # memo hit
+        await d.aclose()
+
+    _run_async(scenario())
+    assert len(seen_ctx) == 1
+    trace_id, batch_span = seen_ctx[0]
+    assert trace_id == "client-trace" and batch_span
+    batch = next(e for e in tracer.events() if e["name"] == "serve.batch")
+    assert batch["args"]["span_id"] == batch_span
+    assert batch["args"]["trace_id"] == "client-trace"
+    assert batch["args"]["parent_id"] == "c.1"
+    assert batch["args"]["links"] == [
+        {"trace_id": "client-trace", "span_id": "c.1"}]
+    assert batch["args"]["ok"] is True
+    kinds = [e["kind"] for e in flight.snapshot()["events"]]
+    assert kinds == ["flush", "solve", "coalesce"]
+    solve_ev = flight.snapshot()["events"][1]
+    assert solve_ev["ok"] is True and solve_ev["n"] == 1
+
+
+def test_dispatcher_flight_records_retries_and_faults():
+    def solve(key, points):
+        raise RuntimeError("permanent")
+
+    flight = FlightRecorder(capacity=32)
+
+    async def scenario():
+        from repro.serve import SolverError
+        d = MicroBatchDispatcher(
+            solve, MetricsRegistry(), max_batch=4, window_s=0.001,
+            policy=RetryPolicy(max_retries=1, backoff_base_s=0.001),
+            flight=flight)
+        with pytest.raises(SolverError):
+            await d.resolve(KEY, [(0.5, 0.0, 0.99)], timeout=10)
+        await d.aclose()
+
+    _run_async(scenario())
+    events = flight.snapshot()["events"]
+    retry = next(e for e in events if e["kind"] == "retry")
+    assert retry["attempt"] == 1 and retry["error"] == "RuntimeError"
+    fault = next(e for e in events if e["kind"] == "fault")
+    assert fault["attempts"] == 2 and fault["error"] == "RuntimeError"
+    # solve settled not-ok
+    assert [e for e in events if e["kind"] == "solve"][0]["ok"] is False
+
+
+def test_server_trace_id_echoed_and_malformed_header_ignored(fresh_cache):
+    with ServerHarness(ServeConfig(port=0)) as h:
+        with h.client() as c:
+            payload = c.query("22nm", vdd=0.55, **ARCH)
+            assert payload["trace_id"] == c.last_trace_id
+            # each request mints a fresh id by default
+            second = c.query("22nm", vdd=0.55, **ARCH)
+            assert second["trace_id"] == c.last_trace_id
+            assert second["trace_id"] != payload["trace_id"]
+        # a malformed header is ignored: 200, no echo, request unharmed
+        import http.client
+        conn = http.client.HTTPConnection("127.0.0.1", h.port, timeout=30)
+        body = json.dumps(dict(node="22nm", vdd=0.55, **ARCH))
+        conn.request("POST", "/v1/query", body=body,
+                     headers={"Content-Type": "application/json",
+                              "X-Repro-Trace": "bad id with spaces!"})
+        resp = conn.getresponse()
+        data = json.loads(resp.read())
+        conn.close()
+        assert resp.status == 200
+        assert "trace_id" not in data
+
+
+def test_server_end_to_end_trace_is_one_connected_tree(fresh_cache):
+    """The tentpole: client span -> request span -> batch -> solve ->
+    pool worker shards, all under the client's minted trace id."""
+    runtime = build_runtime(jobs=2, trace=True, metrics=True)
+    client_tracer = Tracer(trace_id="e2e-client")
+    vdds = [round(0.45 + 0.01 * i, 9) for i in range(16)]
+    try:
+        with ServerHarness(ServeConfig(port=0, max_batch=16,
+                                       batch_window_ms=200.0),
+                           runtime) as h:
+            with h.client(tracer=client_tracer) as c:
+                payload = c.query("22nm", vdd=vdds, **ARCH)
+    finally:
+        runtime.close()
+    assert payload["trace_id"] == "e2e-client"
+    assert c.last_trace_id == "e2e-client"
+
+    client_span = client_tracer.events()[0]
+    assert client_span["name"] == "client.request"
+    assert client_span["args"]["trace_id"] == "e2e-client"
+
+    events = runtime.obs.tracer.events()
+    by_id = {e["args"]["span_id"]: e for e in events}
+    request = next(e for e in events if e["name"] == "serve.request"
+                   and e["args"]["path"] == "/v1/query")
+    batch = next(e for e in events if e["name"] == "serve.batch")
+    solve = next(e for e in events if e["name"] == "serve.solve")
+    shards = [e for e in events
+              if e["name"] == "sampler.solve_quantiles.shard"]
+    assert len(shards) >= 2, "batch did not fan out over the pool"
+
+    # every server-side span carries the client's trace id...
+    for e in [request, batch, solve] + shards:
+        assert e["args"]["trace_id"] == "e2e-client", e["name"]
+    # ...and the parent chain walks all the way back to the client span
+    assert request["args"]["parent_id"] == \
+        client_span["args"]["span_id"]
+    assert batch["args"]["parent_id"] == request["args"]["span_id"]
+    assert batch["args"]["links"] == [
+        {"trace_id": "e2e-client",
+         "span_id": request["args"]["span_id"]}]
+    assert solve["args"]["parent_id"] == batch["args"]["span_id"]
+    for shard in shards:
+        # each shard's ancestry chain passes through serve.solve (the
+        # worker context is built inside the solve, possibly under
+        # intermediate analyzer spans)
+        names, seen = [], set()
+        span_id = shard["args"]["parent_id"]
+        while span_id in by_id and span_id not in seen:
+            seen.add(span_id)
+            names.append(by_id[span_id]["name"])
+            span_id = by_id[span_id]["args"].get("parent_id")
+        assert "serve.solve" in names, names
+    # worker spans come from other processes: >= 2 pids in the trace
+    assert len({e["pid"] for e in [request] + shards}) >= 2
+
+
+def test_server_openmetrics_scrape_is_valid(fresh_cache):
+    with ServerHarness(ServeConfig(port=0)) as h:
+        with h.client() as c:
+            c.chip_quantile("22nm", vdd=0.55, **ARCH)
+            text = c.openmetrics()
+    assert check_openmetrics(text) == []
+    fams = parse_openmetrics(text)
+    assert fams["serve_requests"]["type"] == "counter"
+    assert fams["serve_latency_ms"]["type"] == "histogram"
+    buckets = [v for name, labels, v
+               in fams["serve_latency_ms"]["samples"]
+               if name.endswith("_bucket") and labels["le"] == "+Inf"]
+    assert buckets and buckets[0] >= 1
+    for gauge in ("serve_latency_p50_ms", "serve_latency_p99_ms",
+                  "serve_qps", "serve_error_rate",
+                  "serve_slo_availability_burn_rate",
+                  "serve_slo_latency_burn_rate"):
+        assert fams[gauge]["type"] == "gauge", gauge
+
+
+def test_server_rolling_gauges_move_where_cumulative_would_not(fresh_cache):
+    """After the traffic burst ages out of the window, QPS falls while
+    the cumulative request counter keeps growing."""
+    config = ServeConfig(port=0, window_s=0.5)
+    with ServerHarness(config) as h:
+        with h.client() as c:
+            for _ in range(6):
+                c.chip_quantile("22nm", vdd=0.55, **ARCH)
+            snap1 = c.metrics()
+            qps1 = snap1["gauges"]["serve.qps"]
+            assert qps1 >= 6 / 0.5 * 0.5          # burst visible in window
+            time.sleep(0.8)                       # burst ages out
+            snap2 = c.metrics()
+    qps2 = snap2["gauges"]["serve.qps"]
+    assert qps2 < qps1
+    # the cumulative side only ever grows — the rolling gauge is the one
+    # that reflects the traffic shift
+    assert snap2["counters"]["serve.requests"] > \
+        snap1["counters"]["serve.requests"]
+    assert snap2["histograms"]["serve.latency_ms"]["count"] >= \
+        snap1["histograms"]["serve.latency_ms"]["count"]
+    assert snap2["gauges"]["serve.slo_availability_target"] == 0.999
+    assert snap2["gauges"]["serve.error_rate"] == 0.0
+
+
+def test_server_flight_endpoint_and_chaos_determinism(fresh_cache):
+    """Identical chaos request sequences leave identical flight stories
+    (modulo timing), and /v1/debug/flight serves them."""
+    def run_once():
+        runtime = build_runtime(jobs=1, metrics=True,
+                                faults=parse_faults("solver_nan:0"))
+        try:
+            with ServerHarness(ServeConfig(port=0, batch_window_ms=1.0),
+                               runtime) as h:
+                with h.client() as c:
+                    c.chip_quantile("22nm", vdd=0.5, **ARCH)
+                    c.chip_quantile("22nm", vdd=0.5, **ARCH)  # memo hit
+                    c.chip_quantile("22nm", vdd=0.55, **ARCH)
+                    return c.flight()
+        finally:
+            runtime.close()
+
+    a, b = run_once(), run_once()
+    assert a["kind"] == "repro-flight-recorder"
+    assert a["total"] >= 3 and a["dropped"] == 0
+    kinds = [e["kind"] for e in a["events"]]
+    assert "admit" in kinds and "flush" in kinds and "solve" in kinds
+    assert "coalesce" in kinds                     # the memo hit
+    assert strip_timing(a["events"]) == strip_timing(b["events"])
+
+
+def test_server_flight_deterministic_under_worker_crash(fresh_cache):
+    """A crashed-and-respawned pool worker leaves the same flight story
+    as its twin run: the recovery below the dispatcher is deterministic."""
+    vdds = [round(0.45 + 0.01 * i, 9) for i in range(16)]
+
+    def run_once():
+        runtime = build_runtime(jobs=2, metrics=True,
+                                faults=parse_faults("worker_crash:1"))
+        try:
+            with ServerHarness(ServeConfig(port=0, max_batch=16,
+                                           batch_window_ms=50.0),
+                               runtime) as h:
+                with h.client() as c:
+                    values = c.query("22nm", vdd=vdds, **ARCH)["values"]
+                    return values, c.flight()
+        finally:
+            runtime.close()
+
+    (values_a, a), (values_b, b) = run_once(), run_once()
+    assert values_a == values_b
+    assert [e["kind"] for e in a["events"]].count("solve") >= 1
+    assert all(e["ok"] for e in a["events"] if e["kind"] == "solve")
+    assert strip_timing(a["events"]) == strip_timing(b["events"])
+
+
+def test_server_flight_disabled_with_zero_capacity(fresh_cache):
+    with ServerHarness(ServeConfig(port=0, flight_capacity=0)) as h:
+        with h.client() as c:
+            c.chip_quantile("22nm", vdd=0.55, **ARCH)
+            snap = c.flight()
+    assert snap["capacity"] == 0 and snap["events"] == []
+
+
+def test_serve_module_cli_sigusr2_dump_and_artifacts(fresh_cache, tmp_path):
+    """End-to-end over the real CLI: SIGUSR2 dumps the flight ring to
+    stderr; shutdown writes the Chrome trace and flight-bearing manifest."""
+    trace_file = tmp_path / "serve_trace.json"
+    manifest_file = tmp_path / "serve_manifest.json"
+    env = dict(os.environ,
+               PYTHONPATH="src",
+               REPRO_CACHE_DIR=str(tmp_path / "cache"))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0",
+         "--trace", str(trace_file), "--metrics", str(manifest_file),
+         "--window-s", "5", "--flight-capacity", "64"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True, env=env, cwd=os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+    try:
+        line = proc.stdout.readline()
+        assert "listening on" in line, line
+        port = int(line.rsplit(":", 1)[1])
+        with ServeClient("127.0.0.1", port) as c:
+            value = c.chip_quantile("22nm", vdd=0.55, **ARCH)
+            assert value > 0
+        proc.send_signal(signal.SIGUSR2)
+        time.sleep(0.5)                      # let the handler run
+        proc.send_signal(signal.SIGTERM)
+        _, stderr = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 0, stderr
+    assert "flight-recorder dump" in stderr
+    dump_line = next(ln for ln in stderr.splitlines()
+                     if ln.startswith("{"))
+    dump = json.loads(dump_line)
+    assert dump["kind"] == "repro-flight-recorder"
+    assert any(e["kind"] == "admit" for e in dump["events"])
+    trace = json.loads(trace_file.read_text())
+    assert any(e["name"] == "serve.request"
+               for e in trace["traceEvents"])
+    manifest = json.loads(manifest_file.read_text())
+    assert manifest["run"]["targets"] == ["serve"]
+    assert manifest["flight"]["total"] >= 1
+    assert manifest["metrics"]["counters"]["serve.requests"] >= 1
