@@ -172,6 +172,18 @@ def main(argv=None) -> int:
                              metavar="N",
                              help="flight-recorder ring size; 0 disables "
                                   "(default 512)")
+    serve_group.add_argument("--no-shed", action="store_true",
+                             help="disable adaptive admission control "
+                                  "(hard max-queue 429s only)")
+    serve_group.add_argument("--degraded-ratio", type=float, default=0.75,
+                             metavar="R",
+                             help="queue saturation beyond which the "
+                                  "server answers cache-hit-only, in "
+                                  "(0, 1] (default 0.75)")
+    serve_group.add_argument("--drain-timeout-s", type=float, default=30.0,
+                             metavar="S",
+                             help="SIGTERM drain budget for in-flight "
+                                  "solves (default 30)")
     parser.add_argument("--mc-precision", choices=("float64", "float32"),
                         default="float64",
                         help="Monte-Carlo kernel dtype policy: float64 "
@@ -238,7 +250,10 @@ def main(argv=None) -> int:
                     window_s=args.window_s,
                     slo_availability=args.slo_availability,
                     slo_latency_ms=args.slo_latency_ms,
-                    flight_capacity=args.flight_capacity)
+                    flight_capacity=args.flight_capacity,
+                    shed=not args.no_shed,
+                    degraded_ratio=args.degraded_ratio,
+                    drain_timeout_s=args.drain_timeout_s)
                 summary = run_server(config, runtime)
                 flight_snapshot = summary.get("flight")
                 print(f"[serve] handled {summary['requests']} requests, "

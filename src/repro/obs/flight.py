@@ -26,7 +26,8 @@ __all__ = ["FlightRecorder", "NOOP_FLIGHT", "FLIGHT_SCHEMA", "EVENT_KINDS"]
 
 #: Event kinds emitted on the serve hot path.
 EVENT_KINDS = ("admit", "coalesce", "flush", "solve", "retry",
-               "deadline_miss", "fault", "backpressure_reject")
+               "deadline_miss", "fault", "backpressure_reject",
+               "shed", "drain", "net_fault")
 
 #: Mini JSON-schema (see :func:`repro.obs.manifest.validate_schema`) for
 #: a flight-recorder snapshot.

@@ -30,13 +30,16 @@ from __future__ import annotations
 from repro.resilience.faultlab import (
     ENV_FAULTS,
     ENV_HANG_SECONDS,
+    ENV_SLOW_SECONDS,
     FAULT_KINDS,
+    NETWORK_FAULTS,
     WORKER_FAULTS,
     FaultPlan,
     active_plan,
     fire_shard_faults,
     install_faults,
     parse_faults,
+    slow_seconds,
 )
 from repro.resilience.ledger import FaultLedger, activate_ledger, current_ledger
 from repro.resilience.policy import (
@@ -57,8 +60,11 @@ __all__ = [
     "activate_ledger",
     "FAULT_KINDS",
     "WORKER_FAULTS",
+    "NETWORK_FAULTS",
     "ENV_FAULTS",
     "ENV_HANG_SECONDS",
+    "ENV_SLOW_SECONDS",
+    "slow_seconds",
     "DEFAULT_MAX_RETRIES",
     "DEFAULT_SHARD_TIMEOUT_S",
 ]

@@ -13,16 +13,18 @@ Spec grammar (comma-separated entries)::
     ENTRY := KIND ":" TARGET [":" COUNT]
     KIND  := worker_crash | worker_hang | shard_error
              | cache_corrupt | solver_nan
-    TARGET:= non-negative int        (shard / entry / point index)
+             | conn_reset | slow_read | partial_write | garbled_response
+    TARGET:= non-negative int        (shard / entry / point / request index)
     COUNT := positive int | "inf"    (default 1 — one-shot)
 
 Examples: ``worker_crash:1`` (the worker running shard 1 dies once),
 ``shard_error:0:inf`` (shard 0 fails on every attempt — retry
 exhaustion), ``cache_corrupt:0`` (the first cache entry is corrupted on
 the next load), ``solver_nan:2`` (the 3rd unique solver point is
-poisoned with NaN once).
+poisoned with NaN once), ``conn_reset:1`` (the serve transport aborts
+the connection instead of answering the 2nd request).
 
-Fault kinds split into two delivery classes:
+Fault kinds split into three delivery classes:
 
 * **worker faults** (``worker_crash``, ``worker_hang``, ``shard_error``)
   are *consumed by the dispatching parent* and ride the task payload to
@@ -32,6 +34,16 @@ Fault kinds split into two delivery classes:
   whichever process holds the active plan; a plan remembers the pid it
   was created in and never fires from a forked child, so pool workers do
   not double-consume the driver's plan.
+* **network faults** (``conn_reset``, ``slow_read``, ``partial_write``,
+  ``garbled_response``) fire at the serve transport
+  (:class:`~repro.serve.server.SignoffServer`), targeted by the
+  server's request ordinal: ``conn_reset`` aborts the socket without a
+  response, ``slow_read`` stalls the response by
+  :data:`ENV_SLOW_SECONDS` seconds, ``partial_write`` sends a truncated
+  response then aborts, ``garbled_response`` answers with non-HTTP
+  bytes.  They exercise the *client's* resilience
+  (:class:`~repro.serve.resilient.ResilientServeClient`) and are
+  deterministic for a fixed request sequence.
 """
 
 from __future__ import annotations
@@ -46,7 +58,8 @@ from repro.errors import FaultSpecError, InjectedFaultError
 
 __all__ = ["FaultPlan", "parse_faults", "active_plan", "install_faults",
            "fire_shard_faults", "FAULT_KINDS", "WORKER_FAULTS",
-           "ENV_FAULTS", "ENV_HANG_SECONDS"]
+           "NETWORK_FAULTS", "ENV_FAULTS", "ENV_HANG_SECONDS",
+           "ENV_SLOW_SECONDS", "slow_seconds"]
 
 #: Environment variable carrying a fault spec (same grammar as the CLI).
 ENV_FAULTS = "REPRO_FAULTS"
@@ -55,9 +68,17 @@ ENV_FAULTS = "REPRO_FAULTS"
 #: expected to terminate the worker long before this elapses.
 ENV_HANG_SECONDS = "REPRO_FAULT_HANG_S"
 
+#: How long an injected ``slow_read`` stalls the response (seconds);
+#: kept short so chaos tests bound their own wall time.
+ENV_SLOW_SECONDS = "REPRO_FAULT_SLOW_S"
+
+#: Kinds injected at the serve transport, targeted by request ordinal.
+NETWORK_FAULTS = ("conn_reset", "slow_read", "partial_write",
+                  "garbled_response")
+
 #: Every fault kind the lab can inject.
 FAULT_KINDS = ("worker_crash", "worker_hang", "shard_error",
-               "cache_corrupt", "solver_nan")
+               "cache_corrupt", "solver_nan") + NETWORK_FAULTS
 
 #: Kinds dispatched to pool workers via the task payload.
 WORKER_FAULTS = ("worker_crash", "worker_hang", "shard_error")
@@ -213,6 +234,14 @@ def hang_seconds() -> float:
         return float(os.environ.get(ENV_HANG_SECONDS, "3600"))
     except ValueError:
         return 3600.0
+
+
+def slow_seconds() -> float:
+    """How long an injected ``slow_read`` stalls (``REPRO_FAULT_SLOW_S``)."""
+    try:
+        return float(os.environ.get(ENV_SLOW_SECONDS, "0.25"))
+    except ValueError:
+        return 0.25
 
 
 def fire_shard_faults(faults, shard) -> None:

@@ -8,7 +8,12 @@ technology cards, engine kernel LRUs and the on-disk
 :class:`~repro.serve.dispatcher.MicroBatchDispatcher` coalesces
 concurrent clients' ``(vdd, spares, q)`` points into single
 bit-identical batch solves — with single-flight stampede protection,
-bounded-queue backpressure (429) and per-request deadlines (408).
+bounded-queue backpressure (429), adaptive load shedding and a
+cache-hit-only degraded mode (429 with ``Retry-After``), per-request
+deadlines (408) and graceful SIGTERM drain (503 ``draining``).
+:class:`ResilientServeClient` layers deterministic-jitter retries,
+``Retry-After`` honouring and a circuit breaker on top of the plain
+:class:`ServeClient`.
 
 Start one from the CLI::
 
@@ -25,17 +30,23 @@ from repro.serve.protocol import (
     TRACE_HEADER,
     BadRequestError,
     DeadlineError,
+    DegradedError,
+    DrainingError,
     EngineKey,
     OverloadedError,
     PayloadTooLarge,
     ServeError,
+    ShedError,
     SolverError,
     parse_trace_header,
 )
+from repro.serve.resilient import CircuitOpenError, ResilientServeClient
 from repro.serve.server import ServeConfig, SignoffServer, run_server
 
 __all__ = [
     "ServeClient",
+    "ResilientServeClient",
+    "CircuitOpenError",
     "ServeRequestError",
     "ServeConfig",
     "SignoffServer",
@@ -47,7 +58,10 @@ __all__ = [
     "ServeError",
     "BadRequestError",
     "DeadlineError",
+    "DegradedError",
+    "DrainingError",
     "OverloadedError",
     "PayloadTooLarge",
+    "ShedError",
     "SolverError",
 ]

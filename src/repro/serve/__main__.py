@@ -53,9 +53,17 @@ def main(argv=None) -> int:
                         help="latency SLO target (ms)")
     parser.add_argument("--flight-capacity", type=int, default=512,
                         help="flight-recorder ring size (0 disables)")
+    parser.add_argument("--no-shed", action="store_true",
+                        help="disable adaptive admission control (hard "
+                             "max-queue 429s only)")
+    parser.add_argument("--degraded-ratio", type=float, default=0.75,
+                        help="queue saturation beyond which the server "
+                             "answers cache-hit-only, in (0, 1]")
+    parser.add_argument("--drain-timeout-s", type=float, default=30.0,
+                        help="SIGTERM drain budget for in-flight solves")
     parser.add_argument("--inject-faults", default=None, metavar="SPEC",
                         help="deterministic fault plan for chaos testing "
-                             "(e.g. solver_nan:0)")
+                             "(e.g. solver_nan:0 or conn_reset:1)")
     args = parser.parse_args(argv)
     try:
         config = ServeConfig(
@@ -65,7 +73,9 @@ def main(argv=None) -> int:
             block_elems=args.block_elems, window_s=args.window_s,
             slo_availability=args.slo_availability,
             slo_latency_ms=args.slo_latency_ms,
-            flight_capacity=args.flight_capacity)
+            flight_capacity=args.flight_capacity,
+            shed=not args.no_shed, degraded_ratio=args.degraded_ratio,
+            drain_timeout_s=args.drain_timeout_s)
         runtime = build_runtime(jobs=args.jobs, metrics=True,
                                 trace=bool(args.trace),
                                 backend=args.backend,

@@ -3,18 +3,26 @@
 :class:`ServeClient` wraps :class:`http.client.HTTPConnection` with
 keep-alive, one transparent reconnect on a stale pooled connection, and
 structured errors: any non-200 response raises
-:class:`ServeRequestError` carrying the HTTP status and the server's
-machine-readable error code (``overloaded``, ``deadline_exceeded``,
-``bad_request``, ...).
+:class:`ServeRequestError` carrying the HTTP status, the server's
+machine-readable error code (``overloaded``, ``shed``, ``degraded``,
+``draining``, ``deadline_exceeded``, ``bad_request``, ...) and the
+``Retry-After`` hint when the server sent one.
 
-Every request ships an ``X-Repro-Trace`` header.  By default the client
-mints a fresh trace id per request (kept on :attr:`last_trace_id` and
-echoed in the server's JSON payload, so a log line on either side
-correlates the two).  Hand the constructor a live
-:class:`~repro.obs.trace.Tracer` and each request instead runs inside a
-``client.request`` span whose ``(trace_id, span_id)`` ride the header —
-the server, dispatcher batch, solve and pool-worker spans all join that
-trace, giving one connected end-to-end view per call.
+Every request — including the plain-text ``/metrics`` scrape — funnels
+through one exchange path, so every call ships an ``X-Repro-Trace``
+header.  By default the client mints a fresh trace id per request (kept
+on :attr:`last_trace_id` and echoed in the server's JSON payload, so a
+log line on either side correlates the two).  Hand the constructor a
+live :class:`~repro.obs.trace.Tracer` and each request instead runs
+inside a ``client.request`` span whose ``(trace_id, span_id)`` ride the
+header — the server, dispatcher batch, solve and pool-worker spans all
+join that trace, giving one connected end-to-end view per call.
+
+For retries, ``Retry-After`` handling and circuit breaking, use
+:class:`~repro.serve.resilient.ResilientServeClient` — this class makes
+each exchange once, plus one transparent reconnect when the pooled
+socket fails without delivering a response (all serve queries are
+idempotent, so the re-send is safe).
 
 >>> with ServeClient("127.0.0.1", 8437) as c:            # doctest: +SKIP
 ...     c.chip_quantile("22nm", vdd=0.55)
@@ -33,13 +41,21 @@ __all__ = ["ServeClient", "ServeRequestError"]
 
 
 class ServeRequestError(Exception):
-    """A non-200 response: carries HTTP ``status`` and protocol ``code``."""
+    """A non-200 response: carries HTTP ``status`` and protocol ``code``.
 
-    def __init__(self, status: int, code: str, message: str) -> None:
+    ``retry_after`` is the server's ``Retry-After`` hint in seconds
+    (``None`` when the response carried none) — resilient clients use
+    it as a floor under their own backoff.
+    """
+
+    def __init__(self, status: int, code: str, message: str,
+                 retry_after: float | None = None) -> None:
         super().__init__(f"[{status}/{code}] {message}")
         self.status = int(status)
         self.code = str(code)
         self.message = str(message)
+        self.retry_after = (None if retry_after is None
+                            else float(retry_after))
 
 
 class ServeClient:
@@ -68,13 +84,20 @@ class ServeClient:
                 f"-{next(self._seq):x}")
 
     def _roundtrip(self, method: str, path: str, body, headers):
-        """One HTTP exchange -> ``(status, data bytes)``."""
+        """One HTTP exchange -> ``(status, data bytes, response headers)``."""
         for attempt in (0, 1):
             conn = self._connection()
             try:
                 conn.request(method, path, body=body, headers=headers)
                 response = conn.getresponse()
-                return response.status, response.read()
+                data = response.read()
+                resp_headers = {k.lower(): v
+                                for k, v in response.getheaders()}
+                if resp_headers.get("connection", "").lower() == "close":
+                    # The server asked to tear the connection down
+                    # (draining); don't reuse the pooled socket.
+                    self.close()
+                return response.status, data, resp_headers
             except (http.client.HTTPException, ConnectionError, OSError):
                 # A keep-alive connection the server closed between
                 # requests surfaces here; retry once on a fresh socket.
@@ -82,7 +105,13 @@ class ServeClient:
                 if attempt:
                     raise
 
-    def _request(self, method: str, path: str, payload=None) -> dict:
+    def _exchange(self, method: str, path: str, payload=None):
+        """The single header/trace path every call funnels through.
+
+        Builds the body, attaches ``X-Repro-Trace`` (from the live
+        tracer span when one is configured, a minted id otherwise) and
+        returns the raw ``(status, data, headers)`` triple.
+        """
         body = json.dumps(payload).encode() if payload is not None else None
         headers = {"Content-Type": "application/json"} if body else {}
         if self.tracer is not None and getattr(self.tracer, "enabled",
@@ -92,27 +121,48 @@ class ServeClient:
                 span_id = self.tracer.current_span()
                 headers["X-Repro-Trace"] = f"{trace_id}/{span_id}"
                 self.last_trace_id = trace_id
-                status, data = self._roundtrip(method, path, body, headers)
-        else:
-            trace_id = self._mint_trace_id()
-            headers["X-Repro-Trace"] = trace_id
-            self.last_trace_id = trace_id
-            status, data = self._roundtrip(method, path, body, headers)
+                return self._roundtrip(method, path, body, headers)
+        trace_id = self._mint_trace_id()
+        headers["X-Repro-Trace"] = trace_id
+        self.last_trace_id = trace_id
+        return self._roundtrip(method, path, body, headers)
+
+    @staticmethod
+    def _retry_after(headers, parsed) -> float | None:
+        value = headers.get("retry-after")
+        if value is None and isinstance(parsed, dict):
+            value = parsed.get("retry_after_s")
+        if value is None:
+            return None
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            return None
+
+    def _raise_for_status(self, status: int, data: bytes, headers) -> dict:
+        """Parse a JSON response, raising :class:`ServeRequestError`."""
         try:
             parsed = json.loads(data.decode() or "null")
         except (json.JSONDecodeError, UnicodeDecodeError):
             parsed = None
         if status != 200:
+            retry_after = self._retry_after(headers, parsed)
             if isinstance(parsed, dict):
                 raise ServeRequestError(status,
                                         parsed.get("error", "unknown"),
-                                        parsed.get("message", ""))
+                                        parsed.get("message", ""),
+                                        retry_after)
             raise ServeRequestError(status, "unknown",
-                                    data[:200].decode("latin-1"))
+                                    data[:200].decode("latin-1"),
+                                    retry_after)
         if not isinstance(parsed, dict):
             raise ServeRequestError(200, "bad_payload",
                                     "server returned non-object JSON")
         return parsed
+
+    def _request(self, method: str, path: str, payload=None) -> dict:
+        status, data, headers = self._exchange(method, path, payload)
+        return self._raise_for_status(status, data, headers)
 
     def close(self) -> None:
         if self._conn is not None:
@@ -132,15 +182,20 @@ class ServeClient:
     def health(self) -> dict:
         return self._request("GET", "/healthz")
 
+    def ready(self) -> dict:
+        """``GET /readyz``; raises ``ServeRequestError`` (503) when not."""
+        return self._request("GET", "/readyz")
+
     def metrics(self) -> dict:
         return self._request("GET", "/v1/metrics")
 
     def openmetrics(self) -> str:
         """The ``GET /metrics`` OpenMetrics exposition as text."""
-        status, data = self._roundtrip("GET", "/metrics", None, {})
+        status, data, headers = self._exchange("GET", "/metrics")
         if status != 200:
             raise ServeRequestError(status, "unknown",
-                                    data[:200].decode("latin-1"))
+                                    data[:200].decode("latin-1"),
+                                    self._retry_after(headers, None))
         return data.decode("utf-8")
 
     def flight(self) -> dict:

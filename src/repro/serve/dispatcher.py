@@ -24,6 +24,18 @@ Correctness guarantees, in order of subtlety:
   pending; beyond that new points are rejected with
   :class:`~repro.serve.protocol.OverloadedError` (HTTP 429) instead of
   growing an unbounded queue.
+- **Adaptive admission control.**  With ``shed=True`` the dispatcher
+  keeps an EWMA of per-point solve cost and rejects a request *on
+  arrival* when the queue's estimated wait already exceeds the
+  request's deadline (:class:`~repro.serve.protocol.ShedError`, HTTP
+  429 with ``Retry-After``) — a request doomed to a 408 never occupies
+  a queue slot or triggers a wasted solve.  Once queue saturation
+  crosses ``degraded_ratio`` the dispatcher goes *degraded*:
+  memo hits and in-flight joins still answer (cache-hit-only), cold
+  points are rejected with :class:`~repro.serve.protocol.DegradedError`
+  until the queue recedes.  Rejections are sub-millisecond by
+  construction and are counted under ``serve.shed.*``, never in the
+  served-latency SLO window.
 - **Deadlines.**  :meth:`resolve` bounds its wait with the request
   deadline; expiry raises :class:`~repro.serve.protocol.DeadlineError`
   (HTTP 408).  Waits are :func:`asyncio.shield`-ed so one client's
@@ -64,8 +76,11 @@ from repro.obs.trace import NOOP_TRACER
 from repro.resilience.policy import RetryPolicy
 from repro.serve.protocol import (
     DeadlineError,
+    DegradedError,
+    DrainingError,
     OverloadedError,
     ServeError,
+    ShedError,
     SolverError,
 )
 
@@ -117,13 +132,21 @@ class MicroBatchDispatcher:
     rolling_window_s:
         Width of the rolling window behind ``rolling_coalesce_ratio``
         (and the ``serve.coalesce_ratio`` gauge).
+    shed:
+        Enable adaptive admission control (see module docstring).  Off,
+        only the hard ``max_queue`` bound rejects — the pre-shedding
+        baseline the overload benchmark compares against.
+    degraded_ratio:
+        Queue-saturation fraction (of ``max_queue``) beyond which the
+        dispatcher answers cache-hit-only.
     """
 
     def __init__(self, solve_fn, metrics, *, max_batch: int = 32,
                  window_s: float = 0.002, max_queue: int = 1024,
                  policy: RetryPolicy | None = None,
                  on_idle=None, tracer=None, flight=None,
-                 rolling_window_s: float = 60.0) -> None:
+                 rolling_window_s: float = 60.0, shed: bool = True,
+                 degraded_ratio: float = 0.75) -> None:
         self._solve_fn = solve_fn
         self._metrics = metrics
         self._on_idle = on_idle
@@ -137,6 +160,9 @@ class MicroBatchDispatcher:
         self.max_batch = int(max_batch)
         self.window_s = float(window_s)
         self.max_queue = int(max_queue)
+        self.shed = bool(shed)
+        self.degraded_ratio = float(degraded_ratio)
+        self._ewma_point_s: float | None = None
         self.policy = policy or RetryPolicy()
         self._win_batches = WindowedCounter("serve.batches",
                                             window_s=rolling_window_s)
@@ -163,11 +189,14 @@ class MicroBatchDispatcher:
 
         ``trace_ctx`` is the requesting span's ``(trace_id, span_id)``;
         batches fanning this request in link back to it.  Raises
-        :class:`OverloadedError` when the queue bound would be exceeded
-        and :class:`DeadlineError` when ``timeout`` (seconds) expires
+        :class:`OverloadedError` when the queue bound would be exceeded,
+        :class:`ShedError` / :class:`DegradedError` when adaptive
+        admission control rejects on arrival, and
+        :class:`DeadlineError` when ``timeout`` (seconds) expires
         first; an expired caller never cancels the underlying solve, so
         late joiners still complete.
         """
+        self._admit(key, points, timeout)
         futures = [self._lookup(key, point, trace_ctx) for point in points]
         try:
             return await asyncio.wait_for(
@@ -184,6 +213,71 @@ class MicroBatchDispatcher:
                 f"{unsolved} of {len(futures)} "
                 f"points unsolved") from None
 
+    def _admit(self, key, points, timeout: float) -> None:
+        """Adaptive admission control: reject doomed work on arrival.
+
+        Only points that would actually *enqueue a solve* are gated —
+        memo hits and single-flight joins cost nothing and always
+        answer, which is exactly the degraded mode's cache-hit-only
+        contract.  Rejections carry a ``Retry-After`` hint derived from
+        the estimated time to drain the current queue.
+        """
+        if not self.shed:
+            return
+        new = [p for p in points
+               if (key, p) not in self._memo
+               and (key, p) not in self._inflight]
+        if not new:
+            return
+        est = self.estimated_wait_s(len(new))
+        self._metrics.gauge("serve.estimated_wait_s").set(est)
+        if self.degraded:
+            self._metrics.counter("serve.shed.degraded").inc()
+            self._flight.record("shed", node=key.node, reason="degraded",
+                                n=len(new), queued=self._queued)
+            exc = DegradedError(
+                f"server saturated ({self._queued}/{self.max_queue} "
+                f"points queued); cold points rejected, cache hits "
+                f"still served")
+            exc.retry_after_s = max(1.0, self.estimated_wait_s())
+            raise exc
+        if est > float(timeout):
+            self._metrics.counter("serve.shed.deadline").inc()
+            self._flight.record("shed", node=key.node, reason="deadline",
+                                n=len(new), queued=self._queued)
+            exc = ShedError(
+                f"estimated queue wait {est:.3f}s exceeds request "
+                f"deadline {float(timeout):g}s; rejected before "
+                f"queueing")
+            exc.retry_after_s = max(1.0, est - float(timeout))
+            raise exc
+
+    def estimated_wait_s(self, extra_points: int = 0) -> float:
+        """Estimated seconds before ``extra_points`` new points solve.
+
+        The per-point cost is an EWMA over recent batch solves; before
+        any batch has settled the estimate is 0 (cold servers always
+        admit).
+        """
+        if self._ewma_point_s is None:
+            return 0.0
+        return (self._queued + int(extra_points)) * self._ewma_point_s
+
+    @property
+    def solve_ewma_s(self) -> float | None:
+        """EWMA per-point solve cost (``None`` until a batch settles)."""
+        return self._ewma_point_s
+
+    @property
+    def saturation(self) -> float:
+        """Queue fullness in [0, 1]: pending points over ``max_queue``."""
+        return self._queued / self.max_queue
+
+    @property
+    def degraded(self) -> bool:
+        """True when shedding is on and saturation crossed the ratio."""
+        return self.shed and self.saturation >= self.degraded_ratio
+
     def flush(self) -> None:
         """Dispatch every pending bucket now (shutdown / tests)."""
         for key in list(self._pending):
@@ -195,14 +289,47 @@ class MicroBatchDispatcher:
         while self._tasks:
             await asyncio.gather(*list(self._tasks), return_exceptions=True)
 
-    async def aclose(self) -> None:
-        """Drain outstanding work, then release the solver thread."""
+    async def aclose(self, drain_timeout_s: float | None = None) -> None:
+        """Drain outstanding work, then release the solver thread.
+
+        With ``drain_timeout_s`` set the drain is *bounded*: solves
+        still unfinished when the budget expires have their waiters
+        failed with :class:`~repro.serve.protocol.DrainingError` and
+        the solver thread is abandoned rather than joined, so a wedged
+        solve can never hold shutdown hostage.
+        """
         self._closed = True
         for handle in self._timers.values():
             handle.cancel()
         self._timers.clear()
-        await self.drain()
-        self._executor.shutdown(wait=True)
+        if drain_timeout_s is None:
+            await self.drain()
+            self._executor.shutdown(wait=True)
+            return
+        self.flush()
+        deadline = asyncio.get_running_loop().time() + float(drain_timeout_s)
+        while self._tasks:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                break
+            await asyncio.wait(list(self._tasks), timeout=remaining)
+        if self._tasks or self._queued:
+            self._metrics.counter("serve.drain_timeouts").inc()
+            self._flight.record("drain", ok=False, queued=self._queued,
+                                tasks=len(self._tasks))
+            exc = DrainingError(
+                f"drain budget of {drain_timeout_s:g}s exhausted with "
+                f"{self._queued} points in flight")
+            exc.retry_after_s = 1.0
+            for fut in list(self._inflight.values()):
+                if not fut.done():
+                    fut.set_exception(exc)
+            for task in list(self._tasks):
+                task.cancel()
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        else:
+            self._flight.record("drain", ok=True)
+            self._executor.shutdown(wait=True)
 
     @property
     def coalesce_ratio(self) -> float:
@@ -329,6 +456,12 @@ class MicroBatchDispatcher:
         finally:
             self._flight.record("solve", node=key.node, n=len(points),
                                 ok=ok, wall_s=time.perf_counter() - t0)
+        # Admission control's cost model: EWMA of amortised per-point
+        # solve time, updated only from successful batches.
+        per_point = (time.perf_counter() - t0) / len(points)
+        self._ewma_point_s = (
+            per_point if self._ewma_point_s is None
+            else 0.3 * per_point + 0.7 * self._ewma_point_s)
         self._record_batch_span(key, bucket, ctxs, batch_span, ts, t0,
                                 ok=True)
         for (point, fut, _), value in zip(bucket, values):

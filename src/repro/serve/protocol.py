@@ -14,12 +14,19 @@ error                     status  meaning
 :class:`DeadlineError`    408     per-request deadline expired
 :class:`PayloadTooLarge`  413     body above :data:`MAX_BODY_BYTES`
 :class:`OverloadedError`  429     dispatcher queue full (backpressure)
+:class:`ShedError`        429     admission control: queue wait would
+                                  already exceed the request deadline
+:class:`DegradedError`    429     saturated server is cache-hit-only
 :class:`SolverError`      500     solve failed after retries
+:class:`DrainingError`    503     server draining for shutdown
 ========================  ======  ==================================
 
 Every error response body is ``{"error": <code>, "message": <text>}``
 so clients can branch on a stable machine-readable code rather than
-scraping messages.
+scraping messages.  Shed-class errors (429/503) may carry a
+``retry_after_s`` hint, rendered both in the JSON payload and as a
+standard ``Retry-After`` response header so stock clients and load
+balancers back off correctly.
 
 Distributed-trace propagation rides one request header,
 ``X-Repro-Trace: <trace_id>[/<parent_span_id>]``, parsed by
@@ -33,13 +40,15 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import re
 from typing import NamedTuple
 
 __all__ = [
     "MAX_BODY_BYTES", "MAX_POINTS", "TRACE_HEADER", "EngineKey",
     "ServeError", "BadRequestError", "DeadlineError", "PayloadTooLarge",
-    "OverloadedError", "SolverError", "parse_query", "parse_trace_header",
+    "OverloadedError", "ShedError", "DegradedError", "DrainingError",
+    "SolverError", "parse_query", "parse_trace_header",
     "read_request", "json_response", "text_response", "error_response",
 ]
 
@@ -60,7 +69,7 @@ _ARCH_DEFAULTS = {"width": 128, "paths_per_lane": 100, "chain_length": 50}
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 408: "Request Timeout",
             413: "Payload Too Large", 429: "Too Many Requests",
-            500: "Internal Server Error"}
+            500: "Internal Server Error", 503: "Service Unavailable"}
 
 
 class EngineKey(NamedTuple):
@@ -77,13 +86,21 @@ class EngineKey(NamedTuple):
 
 
 class ServeError(Exception):
-    """Base for protocol-level failures; carries HTTP status + stable code."""
+    """Base for protocol-level failures; carries HTTP status + stable code.
+
+    ``retry_after_s`` (``None`` unless set) is the server's back-off
+    hint: rendered as a ``Retry-After`` header and in the JSON payload.
+    """
 
     status = 500
     code = "internal"
+    retry_after_s: float | None = None
 
     def payload(self) -> dict:
-        return {"error": self.code, "message": str(self)}
+        out = {"error": self.code, "message": str(self)}
+        if self.retry_after_s is not None:
+            out["retry_after_s"] = self.retry_after_s
+        return out
 
 
 class BadRequestError(ServeError):
@@ -104,6 +121,28 @@ class PayloadTooLarge(ServeError):
 class OverloadedError(ServeError):
     status = 429
     code = "overloaded"
+
+
+class ShedError(ServeError):
+    """Admission control: the queue's estimated wait already exceeds
+    this request's deadline, so it is rejected before consuming a slot."""
+
+    status = 429
+    code = "shed"
+
+
+class DegradedError(ServeError):
+    """Saturated server answering cache-hit-only; cold points rejected."""
+
+    status = 429
+    code = "degraded"
+
+
+class DrainingError(ServeError):
+    """Server draining for shutdown; retry against another instance."""
+
+    status = 503
+    code = "draining"
 
 
 class SolverError(ServeError):
@@ -248,15 +287,18 @@ async def read_request(reader: asyncio.StreamReader):
     return method, path, headers, body
 
 
-def json_response(status: int, payload: dict, *,
-                  keep_alive: bool = True) -> bytes:
+def json_response(status: int, payload: dict, *, keep_alive: bool = True,
+                  extra_headers: dict | None = None) -> bytes:
     """Serialise one JSON response with correct framing headers."""
     body = json.dumps(payload).encode()
     reason = _REASONS.get(status, "Unknown")
+    extras = "".join(f"{k}: {v}\r\n"
+                     for k, v in (extra_headers or {}).items())
     head = (f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extras}"
             f"\r\n")
     return head.encode("latin-1") + body
 
@@ -275,4 +317,9 @@ def text_response(status: int, text: str, content_type: str, *,
 
 
 def error_response(exc: ServeError, *, keep_alive: bool = True) -> bytes:
-    return json_response(exc.status, exc.payload(), keep_alive=keep_alive)
+    extra = None
+    if exc.retry_after_s is not None:
+        # RFC 9110 Retry-After takes whole seconds; round up, floor 1.
+        extra = {"Retry-After": max(1, math.ceil(exc.retry_after_s))}
+    return json_response(exc.status, exc.payload(), keep_alive=keep_alive,
+                         extra_headers=extra)

@@ -1,0 +1,189 @@
+"""Retrying, circuit-breaking client for hostile networks.
+
+:class:`ResilientServeClient` wraps every :class:`~repro.serve.client.
+ServeClient` exchange in a bounded retry loop driven by the same
+:class:`~repro.resilience.policy.RetryPolicy` the runtime uses for
+shard retries — so client backoff is deterministic (CRC32 jitter, no
+RNG state) and tunable with one knob set.
+
+What retries, and what never does:
+
+* **Retryable**: 429 (``overloaded`` / ``shed`` / ``degraded``), 503
+  (``draining``), and transport failures where no response arrived —
+  connection reset, garbled non-HTTP bytes, truncated response, socket
+  timeout.  All serve queries are idempotent (pure functions of the
+  query point, memoised server-side), so re-sending is always safe.
+* **Never retried**: any response the server *did* deliver with a
+  non-retryable status — 400, 404, 405, 408, 500 — and, critically,
+  any 2xx: a ``bad_payload`` error after a 200 means the server
+  answered and the answer is wrong, which a retry cannot fix.
+
+Each sleep honours the server's ``Retry-After`` hint as a floor under
+the policy's exponential backoff.  A consecutive-failure circuit
+breaker sits in front of the loop: after ``breaker_threshold``
+retryable failures in a row the circuit opens and calls fail fast with
+:class:`CircuitOpenError` (no socket touched) until ``breaker_reset_s``
+elapses, when one half-open probe is let through — success closes the
+circuit, failure re-opens it.  State changes land on the
+``serve.breaker_state`` gauge (0 closed / 1 half-open / 2 open) and
+retries on ``serve.retry.attempts`` / ``serve.retry.giveups``.
+
+``sleep`` and ``clock`` are injectable so tests drive the breaker and
+backoff schedule without real time passing.
+"""
+
+from __future__ import annotations
+
+import http.client
+import itertools
+import time
+
+from repro.obs.metrics import NOOP_METRICS
+from repro.resilience.policy import RetryPolicy
+from repro.serve.client import ServeClient, ServeRequestError
+
+__all__ = ["ResilientServeClient", "CircuitOpenError",
+           "RETRYABLE_STATUSES", "BREAKER_CLOSED", "BREAKER_HALF_OPEN",
+           "BREAKER_OPEN"]
+
+#: HTTP statuses that are safe and useful to retry (always rejections
+#: the server made *instead of* doing work).
+RETRYABLE_STATUSES = (429, 503)
+
+#: ``serve.breaker_state`` gauge values.
+BREAKER_CLOSED, BREAKER_HALF_OPEN, BREAKER_OPEN = 0, 1, 2
+
+#: Transport failures with no response delivered (safe to re-send).
+_TRANSPORT_ERRORS = (http.client.HTTPException, ConnectionError, OSError)
+
+
+class CircuitOpenError(Exception):
+    """Fail-fast rejection while the client's circuit breaker is open."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class ResilientServeClient(ServeClient):
+    """A :class:`ServeClient` that survives overload and flaky networks.
+
+    Parameters beyond :class:`ServeClient`'s:
+
+    policy:
+        :class:`~repro.resilience.policy.RetryPolicy` supplying the
+        attempt bound (``max_retries``) and the deterministic-jitter
+        backoff schedule.
+    breaker_threshold:
+        Consecutive retryable failures (across requests) that open the
+        circuit.
+    breaker_reset_s:
+        Seconds the circuit stays open before one half-open probe.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` for the
+        ``serve.retry.*`` / ``serve.breaker_state`` instruments.
+    sleep / clock:
+        Injectable ``time.sleep`` / ``time.monotonic`` for tests.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8437, *,
+                 timeout: float = 120.0, tracer=None,
+                 policy: RetryPolicy | None = None,
+                 breaker_threshold: int = 5,
+                 breaker_reset_s: float = 5.0,
+                 metrics=None, sleep=time.sleep,
+                 clock=time.monotonic) -> None:
+        super().__init__(host, port, timeout=timeout, tracer=tracer)
+        if int(breaker_threshold) < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {breaker_threshold}")
+        if float(breaker_reset_s) <= 0:
+            raise ValueError(
+                f"breaker_reset_s must be > 0, got {breaker_reset_s}")
+        self.policy = policy or RetryPolicy()
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_reset_s = float(breaker_reset_s)
+        self._metrics = metrics if metrics is not None else NOOP_METRICS
+        self._sleep = sleep
+        self._clock = clock
+        self._backoff_seq = itertools.count()
+        self._consecutive_failures = 0
+        self._breaker_state = BREAKER_CLOSED
+        self._open_until = 0.0
+        self.retries = 0
+        self.giveups = 0
+
+    # -- circuit breaker -----------------------------------------------------
+
+    @property
+    def breaker_state(self) -> int:
+        """0 closed, 1 half-open, 2 open (see module constants)."""
+        return self._breaker_state
+
+    def _set_breaker(self, state: int) -> None:
+        self._breaker_state = state
+        self._metrics.gauge("serve.breaker_state").set(float(state))
+
+    def _breaker_gate(self) -> None:
+        """Admit (or fail fast) one attempt through the breaker."""
+        if self._breaker_state != BREAKER_OPEN:
+            return
+        remaining = self._open_until - self._clock()
+        if remaining <= 0:
+            self._set_breaker(BREAKER_HALF_OPEN)
+            return
+        raise CircuitOpenError(
+            f"circuit breaker open after {self._consecutive_failures} "
+            f"consecutive failures; probe in {remaining:.3f}s",
+            retry_after=remaining)
+
+    def _breaker_success(self) -> None:
+        self._consecutive_failures = 0
+        if self._breaker_state != BREAKER_CLOSED:
+            self._set_breaker(BREAKER_CLOSED)
+
+    def _breaker_failure(self) -> None:
+        self._consecutive_failures += 1
+        half_open_failed = self._breaker_state == BREAKER_HALF_OPEN
+        if (half_open_failed
+                or self._consecutive_failures >= self.breaker_threshold):
+            self._open_until = self._clock() + self.breaker_reset_s
+            if self._breaker_state != BREAKER_OPEN:
+                self._set_breaker(BREAKER_OPEN)
+
+    # -- retry loop ----------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload=None) -> dict:
+        seq = next(self._backoff_seq)
+        last: Exception | None = None
+        for attempt in range(self.policy.max_retries + 1):
+            self._breaker_gate()
+            retry_after = None
+            try:
+                result = super()._request(method, path, payload)
+            except ServeRequestError as exc:
+                if exc.status not in RETRYABLE_STATUSES:
+                    # The server answered — including any 2xx with a
+                    # bad payload.  Retrying cannot change the answer,
+                    # and it is not the transport's fault: the breaker
+                    # stays untouched.
+                    raise
+                self._breaker_failure()
+                last = exc
+                retry_after = exc.retry_after
+            except _TRANSPORT_ERRORS as exc:
+                self._breaker_failure()
+                last = exc
+            else:
+                self._breaker_success()
+                return result
+            if attempt < self.policy.max_retries:
+                self.retries += 1
+                self._metrics.counter("serve.retry.attempts").inc()
+                delay = self.policy.backoff_s(seq, attempt + 1)
+                if retry_after is not None:
+                    delay = max(delay, float(retry_after))
+                self._sleep(delay)
+        self.giveups += 1
+        self._metrics.counter("serve.retry.giveups").inc()
+        raise last

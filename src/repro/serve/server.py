@@ -9,7 +9,8 @@ runtime's worker pool — and answers sign-off queries over JSON/HTTP:
 =========================== ====== =====================================
 route                       method semantics
 =========================== ====== =====================================
-``/healthz``                GET    liveness + uptime
+``/healthz``                GET    liveness + uptime + drain/degrade flags
+``/readyz``                 GET    readiness: 503 when draining/degraded
 ``/metrics``                GET    OpenMetrics text (Prometheus scrape)
 ``/v1/metrics``             GET    metrics snapshot (latency gauges set)
 ``/v1/debug/flight``        GET    flight-recorder ring dump
@@ -18,6 +19,19 @@ route                       method semantics
 ``/v1/query``               POST   alias of ``chip_quantile_batch``
 ``/v1/signoff_sweep``       POST   sweep + nominal baseline, FO4 + drops
 =========================== ====== =====================================
+
+Overload resilience: the dispatcher's adaptive admission control sheds
+requests whose estimated queue wait already exceeds their deadline (429
+``shed`` with ``Retry-After``), goes cache-hit-only once the queue
+saturates (429 ``degraded``), and shed responses are accounted in
+``serve.shed_latency_ms`` — never in the served-latency SLO window.  On
+SIGTERM the server *drains* instead of cancelling: in-flight solves
+finish under the ``drain_timeout_s`` budget while new solve requests
+are answered 503 ``draining`` with ``Connection: close``; only then do
+the listener, dispatcher and idle connections come down.  Network
+faults from the :mod:`~repro.resilience.faultlab` (``conn_reset``,
+``slow_read``, ``partial_write``, ``garbled_response``) are injected at
+this transport, targeted by request ordinal.
 
 Telemetry: requests carrying an ``X-Repro-Trace: trace_id[/span_id]``
 header are answered inside a ``serve.request`` span joined to the
@@ -62,10 +76,12 @@ from repro.runtime import (
     build_runtime,
     release_worker_workspaces,
 )
+from repro.resilience.faultlab import NETWORK_FAULTS, active_plan, slow_seconds
 from repro.runtime.context import activate_runtime
 from repro.serve.dispatcher import MicroBatchDispatcher
 from repro.serve.protocol import (
     BadRequestError,
+    DrainingError,
     ServeError,
     error_response,
     json_response,
@@ -81,6 +97,13 @@ __all__ = ["ServeConfig", "SignoffServer", "run_server",
 #: ``serve.latency_ms`` histogram bounds (sub-ms cache hits to slow solves).
 LATENCY_BUCKETS_MS = (1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500,
                       5000, 10000)
+
+#: Routes that enqueue solves (gated by draining / admission control).
+SOLVE_ROUTES = ("/v1/chip_quantile", "/v1/chip_quantile_batch",
+                "/v1/query", "/v1/signoff_sweep")
+
+#: Deterministic non-HTTP bytes sent by an injected ``garbled_response``.
+GARBLED_BYTES = b"\x15\x03\x01\x00\x02\x02\x16repro-garbled-response\r\n\r\n"
 
 
 @dataclass
@@ -101,6 +124,12 @@ class ServeConfig:
     against (error budget = ``1 - slo_availability``, shared by the
     latency budget); ``flight_capacity`` bounds the flight-recorder
     ring (0 disables it entirely).
+
+    Resilience knobs: ``shed`` enables adaptive admission control
+    (``shed=False`` falls back to the hard max-queue 429);
+    ``degraded_ratio`` is the queue saturation at which the server goes
+    cache-hit-only; ``drain_timeout_s`` bounds how long a SIGTERM drain
+    waits for in-flight solves before failing them.
     """
 
     host: str = "127.0.0.1"
@@ -115,6 +144,9 @@ class ServeConfig:
     slo_availability: float = 0.999
     slo_latency_ms: float = 250.0
     flight_capacity: int = 512
+    shed: bool = True
+    degraded_ratio: float = 0.75
+    drain_timeout_s: float = 30.0
 
     def __post_init__(self) -> None:
         from repro.core.backends import BACKENDS
@@ -151,6 +183,12 @@ class ServeConfig:
         if int(self.flight_capacity) < 0:
             raise ConfigurationError(
                 f"flight_capacity must be >= 0, got {self.flight_capacity}")
+        if not 0.0 < float(self.degraded_ratio) <= 1.0:
+            raise ConfigurationError(
+                f"degraded_ratio must be in (0, 1], got {self.degraded_ratio}")
+        if float(self.drain_timeout_s) <= 0:
+            raise ConfigurationError(
+                f"drain_timeout_s must be > 0, got {self.drain_timeout_s}")
 
 
 class SignoffServer:
@@ -195,7 +233,9 @@ class SignoffServer:
             on_idle=self._on_idle,
             tracer=runtime.obs.tracer,
             flight=self.flight,
-            rolling_window_s=config.window_s)
+            rolling_window_s=config.window_s,
+            shed=config.shed,
+            degraded_ratio=config.degraded_ratio)
         self._nodes = frozenset(available_technologies())
         self._cache = QuantileCache()
         self._analyzers: dict = {}
@@ -203,6 +243,11 @@ class SignoffServer:
         self._conn_tasks: set = set()
         self._started = time.monotonic()
         self.requests = 0
+        self.drained_clean = True
+        self._draining = False
+        self._active_requests = 0
+        self._req_ordinal = 0
+        self._faults = getattr(runtime, "faults", None)
 
     # -- engine plumbing -----------------------------------------------------
 
@@ -268,17 +313,43 @@ class SignoffServer:
             return int(self.config.port)
         return self._server.sockets[0].getsockname()[1]
 
-    async def stop(self) -> None:
-        """Graceful shutdown: stop accepting, drain solves, final gauges."""
+    @property
+    def draining(self) -> bool:
+        """True once a graceful drain has begun (readiness fails)."""
+        return self._draining
+
+    async def stop(self, *, drain_timeout_s: float | None = None) -> None:
+        """Graceful drain then shutdown, bounded by ``drain_timeout_s``.
+
+        The listener stays open for the drain window: in-flight solves
+        finish normally while new solve requests are answered 503
+        ``draining`` with ``Connection: close`` — so load balancers see
+        a clean drain rather than connection-refused.  Whatever is still
+        stranded when the budget runs out is failed fast by the
+        dispatcher; idle keep-alive connections are cancelled last.
+        """
+        budget = (float(self.config.drain_timeout_s)
+                  if drain_timeout_s is None else float(drain_timeout_s))
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + budget
+        self._draining = True
+        self.flight.record("drain", phase="begin", budget_s=budget)
+        while ((self._active_requests or self.dispatcher.queued)
+                and loop.time() < deadline):
+            await asyncio.sleep(0.005)
+        self.drained_clean = not (self._active_requests
+                                  or self.dispatcher.queued)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        await self.dispatcher.aclose()
+        await self.dispatcher.aclose(
+            drain_timeout_s=max(0.0, deadline - loop.time()))
         for task in list(self._conn_tasks):
             task.cancel()
         if self._conn_tasks:
             await asyncio.gather(*list(self._conn_tasks),
                                  return_exceptions=True)
+        self.flight.record("drain", phase="end", clean=self.drained_clean)
         self._set_summary_gauges()
         if self._owns_runtime:
             self._runtime.close()
@@ -332,14 +403,30 @@ class SignoffServer:
                 if request is None:
                     return
                 method, path, headers, body = request
+                ordinal = self._req_ordinal
+                self._req_ordinal += 1
                 close = headers.get("connection", "").lower() == "close"
-                response = await self._dispatch(method, path, headers, body)
-                if close:
-                    response = response.replace(
-                        b"Connection: keep-alive", b"Connection: close", 1)
-                writer.write(response)
-                await writer.drain()
-                if close:
+                closing = close
+                self._active_requests += 1
+                try:
+                    response = await self._dispatch(method, path, headers,
+                                                    body)
+                    closing = close or self._draining
+                    if closing:
+                        response = response.replace(
+                            b"Connection: keep-alive",
+                            b"Connection: close", 1)
+                    fault = self._consume_net_fault(ordinal)
+                    if fault is not None:
+                        if await self._deliver_faulty(fault, ordinal,
+                                                      response, writer):
+                            return
+                    else:
+                        writer.write(response)
+                        await writer.drain()
+                finally:
+                    self._active_requests -= 1
+                if closing:
                     return
         except (ConnectionError, asyncio.IncompleteReadError,
                 asyncio.CancelledError):
@@ -350,6 +437,52 @@ class SignoffServer:
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
 
+    def _consume_net_fault(self, ordinal: int):
+        """The network fault kind firing on this request ordinal, if any."""
+        plan = self._faults if self._faults is not None else active_plan()
+        if plan is None:
+            return None
+        for kind in NETWORK_FAULTS:
+            if plan.consume(kind, ordinal):
+                return kind
+        return None
+
+    async def _deliver_faulty(self, kind: str, ordinal: int,
+                              response: bytes,
+                              writer: asyncio.StreamWriter) -> bool:
+        """Deliver (or destroy) one response under an injected fault.
+
+        Returns True when the connection was torn down and the handler
+        loop must exit.  The solve itself already ran — so a client
+        retry after ``conn_reset`` exercises the dispatcher's memo,
+        proving the request is idempotent end to end.
+        """
+        self.metrics.counter("serve.net_faults").inc()
+        self.metrics.counter(f"serve.net_fault.{kind}").inc()
+        self.flight.record("net_fault", fault=kind, request=ordinal)
+        ledger = getattr(self._runtime, "ledger", None)
+        if ledger is not None:
+            ledger.record("net_fault_injected", kind=kind, request=ordinal)
+        if kind == "conn_reset":
+            writer.transport.abort()
+            return True
+        if kind == "slow_read":
+            await asyncio.sleep(slow_seconds())
+            writer.write(response)
+            await writer.drain()
+            return False
+        if kind == "partial_write":
+            writer.write(response[:max(1, len(response) // 2)])
+            with contextlib.suppress(Exception):
+                await writer.drain()
+            writer.transport.abort()
+            return True
+        # garbled_response: valid TCP, nonsense HTTP.
+        writer.write(GARBLED_BYTES)
+        with contextlib.suppress(Exception):
+            await writer.drain()
+        return True
+
     async def _dispatch(self, method: str, path: str, headers: dict,
                         body: bytes) -> bytes:
         self.requests += 1
@@ -358,74 +491,117 @@ class SignoffServer:
         tctx = parse_trace_header(headers.get("x-repro-trace"))
         self.flight.record("admit", path=path, method=method)
         t0 = time.monotonic()
+        response: bytes | None = None
         with self._runtime.obs.tracer.span("serve.request", ctx=tctx,
                                            path=path):
             try:
-                if path == "/healthz":
-                    if method != "GET":
-                        return json_response(405, {"error": "method_not_allowed",
-                                                   "message": "use GET"})
-                    payload = {"ok": True,
-                               "uptime_s": time.monotonic() - self._started,
-                               "queued": self.dispatcher.queued}
-                    return json_response(200, payload)
-                if path == "/v1/metrics":
-                    if method != "GET":
-                        return json_response(405, {"error": "method_not_allowed",
-                                                   "message": "use GET"})
-                    self._set_summary_gauges()
-                    return json_response(200, self.metrics.as_dict())
-                if path == "/metrics":
-                    if method != "GET":
-                        return json_response(405, {"error": "method_not_allowed",
-                                                   "message": "use GET"})
-                    self._set_summary_gauges()
-                    return text_response(
-                        200, render_openmetrics(self.metrics.as_dict()),
-                        OPENMETRICS_CONTENT_TYPE)
-                if path == "/v1/debug/flight":
-                    if method != "GET":
-                        return json_response(405, {"error": "method_not_allowed",
-                                                   "message": "use GET"})
-                    return json_response(200, self.flight.snapshot())
-                if path in ("/v1/chip_quantile", "/v1/chip_quantile_batch",
-                            "/v1/query", "/v1/signoff_sweep"):
-                    if method != "POST":
-                        return json_response(405, {"error": "method_not_allowed",
-                                                   "message": "use POST"})
-                    try:
-                        parsed = _json.loads(body.decode() or "null")
-                    except (UnicodeDecodeError, _json.JSONDecodeError) as exc:
-                        raise BadRequestError(
-                            f"body is not valid JSON: {exc}") from None
-                    if path == "/v1/signoff_sweep":
-                        payload = await self._signoff_sweep(parsed)
-                    else:
-                        payload = await self._query(
-                            parsed, scalar=path == "/v1/chip_quantile")
-                    if tctx is not None:
-                        payload["trace_id"] = tctx[0]
-                    return json_response(200, payload)
-                return json_response(404, {"error": "not_found",
-                                           "message": f"no route {path!r}"})
+                response = await self._route(method, path, body, tctx)
             except ServeError as exc:
                 self.metrics.counter("serve.errors").inc()
-                if exc.status >= 500:
+                if exc.status >= 500 and exc.code != "draining":
                     self._win_errors.inc()
-                return error_response(exc)
+                response = error_response(exc)
             except Exception as exc:   # noqa: BLE001 - boundary to clients
                 self.metrics.counter("serve.errors").inc()
                 self._win_errors.inc()
                 self.flight.record("fault", path=path,
                                    error=type(exc).__name__)
-                return json_response(500, {"error": "internal",
-                                           "message": repr(exc)})
+                response = json_response(500, {"error": "internal",
+                                               "message": repr(exc)})
             finally:
                 latency_ms = (time.monotonic() - t0) * 1000.0
-                self.metrics.histogram(
-                    "serve.latency_ms",
-                    buckets=LATENCY_BUCKETS_MS).observe(latency_ms)
-                self._win_latency.observe(latency_ms)
+                status = int(response[9:12]) if response is not None else 500
+                if status in (429, 503):
+                    # Shed/drain rejections answer in microseconds;
+                    # mixing them into the served-latency window would
+                    # fake an SLO recovery exactly when the server is
+                    # refusing work.  They get their own instruments.
+                    self.metrics.counter("serve.shed.responses").inc()
+                    self.metrics.histogram(
+                        "serve.shed_latency_ms",
+                        buckets=LATENCY_BUCKETS_MS).observe(latency_ms)
+                else:
+                    self.metrics.histogram(
+                        "serve.latency_ms",
+                        buckets=LATENCY_BUCKETS_MS).observe(latency_ms)
+                    self._win_latency.observe(latency_ms)
+        return response
+
+    async def _route(self, method: str, path: str, body: bytes,
+                     tctx) -> bytes:
+        if path == "/healthz":
+            if method != "GET":
+                return json_response(405, {"error": "method_not_allowed",
+                                           "message": "use GET"})
+            payload = {"ok": True,
+                       "uptime_s": time.monotonic() - self._started,
+                       "queued": self.dispatcher.queued,
+                       "draining": self._draining,
+                       "degraded": self.dispatcher.degraded,
+                       "queue_saturation": round(
+                           self.dispatcher.saturation, 6)}
+            return json_response(200, payload)
+        if path == "/readyz":
+            if method != "GET":
+                return json_response(405, {"error": "method_not_allowed",
+                                           "message": "use GET"})
+            saturation = round(self.dispatcher.saturation, 6)
+            if self._draining:
+                return json_response(503, {"ready": False,
+                                           "reason": "draining",
+                                           "error": "not_ready",
+                                           "message": "server is draining"})
+            if self.dispatcher.degraded:
+                return json_response(503, {"ready": False,
+                                           "reason": "degraded",
+                                           "error": "not_ready",
+                                           "message": "queue saturated",
+                                           "queue_saturation": saturation})
+            return json_response(200, {"ready": True,
+                                       "queue_saturation": saturation})
+        if path == "/v1/metrics":
+            if method != "GET":
+                return json_response(405, {"error": "method_not_allowed",
+                                           "message": "use GET"})
+            self._set_summary_gauges()
+            return json_response(200, self.metrics.as_dict())
+        if path == "/metrics":
+            if method != "GET":
+                return json_response(405, {"error": "method_not_allowed",
+                                           "message": "use GET"})
+            self._set_summary_gauges()
+            return text_response(
+                200, render_openmetrics(self.metrics.as_dict()),
+                OPENMETRICS_CONTENT_TYPE)
+        if path == "/v1/debug/flight":
+            if method != "GET":
+                return json_response(405, {"error": "method_not_allowed",
+                                           "message": "use GET"})
+            return json_response(200, self.flight.snapshot())
+        if path in SOLVE_ROUTES:
+            if method != "POST":
+                return json_response(405, {"error": "method_not_allowed",
+                                           "message": "use POST"})
+            if self._draining:
+                exc = DrainingError(
+                    "server is draining; retry against another replica")
+                exc.retry_after_s = 1.0
+                raise exc
+            try:
+                parsed = _json.loads(body.decode() or "null")
+            except (UnicodeDecodeError, _json.JSONDecodeError) as exc:
+                raise BadRequestError(
+                    f"body is not valid JSON: {exc}") from None
+            if path == "/v1/signoff_sweep":
+                payload = await self._signoff_sweep(parsed)
+            else:
+                payload = await self._query(
+                    parsed, scalar=path == "/v1/chip_quantile")
+            if tctx is not None:
+                payload["trace_id"] = tctx[0]
+            return json_response(200, payload)
+        return json_response(404, {"error": "not_found",
+                                   "message": f"no route {path!r}"})
 
     # -- query handlers ------------------------------------------------------
 
@@ -514,10 +690,14 @@ async def _serve_until_signalled(config: ServeConfig, runtime) -> dict:
     finally:
         for sig in installed:
             loop.remove_signal_handler(sig)
+        print(f"[serve] draining (budget {config.drain_timeout_s}s)",
+              flush=True)
         await server.stop()
+        print(f"[serve] drained clean={server.drained_clean}", flush=True)
     return {"requests": server.requests,
             "coalesce_ratio": server.dispatcher.coalesce_ratio,
             "port": port,
+            "drained_clean": server.drained_clean,
             "flight": (server.flight.snapshot()
                        if server.flight.enabled else None)}
 

@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import http.client
 import json
 import os
 import signal
+import socket
 import subprocess
 import sys
 import threading
@@ -27,12 +30,17 @@ from repro.resilience import RetryPolicy, parse_faults
 from repro.runtime import build_runtime
 from repro.serve import (
     BadRequestError,
+    CircuitOpenError,
+    DegradedError,
+    DrainingError,
     EngineKey,
     MicroBatchDispatcher,
     OverloadedError,
+    ResilientServeClient,
     ServeClient,
     ServeConfig,
     ServeRequestError,
+    ShedError,
     SignoffServer,
 )
 from repro.serve.protocol import parse_query
@@ -155,6 +163,12 @@ def test_serve_config_validates():
         ServeConfig(slo_latency_ms=0.0)
     with pytest.raises(ConfigurationError):
         ServeConfig(flight_capacity=-1)
+    with pytest.raises(ConfigurationError):
+        ServeConfig(degraded_ratio=0.0)
+    with pytest.raises(ConfigurationError):
+        ServeConfig(degraded_ratio=1.5)
+    with pytest.raises(ConfigurationError):
+        ServeConfig(drain_timeout_s=0.0)
 
 
 # -- dispatcher unit tests (fake solver) ---------------------------------------
@@ -527,6 +541,7 @@ def test_serve_cli_validates_flags():
     assert cli_main(["serve", "--port", "70000"]) == 2
     assert cli_main(["serve", "--max-batch", "0"]) == 2
     assert cli_main(["serve", "--jobs", "0"]) == 2
+    assert cli_main(["serve", "--drain-timeout-s", "0"]) == 2
 
 
 def test_serve_module_cli_validates_flags():
@@ -535,6 +550,9 @@ def test_serve_module_cli_validates_flags():
     assert serve_main(["--slo-availability", "1.5"]) == 2
     assert serve_main(["--window-s", "0"]) == 2
     assert serve_main(["--flight-capacity", "-1"]) == 2
+    assert serve_main(["--degraded-ratio", "0"]) == 2
+    assert serve_main(["--degraded-ratio", "1.5"]) == 2
+    assert serve_main(["--drain-timeout-s", "0"]) == 2
 
 
 # -- telemetry: tracing, rolling metrics, flight recorder ----------------------
@@ -834,3 +852,578 @@ def test_serve_module_cli_sigusr2_dump_and_artifacts(fresh_cache, tmp_path):
     assert manifest["run"]["targets"] == ["serve"]
     assert manifest["flight"]["total"] >= 1
     assert manifest["metrics"]["counters"]["serve.requests"] >= 1
+
+
+# -- adaptive load shedding (dispatcher) ---------------------------------------
+
+
+def test_dispatcher_sheds_when_estimated_wait_exceeds_deadline():
+    flight = FlightRecorder(capacity=32)
+
+    def solve(key, points):
+        return [p[0] * 2.0 for p in points]
+
+    async def scenario():
+        metrics = MetricsRegistry()
+        d = MicroBatchDispatcher(solve, metrics, max_batch=8,
+                                 window_s=30.0, max_queue=64,
+                                 flight=flight)
+        warm = (0.4, 0.0, 0.99)
+        task = asyncio.ensure_future(d.resolve(KEY, [warm], timeout=10))
+        await asyncio.sleep(0)
+        d.flush()
+        assert await task == [0.8]
+        # the cost model primed itself from the settled batch
+        assert d.solve_ewma_s is not None and d.solve_ewma_s > 0
+        # pretend solves cost 5 s/point, then park one point in the
+        # long batch window so the queue is non-empty
+        d._ewma_point_s = 5.0
+        parked = asyncio.ensure_future(
+            d.resolve(KEY, [(0.5, 0.0, 0.99)], timeout=60))
+        await asyncio.sleep(0)
+        assert d.queued == 1
+        # estimated wait (1 queued + 1 new) * 5 s >> the 2 s deadline
+        with pytest.raises(ShedError) as exc:
+            await d.resolve(KEY, [(0.6, 0.0, 0.99)], timeout=2)
+        assert exc.value.retry_after_s >= 1.0
+        # a memoised point sails through under the same deadline
+        assert await d.resolve(KEY, [warm], timeout=2) == [0.8]
+        d.flush()
+        assert await parked == [1.0]
+        # with the queue drained the same request is admitted
+        d._ewma_point_s = 0.0001
+        admitted = asyncio.ensure_future(
+            d.resolve(KEY, [(0.6, 0.0, 0.99)], timeout=2))
+        await asyncio.sleep(0)
+        d.flush()
+        value = await admitted
+        await d.aclose()
+        return value, metrics
+
+    value, metrics = _run_async(scenario())
+    assert value == [1.2]
+    snap = metrics.as_dict()
+    assert snap["counters"]["serve.shed.deadline"] == 1
+    assert "serve.estimated_wait_s" in snap["gauges"]
+    shed = [e for e in flight.snapshot()["events"] if e["kind"] == "shed"]
+    assert len(shed) == 1 and shed[0]["reason"] == "deadline"
+
+
+def test_dispatcher_degraded_mode_is_cache_hit_only():
+    def solve(key, points):
+        return [p[0] * 2.0 for p in points]
+
+    async def scenario():
+        metrics = MetricsRegistry()
+        d = MicroBatchDispatcher(solve, metrics, max_batch=8,
+                                 window_s=30.0, max_queue=4,
+                                 degraded_ratio=0.5)
+        warm = (0.4, 0.0, 0.99)
+        task = asyncio.ensure_future(d.resolve(KEY, [warm], timeout=10))
+        await asyncio.sleep(0)
+        d.flush()
+        assert await task == [0.8]
+        # park 2 of max_queue=4 points: saturation 0.5 -> degraded
+        parked = [asyncio.ensure_future(
+            d.resolve(KEY, [(v, 0.0, 0.99)], timeout=60))
+            for v in (0.5, 0.6)]
+        await asyncio.sleep(0)
+        assert d.queued == 2 and d.saturation == 0.5
+        assert d.degraded
+        # cold point: rejected with a Retry-After hint
+        with pytest.raises(DegradedError) as exc:
+            await d.resolve(KEY, [(0.7, 0.0, 0.99)], timeout=10)
+        assert exc.value.retry_after_s >= 1.0
+        # memo hit: still answered
+        assert await d.resolve(KEY, [warm], timeout=10) == [0.8]
+        # in-flight join: still answered
+        join = asyncio.ensure_future(
+            d.resolve(KEY, [(0.5, 0.0, 0.99)], timeout=60))
+        await asyncio.sleep(0)
+        d.flush()
+        assert [await t for t in parked] == [[1.0], [1.2]]
+        assert await join == [1.0]
+        # saturation receded: cold points admitted again
+        assert not d.degraded
+        final = asyncio.ensure_future(
+            d.resolve(KEY, [(0.7, 0.0, 0.99)], timeout=10))
+        await asyncio.sleep(0)
+        d.flush()
+        value = await final
+        await d.aclose()
+        return value, metrics
+
+    value, metrics = _run_async(scenario())
+    assert value == [1.4]
+    snap = metrics.as_dict()
+    assert snap["counters"]["serve.shed.degraded"] == 1
+    assert snap["counters"]["serve.singleflight_joins"] == 1
+    assert snap["counters"]["serve.memo_hits"] == 1
+
+
+def test_dispatcher_no_shed_disables_admission_control():
+    def solve(key, points):
+        return [p[0] for p in points]
+
+    async def scenario():
+        d = MicroBatchDispatcher(solve, MetricsRegistry(), max_batch=8,
+                                 window_s=0.001, max_queue=4, shed=False)
+        # an absurd cost model would shed everything -- but shed=False
+        d._ewma_point_s = 1000.0
+        assert not d.degraded
+        value = await d.resolve(KEY, [(0.5, 0.0, 0.99)], timeout=2)
+        await d.aclose()
+        return value
+
+    assert _run_async(scenario()) == [0.5]
+
+
+def test_dispatcher_bounded_drain_fails_stranded_waiters():
+    release = threading.Event()
+
+    def solve(key, points):
+        release.wait(10)
+        return [p[0] for p in points]
+
+    async def scenario():
+        metrics = MetricsRegistry()
+        d = MicroBatchDispatcher(solve, metrics, max_batch=4,
+                                 window_s=0.001)
+        task = asyncio.ensure_future(
+            d.resolve(KEY, [(0.5, 0.0, 0.99)], timeout=30))
+        await asyncio.sleep(0.05)          # flushed; solve is blocked
+        await d.aclose(drain_timeout_s=0.05)
+        with pytest.raises(DrainingError):
+            await task
+        release.set()
+        await asyncio.sleep(0.05)          # let the solver thread settle
+        return metrics
+
+    metrics = _run_async(scenario())
+    assert metrics.as_dict()["counters"]["serve.drain_timeouts"] == 1
+
+
+# -- drain / readiness over HTTP -----------------------------------------------
+
+
+def test_server_draining_fails_readiness_not_liveness(fresh_cache):
+    """Satellite regression: a draining server keeps answering liveness
+    (200 /healthz) while readiness (/readyz) and new solves fail 503."""
+    with ServerHarness(ServeConfig(port=0)) as h:
+        with h.client() as c:
+            assert c.chip_quantile("22nm", vdd=0.55, **ARCH) > 0
+            assert c.ready()["ready"] is True
+            health = c.health()
+            assert health["draining"] is False
+            assert health["degraded"] is False
+            assert health["queue_saturation"] == 0.0
+
+            h.server._draining = True
+            health = c.health()
+            assert health["ok"] is True          # liveness holds
+            assert health["draining"] is True
+            with pytest.raises(ServeRequestError) as not_ready:
+                c.ready()
+            assert not_ready.value.status == 503
+            assert not_ready.value.code == "not_ready"
+            with pytest.raises(ServeRequestError) as rejected:
+                c.chip_quantile("22nm", vdd=0.6, **ARCH)
+            assert rejected.value.status == 503
+            assert rejected.value.code == "draining"
+            assert rejected.value.retry_after == 1.0
+            # intentional rejections never burn the error budget
+            snap = c.metrics()
+            assert snap["gauges"]["serve.error_rate"] == 0.0
+            assert snap["counters"]["serve.shed.responses"] >= 2
+
+            # saturation alone also fails readiness (still alive)
+            h.server._draining = False
+            h.server.dispatcher._queued = h.server.dispatcher.max_queue
+            assert c.health()["degraded"] is True
+            with pytest.raises(ServeRequestError) as saturated:
+                c.ready()
+            assert saturated.value.status == 503
+            h.server.dispatcher._queued = 0
+
+            assert c.ready()["ready"] is True
+            assert c.chip_quantile("22nm", vdd=0.6, **ARCH) == \
+                direct_values([0.6])[0]
+
+
+def test_server_shed_latency_excluded_from_slo_window(fresh_cache):
+    """Satellite: 429s land in serve.shed_latency_ms, never in the
+    served-latency histogram/window -- burn rates stay honest."""
+    config = ServeConfig(port=0, max_queue=1, batch_window_ms=200.0)
+    with ServerHarness(config) as h:
+        with h.client() as c:
+            assert c.chip_quantile("22nm", vdd=0.55, **ARCH) > 0
+            with pytest.raises(ServeRequestError) as exc:
+                c.chip_quantile_batch("22nm", vdd=[0.5, 0.52, 0.6], **ARCH)
+            assert exc.value.status == 429
+            snap = c.metrics()
+    assert snap["histograms"]["serve.shed_latency_ms"]["count"] == 1
+    # only the served solve was observed (the /v1/metrics request itself
+    # is accounted after its own snapshot renders)
+    assert snap["histograms"]["serve.latency_ms"]["count"] == 1
+    assert snap["counters"]["serve.shed.responses"] == 1
+    assert snap["gauges"]["serve.error_rate"] == 0.0
+
+
+# -- client reconnect path (stub sockets) --------------------------------------
+
+
+def _http_response(body: bytes) -> bytes:
+    return (b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"Connection: keep-alive\r\n\r\n" + body)
+
+
+def _read_http_request(conn) -> bytes:
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = conn.recv(4096)
+        if not chunk:
+            return data
+        data += chunk
+    return data
+
+
+def _stub_http_server(handlers):
+    """Raw-socket server running one scripted handler per connection."""
+    srv = socket.create_server(("127.0.0.1", 0))
+    srv.settimeout(10)
+    accepted = []
+
+    def run():
+        for handler in handlers:
+            try:
+                conn, _ = srv.accept()
+            except OSError:
+                return
+            accepted.append(handler)
+            try:
+                handler(conn)
+            finally:
+                with contextlib.suppress(OSError):
+                    conn.close()
+
+    threading.Thread(target=run, daemon=True).start()
+    return srv, srv.getsockname()[1], accepted
+
+
+def test_client_roundtrip_reconnects_once_on_stale_keepalive():
+    """Satellite: the server closing a keep-alive between requests is
+    healed by one transparent reconnect on a fresh socket."""
+    body = b'{"ok": true}'
+
+    def serve_once_then_close(conn):
+        _read_http_request(conn)
+        conn.sendall(_http_response(body))
+        # returning closes the socket: the pooled keep-alive goes stale
+
+    srv, port, accepted = _stub_http_server(
+        [serve_once_then_close, serve_once_then_close])
+    try:
+        with ServeClient("127.0.0.1", port, timeout=10) as c:
+            assert c.health() == {"ok": True}
+            # second request rides the dead pooled socket first, then
+            # transparently succeeds on a fresh connection
+            assert c.health() == {"ok": True}
+    finally:
+        srv.close()
+    assert len(accepted) == 2
+
+
+def test_client_roundtrip_surfaces_error_when_both_attempts_fail():
+    """Satellite: when the fresh socket fails too, the original
+    exception propagates -- never a silent ``None`` round trip."""
+    def slam(conn):
+        pass                                 # close without responding
+
+    srv, port, accepted = _stub_http_server([slam, slam])
+    try:
+        with ServeClient("127.0.0.1", port, timeout=10) as c:
+            # a TypeError here would mean _roundtrip returned None
+            with pytest.raises((ConnectionError,
+                                http.client.HTTPException, OSError)):
+                c.health()
+    finally:
+        srv.close()
+    assert len(accepted) == 2
+
+
+# -- resilient client ----------------------------------------------------------
+
+
+def _fast_policy(max_retries=3):
+    return RetryPolicy(max_retries=max_retries, backoff_base_s=0.01,
+                       backoff_cap_s=10.0)
+
+
+def test_resilient_client_retries_and_honors_retry_after(monkeypatch):
+    script = [ServeRequestError(429, "shed", "try later", 3.0),
+              ConnectionResetError("mid-flight reset"),
+              {"values": [1.0]}]
+
+    def fake_request(self, method, path, payload=None):
+        action = script.pop(0)
+        if isinstance(action, Exception):
+            raise action
+        return action
+
+    monkeypatch.setattr(ServeClient, "_request", fake_request)
+    sleeps = []
+    metrics = MetricsRegistry()
+    c = ResilientServeClient(policy=_fast_policy(), metrics=metrics,
+                             sleep=sleeps.append)
+    assert c._request("POST", "/v1/query", {}) == {"values": [1.0]}
+    assert not script
+    assert len(sleeps) == 2
+    assert sleeps[0] >= 3.0        # Retry-After floors the backoff
+    assert c.retries == 2 and c.giveups == 0
+    snap = metrics.as_dict()
+    assert snap["counters"]["serve.retry.attempts"] == 2
+    assert "serve.retry.giveups" not in snap["counters"]
+
+
+def test_resilient_client_never_retries_after_2xx(monkeypatch):
+    calls = []
+
+    def fake_request(self, method, path, payload=None):
+        calls.append(path)
+        raise ServeRequestError(200, "bad_payload",
+                                "server returned non-object JSON")
+
+    monkeypatch.setattr(ServeClient, "_request", fake_request)
+    c = ResilientServeClient(policy=_fast_policy(),
+                             sleep=lambda s: None)
+    with pytest.raises(ServeRequestError) as exc:
+        c._request("GET", "/healthz")
+    assert exc.value.status == 200
+    assert calls == ["/healthz"]           # exactly one attempt
+    assert c.retries == 0
+
+
+@pytest.mark.parametrize("status,code", [(400, "bad_request"),
+                                         (404, "not_found"),
+                                         (408, "deadline_exceeded"),
+                                         (500, "internal")])
+def test_resilient_client_never_retries_non_retryable(monkeypatch,
+                                                      status, code):
+    calls = []
+
+    def fake_request(self, method, path, payload=None):
+        calls.append(1)
+        raise ServeRequestError(status, code, "answered, not retryable")
+
+    monkeypatch.setattr(ServeClient, "_request", fake_request)
+    c = ResilientServeClient(policy=_fast_policy(),
+                             sleep=lambda s: None)
+    with pytest.raises(ServeRequestError):
+        c._request("POST", "/v1/query", {})
+    assert len(calls) == 1
+
+
+def test_resilient_client_gives_up_after_policy_budget(monkeypatch):
+    calls = []
+
+    def fake_request(self, method, path, payload=None):
+        calls.append(1)
+        raise ServeRequestError(503, "draining", "still draining", 0.0)
+
+    monkeypatch.setattr(ServeClient, "_request", fake_request)
+    metrics = MetricsRegistry()
+    c = ResilientServeClient(policy=_fast_policy(max_retries=2),
+                             metrics=metrics, sleep=lambda s: None,
+                             breaker_threshold=100)
+    with pytest.raises(ServeRequestError) as exc:
+        c._request("POST", "/v1/query", {})
+    assert exc.value.status == 503
+    assert len(calls) == 3                 # 1 + max_retries
+    assert c.giveups == 1
+    assert metrics.as_dict()["counters"]["serve.retry.giveups"] == 1
+
+
+def test_resilient_client_backoff_is_deterministic(monkeypatch):
+    def fail_twice_then_ok():
+        state = {"n": 0}
+
+        def fake_request(self, method, path, payload=None):
+            state["n"] += 1
+            if state["n"] <= 2:
+                raise ConnectionResetError("boom")
+            return {"ok": True}
+        return fake_request
+
+    def run_once():
+        sleeps = []
+        c = ResilientServeClient(policy=_fast_policy(),
+                                 sleep=sleeps.append)
+        c._request("GET", "/healthz")
+        return sleeps
+
+    monkeypatch.setattr(ServeClient, "_request", fail_twice_then_ok())
+    a = run_once()
+    monkeypatch.setattr(ServeClient, "_request", fail_twice_then_ok())
+    b = run_once()
+    assert a == b and len(a) == 2          # CRC32 jitter, no RNG state
+
+
+def test_resilient_client_circuit_breaker_opens_probes_and_closes(
+        monkeypatch):
+    behavior = {"fail": True}
+    calls = []
+
+    def fake_request(self, method, path, payload=None):
+        calls.append(1)
+        if behavior["fail"]:
+            raise ConnectionResetError("down")
+        return {"ok": True}
+
+    monkeypatch.setattr(ServeClient, "_request", fake_request)
+    now = [0.0]
+    metrics = MetricsRegistry()
+    c = ResilientServeClient(policy=_fast_policy(max_retries=0),
+                             breaker_threshold=3, breaker_reset_s=10.0,
+                             metrics=metrics, sleep=lambda s: None,
+                             clock=lambda: now[0])
+    from repro.serve.resilient import (BREAKER_CLOSED, BREAKER_OPEN)
+    # three consecutive failures open the circuit
+    for _ in range(3):
+        with pytest.raises(ConnectionResetError):
+            c._request("GET", "/healthz")
+    assert c.breaker_state == BREAKER_OPEN
+    assert metrics.as_dict()["gauges"]["serve.breaker_state"] == 2.0
+    # while open: fail fast, no socket touched
+    n_calls = len(calls)
+    with pytest.raises(CircuitOpenError) as exc:
+        c._request("GET", "/healthz")
+    assert len(calls) == n_calls
+    assert 0 < exc.value.retry_after <= 10.0
+    # after the reset window a half-open probe that fails re-opens...
+    now[0] = 10.5
+    with pytest.raises(ConnectionResetError):
+        c._request("GET", "/healthz")
+    assert c.breaker_state == BREAKER_OPEN
+    # ...and one that succeeds closes the circuit for good
+    now[0] = 21.0
+    behavior["fail"] = False
+    assert c._request("GET", "/healthz") == {"ok": True}
+    assert c.breaker_state == BREAKER_CLOSED
+    assert metrics.as_dict()["gauges"]["serve.breaker_state"] == 0.0
+    assert c._request("GET", "/healthz") == {"ok": True}
+
+
+# -- network chaos -------------------------------------------------------------
+
+
+def test_serve_network_chaos_twin_bit_identical(tmp_path, monkeypatch):
+    """The tentpole gate: a retrying client driving a server under
+    conn_reset + slow_read + partial_write + garbled_response +
+    solver_nan gets byte-identical values_hex to a clean serial solve,
+    twice over, with every fault on the flight recorder."""
+    monkeypatch.setenv("REPRO_FAULT_SLOW_S", "0.01")
+    vdds = [0.5, 0.52, 0.54, 0.56]
+    spec = ("conn_reset:0,slow_read:3,partial_write:4,"
+            "garbled_response:5,solver_nan:0")
+
+    def run_once(tag):
+        # each run gets a cold quantile cache so the poisoned solve
+        # (and its rescue) actually executes both times
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / tag))
+        runtime = build_runtime(jobs=1, metrics=True,
+                                faults=parse_faults(spec))
+        try:
+            with ServerHarness(ServeConfig(port=0, batch_window_ms=1.0),
+                               runtime) as h:
+                with ResilientServeClient(
+                        "127.0.0.1", h.port, timeout=30,
+                        policy=RetryPolicy(max_retries=3,
+                                           backoff_base_s=0.01,
+                                           backoff_cap_s=0.05)) as c:
+                    hexes = [c.query("22nm", vdd=v, **ARCH)
+                             ["values_hex"][0] for v in vdds]
+                    health = c.health()
+                    snap = c.metrics()
+                    flight = c.flight()
+                    retries = c.retries
+            assert health["ok"] is True and health["queued"] == 0
+            return hexes, snap, flight, retries
+        finally:
+            runtime.close()
+
+    hex_a, snap_a, flight_a, retries_a = run_once("run-a")
+    hex_b, snap_b, flight_b, retries_b = run_once("run-b")
+    # the poisoned first point answers via the scalar Brent rescue
+    # (same bits as the rescue ladder in a clean CLI run); every other
+    # point must match the invariant batch exactly
+    engine = ChipDelayEngine(get_technology("22nm"), **ARCH)
+    expected = [float(engine.chip_quantile(vdds[0], 0.99, 0.0)).hex()]
+    expected += [v.hex() for v in direct_values(vdds[1:])]
+    assert hex_a == expected
+    assert hex_b == expected
+    # every injected fault fired exactly once, on both runs
+    for snap in (snap_a, snap_b):
+        assert snap["counters"]["serve.net_faults"] == 4
+        for kind in ("conn_reset", "slow_read", "partial_write",
+                     "garbled_response"):
+            assert snap["counters"][f"serve.net_fault.{kind}"] == 1
+        assert snap["counters"]["resilience.solver.fallback_scalar"] == 1
+    net = [e for e in flight_a["events"] if e["kind"] == "net_fault"]
+    assert sorted(e["fault"] for e in net) == sorted(
+        ["conn_reset", "garbled_response", "partial_write", "slow_read"])
+    # the chaos story itself is a twin (modulo timing)
+    assert strip_timing(flight_a["events"]) == \
+        strip_timing(flight_b["events"])
+    assert retries_a == retries_b >= 1
+
+
+def test_serve_cli_graceful_drain_completes_inflight(fresh_cache, tmp_path):
+    """SIGTERM mid-batch-window: the parked request completes 200 with
+    correct bits, a new request gets 503 draining, and the process
+    exits 0 well inside --drain-timeout-s."""
+    env = dict(os.environ, PYTHONPATH="src",
+               REPRO_CACHE_DIR=str(tmp_path / "cache"))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0",
+         "--batch-window-ms", "1500", "--drain-timeout-s", "20"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=env, cwd=os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+    try:
+        line = proc.stdout.readline()
+        assert "listening on" in line, line
+        port = int(line.rsplit(":", 1)[1])
+        # warm the engine so the parked request below solves quickly
+        with ServeClient("127.0.0.1", port, timeout=60) as warm:
+            warm.chip_quantile("22nm", vdd=0.5, **ARCH)
+        results = {}
+
+        def inflight():
+            with ServeClient("127.0.0.1", port, timeout=60) as cc:
+                results["value"] = cc.chip_quantile("22nm", vdd=0.55,
+                                                    **ARCH)
+
+        t = threading.Thread(target=inflight)
+        t.start()
+        time.sleep(0.4)                  # parked in the batch window
+        t_drain = time.monotonic()
+        proc.send_signal(signal.SIGTERM)
+        time.sleep(0.3)                  # drain begun, window still open
+        with ServeClient("127.0.0.1", port, timeout=10) as probe:
+            with pytest.raises(ServeRequestError) as exc:
+                probe.chip_quantile("22nm", vdd=0.6, **ARCH)
+        assert exc.value.status == 503
+        assert exc.value.code == "draining"
+        t.join(30)
+        stdout, stderr = proc.communicate(timeout=30)
+        elapsed = time.monotonic() - t_drain
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 0, stderr
+    assert elapsed < 20, f"drain blew its budget: {elapsed:.1f}s"
+    assert results["value"] == direct_values([0.55])[0]
+    assert "drained clean=True" in stdout
