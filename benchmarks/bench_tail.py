@@ -1,0 +1,211 @@
+"""Benchmark: importance-sampled deep-tail sign-off vs brute force.
+
+The high-sigma tail estimator (:mod:`repro.core.tailsampling`) promises
+deep-tail quantiles from a few thousand *weighted* Monte-Carlo samples
+where plain Monte Carlo needs millions.  This benchmark quantifies that
+promise on one reduced architecture and writes ``BENCH_tail.json`` at
+the repository root:
+
+* **reference** — a brute-force plain-MC tail quantile from a large
+  chip ensemble (the ground truth the weighted estimate must hit).
+* **importance sampling** — cross-entropy shift search plus a weighted
+  tail-quantile estimate at ~10^3 samples; gated on ``< 5 %`` relative
+  error against the brute-force reference and a minimum effective
+  sample size.
+* **determinism** — the sharded weighted sampler at ``jobs=2`` must be
+  byte-for-byte identical (float hex) to ``jobs=1``.
+* **speedup** — brute-force wall clock over total IS wall clock
+  (search + estimate); the full run gates on ``>= 50x``.
+
+The process exits non-zero when any gate fails (CI runs ``--smoke``,
+which drops the brute-force ensemble to ~2x10^5 chips at q=0.999 and
+skips the speedup gate — at that shallow depth brute force is still
+cheap, so the ratio is not meaningful).
+
+Run directly::
+
+    python benchmarks/bench_tail.py            # full (q=0.9999, 2M ref chips)
+    python benchmarks/bench_tail.py --smoke    # CI-sized (q=0.999, 200k)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+# The cache must be off before repro is imported anywhere down the line.
+os.environ.setdefault("REPRO_CACHE_DISABLE", "1")
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.montecarlo import MonteCarloEngine           # noqa: E402
+from repro.core.tailsampling import TailSampler              # noqa: E402
+from repro.devices.technology import get_technology          # noqa: E402
+from repro.runtime.parallel import ParallelSampler           # noqa: E402
+
+NODE = "22nm"
+VDD = 0.55
+
+#: Minimal architecture so the brute-force reference ensemble stays
+#: tractable on one core (400 gate evaluations per chip; the estimator
+#: itself is architecture-agnostic — see the tail experiment for the
+#: reduced-sign-off scale and the unit tests for invariance checks).
+WIDTH, PATHS_PER_LANE, CHAIN_LENGTH = 8, 5, 10
+BATCH = 4096
+SEED = 0
+
+#: Gates.
+MAX_REL_ERR = 0.05
+MIN_ESS = 50.0
+MIN_SPEEDUP = 50.0
+
+
+def brute_force_quantile(tech, q: float, n_chips: int) -> tuple:
+    """Plain-MC reference: ``(t_q seconds, wall seconds)``."""
+    engine = MonteCarloEngine(tech, seed=SEED)
+    t0 = time.perf_counter()
+    delays = engine.system_delays(
+        VDD, width=WIDTH, paths_per_lane=PATHS_PER_LANE,
+        chain_length=CHAIN_LENGTH, n_chips=n_chips, batch_size=BATCH)
+    wall = time.perf_counter() - t0
+    return float(np.quantile(delays, q)), wall
+
+
+def importance_sampled_quantile(tech, q: float, n_samples: int,
+                                n_pilot: int, max_rounds: int) -> tuple:
+    """IS estimate: ``(TailEstimate, search seconds, estimate seconds)``."""
+    sampler = TailSampler(tech, width=WIDTH,
+                          paths_per_lane=PATHS_PER_LANE,
+                          chain_length=CHAIN_LENGTH, batch_size=BATCH)
+    t0 = time.perf_counter()
+    proposal, rounds = sampler.find_shift(
+        VDD, q=q, n_pilot=n_pilot, max_rounds=max_rounds,
+        root_seed=SEED)
+    t1 = time.perf_counter()
+    est = sampler.tail_quantile(VDD, q, n_samples=n_samples,
+                                proposal=proposal, root_seed=SEED)
+    t2 = time.perf_counter()
+    return est, rounds, t1 - t0, t2 - t1
+
+
+def jobs_parity(tech, q: float, n_samples: int, proposal) -> bool:
+    """Sharded weighted sampling must be jobs-invariant, byte for byte."""
+    kwargs = dict(width=WIDTH, paths_per_lane=PATHS_PER_LANE,
+                  chain_length=CHAIN_LENGTH, n_chips=n_samples,
+                  proposal=proposal, batch_size=BATCH, root_seed=SEED)
+    d1, w1 = ParallelSampler(jobs=1, shard_size=max(16, n_samples // 8)) \
+        .weighted_system_delays(tech, VDD, **kwargs)
+    d2, w2 = ParallelSampler(jobs=2, shard_size=max(16, n_samples // 8)) \
+        .weighted_system_delays(tech, VDD, **kwargs)
+    hex1 = [v.hex() for v in d1] + [v.hex() for v in w1]
+    hex2 = [v.hex() for v in d2] + [v.hex() for v in w2]
+    return hex1 == hex2
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: q=0.999, 200k reference chips, "
+                             "no speedup gate")
+    parser.add_argument("--ref-chips", type=int, default=None,
+                        help="brute-force ensemble size "
+                             "(default 2,000,000; smoke 200,000)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_tail.json")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        q, n_ref = 0.999, args.ref_chips or 200_000
+        n_samples, n_pilot, max_rounds = 1024, 256, 3
+    else:
+        q, n_ref = 0.9999, args.ref_chips or 2_000_000
+        n_samples, n_pilot, max_rounds = 2048, 512, 5
+
+    tech = get_technology(NODE)
+
+    print(f"brute force: {n_ref:,} chips at "
+          f"{WIDTH}x{PATHS_PER_LANE}x{CHAIN_LENGTH}, q={q:g} ...")
+    t_ref, wall_ref = brute_force_quantile(tech, q, n_ref)
+    print(f"  reference t_q = {1e9 * t_ref:.4f} ns  ({wall_ref:.1f} s)")
+
+    print(f"importance sampling: {n_samples} weighted samples, "
+          f"pilot {n_pilot}x{max_rounds} ...")
+    est, rounds, wall_search, wall_est = importance_sampled_quantile(
+        tech, q, n_samples, n_pilot, max_rounds)
+    wall_is = wall_search + wall_est
+    rel_err = abs(est.value / t_ref - 1.0)
+    speedup = wall_ref / wall_is
+    print(f"  IS t_q = {1e9 * est.value:.4f} ns  rel err "
+          f"{100 * rel_err:.3f}%  ESS {est.ess:.0f}/{n_samples}  "
+          f"max w {est.weight_max_ratio:.4f}  shift "
+          f"{est.proposal.d2d_shifts[0]:.3f} sigma ({rounds} rounds)")
+    print(f"  wall: search {wall_search:.2f} s + estimate "
+          f"{wall_est:.2f} s = {wall_is:.2f} s  "
+          f"-> {speedup:.0f}x vs brute force")
+
+    print("determinism: jobs=2 vs jobs=1 weighted shards ...")
+    bit_identical = jobs_parity(tech, q, min(n_samples, 512), est.proposal)
+    print(f"  {'bit-identical' if bit_identical else 'MISMATCH'}")
+
+    gates = {
+        "rel_err_ok": bool(rel_err < MAX_REL_ERR),
+        "ess_ok": bool(est.ess >= MIN_ESS),
+        "jobs_bit_identical": bool(bit_identical),
+    }
+    if not args.smoke:
+        gates["speedup_ok"] = bool(speedup >= MIN_SPEEDUP)
+
+    payload = {
+        "benchmark": "tail_importance_sampling",
+        "smoke": bool(args.smoke),
+        "config": {
+            "node": NODE,
+            "vdd": VDD,
+            "width": WIDTH,
+            "paths_per_lane": PATHS_PER_LANE,
+            "chain_length": CHAIN_LENGTH,
+            "q": q,
+            "reference_chips": int(n_ref),
+            "is_samples": int(n_samples),
+            "n_pilot": int(n_pilot),
+            "max_rounds": int(max_rounds),
+            "seed": SEED,
+            "cache_disabled": True,
+        },
+        "reference_t_q_s": t_ref,
+        "is_t_q_s": est.value,
+        "rel_err": rel_err,
+        "ess": est.ess,
+        "weight_max_ratio": est.weight_max_ratio,
+        "shift_sigma": est.proposal.d2d_shifts[0],
+        "shift_search_rounds": int(rounds),
+        "wall_reference_s": wall_ref,
+        "wall_search_s": wall_search,
+        "wall_estimate_s": wall_est,
+        "speedup": speedup,
+        "sample_ratio": n_ref / n_samples,
+        "gates": gates,
+        "passed": all(gates.values()),
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n",
+                           encoding="utf-8")
+    print(f"\nwrote {args.output} "
+          f"(rel err {100 * rel_err:.3f}%, {speedup:.0f}x speedup, "
+          f"{'PASS' if payload['passed'] else 'FAIL'})")
+    if not payload["passed"]:
+        failed = [name for name, ok in gates.items() if not ok]
+        print(f"ERROR: tail benchmark gates failed: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

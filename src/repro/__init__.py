@@ -23,6 +23,9 @@ from repro.core import (
     DelayDistribution,
     MonteCarloEngine,
     MonteCarloKernel,
+    ShiftProposal,
+    TailEstimate,
+    TailSampler,
     VariationAnalyzer,
     VariationSweep,
 )
@@ -44,6 +47,9 @@ __all__ = [
     "MonteCarloKernel",
     "DelayDistribution",
     "VariationSweep",
+    "ShiftProposal",
+    "TailEstimate",
+    "TailSampler",
     "TechnologyNode",
     "TransregionalModel",
     "VariationModel",

@@ -12,6 +12,10 @@
   policy).
 * :mod:`repro.core.backends` — pluggable kernel execution backends
   (serial numpy, bit-identical threaded blocks, optional numba/cupy).
+* :mod:`repro.core.tailsampling` — importance-sampling estimation of
+  high-sigma chip-delay tails (mean-shifted / mixture proposals with
+  exact likelihood-ratio weights, adaptive shift search, ESS
+  diagnostics).
 * :mod:`repro.core.analyzer` — :class:`VariationAnalyzer`, the high-level
   entry point tying a technology card to every paper-level question.
 * :mod:`repro.core.results` — typed result containers.
@@ -42,7 +46,14 @@ from repro.core.kernels import MonteCarloKernel, WorkspaceArena
 from repro.core.montecarlo import MonteCarloEngine
 from repro.core.analyzer import VariationAnalyzer
 from repro.core.results import DelayDistribution, VariationSweep
-from repro.core.stats import bootstrap_ci, quantile_ci
+from repro.core.stats import bootstrap_ci, quantile_ci, weighted_quantile
+from repro.core.tailsampling import (
+    ShiftProposal,
+    TailEstimate,
+    TailSampler,
+    effective_sample_size,
+    weight_max_ratio,
+)
 
 __all__ = [
     "DelayMoments",
@@ -68,4 +79,10 @@ __all__ = [
     "VariationSweep",
     "bootstrap_ci",
     "quantile_ci",
+    "weighted_quantile",
+    "ShiftProposal",
+    "TailEstimate",
+    "TailSampler",
+    "effective_sample_size",
+    "weight_max_ratio",
 ]

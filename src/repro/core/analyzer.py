@@ -24,11 +24,14 @@ import numpy as np
 from repro.core.chip_delay import ChipDelayEngine
 from repro.core.montecarlo import MonteCarloEngine
 from repro.core.results import DelayDistribution
+from repro.core.tailsampling import (DEFAULT_DEFENSIVE_WEIGHT, ShiftProposal,
+                                     TailEstimate, TailSampler)
 from repro.devices.technology import TechnologyNode, get_technology
 from repro.errors import ConfigurationError, ShardExecutionError
 from repro.obs.api import counter as _obs_counter
+from repro.obs.api import gauge as _obs_gauge
 from repro.resilience.ledger import current_ledger
-from repro.runtime.cache import QuantileCache
+from repro.runtime.cache import QuantileCache, technology_fingerprint
 from repro.runtime.context import current_runtime, profiled_stage
 
 __all__ = ["VariationAnalyzer"]
@@ -77,6 +80,7 @@ class VariationAnalyzer:
         self.quantile_cache = (QuantileCache() if quantile_cache is None
                                else quantile_cache)
         self._signoff_cache: dict = {}
+        self._tail_cache: dict = {}
 
     # -- basic properties ----------------------------------------------------
 
@@ -134,6 +138,22 @@ class VariationAnalyzer:
 
     # -- architecture level -----------------------------------------------------
 
+    @staticmethod
+    def _validate_point(q: float, spares) -> None:
+        """Reject malformed query points before any cache is consulted.
+
+        The engine would catch these eventually, but only after the memo
+        and disk layers had been probed — and a bad point must never risk
+        landing in (or colliding with) a cache key.
+        """
+        if not 0.0 < float(q) < 1.0:
+            raise ConfigurationError(
+                f"quantile must be in (0, 1), got {q}")
+        s = float(spares)
+        if not np.isfinite(s) or s < 0.0:
+            raise ConfigurationError(
+                f"spares must be finite and >= 0, got {spares}")
+
     def _point_key(self, vdd, spares, q):
         """In-process memo key ``(vdd, spares, q)`` for one query point.
 
@@ -167,6 +187,7 @@ class VariationAnalyzer:
         never re-pay a deterministic solve.
         """
         q_eff = self.signoff_quantile if q is None else float(q)
+        self._validate_point(q_eff, spares)
         key = self._point_key(vdd, spares, q)
         cached = self._signoff_cache.get(key)
         if cached is not None:
@@ -249,6 +270,10 @@ class VariationAnalyzer:
             np.asarray(vdd, dtype=float), np.asarray(spares, dtype=float),
             np.asarray(q_eff, dtype=float))
         shape = vdd_b.shape
+        if not np.all((q_b > 0.0) & (q_b < 1.0)):
+            raise ConfigurationError("quantile must be in (0, 1)")
+        if not np.all(np.isfinite(sp_b) & (sp_b >= 0.0)):
+            raise ConfigurationError("spares must be finite and >= 0")
         keys = [self._point_key(v, s, qq) for v, s, qq in
                 zip(vdd_b.ravel(), sp_b.ravel(), q_b.ravel())]
         out = np.empty(len(keys))
@@ -281,6 +306,181 @@ class VariationAnalyzer:
         if shape == ():
             return float(out[0])
         return out.reshape(shape)
+
+    # -- high-sigma tails ----------------------------------------------------
+
+    def _tail_key(self, kind: str, vdd, spares, target, n_samples,
+                  root_seed, spec: str) -> str:
+        """Persistent-cache key for one importance-sampled tail estimate.
+
+        ``target`` (the quantile, or the failure threshold in seconds)
+        goes in by exact ``repr`` — thresholds live at the 1e-9 scale,
+        where the quantile keys' decimal rounding would collapse distinct
+        points.  ``spec`` names the proposal exactly (an explicit
+        proposal's fingerprint, or the adaptive search's parameters), and
+        ``n_samples``/``root_seed`` complete the run identity.
+        """
+        return ":".join((
+            self.tech.name, technology_fingerprint(self.tech),
+            f"w{self.width}", f"p{self.paths_per_lane}",
+            f"c{self.chain_length}", "tail", kind,
+            f"v{float(vdd)!r}", f"s{float(spares)!r}",
+            f"t{float(target)!r}", f"n{int(n_samples)}",
+            f"r{int(root_seed)}", spec))
+
+    def _tail_sampler(self, spares: int) -> TailSampler:
+        """A tail sampler wired to the active runtime's policies.
+
+        Sharding goes through the runtime's :class:`ParallelSampler`
+        when one is active (the estimate is jobs-invariant either way);
+        precision/backend/blocking follow the runtime like
+        :meth:`monte_carlo`.
+        """
+        runtime = current_runtime()
+        return TailSampler(
+            self.tech, width=self.width,
+            paths_per_lane=self.paths_per_lane,
+            chain_length=self.chain_length, spares=spares,
+            sampler=runtime.sampler if runtime is not None else None,
+            precision=(runtime.precision if runtime is not None
+                       else "float64"),
+            backend=runtime.backend if runtime is not None else "numpy",
+            block_elems=runtime.block_elems if runtime is not None else None)
+
+    _TAIL_FIELDS = ("value", "ess", "wmr", "rounds", "shift")
+
+    def _tail_estimate(self, kind: str, vdd, target: float, *, spares,
+                       n_samples, proposal, root_seed, n_pilot, max_rounds,
+                       defensive_weight) -> TailEstimate:
+        """Shared memoised path behind both tail estimators.
+
+        Estimates are memoised like quantiles — in-process dict plus the
+        on-disk :class:`QuantileCache` — but each estimate persists five
+        float entries under suffixed keys (value, ESS, weight-max-ratio,
+        search rounds, found shift), so a disk hit restores the full
+        diagnostics and the adaptively-found proposal, not just the
+        number.  ``tail.*`` gauges are (re-)emitted on hits so a serving
+        process's metrics reflect the last estimate either way.
+        """
+        spares = int(spares)
+        if spares < 0:
+            raise ConfigurationError(f"spares must be >= 0, got {spares}")
+        if n_samples < 2:
+            raise ConfigurationError(
+                f"n_samples must be >= 2, got {n_samples}")
+        spec = (proposal.fingerprint() if proposal is not None else
+                f"auto[{int(n_pilot)}x{int(max_rounds)}"
+                f"x{float(defensive_weight)!r}]")
+        key = self._tail_key(kind, vdd, spares, target, n_samples,
+                             root_seed, spec)
+        memo = self._tail_cache.get(key)
+        if memo is not None:
+            self._tail_hit(memo)
+            return memo
+        cached = self.quantile_cache.get_many(
+            f"{key}:{f}" for f in self._TAIL_FIELDS)
+        if (all(v is not None for v in cached[:4])
+                and (proposal is not None or cached[4] is not None)):
+            prop = (proposal if proposal is not None else
+                    ShiftProposal.defensive(cached[4],
+                                            float(defensive_weight)))
+            est = TailEstimate(
+                value=cached[0], kind=kind, ess=cached[1],
+                weight_max_ratio=cached[2], n_samples=int(n_samples),
+                shift_search_rounds=int(cached[3]), proposal=prop,
+                q=target if kind == "quantile" else None,
+                threshold=target if kind == "probability" else None)
+            self._tail_cache[key] = est
+            self._tail_hit(est)
+            return est
+        sampler = self._tail_sampler(spares)
+        with profiled_stage("analyzer.tail_solve", int(n_samples)):
+            if kind == "quantile":
+                est = sampler.tail_quantile(
+                    vdd, target, n_samples=n_samples, proposal=proposal,
+                    root_seed=root_seed, n_pilot=n_pilot,
+                    max_rounds=max_rounds,
+                    defensive_weight=defensive_weight)
+            else:
+                est = sampler.failure_probability(
+                    vdd, t_limit=target, n_samples=n_samples,
+                    proposal=proposal, root_seed=root_seed,
+                    n_pilot=n_pilot, max_rounds=max_rounds,
+                    defensive_weight=defensive_weight)
+        self.quantile_cache.put_many(zip(
+            (f"{key}:{f}" for f in self._TAIL_FIELDS),
+            (est.value, est.ess, est.weight_max_ratio,
+             float(est.shift_search_rounds),
+             float(est.proposal.d2d_shifts[0]))))
+        self._tail_cache[key] = est
+        return est
+
+    @staticmethod
+    def _tail_hit(est: TailEstimate) -> None:
+        _obs_counter("analyzer.tail_memo_hits").inc()
+        _obs_gauge("tail.ess").set(float(est.ess))
+        _obs_gauge("tail.weight_max_ratio").set(float(est.weight_max_ratio))
+
+    def chip_tail_quantile(self, vdd, q: float, *, spares: float = 0,
+                           n_samples: int = 4096,
+                           proposal: ShiftProposal | None = None,
+                           root_seed: int = 0, n_pilot: int = 512,
+                           max_rounds: int = 5,
+                           defensive_weight: float =
+                           DEFAULT_DEFENSIVE_WEIGHT) -> TailEstimate:
+        """High-sigma chip-delay quantile by importance sampling.
+
+        Where :meth:`chip_quantile` inverts the analytic CDF (exact for
+        the compositional model), this estimates the ``q`` quantile of
+        the *per-gate Monte-Carlo* chip delay — the reference the
+        analytic model is validated against — at tail depths brute-force
+        MC cannot reach: ``n_samples`` of a few thousand resolve the
+        99.99 % point that would otherwise need 1e6+ chips.  Returns a
+        :class:`~repro.core.tailsampling.TailEstimate` (value in seconds
+        plus ESS / max-weight / search diagnostics).  ``proposal=None``
+        runs the adaptive shift search; estimates are deterministic in
+        ``root_seed`` and memoised like quantiles (memo + disk, keyed by
+        the full run identity including the proposal spec).
+        """
+        if not 0.0 < float(q) < 1.0:
+            raise ConfigurationError(
+                f"quantile must be in (0, 1), got {q}")
+        return self._tail_estimate(
+            "quantile", vdd, float(q), spares=spares, n_samples=n_samples,
+            proposal=proposal, root_seed=root_seed, n_pilot=n_pilot,
+            max_rounds=max_rounds, defensive_weight=defensive_weight)
+
+    def chip_failure_probability(self, vdd, t_limit: float | None = None, *,
+                                 f_clk: float | None = None,
+                                 spares: float = 0, n_samples: int = 4096,
+                                 proposal: ShiftProposal | None = None,
+                                 root_seed: int = 0, n_pilot: int = 512,
+                                 max_rounds: int = 5,
+                                 defensive_weight: float =
+                                 DEFAULT_DEFENSIVE_WEIGHT) -> TailEstimate:
+        """``P(chip delay > t_limit)`` by importance sampling.
+
+        Pass the budget as seconds (``t_limit``) or as a clock target
+        (``f_clk`` Hz, i.e. ``t_limit = 1/f_clk``).  Same machinery,
+        caching and diagnostics as :meth:`chip_tail_quantile`.
+        """
+        if (t_limit is None) == (f_clk is None):
+            raise ConfigurationError(
+                "chip_failure_probability needs exactly one of "
+                "t_limit / f_clk")
+        if f_clk is not None:
+            if not f_clk > 0.0:
+                raise ConfigurationError(
+                    f"f_clk must be positive Hz, got {f_clk}")
+            t_limit = 1.0 / float(f_clk)
+        if not t_limit > 0.0:
+            raise ConfigurationError(
+                f"t_limit must be positive seconds, got {t_limit}")
+        return self._tail_estimate(
+            "probability", vdd, float(t_limit), spares=spares,
+            n_samples=n_samples, proposal=proposal, root_seed=root_seed,
+            n_pilot=n_pilot, max_rounds=max_rounds,
+            defensive_weight=defensive_weight)
 
     def chip_quantile_fo4(self, vdd, spares: float = 0, q: float | None = None) -> float:
         """Chip-delay quantile expressed in FO4 units at the same ``vdd``.

@@ -369,7 +369,8 @@ class MonteCarloKernel:
 
     def system_batch(self, rngs, vdd: float, n_lanes: int,
                      paths_per_lane: int, chain_length: int, spares: int,
-                     out) -> None:
+                     out, proposal=None, logw_out=None,
+                     d2d_out=None) -> None:
         """Chip delays for ``len(rngs)`` chips, one generator per chip.
 
         Writes seconds into ``out`` (shape ``(len(rngs),)``).  Per-chip
@@ -378,22 +379,40 @@ class MonteCarloKernel:
         :class:`~numpy.random.SeedSequence` child, never on batch or
         block boundaries (or on which backend thread evaluates the
         block).
+
+        ``proposal`` (a :class:`~repro.core.tailsampling.ShiftProposal`)
+        switches the batch to importance sampling: the d2d / lane
+        threshold draws are mean-shifted *after* they leave each chip's
+        stream (a mixture proposal additionally consumes one uniform per
+        chip, drawn first, for component selection), and the per-chip
+        log-likelihood-ratio weights land in ``logw_out`` (float64,
+        same shape as ``out``).  A single-component proposal changes no
+        stream consumption at all, so ``shift=0`` reproduces the plain
+        batch bit-for-bit with all-zero weights.  ``d2d_out``
+        optionally receives the (shifted) die-level threshold draws in
+        volts — the adaptive shift search reads them.
         """
         vdd = float(vdd)
         total = len(rngs)
         row_elems = n_lanes * paths_per_lane * chain_length
         spans = self._spans(total, row_elems)
+        if proposal is not None and logw_out is None:
+            raise ConfigurationError(
+                "system_batch with a proposal needs logw_out")
 
         def block(arena, start, stop):
-            self._system_block(arena, rngs[start:stop], vdd, n_lanes,
-                               paths_per_lane, chain_length, spares,
-                               out[start:stop])
+            self._system_block(
+                arena, rngs[start:stop], vdd, n_lanes, paths_per_lane,
+                chain_length, spares, out[start:stop], proposal=proposal,
+                logw=None if logw_out is None else logw_out[start:stop],
+                d2d=None if d2d_out is None else d2d_out[start:stop])
 
         self._backend.run_blocks(self, block, spans)
         self._record(total, total * row_elems, len(spans))
 
     def _system_block(self, arena, rngs, vdd, n_lanes, paths_per_lane,
-                      chain_length, spares, out) -> None:
+                      chain_length, spares, out, proposal=None, logw=None,
+                      d2d=None) -> None:
         """One internal block of :meth:`system_batch` (thread-confined)."""
         var = self.tech.variation
         nb = len(rngs)
@@ -406,10 +425,18 @@ class MonteCarloKernel:
         lane_dvth = np.empty((nb, n_lanes))
         lane_mult = np.empty((nb, n_lanes))
         for i, rng in enumerate(rngs):
+            component = (proposal.pick_component(rng)
+                         if proposal is not None else 0)
             (die_dvth[i], die_mult[i],
              lane_dvth[i], lane_mult[i]) = self._draw_correlated(
                 rng, (n_lanes,))
+            if proposal is not None:
+                die_dvth[i], logw[i] = proposal.shift_chip(
+                    component, die_dvth[i], lane_dvth[i],
+                    var.sigma_vth_d2d, var.sigma_vth_lane)
             var.fill_gates(rng, a[i], m[i], staging=staging)
+        if d2d is not None:
+            d2d[:] = die_dvth
         if self.fused:
             np.add(a, self._cast(die_dvth)[:, None, None, None], out=a)
             np.add(a, self._cast(lane_dvth)[:, :, None, None], out=a)

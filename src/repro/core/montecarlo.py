@@ -166,6 +166,61 @@ class MonteCarloEngine:
             done += batch
         return out
 
+    def weighted_system_delays(self, vdd, *, width: int, paths_per_lane: int,
+                               chain_length: int, n_chips: int, proposal,
+                               spares: int = 0, batch_size: int = 64,
+                               return_d2d: bool = False):
+        """Importance-sampled chip delays plus log-likelihood weights.
+
+        Identical stream contract to :meth:`system_delays` — per-chip
+        SeedSequence children, so the result is invariant to
+        ``batch_size`` and kernel blocking — but each chip's die/lane
+        threshold draws are mean-shifted by ``proposal`` (a
+        :class:`~repro.core.tailsampling.ShiftProposal`) *after* leaving
+        the stream, and the chip's log-likelihood ratio ``log p/q``
+        comes back alongside its delay.  Returns ``(delays, logw)``
+        (both shape ``(n_chips,)``; ``logw`` is always float64), or
+        ``(delays, logw, d2d)`` with the shifted die-level threshold
+        draws in volts when ``return_d2d`` is set (the adaptive shift
+        search reads them).  A zero-shift single-component proposal
+        reproduces :meth:`system_delays` bit-for-bit with zero weights.
+        """
+        if width < 1:
+            raise ConfigurationError("width must be >= 1")
+        if paths_per_lane < 1:
+            raise ConfigurationError("paths_per_lane must be >= 1")
+        if chain_length < 1:
+            raise ConfigurationError("chain_length must be >= 1")
+        if n_chips < 1:
+            raise ConfigurationError("n_chips must be >= 1")
+        if spares < 0:
+            raise ConfigurationError("spares must be >= 0")
+        if batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {batch_size}")
+        proposal.validate_for(self.tech.variation)
+        n_lanes = width + spares
+        vdd = float(vdd)
+        _obs_counter("montecarlo.weighted_chips").inc(int(n_chips))
+        children = self._spawn_children(n_chips)
+        out = np.empty(n_chips, dtype=self.kernel.dtype)
+        logw = np.empty(n_chips, dtype=np.float64)
+        d2d = np.empty(n_chips, dtype=np.float64) if return_d2d else None
+        done = 0
+        while done < n_chips:
+            batch = min(batch_size, n_chips - done)
+            rngs = [np.random.default_rng(child)
+                    for child in children[done:done + batch]]
+            self.kernel.system_batch(
+                rngs, vdd, n_lanes, paths_per_lane, chain_length, spares,
+                out[done:done + batch], proposal=proposal,
+                logw_out=logw[done:done + batch],
+                d2d_out=None if d2d is None else d2d[done:done + batch])
+            done += batch
+        if return_d2d:
+            return out, logw, d2d
+        return out, logw
+
     def lane_delays(self, vdd, *, paths_per_lane: int, chain_length: int,
                     n_samples: int, batch_size: int = 512):
         """Full per-gate MC of single-lane delays (max of P paths), seconds."""

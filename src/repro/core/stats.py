@@ -9,6 +9,11 @@ bars; these helpers make the sampling uncertainty explicit:
   confidence, where ``l``/``u`` are binomial quantiles.
 * :func:`bootstrap_ci` — percentile bootstrap for arbitrary statistics
   (used for 3sigma/mu, which mixes two moments).
+* :func:`weighted_quantile` — self-normalized quantile of a weighted
+  sample (sorted-cumulative-weight interpolation).  This is the
+  estimator the importance-sampling tail machinery
+  (:mod:`repro.core.tailsampling`) consumes: likelihood-ratio weights go
+  in, a tail quantile comes out.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ from scipy.stats import binom
 
 from repro.errors import ConfigurationError
 
-__all__ = ["quantile_ci", "bootstrap_ci"]
+__all__ = ["quantile_ci", "bootstrap_ci", "weighted_quantile"]
 
 
 def quantile_ci(samples, q: float, confidence: float = 0.95) -> tuple:
@@ -42,6 +47,54 @@ def quantile_ci(samples, q: float, confidence: float = 0.95) -> tuple:
     lo_rank = max(lo_rank, 0)
     hi_rank = min(hi_rank, n - 1)
     return float(samples[lo_rank]), float(samples[hi_rank])
+
+
+def weighted_quantile(samples, q, weights):
+    """Quantile(s) of a weighted sample (linear interpolation).
+
+    Sorts the samples, accumulates the (non-negative) weights, places
+    sorted sample ``i`` at the cumulative position
+    ``(C_i - w_i) / (W - w_n)`` (``C_i`` the inclusive cumulative weight,
+    ``W`` the total, ``w_n`` the last sorted weight) and interpolates
+    linearly — the standard "C = 1" weighted plotting position, which
+    reduces *exactly* to ``np.quantile``'s default linear method when all
+    weights are equal.  Weights only matter up to a common scale, so
+    unnormalized importance weights (or ``exp(logw - logw.max())``) are
+    fine.  ``q`` may be a scalar or an array; the result matches its
+    shape (scalar in, float out).
+    """
+    samples = np.asarray(samples, dtype=float).ravel()
+    weights = np.asarray(weights, dtype=float).ravel()
+    if samples.size < 2:
+        raise ConfigurationError("need at least 2 samples for a quantile")
+    if weights.shape != samples.shape:
+        raise ConfigurationError(
+            f"weights shape {weights.shape} does not match samples shape "
+            f"{samples.shape}")
+    if not np.all(np.isfinite(samples)):
+        raise ConfigurationError("samples must be finite")
+    if not np.all(np.isfinite(weights)) or np.any(weights < 0):
+        raise ConfigurationError("weights must be finite and non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ConfigurationError("weights must not all be zero")
+    q_arr = np.asarray(q, dtype=float)
+    if not np.all((q_arr > 0.0) & (q_arr < 1.0)):
+        raise ConfigurationError("q must be in (0, 1)")
+    order = np.argsort(samples, kind="stable")
+    sorted_samples = samples[order]
+    sorted_weights = weights[order]
+    cum = np.cumsum(sorted_weights)
+    denom = total - sorted_weights[-1]
+    if denom <= 0:
+        # All weight on the last sorted sample: the CDF is a step there.
+        out = np.full(q_arr.shape, sorted_samples[-1])
+        return float(out) if q_arr.shape == () else out
+    positions = (cum - sorted_weights) / denom
+    out = np.interp(q_arr, positions, sorted_samples)
+    if q_arr.shape == ():
+        return float(out)
+    return out
 
 
 def bootstrap_ci(samples, statistic, *, n_boot: int = 1000,

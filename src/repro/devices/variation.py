@@ -206,24 +206,53 @@ class VariationModel:
         _fill_normal(rng, mult_out, self.sigma_mult_rand, staging)
 
     def sample_lanes(self, rng: np.random.Generator, shape,
-                     dtype=None) -> LaneSamples:
-        """Draw the per-lane spatially-correlated variation."""
+                     dtype=None, shift: float = 0.0) -> LaneSamples:
+        """Draw the per-lane spatially-correlated variation.
+
+        ``shift`` (in units of ``sigma_vth_lane``) adds a deterministic
+        mean offset to the threshold draws *after* they leave the
+        stream, so a shifted proposal consumes exactly the same variates
+        as the nominal one — the seam importance sampling
+        (:mod:`repro.core.tailsampling`) builds on.  Shifting a
+        zero-sigma component is a configuration error (the likelihood
+        ratio would be undefined).
+        """
+        self._check_shift(shift, self.sigma_vth_lane, "sigma_vth_lane")
         dvth = (rng.normal(0.0, self.sigma_vth_lane, size=shape)
                 if self.sigma_vth_lane else np.zeros(shape))
+        if shift:
+            dvth = dvth + shift * self.sigma_vth_lane
         mult = (rng.normal(0.0, self.sigma_mult_lane, size=shape)
                 if self.sigma_mult_lane else np.zeros(shape))
         return LaneSamples(dvth=_cast(dvth, dtype), mult=_cast(mult, dtype))
 
     def sample_dies(self, rng: np.random.Generator, n_dies: int,
-                    dtype=None) -> DieSamples:
-        """Draw the correlated (die-to-die) variation for ``n_dies`` chips."""
+                    dtype=None, shift: float = 0.0) -> DieSamples:
+        """Draw the correlated (die-to-die) variation for ``n_dies`` chips.
+
+        ``shift`` mean-shifts the threshold draws by ``shift *
+        sigma_vth_d2d`` volts post-draw (same stream, same variates as
+        the unshifted run) — see :meth:`sample_lanes`.
+        """
         if n_dies <= 0:
             raise ConfigurationError("n_dies must be positive")
+        self._check_shift(shift, self.sigma_vth_d2d, "sigma_vth_d2d")
         dvth = (rng.normal(0.0, self.sigma_vth_d2d, size=n_dies)
                 if self.sigma_vth_d2d else np.zeros(n_dies))
+        if shift:
+            dvth = dvth + shift * self.sigma_vth_d2d
         mult = (rng.normal(0.0, self.sigma_mult_corr, size=n_dies)
                 if self.sigma_mult_corr else np.zeros(n_dies))
         return DieSamples(dvth=_cast(dvth, dtype), mult=_cast(mult, dtype))
+
+    @staticmethod
+    def _check_shift(shift: float, sigma: float, name: str) -> None:
+        if shift and not sigma:
+            raise ConfigurationError(
+                f"cannot mean-shift the {name} component: its sigma is 0 "
+                "(the likelihood ratio would be undefined)")
+        if not np.isfinite(shift):
+            raise ConfigurationError(f"shift must be finite, got {shift}")
 
     # -- derived views -----------------------------------------------------
 

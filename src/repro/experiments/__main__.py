@@ -184,6 +184,13 @@ def main(argv=None) -> int:
                              metavar="S",
                              help="SIGTERM drain budget for in-flight "
                                   "solves (default 30)")
+    parser.add_argument("--tail-q", type=float, default=None, metavar="Q",
+                        help="target quantile for the 'tail' experiment, "
+                             "in (0, 1) (default 0.9999)")
+    parser.add_argument("--tail-samples", type=int, default=None,
+                        metavar="N",
+                        help="weighted sample count for the 'tail' "
+                             "experiment (>= 2; default 4096)")
     parser.add_argument("--mc-precision", choices=("float64", "float32"),
                         default="float64",
                         help="Monte-Carlo kernel dtype policy: float64 "
@@ -211,6 +218,11 @@ def main(argv=None) -> int:
         return 0
 
     try:
+        if args.tail_q is not None or args.tail_samples is not None:
+            from repro.experiments import tail as tail_experiment
+
+            tail_experiment.configure(q=args.tail_q,
+                                      n_samples=args.tail_samples)
         retry_kwargs = {}
         if args.shard_timeout is not None:
             retry_kwargs["shard_timeout_s"] = args.shard_timeout

@@ -35,7 +35,7 @@ _EXPERIMENT_MODULES = (
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
     "fig9", "fig10", "fig11", "fig12",
     "table1", "table2", "table3", "table4",
-    "ablations", "ablation4",
+    "ablations", "ablation4", "tail",
 )
 
 

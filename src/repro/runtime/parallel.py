@@ -279,6 +279,34 @@ def _system_delays_core(task: dict) -> np.ndarray:
         spares=task["spares"], batch_size=task["batch_size"])
 
 
+def _weighted_delays_core(task: dict) -> np.ndarray:
+    """One shard of importance-sampled chip delays plus log-weights.
+
+    The transport layout is one flat float64 array per shard —
+    ``[delays; logw]``, each half ``task["chips"]`` long — so weights
+    ride the existing shared-memory segment next to the delays and the
+    whole recovery ladder (retry, respawn, serial fallback) applies
+    unchanged.  The driver unpacks the halves by the shard plan.
+    """
+    from repro.core.tailsampling import ShiftProposal
+    rng = np.random.default_rng(task["seed"])
+    kernel = _mc_kernel(task["tech"], task.get("precision", "float64"),
+                        task.get("backend", "numpy"),
+                        task.get("block_elems"))
+    engine = MonteCarloEngine(task["tech"], rng=rng, kernel=kernel)
+    chips = int(task["chips"])
+    delays, logw = engine.weighted_system_delays(
+        task["vdd"], width=task["width"],
+        paths_per_lane=task["paths_per_lane"],
+        chain_length=task["chain_length"], n_chips=chips,
+        proposal=ShiftProposal.from_dict(task["proposal"]),
+        spares=task["spares"], batch_size=task["batch_size"])
+    out = np.empty(2 * chips, dtype=np.float64)
+    out[:chips] = delays
+    out[chips:] = logw
+    return out
+
+
 def _sample_chips_core(task: dict) -> np.ndarray:
     """One shard of analytic chip-delay samples."""
     rng = np.random.default_rng(task["seed"])
@@ -303,6 +331,11 @@ def _quantile_chunk_core(task: dict) -> np.ndarray:
 def _system_delays_shard(task: dict):
     """Pool entry point for :func:`_system_delays_core` (runs in a worker)."""
     return _run_shard(_system_delays_core, task)
+
+
+def _weighted_delays_shard(task: dict):
+    """Pool entry point for :func:`_weighted_delays_core` (runs in a worker)."""
+    return _run_shard(_weighted_delays_core, task)
 
 
 def _sample_chips_shard(task: dict):
@@ -725,6 +758,51 @@ class ParallelSampler:
         return self._run(_system_delays_shard, tasks,
                          "sampler.system_delays", n_chips,
                          result_dtype=np.dtype(precision))
+
+    def weighted_system_delays(self, tech, vdd, *, width: int,
+                               paths_per_lane: int, chain_length: int,
+                               n_chips: int, proposal, spares: int = 0,
+                               batch_size: int = 64, root_seed=0,
+                               precision: str = "float64",
+                               backend: str = "numpy",
+                               block_elems: int | None = None) -> tuple:
+        """Sharded :meth:`MonteCarloEngine.weighted_system_delays`.
+
+        Returns ``(delays, logw)``, both float64 and ``n_chips`` long.
+        Same reproducibility contract as :meth:`system_delays` — the
+        shard plan and per-shard streams depend only on ``(root_seed,
+        shard_size, n_chips)``, so a tail estimate is bit-identical at
+        ``jobs=1`` and ``jobs=32`` and survives the recovery ladder.
+        Each shard transports one flat ``[delays; logw]`` float64 array
+        (2x the shard's chip count), so the likelihood-ratio weights
+        ride the shared-memory segment next to the delays.
+        """
+        proposal.validate_for(tech.variation)
+        counts = plan_shards(n_chips, self.shard_size)
+        seeds = shard_seeds(root_seed, len(counts))
+        common = dict(tech=tech, vdd=float(vdd), width=int(width),
+                      paths_per_lane=int(paths_per_lane),
+                      chain_length=int(chain_length), spares=int(spares),
+                      batch_size=int(batch_size), precision=str(precision),
+                      backend=str(backend),
+                      block_elems=None if block_elems is None
+                      else int(block_elems),
+                      proposal=proposal.as_dict())
+        tasks = [dict(common, n=2 * count, chips=int(count), seed=seed,
+                      shard=i)
+                 for i, (count, seed) in enumerate(zip(counts, seeds))]
+        flat = self._run(_weighted_delays_shard, tasks,
+                         "sampler.weighted_delays", n_chips,
+                         result_dtype=np.float64)
+        delays = np.empty(n_chips, dtype=np.float64)
+        logw = np.empty(n_chips, dtype=np.float64)
+        pos = fpos = 0
+        for count in counts:
+            delays[pos:pos + count] = flat[fpos:fpos + count]
+            logw[pos:pos + count] = flat[fpos + count:fpos + 2 * count]
+            pos += count
+            fpos += 2 * count
+        return delays, logw
 
     def sample_chips(self, tech, vdd, *, n_samples: int, width: int = 128,
                      paths_per_lane: int = 100, chain_length: int = 50,

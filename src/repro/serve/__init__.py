@@ -38,6 +38,7 @@ from repro.serve.protocol import (
     ServeError,
     ShedError,
     SolverError,
+    TailKey,
     parse_trace_header,
 )
 from repro.serve.resilient import CircuitOpenError, ResilientServeClient
@@ -53,6 +54,7 @@ __all__ = [
     "MicroBatchDispatcher",
     "run_server",
     "EngineKey",
+    "TailKey",
     "TRACE_HEADER",
     "parse_trace_header",
     "ServeError",

@@ -227,3 +227,17 @@ class ServeClient:
         """Full sweep response: values, fo4chipd, performance_drop, baseline."""
         payload = dict(node=node, vdd=vdd, q=q, spares=spares, **arch)
         return self._request("POST", "/v1/signoff_sweep", payload)
+
+    def tail_quantile(self, node: str, vdd, q=0.9999, spares=0.0,
+                      **options) -> dict:
+        """Importance-sampled deep-tail quantiles (``/v1/tail_quantile``).
+
+        ``options`` forwards the architecture knobs (width, ...) plus the
+        estimator knobs ``n_samples``, ``root_seed``, ``shift`` and
+        ``defensive_weight``.  Returns the raw response: ``values`` /
+        ``values_hex`` plus per-point ``estimates`` dicts carrying the
+        ESS / weight-max-ratio / shift diagnostics (and scalar ``value``
+        for a single point).
+        """
+        payload = dict(node=node, vdd=vdd, q=q, spares=spares, **options)
+        return self._request("POST", "/v1/tail_quantile", payload)

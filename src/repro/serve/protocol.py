@@ -45,10 +45,11 @@ import re
 from typing import NamedTuple
 
 __all__ = [
-    "MAX_BODY_BYTES", "MAX_POINTS", "TRACE_HEADER", "EngineKey",
+    "MAX_BODY_BYTES", "MAX_POINTS", "MAX_TAIL_SAMPLES", "TRACE_HEADER",
+    "EngineKey", "TailKey",
     "ServeError", "BadRequestError", "DeadlineError", "PayloadTooLarge",
     "OverloadedError", "ShedError", "DegradedError", "DrainingError",
-    "SolverError", "parse_query", "parse_trace_header",
+    "SolverError", "parse_query", "parse_tail_query", "parse_trace_header",
     "read_request", "json_response", "text_response", "error_response",
 ]
 
@@ -62,6 +63,14 @@ MAX_BODY_BYTES = 1 << 20
 
 #: Hard cap on query points per request (after broadcasting).
 MAX_POINTS = 4096
+
+#: Hard cap on weighted samples per tail-estimate request (each point is
+#: a Monte-Carlo run, not a cache-friendly deterministic solve).
+MAX_TAIL_SAMPLES = 1_000_000
+
+#: Largest |mean shift| a tail query may request, in sigma units
+#: (mirrors :data:`repro.core.tailsampling.MAX_SHIFT`).
+_MAX_TAIL_SHIFT = 8.0
 
 #: Architecture defaults mirror the paper (128 lanes x 100 paths x 50 FO4).
 _ARCH_DEFAULTS = {"width": 128, "paths_per_lane": 100, "chain_length": 50}
@@ -83,6 +92,28 @@ class EngineKey(NamedTuple):
     width: int
     paths_per_lane: int
     chain_length: int
+
+
+class TailKey(NamedTuple):
+    """One importance-sampled tail-run identity.
+
+    Tail queries coalesce (and memoise) only when the engine *and* every
+    run parameter match — ``n_samples``, ``root_seed`` and the proposal
+    spec are part of the estimate's value, not mere tuning.  ``shift``
+    is ``None`` for the adaptive search, else an explicit d2d mean shift
+    in sigma units.
+    """
+
+    engine: EngineKey
+    n_samples: int
+    root_seed: int
+    shift: float | None
+    defensive_weight: float
+
+    @property
+    def node(self) -> str:
+        """Dispatcher instrumentation labels batches by node."""
+        return self.engine.node
 
 
 class ServeError(Exception):
@@ -182,15 +213,8 @@ def _as_float_list(body: dict, field: str, default, n: int | None):
     raise BadRequestError(f"{field} must be a number or list of numbers")
 
 
-def parse_query(body: dict, *, available_nodes) -> tuple:
-    """Validate one query body into ``(EngineKey, points)``.
-
-    ``points`` is a list of ``(vdd, spares, q)`` tuples rounded exactly
-    like :meth:`~repro.core.analyzer.VariationAnalyzer._point_key`, so
-    equal queries from different clients coalesce to one solve and one
-    memo entry.  Broadcasting follows numpy: scalar fields stretch to the
-    longest list field.
-    """
+def _parse_engine(body: dict, available_nodes) -> EngineKey:
+    """Node + architecture fields of one query body -> :class:`EngineKey`."""
     if not isinstance(body, dict):
         raise BadRequestError("request body must be a JSON object")
     node = body.get("node")
@@ -205,12 +229,15 @@ def parse_query(body: dict, *, available_nodes) -> tuple:
         if isinstance(raw, bool) or not isinstance(raw, int) or raw < 1:
             raise BadRequestError(f"{field} must be a positive integer")
         arch[field] = raw
-    key = EngineKey(node, arch["width"], arch["paths_per_lane"],
-                    arch["chain_length"])
+    return EngineKey(node, arch["width"], arch["paths_per_lane"],
+                     arch["chain_length"])
 
+
+def _parse_points(body: dict, *, q_default: float) -> list:
+    """Broadcast vdd/q/spares fields into rounded ``(vdd, spares, q)``."""
     n = None
     vdds, n = _as_float_list(body, "vdd", None, n)
-    qs, n = _as_float_list(body, "q", 0.99, n)
+    qs, n = _as_float_list(body, "q", q_default, n)
     sps, n = _as_float_list(body, "spares", 0.0, n)
     n = n or 1
     if n > MAX_POINTS:
@@ -228,7 +255,67 @@ def parse_query(body: dict, *, available_nodes) -> tuple:
         if not 0.0 <= s < 1e9:
             raise BadRequestError(f"spares must be >= 0, got {s}")
         points.append((round(v, 9), round(s, 9), round(q, 12)))
-    return key, points
+    return points
+
+
+def parse_query(body: dict, *, available_nodes) -> tuple:
+    """Validate one query body into ``(EngineKey, points)``.
+
+    ``points`` is a list of ``(vdd, spares, q)`` tuples rounded exactly
+    like :meth:`~repro.core.analyzer.VariationAnalyzer._point_key`, so
+    equal queries from different clients coalesce to one solve and one
+    memo entry.  Broadcasting follows numpy: scalar fields stretch to the
+    longest list field.
+    """
+    key = _parse_engine(body, available_nodes)
+    return key, _parse_points(body, q_default=0.99)
+
+
+def _scalar_field(body: dict, field: str, default, *, integer: bool):
+    """One optional scalar numeric field, type-checked (no broadcasting)."""
+    raw = body.get(field, default)
+    if raw is None:
+        return None
+    if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+        raise BadRequestError(f"{field} must be a number")
+    if integer:
+        if not isinstance(raw, int):
+            raise BadRequestError(f"{field} must be an integer")
+        return int(raw)
+    value = float(raw)
+    if value != value or value in (float("inf"), float("-inf")):
+        raise BadRequestError(f"{field} must be finite")
+    return value
+
+
+def parse_tail_query(body: dict, *, available_nodes) -> tuple:
+    """Validate one tail-estimate body into ``(TailKey, points)``.
+
+    Points are ``(vdd, spares, q)`` exactly like :func:`parse_query`
+    (``q`` defaults to 0.9999 — this is the deep-tail endpoint); the run
+    parameters — ``n_samples``, ``root_seed``, optional explicit
+    ``shift`` (sigma units; omitted = adaptive search) and
+    ``defensive_weight`` — become part of the :class:`TailKey`, so only
+    runs with identical parameters share memo entries.
+    """
+    engine = _parse_engine(body, available_nodes)
+    points = _parse_points(body, q_default=0.9999)
+    n_samples = _scalar_field(body, "n_samples", 4096, integer=True)
+    if not 2 <= n_samples <= MAX_TAIL_SAMPLES:
+        raise BadRequestError(
+            f"n_samples must be in [2, {MAX_TAIL_SAMPLES}], got {n_samples}")
+    root_seed = _scalar_field(body, "root_seed", 0, integer=True)
+    if root_seed < 0:
+        raise BadRequestError(f"root_seed must be >= 0, got {root_seed}")
+    shift = _scalar_field(body, "shift", None, integer=False)
+    if shift is not None and abs(shift) > _MAX_TAIL_SHIFT:
+        raise BadRequestError(
+            f"shift must satisfy |s| <= {_MAX_TAIL_SHIFT} sigma, got {shift}")
+    weight = _scalar_field(body, "defensive_weight", 0.1, integer=False)
+    if not 0.0 <= weight < 1.0:
+        raise BadRequestError(
+            f"defensive_weight must be in [0, 1), got {weight}")
+    return TailKey(engine, n_samples, root_seed, shift, weight), points
 
 
 def parse_trace_header(value: str | None):

@@ -18,6 +18,7 @@ route                       method semantics
 ``/v1/chip_quantile_batch`` POST   broadcastable arrays -> value list
 ``/v1/query``               POST   alias of ``chip_quantile_batch``
 ``/v1/signoff_sweep``       POST   sweep + nominal baseline, FO4 + drops
+``/v1/tail_quantile``       POST   importance-sampled deep-tail estimates
 =========================== ====== =====================================
 
 Overload resilience: the dispatcher's adaptive admission control sheds
@@ -79,13 +80,16 @@ from repro.runtime import (
 from repro.resilience.faultlab import NETWORK_FAULTS, active_plan, slow_seconds
 from repro.runtime.context import activate_runtime
 from repro.serve.dispatcher import MicroBatchDispatcher
+from repro.core.tailsampling import ShiftProposal
 from repro.serve.protocol import (
     BadRequestError,
     DrainingError,
     ServeError,
+    TailKey,
     error_response,
     json_response,
     parse_query,
+    parse_tail_query,
     parse_trace_header,
     read_request,
     text_response,
@@ -100,7 +104,7 @@ LATENCY_BUCKETS_MS = (1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500,
 
 #: Routes that enqueue solves (gated by draining / admission control).
 SOLVE_ROUTES = ("/v1/chip_quantile", "/v1/chip_quantile_batch",
-                "/v1/query", "/v1/signoff_sweep")
+                "/v1/query", "/v1/signoff_sweep", "/v1/tail_quantile")
 
 #: Deterministic non-HTTP bytes sent by an injected ``garbled_response``.
 GARBLED_BYTES = b"\x15\x03\x01\x00\x02\x02\x16repro-garbled-response\r\n\r\n"
@@ -289,6 +293,8 @@ class SignoffServer:
         span joins the request's trace, and the worker-context payloads
         built inside it carry that trace into the pool workers.
         """
+        if isinstance(key, TailKey):
+            return self._solve_tail(key, points, ctx)
         analyzer = self._analyzers[key]
         vdds = np.array([p[0] for p in points])
         sps = np.array([p[1] for p in points])
@@ -299,6 +305,34 @@ class SignoffServer:
                     points=len(points)):
                 out = analyzer.chip_quantiles(vdds, sps, qs, invariant=True)
         return [float(v) for v in np.atleast_1d(out)]
+
+    def _solve_tail(self, key: TailKey, points, ctx=None) -> list:
+        """Batch of importance-sampled tail estimates (solver thread).
+
+        Per-point results are full diagnostic dicts (value, ESS,
+        weight-max-ratio, proposal, ...), memoised by the dispatcher
+        under ``(TailKey, point)`` like any other solve; the analyzer's
+        own memo + disk cache sit underneath, so a restarted server
+        re-serves old estimates without re-sampling.  The ``tail.*``
+        gauges land on the server's registry via the re-activated
+        runtime.
+        """
+        analyzer = self._analyzers[key.engine]
+        proposal = (None if key.shift is None else
+                    ShiftProposal.defensive(key.shift,
+                                            key.defensive_weight))
+        out = []
+        with activate_runtime(self._runtime):
+            with self._runtime.obs.tracer.span(
+                    "serve.tail_solve", ctx=ctx, node=key.node,
+                    points=len(points), n_samples=key.n_samples):
+                for vdd, spares, q in points:
+                    est = analyzer.chip_tail_quantile(
+                        vdd, q, spares=spares, n_samples=key.n_samples,
+                        proposal=proposal, root_seed=key.root_seed,
+                        defensive_weight=key.defensive_weight)
+                    out.append(est.as_dict())
+        return out
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -594,6 +628,8 @@ class SignoffServer:
                     f"body is not valid JSON: {exc}") from None
             if path == "/v1/signoff_sweep":
                 payload = await self._signoff_sweep(parsed)
+            elif path == "/v1/tail_quantile":
+                payload = await self._tail_query(parsed)
             else:
                 payload = await self._query(
                     parsed, scalar=path == "/v1/chip_quantile")
@@ -627,6 +663,32 @@ class SignoffServer:
                    "values": values,
                    "values_hex": [float(v).hex() for v in values]}
         if scalar:
+            payload["value"] = values[0]
+        return payload
+
+    async def _tail_query(self, body) -> dict:
+        """``/v1/tail_quantile``: importance-sampled deep-tail estimates.
+
+        Routed through the same dispatcher memo as the deterministic
+        quantiles — repeated identical tail runs (same ``TailKey`` and
+        point) are answered from memo without re-sampling — and each
+        value comes back with its full diagnostics under ``estimates``.
+        """
+        key, points = parse_tail_query(body, available_nodes=self._nodes)
+        self._analyzer(key.engine)
+        self.metrics.counter("serve.points").inc(len(points))
+        self.metrics.counter("serve.tail_points").inc(len(points))
+        estimates = await self.dispatcher.resolve(
+            key, points, timeout=self._deadline_s,
+            trace_ctx=self._trace_ctx())
+        values = [est["value"] for est in estimates]
+        payload = {"node": key.node, "n": len(points),
+                   "values": values,
+                   "values_hex": [float(v).hex() for v in values],
+                   "estimates": estimates,
+                   "n_samples": key.n_samples,
+                   "root_seed": key.root_seed}
+        if len(points) == 1:
             payload["value"] = values[0]
         return payload
 

@@ -97,3 +97,15 @@ def test_cli_parallel_jobs_smoke(capsys):
 def test_cli_rejects_negative_jobs(capsys):
     assert cli_main(["fig9", "--jobs", "-3"]) == 2
     assert "--jobs" in capsys.readouterr().err
+
+
+def test_cli_tail_q_invalid_exits_2(capsys):
+    assert cli_main(["tail", "--fast", "--tail-q", "1.5"]) == 2
+    err = capsys.readouterr().err
+    assert "--tail-q must be in (0, 1)" in err
+
+
+def test_cli_tail_samples_invalid_exits_2(capsys):
+    assert cli_main(["tail", "--fast", "--tail-samples", "1"]) == 2
+    err = capsys.readouterr().err
+    assert "--tail-samples must be >= 2" in err

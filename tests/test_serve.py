@@ -1427,3 +1427,48 @@ def test_serve_cli_graceful_drain_completes_inflight(fresh_cache, tmp_path):
     assert elapsed < 20, f"drain blew its budget: {elapsed:.1f}s"
     assert results["value"] == direct_values([0.55])[0]
     assert "drained clean=True" in stdout
+
+
+def test_server_tail_quantile_roundtrip(fresh_cache):
+    """/v1/tail_quantile solves, memoises, and surfaces diagnostics."""
+    point = dict(vdd=0.55, q=0.999, n_samples=256, root_seed=3, **ARCH)
+    with ServerHarness(ServeConfig(port=0)) as h:
+        with h.client() as c:
+            first = c.tail_quantile("22nm", **point)
+            again = c.tail_quantile("22nm", **point)
+            metrics = c.metrics()
+            with pytest.raises(ServeRequestError) as err:
+                c.tail_quantile("22nm", vdd=0.55, q=1.5, **ARCH)
+            with pytest.raises(ServeRequestError):
+                c.tail_quantile("22nm", vdd=0.55, q=0.999,
+                                n_samples=0, **ARCH)
+    assert err.value.status == 400
+    assert first["values_hex"] == again["values_hex"]
+    assert first["value"] == first["values"][0] > 0.0
+    est = first["estimates"][0]
+    assert est["kind"] == "quantile"
+    assert est["ess"] > 2.0
+    assert 0.0 < est["weight_max_ratio"] < 1.0
+    assert est["proposal"]["d2d_shifts"][0] > 0.0
+    gauges = metrics["gauges"]
+    assert gauges["tail.ess"] > 0.0
+    assert gauges["tail.weight_max_ratio"] > 0.0
+    assert metrics["counters"]["serve.tail_points"] >= 2
+    # The solve is deterministic: a local analyzer at the same
+    # architecture reproduces the served bits exactly.
+    from repro.core.analyzer import VariationAnalyzer
+    local = VariationAnalyzer("22nm", **ARCH).chip_tail_quantile(
+        0.55, 0.999, n_samples=256, root_seed=3)
+    assert local.value.hex() in first["values_hex"]
+
+
+def test_server_tail_explicit_shift_skips_search(fresh_cache):
+    with ServerHarness(ServeConfig(port=0)) as h:
+        with h.client() as c:
+            got = c.tail_quantile("22nm", vdd=0.55, q=0.999,
+                                  n_samples=128, shift=2.5,
+                                  defensive_weight=0.2, **ARCH)
+    est = got["estimates"][0]
+    assert est["shift_search_rounds"] == 0
+    assert est["proposal"]["d2d_shifts"] == [2.5, 0.0]
+    assert est["proposal"]["mix_weights"] == [0.8, 0.2]

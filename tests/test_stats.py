@@ -74,3 +74,74 @@ def test_distribution_signoff_ci(analyzer90):
     # The deterministic quantile should fall inside the sampling CI.
     deterministic = analyzer90.chip_quantile(0.6)
     assert lo * 0.995 <= deterministic <= hi * 1.005
+
+
+# -- weighted_quantile --------------------------------------------------------
+
+
+def test_weighted_quantile_uniform_matches_numpy(rng):
+    """Uniform weights must reduce to np.quantile's linear (type-7) rule."""
+    from repro.core.stats import weighted_quantile
+    samples = rng.normal(0, 1, 1001)
+    weights = np.full(samples.size, 0.37)
+    for q in (0.01, 0.25, 0.5, 0.9, 0.99, 0.999):
+        assert weighted_quantile(samples, q, weights) == pytest.approx(
+            float(np.quantile(samples, q)), rel=1e-12)
+
+
+def test_weighted_quantile_weight_scale_invariant(rng):
+    from repro.core.stats import weighted_quantile
+    samples = rng.normal(0, 1, 500)
+    weights = rng.uniform(0.1, 2.0, 500)
+    a = weighted_quantile(samples, 0.95, weights)
+    b = weighted_quantile(samples, 0.95, weights * 1e6)
+    assert a == pytest.approx(b, rel=1e-12)
+
+
+def test_weighted_quantile_monotone_and_bounded(rng):
+    from repro.core.stats import weighted_quantile
+    samples = rng.normal(0, 1, 400)
+    weights = rng.uniform(0.1, 2.0, 400)
+    qs = np.linspace(0.01, 0.99, 25)
+    values = weighted_quantile(samples, qs, weights)
+    assert values.shape == qs.shape
+    assert np.all(np.diff(values) >= 0)
+    assert samples.min() <= values[0] and values[-1] <= samples.max()
+    # Scalar q returns a plain float.
+    assert isinstance(weighted_quantile(samples, 0.5, weights), float)
+
+
+def test_weighted_quantile_importance_reweighting(rng):
+    """IS weights must recover target-distribution quantiles.
+
+    Draw from a mean-shifted proposal N(1, 1), reweight back to the
+    N(0, 1) target with exact likelihood ratios, and check the weighted
+    quantiles land on the standard-normal ones.
+    """
+    from repro.core.stats import weighted_quantile
+    z = rng.normal(1.0, 1.0, 20_000)
+    log_ratio = -0.5 * z ** 2 + 0.5 * (z - 1.0) ** 2
+    weights = np.exp(log_ratio - log_ratio.max())
+    assert weighted_quantile(z, 0.5, weights) == pytest.approx(0.0,
+                                                               abs=0.06)
+    # Phi(1) = 0.8413...: the 84.13 % quantile of N(0, 1) is 1.
+    assert weighted_quantile(z, 0.8413447, weights) == pytest.approx(
+        1.0, abs=0.08)
+
+
+def test_weighted_quantile_validation(rng):
+    from repro.core.stats import weighted_quantile
+    with pytest.raises(ConfigurationError):
+        weighted_quantile([], 0.5, [])
+    with pytest.raises(ConfigurationError):
+        weighted_quantile([1.0, 2.0], 1.5, [1.0, 1.0])
+    with pytest.raises(ConfigurationError):
+        weighted_quantile([1.0, 2.0], 0.0, [1.0, 1.0])
+    with pytest.raises(ConfigurationError):
+        weighted_quantile([1.0, 2.0], 0.5, [1.0])
+    with pytest.raises(ConfigurationError):
+        weighted_quantile([1.0, 2.0], 0.5, [-1.0, 1.0])
+    with pytest.raises(ConfigurationError):
+        weighted_quantile([1.0, 2.0], 0.5, [0.0, 0.0])
+    with pytest.raises(ConfigurationError):
+        weighted_quantile([1.0, np.nan], 0.5, [1.0, 1.0])

@@ -1,0 +1,335 @@
+"""Importance-sampling tail estimation: weights, invariance, recovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.montecarlo import MonteCarloEngine
+from repro.core.tailsampling import (
+    MAX_SHIFT,
+    ShiftProposal,
+    TailSampler,
+    effective_sample_size,
+    normalized_weights,
+    weight_max_ratio,
+)
+from repro.devices.technology import get_technology
+from repro.errors import ConfigurationError
+from repro.resilience import (
+    FaultLedger,
+    activate_ledger,
+    install_faults,
+    parse_faults,
+)
+from repro.runtime.parallel import ParallelSampler
+
+SMALL_ARCH = dict(width=4, paths_per_lane=3, chain_length=5)
+VDD = 0.55
+
+
+# -- weight helpers -----------------------------------------------------------
+
+
+def test_normalized_weights_uniform_and_offset_invariant():
+    w = normalized_weights([0.0, 0.0, 0.0, 0.0])
+    np.testing.assert_allclose(w, 0.25)
+    a = normalized_weights([1.0, 2.0, 3.0])
+    b = normalized_weights([-699.0, -698.0, -697.0])
+    np.testing.assert_allclose(a, b, rtol=1e-12)
+
+
+def test_normalized_weights_validation():
+    with pytest.raises(ConfigurationError):
+        normalized_weights([])
+    with pytest.raises(ConfigurationError):
+        normalized_weights([0.0, np.nan])
+
+
+def test_ess_and_max_ratio_limits():
+    n = 64
+    assert effective_sample_size(np.zeros(n)) == pytest.approx(n)
+    assert weight_max_ratio(np.zeros(n)) == pytest.approx(1.0 / n)
+    # One dominant sample: ESS -> 1, max ratio -> 1.
+    lw = np.full(n, -100.0)
+    lw[5] = 0.0
+    assert effective_sample_size(lw) == pytest.approx(1.0, rel=1e-10)
+    assert weight_max_ratio(lw) == pytest.approx(1.0, rel=1e-10)
+
+
+# -- ShiftProposal ------------------------------------------------------------
+
+
+def test_proposal_validation():
+    with pytest.raises(ConfigurationError):
+        ShiftProposal(d2d_shifts=())
+    with pytest.raises(ConfigurationError):
+        ShiftProposal(d2d_shifts=(MAX_SHIFT + 1.0,))
+    with pytest.raises(ConfigurationError):
+        ShiftProposal(d2d_shifts=(float("nan"),))
+    with pytest.raises(ConfigurationError):
+        ShiftProposal(d2d_shifts=(1.0, 2.0), mix_weights=(1.0,))
+    with pytest.raises(ConfigurationError):
+        ShiftProposal(d2d_shifts=(1.0, 2.0), mix_weights=(1.0, -1.0))
+    with pytest.raises(ConfigurationError):
+        ShiftProposal(lane_shift=float("inf"))
+    with pytest.raises(ConfigurationError):
+        ShiftProposal.defensive(2.0, defensive_weight=1.0)
+
+
+def test_proposal_defensive_degrades_to_mean_shift():
+    assert ShiftProposal.defensive(2.0, 0.0) == ShiftProposal.mean_shift(2.0)
+    assert ShiftProposal.defensive(0.0, 0.3) == ShiftProposal.mean_shift(0.0)
+    mix = ShiftProposal.defensive(2.0, 0.25)
+    assert mix.is_mixture
+    assert mix.d2d_shifts == (2.0, 0.0)
+    assert mix.mix_weights == (0.75, 0.25)
+
+
+def test_proposal_roundtrip_and_fingerprint():
+    p = ShiftProposal(d2d_shifts=(1.5, 0.0), mix_weights=(0.8, 0.2),
+                      lane_shift=0.5)
+    assert ShiftProposal.from_dict(p.as_dict()) == p
+    assert p.fingerprint() == ShiftProposal.from_dict(
+        p.as_dict()).fingerprint()
+    assert p.fingerprint() != ShiftProposal.mean_shift(1.5).fingerprint()
+
+
+def test_proposal_stream_consumption():
+    """Only a genuine mixture consumes a uniform for component choice."""
+    single = ShiftProposal.mean_shift(3.0)
+    mix = ShiftProposal.defensive(3.0, 0.2)
+    rng = np.random.default_rng(0)
+    before = rng.bit_generator.state["state"]["state"]
+    assert single.pick_component(rng) == 0
+    assert rng.bit_generator.state["state"]["state"] == before
+    mix.pick_component(rng)
+    assert rng.bit_generator.state["state"]["state"] != before
+
+
+def test_proposal_rejects_zero_sigma_component():
+    class _Var:
+        sigma_vth_d2d = 0.0
+        sigma_vth_lane = 0.0
+
+    with pytest.raises(ConfigurationError):
+        ShiftProposal.mean_shift(2.0).validate_for(_Var())
+    with pytest.raises(ConfigurationError):
+        ShiftProposal.mean_shift(0.0, lane_shift=1.0).validate_for(_Var())
+    ShiftProposal.mean_shift(0.0).validate_for(_Var())  # nominal is fine
+
+
+# -- weighted sampling parity and invariance ----------------------------------
+
+
+def test_zero_shift_reproduces_plain_sampling(tech22):
+    """A nominal proposal must be bit-identical to plain MC, logw == 0."""
+    kw = dict(n_chips=48, batch_size=16, **SMALL_ARCH)
+    plain = MonteCarloEngine(tech22, seed=3).system_delays(VDD, **kw)
+    weighted, logw = MonteCarloEngine(tech22, seed=3).weighted_system_delays(
+        VDD, proposal=ShiftProposal.mean_shift(0.0), **kw)
+    np.testing.assert_array_equal(weighted, plain)
+    assert np.all(logw == 0.0)
+
+
+def test_weighted_sampling_batch_size_invariant(tech22):
+    proposal = ShiftProposal.defensive(2.0, 0.2, lane_shift=0.5)
+    d1, w1 = MonteCarloEngine(tech22, seed=9).weighted_system_delays(
+        VDD, n_chips=48, batch_size=7, proposal=proposal, **SMALL_ARCH)
+    d2, w2 = MonteCarloEngine(tech22, seed=9).weighted_system_delays(
+        VDD, n_chips=48, batch_size=48, proposal=proposal, **SMALL_ARCH)
+    np.testing.assert_array_equal(d1, d2)
+    np.testing.assert_array_equal(w1, w2)
+
+
+def test_weighted_shift_slows_chips_and_weights_compensate(tech22):
+    """A positive d2d shift must push delays up, with sub-unity weights."""
+    kw = dict(n_chips=64, batch_size=32, **SMALL_ARCH)
+    plain = MonteCarloEngine(tech22, seed=1).system_delays(VDD, **kw)
+    shifted, logw = MonteCarloEngine(tech22, seed=1).weighted_system_delays(
+        VDD, proposal=ShiftProposal.mean_shift(3.0), **kw)
+    assert np.median(shifted) > np.median(plain)
+    # Deep-shifted samples carry small likelihood ratios on average.
+    assert np.median(logw) < 0.0
+
+
+def test_weighted_sampling_jobs_invariant(tech22):
+    proposal = ShiftProposal.defensive(2.0, 0.1)
+    kw = dict(width=4, paths_per_lane=3, chain_length=5, n_chips=64,
+              proposal=proposal, batch_size=16, root_seed=11)
+    with ParallelSampler(1, shard_size=16) as serial:
+        d1, w1 = serial.weighted_system_delays(tech22, VDD, **kw)
+    with ParallelSampler(2, shard_size=16, shm_min_bytes=0) as pooled:
+        d2, w2 = pooled.weighted_system_delays(tech22, VDD, **kw)
+    np.testing.assert_array_equal(d1, d2)
+    np.testing.assert_array_equal(w1, w2)
+
+
+def test_weighted_sampling_survives_worker_crash(tech22):
+    """A crashed worker mid-run must recover bit-identically (chaos)."""
+    proposal = ShiftProposal.defensive(2.5, 0.1)
+    kw = dict(width=4, paths_per_lane=3, chain_length=5, n_chips=64,
+              proposal=proposal, batch_size=16, root_seed=5)
+    with ParallelSampler(1, shard_size=16) as serial:
+        d_ref, w_ref = serial.weighted_system_delays(tech22, VDD, **kw)
+    ledger = FaultLedger()
+    with activate_ledger(ledger), \
+            install_faults(parse_faults("worker_crash:1")):
+        with ParallelSampler(2, shard_size=16, shm_min_bytes=0) as pooled:
+            d, w = pooled.weighted_system_delays(tech22, VDD, **kw)
+    assert ledger.counts()["pool_respawn"] == 1
+    np.testing.assert_array_equal(d, d_ref)
+    np.testing.assert_array_equal(w, w_ref)
+
+
+# -- TailSampler --------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tail_sampler():
+    return TailSampler("22nm", batch_size=64, **SMALL_ARCH)
+
+
+def test_tail_quantile_matches_brute_force(tail_sampler, tech22):
+    """IS estimate at 512 weighted samples vs 20k plain-MC reference."""
+    q = 0.99
+    est = tail_sampler.tail_quantile(VDD, q, n_samples=512, root_seed=0,
+                                     n_pilot=128, max_rounds=3)
+    ref = MonteCarloEngine(tech22, seed=0).system_delays(
+        VDD, n_chips=20_000, batch_size=2048, **SMALL_ARCH)
+    assert est.value == pytest.approx(float(np.quantile(ref, q)), rel=0.05)
+    assert est.kind == "quantile" and est.q == q
+    assert 2.0 < est.ess <= 512.0
+    assert 0.0 < est.weight_max_ratio < 0.5
+    assert est.shift_search_rounds >= 1
+    assert est.proposal.has_d2d_shift
+
+
+def test_tail_quantile_deterministic_and_explicit_proposal(tail_sampler):
+    a = tail_sampler.tail_quantile(VDD, 0.999, n_samples=256, root_seed=7,
+                                   n_pilot=64, max_rounds=2)
+    b = tail_sampler.tail_quantile(VDD, 0.999, n_samples=256, root_seed=7,
+                                   n_pilot=64, max_rounds=2)
+    assert a.value.hex() == b.value.hex()
+    assert a.proposal == b.proposal
+    # An explicit proposal skips the search entirely.
+    c = tail_sampler.tail_quantile(VDD, 0.999, n_samples=256, root_seed=7,
+                                   proposal=a.proposal)
+    assert c.shift_search_rounds == 0
+    assert c.value.hex() == a.value.hex()
+
+
+def test_failure_probability_t_limit_and_f_clk_agree(tail_sampler):
+    t_limit = 2e-9
+    a = tail_sampler.failure_probability(VDD, t_limit, n_samples=256,
+                                         root_seed=3, n_pilot=64,
+                                         max_rounds=2)
+    b = tail_sampler.failure_probability(VDD, f_clk=1.0 / t_limit,
+                                         n_samples=256, root_seed=3,
+                                         n_pilot=64, max_rounds=2)
+    assert a.value == b.value
+    assert a.kind == "probability"
+    assert a.threshold == t_limit
+    assert 0.0 <= a.value <= 1.0
+
+
+def test_failure_probability_consistent_with_quantile(tail_sampler, tech22):
+    """P(delay > t_q) must land near 1 - q (independent threshold)."""
+    q = 0.99
+    ref = MonteCarloEngine(tech22, seed=0).system_delays(
+        VDD, n_chips=20_000, batch_size=2048, **SMALL_ARCH)
+    t_q = float(np.quantile(ref, q))
+    est = tail_sampler.failure_probability(VDD, t_q, n_samples=1024,
+                                           root_seed=1, n_pilot=128,
+                                           max_rounds=3)
+    assert est.value == pytest.approx(1.0 - q, rel=0.5)
+
+
+def test_tail_sampler_validation(tail_sampler):
+    with pytest.raises(ConfigurationError):
+        tail_sampler.tail_quantile(VDD, 1.5)
+    with pytest.raises(ConfigurationError):
+        tail_sampler.tail_quantile(VDD, 0.99, n_samples=1)
+    with pytest.raises(ConfigurationError):
+        tail_sampler.failure_probability(VDD)                 # neither
+    with pytest.raises(ConfigurationError):
+        tail_sampler.failure_probability(VDD, 1e-9, f_clk=1e9)  # both
+    with pytest.raises(ConfigurationError):
+        tail_sampler.failure_probability(VDD, f_clk=-1.0)
+    with pytest.raises(ConfigurationError):
+        tail_sampler.find_shift(VDD)                          # neither
+    with pytest.raises(ConfigurationError):
+        tail_sampler.find_shift(VDD, 0.99, t_limit=1e-9)      # both
+    with pytest.raises(ConfigurationError):
+        tail_sampler.find_shift(VDD, 0.99, n_pilot=4)
+    with pytest.raises(ConfigurationError):
+        tail_sampler.find_shift(VDD, 0.99, elite_fraction=0.7)
+    with pytest.raises(ConfigurationError):
+        TailSampler("22nm", width=0)
+
+
+def test_tail_estimate_as_dict_roundtrips_json(tail_sampler):
+    import json
+    est = tail_sampler.tail_quantile(VDD, 0.99, n_samples=64, root_seed=0,
+                                     proposal=ShiftProposal.mean_shift(2.0))
+    payload = json.loads(json.dumps(est.as_dict()))
+    assert payload["kind"] == "quantile"
+    assert payload["value"] == est.value
+    assert ShiftProposal.from_dict(payload["proposal"]) == est.proposal
+
+
+# -- analyzer integration (validation + tail API + caching) -------------------
+
+
+def test_analyzer_point_validation_before_caches(analyzer90):
+    for bad_q in (0.0, 1.0, -2.0, 1.5, float("nan")):
+        with pytest.raises(ConfigurationError):
+            analyzer90.chip_quantile(0.6, q=bad_q)
+    with pytest.raises(ConfigurationError):
+        analyzer90.chip_quantile(0.6, spares=-1.0)
+    with pytest.raises(ConfigurationError):
+        analyzer90.chip_quantiles([0.5, 0.6], q=[0.9, 1.5])
+    with pytest.raises(ConfigurationError):
+        analyzer90.chip_quantiles([0.5, 0.6], spares=[0.0, -3.0])
+    with pytest.raises(ConfigurationError):
+        analyzer90.chip_quantiles([0.5, 0.6], q=[0.9, float("inf")])
+
+
+@pytest.fixture(scope="module")
+def tail_analyzer():
+    from repro.core.analyzer import VariationAnalyzer
+    return VariationAnalyzer("22nm", **SMALL_ARCH)
+
+
+def test_analyzer_tail_quantile_memoised(tail_analyzer):
+    kw = dict(n_samples=256, root_seed=2, n_pilot=64, max_rounds=2)
+    first = tail_analyzer.chip_tail_quantile(VDD, 0.999, **kw)
+    again = tail_analyzer.chip_tail_quantile(VDD, 0.999, **kw)
+    assert again.value.hex() == first.value.hex()
+    assert again.ess == first.ess
+    # A fresh analyzer must hit the on-disk cache and agree bit-for-bit.
+    from repro.core.analyzer import VariationAnalyzer
+    fresh = VariationAnalyzer("22nm", **SMALL_ARCH)
+    cached = fresh.chip_tail_quantile(VDD, 0.999, **kw)
+    assert cached.value.hex() == first.value.hex()
+    assert cached.proposal == first.proposal
+
+
+def test_analyzer_tail_distinct_points_not_conflated(tail_analyzer):
+    kw = dict(n_samples=256, root_seed=2, n_pilot=64, max_rounds=2)
+    a = tail_analyzer.chip_tail_quantile(VDD, 0.999, **kw)
+    b = tail_analyzer.chip_tail_quantile(VDD, 0.9995, **kw)
+    assert a.value != b.value
+
+
+def test_analyzer_failure_probability_f_clk(tail_analyzer):
+    est = tail_analyzer.chip_failure_probability(
+        VDD, f_clk=5e8, n_samples=256, root_seed=0, n_pilot=64,
+        max_rounds=2)
+    assert est.kind == "probability"
+    assert est.threshold == pytest.approx(2e-9)
+    assert 0.0 <= est.value <= 1.0
+    with pytest.raises(ConfigurationError):
+        tail_analyzer.chip_failure_probability(VDD)
+    with pytest.raises(ConfigurationError):
+        tail_analyzer.chip_failure_probability(VDD, 1e-9, f_clk=1e9)
